@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures and writes
+its rendered output to ``benchmarks/out/<name>.txt`` (also printed when
+pytest runs with ``-s``), so EXPERIMENTS.md can be refreshed from the
+artefacts.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def emit_result():
+    return emit

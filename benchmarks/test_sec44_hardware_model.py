@@ -1,0 +1,54 @@
+"""§4.4: potential hardware SVD, first-order cost model.
+
+"As more transistors become available on-chip, we believe that the
+overhead of the software version SVD can be dramatically reduced if some
+parts of it are implemented in hardware."  This bench runs the three
+server workloads under the online detector, feeds the measured operation
+mix into the cost model (datapath-piggybacked propagation, cache-resident
+CU tables, coherence-piggybacked conflict detection) and reports the
+estimated software vs hardware slowdowns.
+"""
+
+import pytest
+
+from repro.core import OnlineSVD, estimate_hardware_cost
+from repro.harness import render_table
+from repro.machine import RandomScheduler
+from repro.workloads import apache_log, mysql_prepared, pgsql_oltp
+
+
+def estimate_for(workload, seed=3):
+    svd = OnlineSVD(workload.program)
+    machine = workload.make_machine(
+        RandomScheduler(seed=seed, switch_prob=0.4), observers=[svd])
+    machine.run(max_steps=400_000)
+    return estimate_hardware_cost(svd)
+
+
+def test_hardware_model(benchmark, emit_result):
+    apache = benchmark.pedantic(estimate_for, args=(apache_log(),),
+                                rounds=1, iterations=1)
+    mysql = estimate_for(mysql_prepared())
+    pgsql = estimate_for(pgsql_oltp())
+
+    rows = []
+    for name, est in (("apache", apache), ("mysql", mysql),
+                      ("pgsql", pgsql)):
+        rows.append((name, est.instructions,
+                     est.counts["remote_messages"],
+                     f"{est.sw_slowdown:.1f}x",
+                     f"{est.hw_slowdown:.2f}x",
+                     f"{est.speedup_over_software:.0f}x"))
+    text = render_table(
+        ["workload", "insts", "remote msgs", "sw slowdown (model)",
+         "hw slowdown (model)", "hw speedup"],
+        rows,
+        title="Sec 4.4: hardware SVD cost model "
+              "(paper: software up to 65x; hardware 'dramatically' less)")
+    emit_result("sec44_hardware_model", text)
+
+    for est in (apache, mysql, pgsql):
+        # the software model sits in the paper's measured regime
+        assert 10 < est.sw_slowdown < 150
+        # and hardware assists reduce it by an order of magnitude+
+        assert est.speedup_over_software > 10

@@ -1,0 +1,53 @@
+"""§7.3 length scaling: false positives vs execution length.
+
+The paper: "the number of static false positives grows slowly as the
+length of the execution increases ... dynamic false positives
+approximately increased linearly with the execution length."
+
+We sweep the benign-race MySQL workload (all reports are FPs there) and
+check both series.  FRD supplies the dynamic series (its benign-race
+reports recur every iteration); SVD supplies the static plateau.
+"""
+
+import pytest
+
+from repro.harness import length_sweep, render_table
+from repro.workloads import mysql_tablelock, pgsql_oltp
+
+
+@pytest.fixture(scope="module")
+def points():
+    return length_sweep(lambda ops: mysql_tablelock(ops=ops),
+                        [10, 20, 40, 80, 160])
+
+
+def test_length_scaling(benchmark, points, emit_result):
+    extra = benchmark.pedantic(
+        length_sweep, args=(lambda t: pgsql_oltp(txns=t), [10, 20, 40]),
+        rounds=1, iterations=1)
+    rows = [(p.ops, p.instructions, p.svd_static_fp, p.svd_dynamic_fp,
+             p.frd_static_fp, p.frd_dynamic_fp) for p in points]
+    rows += [(f"pgsql-{p.ops}", p.instructions, p.svd_static_fp,
+              p.svd_dynamic_fp, p.frd_static_fp, p.frd_dynamic_fp)
+             for p in extra]
+    text = render_table(
+        ["ops", "insts", "SVD staticFP", "SVD dynFP",
+         "FRD staticFP", "FRD dynFP"],
+        rows,
+        title="Sec 7.3: FPs vs execution length "
+              "(static plateaus, dynamic grows ~linearly)")
+    emit_result("sec73_length_scaling", text)
+
+    # static FPs plateau: the longest run has no more static sites than
+    # a small constant over the shortest
+    assert points[-1].frd_static_fp <= points[0].frd_static_fp + 2
+    assert points[-1].svd_static_fp <= points[0].svd_static_fp + 2
+
+    # dynamic FPs grow roughly linearly with length (FRD's benign races):
+    # 16x the ops must give at least 4x the dynamic reports
+    first, last = points[0], points[-1]
+    if first.frd_dynamic_fp:
+        assert last.frd_dynamic_fp >= 4 * first.frd_dynamic_fp
+    # and sublinearity check on the static axis vs instruction growth
+    growth = last.instructions / first.instructions
+    assert growth > 8  # the sweep really did scale the execution

@@ -1,0 +1,54 @@
+"""Figure 2 demo: the Apache buffered-log bug, detected online.
+
+Apache 2.0.48's log_config module buffers access-log records in shared
+memory; the memcpy into the buffer and the index update are not guarded
+by a critical section.  This example:
+
+1. runs the buggy workload and shows the silent log corruption;
+2. shows SVD detecting the serializability violation online, at the
+   exact statements of the paper's Figure 2;
+3. compares against the FRD race detector on the identical execution
+   (far more dynamic reports for the same bug);
+4. runs the patched workload and shows both detectors silent.
+
+Run:  python examples/apache_log_corruption.py
+"""
+
+from repro.detectors import FrontierRaceDetector
+from repro.harness import run_workload
+from repro.workloads import apache_log
+
+
+def describe(result, title):
+    print(f"--- {title} ---")
+    print(f"log integrity : {result.outcome.detail}")
+    print(f"SVD           : {result.svd.dynamic_total} dynamic reports "
+          f"({result.svd.static_tp + result.svd.static_fp} static sites)")
+    print(f"FRD           : {result.frd.dynamic_total} dynamic reports "
+          f"({result.frd.static_tp + result.frd.static_fp} static sites)")
+    if result.svd_report.dynamic_count:
+        print()
+        print(result.svd_report.describe(limit=6))
+    print()
+
+
+def main() -> None:
+    # find a seed where the corruption manifests (it is timing-dependent)
+    for seed in range(10):
+        buggy = run_workload(apache_log(), seed=seed, switch_prob=0.5)
+        if buggy.outcome.manifested:
+            break
+    describe(buggy, f"buggy Apache, seed {seed}")
+    assert buggy.svd.found_bug, "SVD must catch the manifested corruption"
+
+    ratio = buggy.frd.dynamic_total / max(1, buggy.svd.dynamic_total)
+    print(f"FRD produced {ratio:.0f}x the dynamic reports of SVD for the "
+          f"same bug -- each dynamic report would cost one BER rollback.")
+    print()
+
+    fixed = run_workload(apache_log(fixed=True), seed=seed, switch_prob=0.5)
+    describe(fixed, "patched Apache (lock around the buffered write)")
+
+
+if __name__ == "__main__":
+    main()

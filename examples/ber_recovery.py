@@ -1,0 +1,53 @@
+"""BER demo: avoiding an unknown bug at runtime (paper §1.1, scenario I).
+
+The Apache log workload corrupts its access log under racy
+interleavings.  Without any knowledge of the bug, SVD + backward error
+recovery keeps the service correct: on each detected serializability
+violation the machine rolls back to a checkpoint taken before the broken
+region began and re-executes serially for a recovery window.
+
+Run:  python examples/ber_recovery.py
+"""
+
+from repro.ber import BerController
+from repro.machine import RandomScheduler
+from repro.workloads import apache_log
+
+
+def main() -> None:
+    workload = apache_log(writers=3, requests=12)
+
+    # find a seed whose unprotected run corrupts the log
+    for seed in range(10):
+        machine = workload.make_machine(
+            RandomScheduler(seed=seed, switch_prob=0.5))
+        machine.run()
+        outcome = workload.validate(machine)
+        if outcome.errors:
+            break
+    print(f"unprotected run (seed {seed}): {outcome.detail}")
+    print("the server silently served a corrupted access log.\n")
+
+    controller = BerController(
+        workload.program, workload.threads,
+        RandomScheduler(seed=seed, switch_prob=0.5),
+        checkpoint_interval=400, recovery_window=1500)
+    result = controller.run(max_steps=2_000_000)
+    protected = workload.validate(controller.machine)
+
+    print(f"protected run   (seed {seed}): {protected.detail}")
+    print(f"rollbacks performed : {result.rollbacks}")
+    print(f"work thrown away    : {result.wasted_steps} steps "
+          f"({result.overhead_fraction:.1%} of total)")
+    print()
+    if protected.errors == 0 and result.rollbacks > 0:
+        print("SVD + BER avoided the (unknown) bug: every time the broken")
+        print("interleaving began, the detector fired, the machine rolled")
+        print("back past the region's start, and the serial re-execution")
+        print("could not reproduce the race.")
+    else:
+        print("recovery incomplete on this seed -- try another")
+
+
+if __name__ == "__main__":
+    main()

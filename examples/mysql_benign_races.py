@@ -1,0 +1,60 @@
+"""Figure 1 demo: benign data races that SVD does not report.
+
+MySQL's table-locking code updates ``tot_lock`` under a lock but reads
+it elsewhere without synchronization.  The races are harmless: shared
+tables are locked before use, so the racy predicate never fires.  A
+happens-before race detector reports them anyway (false positives a
+programmer must triage); SVD observes that every computational unit
+serialises and stays silent.
+
+Run:  python examples/mysql_benign_races.py
+"""
+
+from repro.detectors import LocksetDetector, frontier_races
+from repro.harness import run_workload
+from repro.machine import RandomScheduler
+from repro.trace import TraceRecorder
+from repro.workloads import mysql_tablelock
+
+
+def main() -> None:
+    workload = mysql_tablelock()
+    result = run_workload(workload, seed=1, switch_prob=0.5)
+
+    print(f"workload : {workload.description}")
+    print(f"outcome  : {result.outcome.detail} "
+          f"({'CORRECT' if result.outcome.errors == 0 else 'BROKEN'})")
+    print()
+    print(f"FRD (happens-before) : {result.frd.dynamic_total:4d} dynamic "
+          f"race reports at {result.frd.static_fp} static sites "
+          f"-- ALL false positives")
+    print(f"SVD                  : {result.svd.dynamic_total:4d} reports")
+    print()
+
+    if result.frd_report.dynamic_count:
+        program = result.frd_report.program
+        print("the statements FRD flags (every one benign):")
+        for key in sorted(result.frd_report.static_keys):
+            _kind, loc = key
+            print(f"  {program.locs[loc]}")
+    print()
+    print("SVD avoids these false positives because the execution's CUs")
+    print("are serializable: the racy read never feeds a store that would")
+    print("expose the broken window (the guarded branch never executes).")
+
+    # bonus: the lockset algorithm (Eraser) also flags the variable
+    recorder = TraceRecorder(workload.program, len(workload.threads))
+    machine = workload.make_machine(
+        RandomScheduler(seed=1, switch_prob=0.5), observers=[recorder])
+    machine.run()
+    trace = recorder.trace()
+    lockset = LocksetDetector(workload.program).run(trace)
+    frontier = frontier_races(trace)
+    print()
+    print(f"for reference: Eraser-style lockset reports "
+          f"{lockset.dynamic_count} site(s); pass-1 frontier analysis "
+          f"finds {len(frontier)} tightest racy pairs to annotate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""SVD: A Serializability Violation Detector for shared-memory programs.
+
+A from-scratch reproduction of Xu, Bodik & Hill, *A Serializability
+Violation Detector for Shared-Memory Server Programs*, PLDI 2005.
+
+Public API tour:
+
+* compile a MiniSMP program: :func:`repro.lang.compile_source`
+* execute it deterministically: :class:`repro.machine.Machine` with a
+  seeded :class:`repro.machine.RandomScheduler`
+* detect erroneous executions online: :class:`repro.core.OnlineSVD`
+* post-mortem analyses over recorded traces:
+  :class:`repro.core.OfflineSVD`,
+  :class:`repro.detectors.FrontierRaceDetector`, and the formal layer in
+  :mod:`repro.pdg` / :mod:`repro.serializability`
+* avoid bugs at runtime: :class:`repro.ber.BerController`
+* reproduce the paper's evaluation: :mod:`repro.workloads` +
+  :mod:`repro.harness`
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+
+__all__ = ["Machine", "RandomScheduler", "compile_source", "__version__"]

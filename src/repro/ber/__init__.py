@@ -1,0 +1,17 @@
+"""Backward error recovery (BER) driven by SVD (paper §1.1, scenario I).
+
+When the online detector reports a serializability violation, the
+controller rolls the machine back to the most recent checkpoint and
+re-executes with a conservative *serial* schedule for a recovery window,
+then resumes normal concurrent scheduling.  Because a serial execution
+trivially serialises every CU, the erroneous interleaving cannot recur
+inside the window -- the software error is avoided without fixing the
+bug, the deployment mode the paper motivates with the 2003 blackout.
+
+Every dynamic false positive costs one unnecessary rollback, which is
+why Table 2 tracks dynamic-FP rates so closely.
+"""
+
+from repro.ber.controller import BerController, BerOutcome, SwitchableScheduler
+
+__all__ = ["BerController", "BerOutcome", "SwitchableScheduler"]

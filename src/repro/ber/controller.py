@@ -1,0 +1,158 @@
+"""Checkpoint/rollback controller around a machine + online SVD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.online import OnlineSVD, SvdConfig
+from repro.isa.program import Program
+from repro.machine.machine import Machine, MachineStatus
+from repro.machine.scheduler import Scheduler, SerialScheduler
+
+
+class SwitchableScheduler(Scheduler):
+    """Delegates to a normal scheduler, or to serial mode during recovery."""
+
+    def __init__(self, normal: Scheduler) -> None:
+        self.normal = normal
+        self._serial = SerialScheduler()
+        self.serial_mode = False
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        if self.serial_mode:
+            return self._serial.pick(runnable, current)
+        return self.normal.pick(runnable, current)
+
+    def snapshot(self):
+        return (self.serial_mode, self.normal.snapshot())
+
+    def restore(self, state) -> None:
+        self.serial_mode, inner = state
+        self.normal.restore(inner)
+
+
+@dataclass
+class BerOutcome:
+    """Result of a BER-protected run."""
+
+    status: str
+    rollbacks: int
+    violations_seen: int
+    wasted_steps: int
+    total_steps: int
+    crashed: bool
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of executed steps thrown away by rollbacks."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.wasted_steps / self.total_steps
+
+
+class BerController:
+    """Run a program under SVD-triggered backward error recovery.
+
+    Args:
+        program: the compiled program.
+        threads: thread instances, as for :class:`Machine`.
+        scheduler: the normal (concurrent) scheduler.
+        svd_config: detector configuration.
+        checkpoint_interval: steps between checkpoints.
+        recovery_window: steps executed serially after a rollback before
+            resuming the concurrent schedule.
+        max_rollbacks: safety valve against livelock on a persistently
+            reported (false-positive) site.
+    """
+
+    def __init__(self, program: Program,
+                 threads: Sequence[Tuple[str, Sequence[int]]],
+                 scheduler: Scheduler,
+                 svd_config: Optional[SvdConfig] = None,
+                 checkpoint_interval: int = 2000,
+                 recovery_window: int = 4000,
+                 max_rollbacks: int = 50) -> None:
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        self.program = program
+        self.svd_config = svd_config if svd_config is not None else SvdConfig()
+        self.scheduler = SwitchableScheduler(scheduler)
+        self.machine = Machine(program, threads, scheduler=self.scheduler)
+        self.checkpoint_interval = checkpoint_interval
+        self.recovery_window = recovery_window
+        self.max_rollbacks = max_rollbacks
+        self.rollbacks = 0
+        self.violations_seen = 0
+        self.wasted_steps = 0
+        self._svd = self._fresh_svd()
+
+    def _fresh_svd(self) -> OnlineSVD:
+        svd = OnlineSVD(self.program, self.svd_config)
+        self.machine.observers = [svd]
+        return svd
+
+    #: how many periodic checkpoints are retained; the rollback target is
+    #: the newest one that predates the violated CU's first access, so the
+    #: ring must span at least one full CU (regions are short relative to
+    #: checkpoint_interval * CHECKPOINT_RING).
+    CHECKPOINT_RING = 16
+
+    def _rollback_target(self, snapshots, report) -> Dict:
+        """Newest retained checkpoint at or before the violated CU's birth."""
+        births = [v.cu_birth_seq for v in report if v.cu_birth_seq >= 0]
+        limit = min(births) if births else -1
+        for snapshot in reversed(snapshots):
+            if limit < 0 or snapshot["seq"] <= limit:
+                return snapshot
+        return snapshots[0]
+
+    def run(self, max_steps: Optional[int] = None) -> BerOutcome:
+        machine = self.machine
+        snapshots: List[Dict] = [machine.checkpoint()]
+        last_checkpoint_step = machine.steps
+        serial_until = -1
+
+        while machine.status == MachineStatus.RUNNING:
+            if max_steps is not None and machine.steps >= max_steps:
+                machine.status = MachineStatus.STEP_LIMIT
+                break
+            if not machine.step():
+                break
+
+            if machine.steps >= serial_until and self.scheduler.serial_mode:
+                self.scheduler.serial_mode = False
+
+            if self._svd.report.dynamic_count > 0:
+                self.violations_seen += self._svd.report.dynamic_count
+                if self.rollbacks >= self.max_rollbacks:
+                    # give up on recovery; run on undetected (as a real
+                    # deployment would after exhausting its rollback budget)
+                    self._svd = self._fresh_svd()
+                    continue
+                self.rollbacks += 1
+                snapshot = self._rollback_target(snapshots, self._svd.report)
+                self.wasted_steps += machine.steps - snapshot["steps"]
+                machine.restore(snapshot)
+                snapshots = [snapshot]
+                self._svd = self._fresh_svd()
+                self.scheduler.serial_mode = True
+                serial_until = machine.steps + self.recovery_window
+                last_checkpoint_step = machine.steps
+                continue
+
+            if (machine.steps - last_checkpoint_step >= self.checkpoint_interval
+                    and not self.scheduler.serial_mode):
+                snapshots.append(machine.checkpoint())
+                if len(snapshots) > self.CHECKPOINT_RING:
+                    snapshots.pop(0)
+                last_checkpoint_step = machine.steps
+
+        return BerOutcome(
+            status=machine.status,
+            rollbacks=self.rollbacks,
+            violations_seen=self.violations_seen,
+            wasted_steps=self.wasted_steps,
+            total_steps=machine.steps + self.wasted_steps,
+            crashed=machine.crashed,
+        )

@@ -1,0 +1,392 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      -- run a bundled workload under one or all detectors
+* ``exec``     -- compile and run a MiniSMP source file
+* ``compile``  -- compile a MiniSMP source file and show the listing
+* ``table1``   -- regenerate the paper's Table 1
+* ``table2``   -- regenerate the paper's Table 2
+* ``overhead`` -- measure the §7.3 detection overheads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import OfflineSVD, OnlineSVD, PreciseSVD
+from repro.detectors import (AtomizerDetector, FrontierRaceDetector,
+                             HybridRaceDetector, LockOrderDetector,
+                             LocksetDetector, StaleValueDetector)
+from repro.harness import measure_overhead, render_table, run_workload
+from repro.harness.table1 import render_table1, table1_rows
+from repro.harness.table2 import render_table2, table2_rows
+from repro.lang import LangError, compile_source
+from repro.machine import Machine, RandomScheduler
+from repro.trace import TraceRecorder
+from repro.workloads import (WORKLOADS, apache_log, mysql_prepared,
+                             queue_region, stringbuffer)
+
+#: workload factories that accept ``fixed=``
+_FIXABLE = {"apache": apache_log, "mysql-prepared": mysql_prepared,
+            "stringbuffer": stringbuffer, "queue-region": queue_region}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SVD: serializability violation detection (PLDI'05)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a bundled workload")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--switch-prob", type=float, default=0.4)
+    run.add_argument("--fixed", action="store_true",
+                     help="use the patched variant where one exists")
+    run.add_argument("--detector", default="svd",
+                     choices=["svd", "precise", "frd", "lockset",
+                              "atomizer", "offline", "stale",
+                              "lock-order", "hybrid", "all"])
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+
+    execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
+    execute.add_argument("source", help="path to the MiniSMP source file")
+    execute.add_argument("--thread", action="append", default=[],
+                         metavar="NAME[:ARG,ARG...]",
+                         help="thread instance to run (repeatable)")
+    execute.add_argument("--seed", type=int, default=0)
+    execute.add_argument("--switch-prob", type=float, default=0.4)
+    execute.add_argument("--svd", action="store_true",
+                         help="attach the online detector")
+    execute.add_argument("--save-trace", metavar="PATH",
+                         help="record the execution trace to a file")
+    execute.add_argument("--record", metavar="PATH",
+                         help="save a replayable schedule recording")
+    execute.add_argument("--max-steps", type=int, default=1_000_000)
+
+    analyze = sub.add_parser(
+        "analyze", help="run trace-based detectors over a saved trace")
+    analyze.add_argument("source", help="the MiniSMP source the trace "
+                         "was recorded from")
+    analyze.add_argument("trace", help="trace file saved by `exec "
+                         "--save-trace`")
+    analyze.add_argument("--detector", default="frd",
+                         choices=["frd", "lockset", "atomizer", "offline",
+                                  "stale", "lock-order", "hybrid",
+                                  "queries"])
+    analyze.add_argument("--variable", default=None,
+                         help="with --detector queries: variable history "
+                         "to print")
+
+    replay = sub.add_parser(
+        "replay", help="replay a schedule recording with detectors")
+    replay.add_argument("source", help="the MiniSMP source the recording "
+                        "was captured from")
+    replay.add_argument("recording", help="file saved by `exec --record`")
+    replay.add_argument("--svd", action="store_true",
+                        help="attach the online detector during replay")
+
+    comp = sub.add_parser("compile", help="compile and show the listing")
+    comp.add_argument("source")
+    comp.add_argument("--stats", action="store_true",
+                      help="print layout statistics instead of a listing")
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument("--seed", type=int, default=3)
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--scale", type=int, default=1)
+    t2.add_argument("--max-steps", type=int, default=400_000)
+
+    over = sub.add_parser("overhead", help="measure detection overheads")
+    over.add_argument("workload", choices=sorted(WORKLOADS), nargs="?",
+                      default="mysql-tablelock")
+    over.add_argument("--repeats", type=int, default=2)
+    return parser
+
+
+def _parse_threads(specs: Sequence[str]) -> List:
+    threads = []
+    for spec in specs:
+        name, _sep, args = spec.partition(":")
+        values = tuple(int(a) for a in args.split(",") if a)
+        threads.append((name, values))
+    return threads
+
+
+def _cmd_run(args) -> int:
+    if args.fixed:
+        factory = _FIXABLE.get(args.workload)
+        if factory is None:
+            print(f"workload {args.workload!r} has no patched variant",
+                  file=sys.stderr)
+            return 2
+        workload = factory(fixed=True)
+    else:
+        workload = WORKLOADS[args.workload]()
+    print(f"workload: {workload.description}")
+
+    if args.detector in ("svd", "all"):
+        result = run_workload(workload, seed=args.seed,
+                              switch_prob=args.switch_prob,
+                              max_steps=args.max_steps,
+                              run_frd=args.detector == "all")
+        print(f"outcome : {result.outcome.detail}")
+        print(f"status  : {result.status}, "
+              f"{result.instructions} instructions, "
+              f"{result.cus_created} CUs")
+        print()
+        print(result.svd_report.describe())
+        if result.frd_report is not None:
+            print()
+            print(result.frd_report.describe())
+        print()
+        print(result.log.describe(limit=5))
+        return 0
+
+    # trace-based detectors
+    program = workload.program
+    recorder = TraceRecorder(program, len(workload.threads))
+    observers = [recorder]
+    online = None
+    if args.detector == "precise":
+        online = PreciseSVD(program)
+        observers.append(online)
+    machine = workload.make_machine(
+        RandomScheduler(seed=args.seed, switch_prob=args.switch_prob),
+        observers=observers)
+    machine.run(max_steps=args.max_steps)
+    print(f"outcome : {workload.validate(machine).detail}")
+    trace = recorder.trace()
+    if args.detector == "precise":
+        print(online.report.describe())
+    elif args.detector == "frd":
+        print(FrontierRaceDetector(program).run(trace).describe())
+    elif args.detector == "lockset":
+        print(LocksetDetector(program).run(trace).describe())
+    elif args.detector == "atomizer":
+        print(AtomizerDetector(program).run(trace).describe())
+    elif args.detector == "offline":
+        print(OfflineSVD(program).run(trace).report.describe())
+    elif args.detector == "stale":
+        print(StaleValueDetector(program).run(trace).describe())
+    elif args.detector == "lock-order":
+        print(LockOrderDetector(program).run(trace).describe())
+    elif args.detector == "hybrid":
+        print(HybridRaceDetector(program).run(trace).describe())
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    try:
+        with open(args.source) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    threads = _parse_threads(args.thread)
+    if not threads:
+        threads = [(name, ()) for name, spec in program.threads.items()
+                   if not spec.param_offsets]
+        if not threads:
+            print("no --thread given and every thread body takes "
+                  "parameters", file=sys.stderr)
+            return 2
+    detector = OnlineSVD(program) if args.svd else None
+    observers = [detector] if detector else []
+    recorder = None
+    if args.save_trace:
+        recorder = TraceRecorder(program, len(threads))
+        observers.append(recorder)
+    if args.record:
+        from repro.machine import record_execution
+        machine, recording = record_execution(
+            program, threads,
+            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob),
+            max_steps=args.max_steps, observers=observers)
+        recording.save(args.record)
+        print(f"recording saved to {args.record} "
+              f"({recording.steps} steps)")
+        status = machine.status
+    else:
+        machine = Machine(program, threads,
+                          scheduler=RandomScheduler(
+                              seed=args.seed,
+                              switch_prob=args.switch_prob),
+                          observers=observers)
+        status = machine.run(max_steps=args.max_steps)
+    if recorder is not None:
+        recorder.trace().save(args.save_trace)
+        print(f"trace saved to {args.save_trace} "
+              f"({len(recorder.events)} events)")
+    print(f"status: {status} after {machine.steps} steps")
+    if machine.output:
+        print("output:", " ".join(str(v) for _t, v in machine.output))
+    for crash in machine.crashes:
+        loc = program.locs[crash.loc] if crash.loc >= 0 else "?"
+        print(f"CRASH thread {crash.tid}: {crash.reason} at {loc}")
+    if detector is not None:
+        print()
+        print(detector.report.describe())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    try:
+        with open(args.source) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    if args.stats:
+        rows = [(name, spec.entry, spec.frame_words, spec.reg_count)
+                for name, spec in program.threads.items()]
+        print(render_table(["thread", "entry pc", "frame words", "regs"],
+                           rows, title=f"{len(program.code)} instructions, "
+                           f"{program.shared_words} shared words"))
+    else:
+        print(program.disassemble())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(render_table1(table1_rows(seed=args.seed)))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(render_table2(table2_rows(scale=args.scale,
+                                    max_steps=args.max_steps)))
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    result = measure_overhead(WORKLOADS[args.workload](),
+                              repeats=args.repeats)
+    print(f"{result.workload}: {result.instructions} instructions")
+    print(f"bare machine : {result.bare_seconds * 1e3:8.1f} ms")
+    print(f"with SVD     : {result.svd_seconds * 1e3:8.1f} ms "
+          f"({result.slowdown:.1f}x)")
+    print(f"tracked state: {result.peak_detector_state} block entries "
+          f"({result.memory_overhead_fraction:.2f}x program memory)")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    try:
+        with open(args.source) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    from repro.trace import Trace, TraceQuery
+    try:
+        trace = Trace.load(args.trace, program)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(f"loaded {len(trace)} events, {trace.n_threads} threads")
+    if args.detector == "queries":
+        query = TraceQuery(trace)
+        print(query.render_shared_report())
+        if args.variable:
+            print()
+            print(query.render_history(args.variable))
+        return 0
+    detectors = {
+        "frd": lambda: FrontierRaceDetector(program).run(trace),
+        "lockset": lambda: LocksetDetector(program).run(trace),
+        "atomizer": lambda: AtomizerDetector(program).run(trace),
+        "offline": lambda: OfflineSVD(program).run(trace).report,
+        "stale": lambda: StaleValueDetector(program).run(trace),
+        "lock-order": lambda: LockOrderDetector(program).run(trace),
+        "hybrid": lambda: HybridRaceDetector(program).run(trace),
+    }
+    print(detectors[args.detector]().describe())
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    try:
+        with open(args.source) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    from repro.machine import Recording, replay_execution
+    try:
+        recording = Recording.load(args.recording)
+    except OSError as exc:
+        print(f"cannot read {args.recording}: {exc}", file=sys.stderr)
+        return 2
+    detector = OnlineSVD(program) if args.svd else None
+    try:
+        machine = replay_execution(
+            program, recording,
+            observers=[detector] if detector else [])
+    except ValueError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"replayed {machine.steps} steps deterministically "
+          f"(status {machine.status})")
+    for crash in machine.crashes:
+        loc = program.locs[crash.loc] if crash.loc >= 0 else "?"
+        print(f"CRASH thread {crash.tid}: {crash.reason} at {loc}")
+    if detector is not None:
+        print()
+        print(detector.report.describe())
+        print()
+        print(detector.log.describe(limit=5))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "analyze": _cmd_analyze,
+    "replay": _cmd_replay,
+    "exec": _cmd_exec,
+    "compile": _cmd_compile,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "overhead": _cmd_overhead,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like other CLIs
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""SVD: the Serializability Violation Detector (the paper's contribution).
+
+* :mod:`repro.core.fsm` -- the per-(thread, block) six-state machine of
+  the paper's Figure 8 that infers which blocks are shared and detects
+  shared dependences (CU cut points).
+* :mod:`repro.core.cu` -- the online CU representation: read/write block
+  sets with merge (union) machinery for ``merge_and_update``.
+* :mod:`repro.core.online` -- the one-pass online detector of Figure 7:
+  CU-reference propagation through registers, the Skipper control-
+  dependence stack, address dependences, and the strict-2PL conflict
+  check over CU input blocks.
+* :mod:`repro.core.offline` -- the three-pass offline algorithm of
+  Figures 5 and 6, run over recorded traces.
+* :mod:`repro.core.posteriori` -- the a-posteriori log of ``(s, rw, lw)``
+  communication triples and CU shapes (paper §2.3).
+* :mod:`repro.core.report` -- violation records and static/dynamic
+  deduplication.
+"""
+
+from repro.core.fsm import (
+    IDLE, LOADED, LOADED_SHARED, STORED, STORED_SHARED, TRUE_DEP,
+    STATE_NAMES, on_local_load, on_local_store, on_remote_access,
+)
+from repro.core.online import OnlineSVD, SvdConfig
+from repro.core.precise import PreciseSVD
+from repro.core.hwmodel import HwCostParams, HwEstimate, estimate_hardware_cost
+from repro.core.timeline import render_cu_timeline
+from repro.core.offline import OfflineSVD, OfflineResult
+from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
+from repro.core.report import Violation, ViolationReport
+
+__all__ = [
+    "IDLE", "LOADED", "LOADED_SHARED", "STORED", "STORED_SHARED",
+    "TRUE_DEP", "STATE_NAMES",
+    "CuLogRecord", "HwCostParams", "HwEstimate", "LogEntry", "OfflineResult", "OfflineSVD", "OnlineSVD", "PreciseSVD",
+    "PosterioriLog", "SvdConfig", "Violation", "ViolationReport",
+    "estimate_hardware_cost", "render_cu_timeline",
+    "on_local_load", "on_local_store", "on_remote_access",
+]

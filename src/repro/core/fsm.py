@@ -1,0 +1,98 @@
+"""The per-(thread, block) state machine (paper Figure 8, reconstructed).
+
+Each thread privately tracks a state for every memory block it touches
+("although memory blocks are shared by all threads, SVD's data structures
+are privately maintained for each individual thread", §4.2).  The state
+infers whether a block is thread-local or shared and detects *shared
+dependences* -- the events that end a CU.
+
+States:
+
+* ``IDLE``           -- untracked / reset; thread-local by default.
+* ``LOADED``         -- read by the current CU, no remote access seen.
+* ``STORED``         -- written by the current CU, no remote access seen.
+* ``TRUE_DEP``       -- written and then read back by this thread (a
+  pending local true dependence; if the block turns out to be shared,
+  that dependence is retroactively a *shared* dependence).
+* ``LOADED_SHARED``  -- read locally, then accessed remotely: shared.
+* ``STORED_SHARED``  -- written locally, then accessed remotely: shared.
+
+Shared-dependence (CU cut) triggers, exactly the two the paper names:
+
+1. a local **load** on a block in ``STORED_SHARED`` (Figure 7, lines
+   5-6): this CU wrote a shared block and is now reading it back;
+2. a **remote access** on a block in ``TRUE_DEP`` (Figure 7, lines
+   30-31): the write-then-read this thread already performed turns out
+   to involve a shared block.
+
+The transition functions return ``(new_state, cut)`` where ``cut`` is
+True when a shared dependence was detected -- the caller then ends the
+block's CU and resets its blocks to ``IDLE``.
+
+The paper's Figure 8 drawing is not present in the available text; this
+reconstruction satisfies every transition the prose specifies and is the
+subject of dedicated property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+IDLE = 0
+LOADED = 1
+STORED = 2
+TRUE_DEP = 3
+LOADED_SHARED = 4
+STORED_SHARED = 5
+
+STATE_NAMES = {
+    IDLE: "Idle",
+    LOADED: "Loaded",
+    STORED: "Stored",
+    TRUE_DEP: "True_Dep",
+    LOADED_SHARED: "Loaded_Shared",
+    STORED_SHARED: "Stored_Shared",
+}
+
+#: States in which the thread believes the block is shared.
+SHARED_STATES = frozenset({LOADED_SHARED, STORED_SHARED})
+
+#: States in which the current CU has written the block (a remote read
+#: of the block therefore conflicts).
+WRITTEN_STATES = frozenset({STORED, STORED_SHARED, TRUE_DEP})
+
+
+def on_local_load(state: int) -> Tuple[int, bool]:
+    """Transition for a load by the owning thread."""
+    if state == STORED_SHARED:
+        return LOADED, True  # shared dependence: cut, then re-track fresh
+    if state == IDLE:
+        return LOADED, False
+    if state == STORED:
+        return TRUE_DEP, False
+    # LOADED, TRUE_DEP, LOADED_SHARED are stable under further loads
+    return state, False
+
+
+def on_local_store(state: int) -> Tuple[int, bool]:
+    """Transition for a store by the owning thread."""
+    if state in (IDLE, LOADED):
+        return STORED, False
+    if state == LOADED_SHARED:
+        return STORED_SHARED, False
+    # STORED, STORED_SHARED, TRUE_DEP are stable under further stores
+    # (TRUE_DEP stays sticky: the write-then-read already happened in
+    # this CU, so a later remote access must still cut).
+    return state, False
+
+
+def on_remote_access(state: int) -> Tuple[int, bool]:
+    """Transition for an access by any other thread."""
+    if state == TRUE_DEP:
+        return IDLE, True  # shared dependence discovered retroactively
+    if state == LOADED:
+        return LOADED_SHARED, False
+    if state == STORED:
+        return STORED_SHARED, False
+    # IDLE, LOADED_SHARED, STORED_SHARED unchanged
+    return state, False

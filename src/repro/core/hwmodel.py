@@ -1,0 +1,137 @@
+"""Hardware SVD cost model (paper §4.4).
+
+The paper sketches a hardware implementation that would "dramatically
+reduce" the software detector's overhead:
+
+1. CU-reference propagation piggybacks on existing datapaths (register
+   tag bits follow the bypass network) -- near zero marginal cost;
+2. multiprocessor caches store the per-block CU/state tables -- free up
+   to the tag-array capacity, with a spill penalty beyond it;
+3. the cache coherence protocol delivers remote-access notifications --
+   conflict detection rides on messages that are sent anyway.
+
+This module turns those three observations into a first-order cycle
+model.  It consumes the operation counts of a finished
+:class:`repro.core.online.OnlineSVD` run and produces estimated slowdowns
+for the software detector (every operation costs interpreter work) and
+the sketched hardware (only the operations that cannot piggyback cost
+cycles).  The point of the model is the *ratio*, not absolute cycle
+counts; the defaults are deliberately conservative toward hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.online import OnlineSVD
+
+
+@dataclass(frozen=True)
+class HwCostParams:
+    """Per-operation cycle costs.
+
+    ``sw_*``: cycles of detector software per event on a conventional
+    core (instrumentation, hashing, set updates) -- calibrated so that
+    dependence tracking on every instruction lands in the paper's
+    "up to 65x" slowdown regime.
+    ``hw_*``: marginal cycles with the §4.4 hardware assists.
+    """
+
+    baseline_cpi: float = 1.0
+
+    # software detector costs (cycles per event)
+    sw_per_instruction: float = 40.0   # CU-ref propagation on every instr
+    sw_per_memory_block_op: float = 25.0  # block-table lookup + FSM
+    sw_per_remote_message: float = 30.0
+    sw_per_violation_check: float = 15.0
+    sw_per_cu_lifecycle: float = 50.0  # create/merge/close bookkeeping
+
+    # hardware-assisted costs
+    hw_per_instruction: float = 0.0    # piggybacks on the datapath (§4.4-1)
+    hw_per_memory_block_op: float = 0.0  # lives in the cache arrays (§4.4-2)
+    hw_per_remote_message: float = 1.0   # piggybacks on coherence (§4.4-3)
+    hw_per_violation_check: float = 0.5  # parallel tag-compare
+    hw_per_cu_lifecycle: float = 8.0     # table walk on cut/merge
+    #: per-thread block-table entries held in cache-adjacent SRAM; tracked
+    #: blocks beyond this spill to memory
+    hw_table_capacity: int = 512
+    hw_spill_penalty: float = 60.0
+
+
+@dataclass
+class HwEstimate:
+    """Estimated detection overheads for one run."""
+
+    instructions: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    sw_extra_cycles: float = 0.0
+    hw_extra_cycles: float = 0.0
+    baseline_cycles: float = 0.0
+
+    @property
+    def sw_slowdown(self) -> float:
+        if self.baseline_cycles <= 0:
+            return 1.0
+        return 1.0 + self.sw_extra_cycles / self.baseline_cycles
+
+    @property
+    def hw_slowdown(self) -> float:
+        if self.baseline_cycles <= 0:
+            return 1.0
+        return 1.0 + self.hw_extra_cycles / self.baseline_cycles
+
+    @property
+    def speedup_over_software(self) -> float:
+        if self.hw_slowdown <= 0:
+            return float("inf")
+        return self.sw_slowdown / self.hw_slowdown
+
+
+def estimate_hardware_cost(svd: OnlineSVD,
+                           params: HwCostParams = HwCostParams()) -> HwEstimate:
+    """First-order overhead estimate for a finished detector run."""
+    if svd.instructions == 0:
+        raise ValueError("detector observed no instructions")
+    block_ops = sum(d.peak_tracked_blocks for d in svd.threads.values())
+    # every load/store touches the block table once; approximate the
+    # memory-op count from instruction mix statistics we track exactly
+    memory_ops = svd.remote_messages + svd.cus_created + block_ops
+    # block-table operations are really per memory instruction; CU
+    # creations under-count, so use instructions as the upper bound
+    memory_ops = max(memory_ops, svd.instructions // 3)
+    lifecycle = svd.cus_created + svd.cus_closed + svd.cus_merged
+
+    spill_ops = 0
+    for detector in svd.threads.values():
+        if detector.peak_tracked_blocks > params.hw_table_capacity:
+            spill_ops += detector.peak_tracked_blocks - params.hw_table_capacity
+
+    counts = {
+        "instructions": svd.instructions,
+        "memory_block_ops": memory_ops,
+        "remote_messages": svd.remote_messages,
+        "violation_checks": svd.violation_checks,
+        "cu_lifecycle": lifecycle,
+        "table_spills": spill_ops,
+    }
+
+    sw = (svd.instructions * params.sw_per_instruction
+          + memory_ops * params.sw_per_memory_block_op
+          + svd.remote_messages * params.sw_per_remote_message
+          + svd.violation_checks * params.sw_per_violation_check
+          + lifecycle * params.sw_per_cu_lifecycle)
+    hw = (svd.instructions * params.hw_per_instruction
+          + memory_ops * params.hw_per_memory_block_op
+          + svd.remote_messages * params.hw_per_remote_message
+          + svd.violation_checks * params.hw_per_violation_check
+          + lifecycle * params.hw_per_cu_lifecycle
+          + spill_ops * params.hw_spill_penalty)
+
+    return HwEstimate(
+        instructions=svd.instructions,
+        counts=counts,
+        sw_extra_cycles=sw,
+        hw_extra_cycles=hw,
+        baseline_cycles=svd.instructions * params.baseline_cpi,
+    )

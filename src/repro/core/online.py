@@ -1,0 +1,409 @@
+"""The online one-pass Serializability Violation Detector (paper §4.2).
+
+One detector instance runs per processor ("SVD approximates threads with
+processors"); the :class:`OnlineSVD` manager routes the machine's global
+event stream to per-thread detectors and synthesises REMOTE_ACCESS
+messages through a coherence-directory-like interest map, so a thread
+only hears about remote accesses to blocks it currently tracks.
+
+Per the paper's pragmatic considerations (§4.3):
+
+* CUs are represented by block read/write sets, not instruction sets;
+* CUs are connected (merged) via *true* dependences only -- control
+  dependences are consulted for the violation check but do not merge;
+* vector/pointer stores contribute *address dependences*: the CUs that
+  fed the address computation are also checked at a store;
+* only a CU's *input blocks* (read set) are checked for conflicts
+  (configurable for the ablation study);
+* fixed-size blocks (word-sized by default) approximate variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.cu import Cu, merge_cus
+from repro.core.fsm import (
+    IDLE, WRITTEN_STATES, on_local_load, on_local_store, on_remote_access,
+)
+from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
+from repro.core.report import Violation, ViolationReport
+from repro.isa.instructions import Imm, Reg
+from repro.isa.program import Program
+from repro.machine.events import (
+    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
+    EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, Event, MachineObserver,
+)
+
+
+@dataclass
+class SvdConfig:
+    """Detector knobs; defaults match the paper's deployed configuration."""
+
+    #: words per memory block ("we use word-size blocks ... to avoid
+    #: false sharing", §6.2).  Larger blocks are the false-sharing
+    #: ablation.
+    block_size: int = 1
+    #: check a CU's write set too, not just its input blocks (§4.3
+    #: ablation; the paper checks inputs only).
+    check_all_blocks: bool = False
+    #: propagate address dependences into the store-time check (§4.3).
+    use_address_deps: bool = True
+    #: consult the Skipper control-dependence stack at stores (§4.2).
+    use_control_deps: bool = True
+    #: record (s, rw, lw) communication triples for the a-posteriori log.
+    log_communications: bool = True
+    #: run the strict-2PL conflict check at stores (the paper's detection
+    #: heuristic).  :class:`repro.core.precise.PreciseSVD` turns it off to
+    #: replace it with exact conflict-cycle detection.
+    enable_2pl_check: bool = True
+    #: close the waiting thread's CUs at a condition ``wait`` (extension;
+    #: the paper predates monitor-aware SVD).  A wait deliberately breaks
+    #: the enclosing region's atomicity, so units spanning it otherwise
+    #: accumulate legitimate remote conflicts and report 2PL-gap false
+    #: positives on monitor-style code.
+    cut_at_wait: bool = False
+
+
+class _Block:
+    """Per-(thread, block) tracking record; exists only while non-Idle."""
+
+    __slots__ = ("cu", "state", "conflict", "conflict_seq", "conflict_loc",
+                 "conflict_tid", "conflict_addr")
+
+    def __init__(self, cu: Cu) -> None:
+        self.cu = cu
+        self.state = IDLE
+        self.conflict = False
+        self.conflict_seq = -1
+        self.conflict_loc = -1
+        self.conflict_tid = -1
+        self.conflict_addr = -1
+
+
+class _ThreadSvd:
+    """The Figure 7 algorithm, one instance per thread/processor."""
+
+    def __init__(self, tid: int, manager: "OnlineSVD") -> None:
+        self.tid = tid
+        self.manager = manager
+        self.config = manager.config
+        self.program = manager.program
+        self.blocks: Dict[int, _Block] = {}
+        self.regs: Dict[int, Set[Cu]] = {}
+        self.ctrl_stack: List[Tuple[Set[Cu], int]] = []
+        #: last local write per block (survives CU closure; feeds the
+        #: (s, rw, lw) communication-triple log)
+        self.local_writes: Dict[int, Tuple[int, int]] = {}
+        #: all active CUs of this thread (a CU can be referenced only by
+        #: registers after a const-store takes over its block, so block
+        #: entries alone cannot enumerate what thread-end must close)
+        self.live_cus: Dict[int, Cu] = {}
+        self.cus_created = 0
+        self.cus_closed = 0
+        self.cus_merged = 0
+        self.peak_tracked_blocks = 0
+        #: CU of the most recent local memory access (canonical); lets
+        #: extensions such as the precise checker attribute accesses
+        self.last_access_cu: Optional[Cu] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolved(self, cus: Set[Cu]) -> Set[Cu]:
+        return {cu.resolve() for cu in cus if cu.resolve().active}
+
+    def _reg_set(self, operand) -> Set[Cu]:
+        if isinstance(operand, Reg):
+            return self.regs.get(operand.index, set())
+        return set()
+
+    def _pop_reconverged(self, pc: int) -> None:
+        while self.ctrl_stack and self.ctrl_stack[-1][1] == pc:
+            self.ctrl_stack.pop()
+
+    def _new_cu(self, seq: int) -> Cu:
+        self.cus_created += 1
+        self.manager.cus_created += 1
+        cu = Cu(self.tid, seq)
+        self.live_cus[cu.uid] = cu
+        return cu
+
+    def _track(self, block: int, cu: Cu) -> _Block:
+        entry = _Block(cu)
+        self.blocks[block] = entry
+        self.manager.register_interest(block, self.tid)
+        if len(self.blocks) > self.peak_tracked_blocks:
+            self.peak_tracked_blocks = len(self.blocks)
+        return entry
+
+    def deactivate(self, cu: Cu, reason: str, end_seq: int) -> None:
+        """``deactivate_log_CU``: close a CU, reset its blocks to Idle and
+        write its shape to the a-posteriori log."""
+        cu = cu.resolve()
+        if not cu.active:
+            return
+        cu.active = False
+        self.live_cus.pop(cu.uid, None)
+        self.cus_closed += 1
+        self.manager.cus_closed += 1
+        self.manager.log.add_cu_record(CuLogRecord(
+            tid=self.tid, uid=cu.uid, birth_seq=cu.birth_seq,
+            end_seq=end_seq, read_blocks=tuple(sorted(cu.rs)),
+            write_blocks=tuple(sorted(cu.ws)), reason=reason))
+        for block in cu.rs | cu.ws:
+            entry = self.blocks.get(block)
+            if entry is not None and entry.cu.resolve() is cu:
+                del self.blocks[block]
+                self.manager.unregister_interest(block, self.tid)
+        # register and control-stack references to `cu` are filtered
+        # lazily via the active flag
+
+    # -- event handlers ------------------------------------------------------
+
+    def on_load(self, event: Event, block: int) -> None:
+        instr = event.instr
+        self._maybe_log_communication(event, block)
+        entry = self.blocks.get(block)
+        state = entry.state if entry is not None else IDLE
+        new_state, cut = on_local_load(state)
+        if cut:
+            self.deactivate(entry.cu, "stored-shared-load", event.seq)
+            entry = None  # the block was reset to Idle by the cut
+        if entry is None:
+            entry = self._track(block, self._new_cu(event.seq))
+        entry.state = new_state
+        cu = entry.cu.resolve()
+        cu.add_read(block)
+        self.regs[instr.dest.index] = {cu}
+        self.last_access_cu = cu
+
+    def on_store(self, event: Event, block: int) -> None:
+        instr = event.instr
+        data_set = self._resolved(self._reg_set(instr.src))
+        addr_set: Set[Cu] = set()
+        if self.config.use_address_deps:
+            addr_set = self._resolved(self._reg_set(instr.addr))
+        ctrl_set: Set[Cu] = set()
+        if self.config.use_control_deps:
+            for cus, _reconv in self.ctrl_stack:
+                ctrl_set |= self._resolved(cus)
+        if self.config.enable_2pl_check:
+            self._check_violations(data_set | addr_set | ctrl_set, event)
+
+        merged = merge_cus(data_set, self.tid, event.seq)
+        if not data_set:
+            self.cus_created += 1
+            self.manager.cus_created += 1
+        elif len(data_set) > 1:
+            # merged-away units stop being live canonical CUs
+            absorbed = len(data_set) - 1
+            self.cus_merged += absorbed
+            self.manager.cus_merged += absorbed
+            for cu in data_set:
+                if cu is not merged:
+                    self.live_cus.pop(cu.uid, None)
+        self.live_cus[merged.uid] = merged
+        entry = self.blocks.get(block)
+        if entry is None:
+            entry = self._track(block, merged)
+        state, _ = on_local_store(entry.state)
+        entry.state = state
+        entry.cu = merged
+        merged.add_write(block)
+        self.local_writes[block] = (event.seq, event.loc)
+        self.last_access_cu = merged
+
+    def on_alu(self, event: Event) -> None:
+        instr = event.instr
+        result = self._resolved(self._reg_set(instr.src1))
+        result |= self._resolved(self._reg_set(instr.src2))
+        self.regs[instr.dest.index] = result
+
+    def on_branch(self, event: Event) -> None:
+        if not self.config.use_control_deps:
+            return
+        reconv = self.program.reconvergence_of_branch(event.pc)
+        if reconv is None:
+            return  # loop-type control flow is not inferred (Skipper)
+        cus = self._resolved(self._reg_set(event.instr.cond))
+        self.ctrl_stack.append((cus, reconv))
+
+    def on_remote(self, block: int, is_write: bool, event: Event) -> None:
+        entry = self.blocks.get(block)
+        if entry is None:
+            return
+        if is_write or entry.state in WRITTEN_STATES:
+            entry.conflict = True
+            entry.conflict_seq = event.seq
+            entry.conflict_loc = event.loc
+            entry.conflict_tid = event.tid
+            entry.conflict_addr = event.addr
+        new_state, cut = on_remote_access(entry.state)
+        if cut:
+            self.deactivate(entry.cu, "remote-true-dep", event.seq)
+        else:
+            entry.state = new_state
+
+    def on_thread_end(self, event: Event) -> None:
+        for cu in list(self.live_cus.values()):
+            self.deactivate(cu, "thread-end", event.seq)
+        self.ctrl_stack.clear()
+        self.regs.clear()
+        # deactivation empties `blocks`; sweep any stragglers so the
+        # directory holds no stale interest for this thread
+        for block in list(self.blocks):
+            del self.blocks[block]
+            self.manager.unregister_interest(block, self.tid)
+
+    # -- checks and logging ------------------------------------------------------
+
+    def _check_violations(self, cus: Set[Cu], event: Event) -> None:
+        """Strict-2PL check at a store (Figure 7, line 18)."""
+        for cu in cus:
+            if not cu.active:
+                continue
+            blocks = cu.rs if not self.config.check_all_blocks else cu.rs | cu.ws
+            self.manager.violation_checks += len(blocks)
+            for block in blocks:
+                if block in cu.reported_blocks:
+                    continue
+                entry = self.blocks.get(block)
+                if entry is None or not entry.conflict:
+                    continue
+                cu.reported_blocks.add(block)
+                self.manager.report.add(Violation(
+                    detector="svd", seq=event.seq, tid=self.tid,
+                    loc=event.loc, address=entry.conflict_addr,
+                    kind="serializability-violation",
+                    other_loc=entry.conflict_loc,
+                    other_tid=entry.conflict_tid,
+                    cu_birth_seq=cu.birth_seq))
+
+    def _maybe_log_communication(self, event: Event, block: int) -> None:
+        """Log a (s, rw, lw) triple when this read sees a remote write
+        that overwrote an earlier local write (paper §2.3)."""
+        if not self.config.log_communications:
+            return
+        remote = self.manager.last_writer.get(block)
+        if remote is None or remote[0] == self.tid:
+            return
+        local = self.local_writes.get(block)
+        if local is None or local[0] >= remote[1]:
+            return
+        self.manager.log.add_entry(LogEntry(
+            tid=self.tid, reader_seq=event.seq, reader_loc=event.loc,
+            address=event.addr, remote_tid=remote[0], remote_seq=remote[1],
+            remote_loc=remote[2], local_seq=local[0], local_loc=local[1]))
+
+
+class OnlineSVD(MachineObserver):
+    """Manager: per-thread detectors + the remote-access directory.
+
+    Attach to a :class:`repro.machine.Machine` as an observer, run the
+    machine, then inspect :attr:`report` (violations) and :attr:`log`
+    (the a-posteriori log).
+    """
+
+    def __init__(self, program: Program,
+                 config: Optional[SvdConfig] = None) -> None:
+        self.program = program
+        self.config = config if config is not None else SvdConfig()
+        if self.config.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.report = ViolationReport("svd", program)
+        self.log = PosterioriLog(program)
+        self.threads: Dict[int, _ThreadSvd] = {}
+        #: directory: block -> set of thread ids currently tracking it
+        self.trackers: Dict[int, Set[int]] = {}
+        #: block -> (tid, seq, loc) of its globally last writer
+        self.last_writer: Dict[int, Tuple[int, int, int]] = {}
+        self.instructions = 0
+        self.cus_created = 0
+        self.cus_closed = 0
+        self.cus_merged = 0
+        #: REMOTE_ACCESS messages delivered through the directory
+        self.remote_messages = 0
+        #: blocks examined by the strict-2PL check across all stores
+        self.violation_checks = 0
+
+    # -- directory ---------------------------------------------------------------
+
+    def register_interest(self, block: int, tid: int) -> None:
+        self.trackers.setdefault(block, set()).add(tid)
+
+    def unregister_interest(self, block: int, tid: int) -> None:
+        trackers = self.trackers.get(block)
+        if trackers is not None:
+            trackers.discard(tid)
+            if not trackers:
+                del self.trackers[block]
+
+    def _thread(self, tid: int) -> _ThreadSvd:
+        detector = self.threads.get(tid)
+        if detector is None:
+            detector = _ThreadSvd(tid, self)
+            self.threads[tid] = detector
+        return detector
+
+    # -- event routing --------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        self.instructions += 1
+        kind = event.kind
+        detector = self._thread(event.tid)
+        detector._pop_reconverged(event.pc)
+        if kind == EV_LOAD:
+            block = event.addr // self.config.block_size
+            detector.on_load(event, block)
+            self._deliver_remote(block, False, event)
+        elif kind == EV_STORE:
+            block = event.addr // self.config.block_size
+            detector.on_store(event, block)
+            self._deliver_remote(block, True, event)
+            self.last_writer[block] = (event.tid, event.seq, event.loc)
+        elif kind == EV_ALU:
+            detector.on_alu(event)
+        elif kind == EV_BRANCH:
+            detector.on_branch(event)
+        elif kind == EV_WAIT and self.config.cut_at_wait:
+            for cu in list(detector.live_cus.values()):
+                detector.deactivate(cu, "wait", event.seq)
+        elif kind in (EV_HALT, EV_CRASH):
+            detector.on_thread_end(event)
+        # JUMP / ACQUIRE / RELEASE / OUTPUT: synchronization and control
+        # transfer carry no dataflow for SVD (it ignores how
+        # synchronization is done); the reconvergence pop above is all
+        # that matters.
+
+    def _deliver_remote(self, block: int, is_write: bool, event: Event) -> None:
+        trackers = self.trackers.get(block)
+        if not trackers:
+            return
+        for tid in list(trackers):
+            if tid != event.tid:
+                self.remote_messages += 1
+                self.threads[tid].on_remote(block, is_write, event)
+
+    def on_finish(self, machine) -> None:
+        """Close all still-open CUs at the end of the run."""
+        final = Event(EV_HALT, machine.seq, -1, -1, None)
+        for detector in self.threads.values():
+            final.tid = detector.tid
+            detector.on_thread_end(final)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def open_cus(self) -> int:
+        """Live canonical CUs: created minus deactivated minus absorbed."""
+        return self.cus_created - self.cus_closed - self.cus_merged
+
+    def cus_per_million(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.cus_created * 1_000_000.0 / self.instructions
+
+    def tracked_state_words(self) -> int:
+        """Rough memory-overhead proxy: total tracked block entries."""
+        return sum(len(d.blocks) for d in self.threads.values())

@@ -1,0 +1,113 @@
+"""The a-posteriori examination log (paper §2.3).
+
+Two record kinds are produced while SVD runs:
+
+* :class:`LogEntry` -- a *communication triple* ``(s, rw, lw)``: a
+  statement ``s`` read a variable last written by a remote write ``rw``
+  that overwrote an immediately preceding thread-local write ``lw``.
+  If the local communication ``lw -> s`` was intended, a likely bug has
+  been found (the paper's Figure 3 MySQL bug was discovered this way).
+* :class:`CuLogRecord` -- the shape of a CU at the moment it ended
+  (its input/output blocks and cut reason), "the log effectively records
+  shapes of inferred CUs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A ``(s, rw, lw)`` communication triple."""
+
+    tid: int
+    reader_seq: int
+    reader_loc: int
+    address: int
+    remote_tid: int
+    remote_seq: int
+    remote_loc: int
+    local_seq: int
+    local_loc: int
+
+    def static_key(self) -> Tuple[int, int, int]:
+        return (self.reader_loc, self.remote_loc, self.local_loc)
+
+
+@dataclass(frozen=True)
+class CuLogRecord:
+    """Shape of a CU at the moment it was deactivated."""
+
+    tid: int
+    uid: int
+    birth_seq: int
+    end_seq: int
+    read_blocks: Tuple[int, ...]
+    write_blocks: Tuple[int, ...]
+    reason: str  # 'stored-shared-load' | 'remote-true-dep' | 'thread-end'
+
+
+class PosterioriLog:
+    """Accumulates log records and renders the examination report."""
+
+    def __init__(self, program: Optional[Program] = None) -> None:
+        self.program = program
+        self.entries: List[LogEntry] = []
+        self.cu_records: List[CuLogRecord] = []
+
+    def add_entry(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+
+    def add_cu_record(self, record: CuLogRecord) -> None:
+        self.cu_records.append(record)
+
+    @property
+    def static_entries(self) -> Set[Tuple[int, int, int]]:
+        """Distinct communication triples by static statements."""
+        return {e.static_key() for e in self.entries}
+
+    def entries_for_address(self, address: int) -> List[LogEntry]:
+        return [e for e in self.entries if e.address == address]
+
+    def suspicious_addresses(self) -> Dict[int, int]:
+        """Addresses ranked by how often a local write was overwritten
+        remotely before being read back -- candidates for "mistakenly
+        shared" variables (the Figure 3 pattern)."""
+        counts: Dict[int, int] = {}
+        for entry in self.entries:
+            counts[entry.address] = counts.get(entry.address, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def describe(self, limit: int = 20) -> str:
+        """Render the examination report a programmer would read."""
+        lines = [f"a-posteriori log: {len(self.entries)} communication "
+                 f"triples ({len(self.static_entries)} static), "
+                 f"{len(self.cu_records)} CU records"]
+        if self.program is None:
+            return lines[0]
+
+        def loc_text(loc: int) -> str:
+            if 0 <= loc < len(self.program.locs):
+                return str(self.program.locs[loc])
+            return f"loc {loc}"
+
+        seen: Set[Tuple[int, int, int]] = set()
+        shown = 0
+        for entry in self.entries:
+            key = entry.static_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            name = self.program.name_of_address(entry.address)
+            lines.append(
+                f"  {name}: read at {{{loc_text(entry.reader_loc)}}} saw "
+                f"remote write t{entry.remote_tid} {{{loc_text(entry.remote_loc)}}} "
+                f"overwriting local write {{{loc_text(entry.local_loc)}}}")
+            shown += 1
+            if shown >= limit:
+                break
+        return "\n".join(lines)

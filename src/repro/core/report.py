@@ -1,0 +1,106 @@
+"""Violation records and report accounting.
+
+The paper distinguishes *dynamic* false positives (every report instance;
+each one would trigger an unnecessary BER rollback) from *static* false
+positives (reports deduplicated by source statement; each one distracts a
+programmer).  :class:`ViolationReport` keeps both views for any detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One dynamic detector report.
+
+    Attributes:
+        detector: reporting detector name ("svd", "frd", "lockset", ...).
+        seq: program-trace position where the report fired.
+        tid: thread the report was raised on.
+        loc: static source-location index of the reporting statement.
+        address: the memory word involved.
+        kind: detector-specific discriminator (e.g. "2pl-conflict",
+            "data-race").
+        other_loc: source-location index of the conflicting statement,
+            when known.
+        other_tid: conflicting thread, when known.
+        cu_birth_seq: trace position where the violated CU began, when
+            known; a BER controller must roll back to a checkpoint at or
+            before this point so the whole broken region re-executes.
+    """
+
+    detector: str
+    seq: int
+    tid: int
+    loc: int
+    address: int
+    kind: str
+    other_loc: int = -1
+    other_tid: int = -1
+    cu_birth_seq: int = -1
+
+    def static_key(self) -> Tuple[str, int]:
+        return (self.kind, self.loc)
+
+
+class ViolationReport:
+    """A collection of violations with static/dynamic accounting."""
+
+    def __init__(self, detector: str, program: Optional[Program] = None) -> None:
+        self.detector = detector
+        self.program = program
+        self.violations: List[Violation] = []
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    @property
+    def dynamic_count(self) -> int:
+        return len(self.violations)
+
+    @property
+    def static_keys(self) -> Set[Tuple[str, int]]:
+        return {v.static_key() for v in self.violations}
+
+    @property
+    def static_count(self) -> int:
+        return len(self.static_keys)
+
+    def static_locs(self) -> Set[int]:
+        """Distinct reporting source-location indices."""
+        return {v.loc for v in self.violations}
+
+    def dynamic_per_million(self, instructions: int) -> float:
+        """Dynamic reports per million executed instructions."""
+        if instructions <= 0:
+            return 0.0
+        return self.dynamic_count * 1_000_000.0 / instructions
+
+    def describe(self, limit: int = 20) -> str:
+        """Human-readable summary grouped by static key."""
+        if self.program is None:
+            return f"{self.detector}: {self.dynamic_count} reports"
+        grouped: Dict[Tuple[str, int], List[Violation]] = {}
+        for v in self.violations:
+            grouped.setdefault(v.static_key(), []).append(v)
+        lines = [f"{self.detector}: {self.dynamic_count} dynamic reports, "
+                 f"{len(grouped)} static sites"]
+        for (kind, loc), items in sorted(grouped.items())[:limit]:
+            where = (str(self.program.locs[loc])
+                     if 0 <= loc < len(self.program.locs) else f"loc {loc}")
+            sample = items[0]
+            addr_name = (self.program.name_of_address(sample.address)
+                         if sample.address >= 0 else "?")
+            lines.append(f"  [{kind}] {where}  (x{len(items)}, on {addr_name})")
+        return "\n".join(lines)

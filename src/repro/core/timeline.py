@@ -1,0 +1,81 @@
+"""CU timeline rendering for a-posteriori examination (paper §2.3).
+
+"The log effectively records shapes of inferred CUs" -- this module
+turns the CU records of a :class:`repro.core.posteriori.PosterioriLog`
+into a per-thread timeline a programmer can scan: when each unit lived,
+why it ended, and which variables it read and wrote.  Used by the
+post-mortem debugging example and available from the library API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.posteriori import CuLogRecord, PosterioriLog
+from repro.isa.program import Program
+
+
+def _symbols(program: Optional[Program], blocks, block_size: int = 1,
+             limit: int = 4) -> str:
+    if not blocks:
+        return "-"
+    names: List[str] = []
+    for block in blocks[:limit]:
+        addr = block * block_size
+        if program is not None and addr < program.shared_words:
+            names.append(program.name_of_address(addr))
+        else:
+            names.append(f"local@{addr}")
+    if len(blocks) > limit:
+        names.append(f"+{len(blocks) - limit}")
+    return ",".join(names)
+
+
+def render_cu_timeline(log: PosterioriLog,
+                       program: Optional[Program] = None,
+                       block_size: int = 1,
+                       max_cus_per_thread: int = 12,
+                       chart_width: int = 50) -> str:
+    """Render per-thread CU spans as an annotated ASCII timeline."""
+    if program is None:
+        program = log.program
+    records = sorted(log.cu_records, key=lambda r: (r.tid, r.birth_seq))
+    if not records:
+        return "no CU records"
+
+    t_min = min(r.birth_seq for r in records)
+    t_max = max(r.end_seq for r in records)
+    span = max(1, t_max - t_min)
+
+    def bar(record: CuLogRecord) -> str:
+        start = int((record.birth_seq - t_min) * (chart_width - 1) / span)
+        end = int((record.end_seq - t_min) * (chart_width - 1) / span)
+        end = max(end, start)
+        return (" " * start + "#" * (end - start + 1)
+                + " " * (chart_width - end - 1))
+
+    by_thread: Dict[int, List[CuLogRecord]] = {}
+    for record in records:
+        by_thread.setdefault(record.tid, []).append(record)
+
+    reason_tag = {"stored-shared-load": "cut:WrRd",
+                  "remote-true-dep": "cut:remote",
+                  "thread-end": "end"}
+    lines = [f"CU timeline over seq [{t_min}, {t_max}] "
+             f"({len(records)} units)"]
+    for tid in sorted(by_thread):
+        thread_records = by_thread[tid]
+        lines.append(f"thread {tid}: {len(thread_records)} CUs")
+        shown = thread_records[:max_cus_per_thread]
+        for record in shown:
+            tag = reason_tag.get(record.reason, record.reason)
+            lines.append(
+                f"  |{bar(record)}| #{record.uid:<5d}"
+                f" [{record.birth_seq:>6d},{record.end_seq:>6d}]"
+                f" {tag:<10s}"
+                f" r:{_symbols(program, record.read_blocks, block_size)}"
+                f" w:{_symbols(program, record.write_blocks, block_size)}")
+        if len(thread_records) > max_cus_per_thread:
+            lines.append(f"  ... {len(thread_records) - max_cus_per_thread}"
+                         f" more")
+    return "\n".join(lines)

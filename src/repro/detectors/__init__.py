@@ -1,0 +1,34 @@
+"""Baseline detectors SVD is evaluated against.
+
+* :mod:`repro.detectors.frd` -- the Frontier Race Detector of the paper's
+  §6.2: a two-pass happens-before detector.  Pass 1 computes *frontier
+  (tightest) races* without knowing synchronization; pass 2 runs standard
+  Lamport happens-before race detection with the (annotated) lock
+  operations.  As in the paper's methodology, the required
+  synchronization annotation is available to FRD only -- our machine
+  knows its lock events exactly.
+* :mod:`repro.detectors.lockset` -- an Eraser-style lockset detector
+  (related work, §8), used by tests and the ablation benches.
+* :mod:`repro.detectors.atomizer` -- an Atomizer-style reduction-based
+  dynamic atomicity checker over lock-delimited blocks (related work,
+  §8): unlike SVD it needs the synchronization/atomic-block annotation.
+"""
+
+from repro.detectors.frd import FrontierRaceDetector, frontier_races
+from repro.detectors.hybrid import HybridRaceDetector
+from repro.detectors.lockorder import LockOrderDetector
+from repro.detectors.stale import StaleValueDetector
+from repro.detectors.lockset import LocksetDetector
+from repro.detectors.atomizer import AtomizerDetector
+from repro.detectors.vector_clock import VectorClock
+
+__all__ = [
+    "AtomizerDetector",
+    "FrontierRaceDetector",
+    "HybridRaceDetector",
+    "LockOrderDetector",
+    "LocksetDetector",
+    "StaleValueDetector",
+    "VectorClock",
+    "frontier_races",
+]

@@ -1,0 +1,107 @@
+"""Atomizer-style dynamic atomicity checker (Flanagan-Freund, paper §8).
+
+Treats every outermost lock-delimited critical section as a declared
+atomic block and checks it with Lipton reduction: an atomic block must
+match the movability pattern ``R* [N] L*`` --
+
+* lock acquires are *right movers*;
+* lock releases are *left movers*;
+* accesses to race-exposed variables (variables an auxiliary lockset
+  analysis flags as unprotected) are *non-movers*; all other accesses are
+  *both movers*.
+
+A block commits at its first non-mover or left-mover; observing a right
+mover or a second non-mover after the commit point means the block may
+not be reducible to an atomic execution, and a violation is reported.
+
+Unlike SVD, this detector *requires* the synchronization annotation (the
+critical sections) -- it is the "a priori annotations" comparison point
+of the paper's related-work discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.report import Violation, ViolationReport
+from repro.detectors.lockset import LocksetDetector
+from repro.machine.events import (EV_ACQUIRE, EV_LOAD, EV_RELEASE,
+                                  EV_STORE, EV_WAIT)
+from repro.trace.trace import Trace
+
+PRE_COMMIT = 0
+POST_COMMIT = 1
+
+
+@dataclass
+class _BlockState:
+    depth: int = 0
+    phase: int = PRE_COMMIT
+    entry_loc: int = -1
+    reported: bool = False
+
+
+class AtomizerDetector:
+    """Run the reduction-based atomicity check over a recorded trace."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def _race_exposed(self, trace: Trace) -> Set[int]:
+        """Auxiliary pass: addresses the lockset analysis flags as racy."""
+        lockset_report = LocksetDetector(self.program).run(trace)
+        return {violation.address for violation in lockset_report}
+
+    def run(self, trace: Trace) -> ViolationReport:
+        report = ViolationReport("atomizer", self.program)
+        exposed = self._race_exposed(trace)
+        blocks: Dict[int, _BlockState] = {}
+
+        def block_of(tid: int) -> _BlockState:
+            state = blocks.get(tid)
+            if state is None:
+                state = _BlockState()
+                blocks[tid] = state
+            return state
+
+        for event in trace:
+            state = block_of(event.tid)
+            if event.kind == EV_ACQUIRE:
+                if state.depth == 0:
+                    state.depth = 1
+                    state.phase = PRE_COMMIT
+                    state.entry_loc = event.loc
+                    state.reported = False
+                else:
+                    state.depth += 1
+                    if state.phase == POST_COMMIT and not state.reported:
+                        state.reported = True
+                        report.add(Violation(
+                            detector="atomizer", seq=event.seq,
+                            tid=event.tid, loc=event.loc,
+                            address=event.addr,
+                            kind="atomicity-violation",
+                            other_loc=state.entry_loc))
+                continue
+            if event.kind in (EV_RELEASE, EV_WAIT):
+                if state.depth > 0:
+                    state.depth -= 1
+                    state.phase = POST_COMMIT  # a left mover commits the block
+                continue
+            if event.kind not in (EV_LOAD, EV_STORE) or state.depth == 0:
+                continue
+            if event.addr in exposed:
+                # non-mover inside an atomic block
+                if state.phase == POST_COMMIT:
+                    if not state.reported:
+                        state.reported = True
+                        report.add(Violation(
+                            detector="atomizer", seq=event.seq,
+                            tid=event.tid, loc=event.loc,
+                            address=event.addr,
+                            kind="atomicity-violation",
+                            other_loc=state.entry_loc))
+                else:
+                    state.phase = POST_COMMIT
+        return report

@@ -1,0 +1,151 @@
+"""The Frontier Race Detector (paper §6.2).
+
+FRD works in two passes over a recorded trace:
+
+1. **Frontier pass** -- without using any synchronization knowledge,
+   compute the *tightest* races: conflicting access pairs not causally
+   ordered by program order plus previously observed conflicting
+   accesses (Choi-Min race frontier).  In the paper a programmer then
+   annotates each frontier race as data or synchronization; here the
+   machine's lock events are the ground-truth synchronization
+   annotation, so the annotation step is automatic.
+2. **Happens-before pass** -- standard Lamport happens-before data-race
+   detection: lock release->acquire edges (plus program order) define
+   causality; conflicting accesses not ordered by it are data races.
+
+Dynamic reports are per racy access instance; static deduplication is by
+the (kind, source statement) key, like every detector in this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.report import Violation, ViolationReport
+from repro.detectors.vector_clock import VectorClock
+from repro.machine.events import (
+    EV_ACQUIRE, EV_LOAD, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+)
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class FrontierRace:
+    """A tightest (frontier) conflicting pair, earlier access first."""
+
+    first_seq: int
+    first_loc: int
+    first_tid: int
+    second_seq: int
+    second_loc: int
+    second_tid: int
+    address: int
+
+
+def frontier_races(trace: Trace) -> List[FrontierRace]:
+    """Pass 1: frontier races, computed with no synchronization knowledge.
+
+    Vector clocks carry program order; every observed conflicting pair
+    adds a causal edge *after* the pair itself has been classified, so a
+    pair is a frontier race iff it is not ordered by earlier conflicts.
+    """
+    n = trace.n_threads
+    clocks = [VectorClock(n) for _ in range(n)]
+    for tid in range(n):
+        clocks[tid].tick(tid)
+    # per address: last write and reads-since-write, as (tid, VC, seq, loc)
+    last_write: Dict[int, Tuple[int, VectorClock, int, int]] = {}
+    reads: Dict[int, List[Tuple[int, VectorClock, int, int]]] = {}
+    races: List[FrontierRace] = []
+
+    def check_and_order(prev: Tuple[int, VectorClock, int, int],
+                        event: Event) -> None:
+        prev_tid, prev_vc, prev_seq, prev_loc = prev
+        if prev_tid == event.tid:
+            return
+        current = clocks[event.tid]
+        if not prev_vc.happens_before(current) and prev_vc != current:
+            races.append(FrontierRace(
+                first_seq=prev_seq, first_loc=prev_loc, first_tid=prev_tid,
+                second_seq=event.seq, second_loc=event.loc,
+                second_tid=event.tid, address=event.addr))
+        # conflict edge: the earlier access now happens before us
+        current.join(prev_vc)
+
+    for event in trace:
+        if event.kind == EV_LOAD:
+            prev = last_write.get(event.addr)
+            if prev is not None:
+                check_and_order(prev, event)
+            reads.setdefault(event.addr, []).append(
+                (event.tid, clocks[event.tid].copy(), event.seq, event.loc))
+            clocks[event.tid].tick(event.tid)
+        elif event.kind == EV_STORE:
+            prev = last_write.get(event.addr)
+            if prev is not None:
+                check_and_order(prev, event)
+            for read in reads.get(event.addr, ()):
+                check_and_order(read, event)
+            reads[event.addr] = []
+            last_write[event.addr] = (
+                event.tid, clocks[event.tid].copy(), event.seq, event.loc)
+            clocks[event.tid].tick(event.tid)
+    return races
+
+
+class FrontierRaceDetector:
+    """Pass 2: happens-before data races with known synchronization."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def run(self, trace: Trace) -> ViolationReport:
+        report = ViolationReport("frd", self.program)
+        n = trace.n_threads
+        clocks = [VectorClock(n) for _ in range(n)]
+        for tid in range(n):
+            clocks[tid].tick(tid)
+        lock_clocks: Dict[int, VectorClock] = {}
+        last_write: Dict[int, Tuple[int, VectorClock, int, int]] = {}
+        reads: Dict[int, List[Tuple[int, VectorClock, int, int]]] = {}
+
+        def race(prev: Tuple[int, VectorClock, int, int], event: Event,
+                 kind: str) -> None:
+            prev_tid, prev_vc, _prev_seq, prev_loc = prev
+            if prev_tid == event.tid:
+                return
+            if not prev_vc.happens_before(clocks[event.tid]):
+                report.add(Violation(
+                    detector="frd", seq=event.seq, tid=event.tid,
+                    loc=event.loc, address=event.addr, kind=kind,
+                    other_loc=prev_loc, other_tid=prev_tid))
+
+        for event in trace:
+            tid = event.tid
+            if event.kind == EV_ACQUIRE:
+                held = lock_clocks.get(event.addr)
+                if held is not None:
+                    clocks[tid].join(held)
+            elif event.kind in (EV_RELEASE, EV_WAIT):
+                # a Wait atomically releases the lock, so it carries the
+                # same happens-before edge as a Release; the wake-up side
+                # re-acquires and joins the lock clock via its ACQUIRE
+                lock_clocks[event.addr] = clocks[tid].copy()
+                clocks[tid].tick(tid)
+            elif event.kind == EV_LOAD:
+                prev = last_write.get(event.addr)
+                if prev is not None:
+                    race(prev, event, "data-race")
+                reads.setdefault(event.addr, []).append(
+                    (tid, clocks[tid].copy(), event.seq, event.loc))
+            elif event.kind == EV_STORE:
+                prev = last_write.get(event.addr)
+                if prev is not None:
+                    race(prev, event, "data-race")
+                for read in reads.get(event.addr, ()):
+                    race(read, event, "data-race")
+                reads[event.addr] = []
+                last_write[event.addr] = (
+                    tid, clocks[tid].copy(), event.seq, event.loc)
+        return report

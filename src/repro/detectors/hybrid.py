@@ -1,0 +1,49 @@
+"""Hybrid race detector (Choi et al. / von Praun-Gross style, paper §8).
+
+"Choi et al. have proposed hybrid detectors that have both low overhead
+(lockset) and high accuracy (happens-before)."  The classical structure:
+the cheap lockset pass nominates candidate variables; the expensive
+happens-before pass then confirms or refutes each candidate on the same
+trace.  Reports are the intersection: races that are both
+inconsistently locked *and* provably unordered.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.report import Violation, ViolationReport
+from repro.detectors.frd import FrontierRaceDetector
+from repro.detectors.lockset import LocksetDetector
+from repro.trace.trace import Trace
+
+
+class HybridRaceDetector:
+    """Lockset-filtered happens-before detection."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def run(self, trace: Trace) -> ViolationReport:
+        candidates: Set[int] = {
+            violation.address
+            for violation in LocksetDetector(self.program).run(trace)
+        }
+        report = ViolationReport("hybrid", self.program)
+        if not candidates:
+            return report
+        confirmed = FrontierRaceDetector(self.program).run(trace)
+        for violation in confirmed:
+            if violation.address in candidates:
+                report.add(Violation(
+                    detector="hybrid", seq=violation.seq,
+                    tid=violation.tid, loc=violation.loc,
+                    address=violation.address, kind="confirmed-race",
+                    other_loc=violation.other_loc,
+                    other_tid=violation.other_tid))
+        return report
+
+    def candidate_count(self, trace: Trace) -> int:
+        """How many addresses the cheap pass nominated (cost proxy)."""
+        return len({v.address
+                    for v in LocksetDetector(self.program).run(trace)})

@@ -1,0 +1,94 @@
+"""Lock-order (potential deadlock) detector (RacerX-style, paper §8).
+
+Builds the dynamic lock-order graph: an edge ``l1 -> l2`` is recorded
+whenever a thread acquires ``l2`` while holding ``l1``.  A cycle in the
+graph is a *potential deadlock*: there exists a schedule in which the
+participating threads block each other, even if this particular run got
+lucky.  The bank-transfer workload's ordered acquisition keeps the graph
+acyclic; swapping the order introduces a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.report import Violation, ViolationReport
+from repro.machine.events import EV_ACQUIRE, EV_RELEASE, EV_WAIT
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """``held`` was held while ``acquired`` was taken (witness event)."""
+
+    held: int
+    acquired: int
+    tid: int
+    seq: int
+    loc: int
+
+
+class LockOrderDetector:
+    """Build the lock-order graph of a trace and report cycles."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def edges(self, trace: Trace) -> List[LockOrderEdge]:
+        held: Dict[int, List[int]] = {}
+        seen: Set[Tuple[int, int]] = set()
+        result: List[LockOrderEdge] = []
+        for event in trace:
+            if event.kind == EV_ACQUIRE:
+                stack = held.setdefault(event.tid, [])
+                for lock in stack:
+                    if (lock, event.addr) not in seen:
+                        seen.add((lock, event.addr))
+                        result.append(LockOrderEdge(
+                            held=lock, acquired=event.addr, tid=event.tid,
+                            seq=event.seq, loc=event.loc))
+                stack.append(event.addr)
+            elif event.kind in (EV_RELEASE, EV_WAIT):
+                stack = held.get(event.tid)
+                if stack and event.addr in stack:
+                    stack.remove(event.addr)
+        return result
+
+    def run(self, trace: Trace) -> ViolationReport:
+        report = ViolationReport("lock-order", self.program)
+        edges = self.edges(trace)
+        succ: Dict[int, List[LockOrderEdge]] = {}
+        for edge in edges:
+            succ.setdefault(edge.held, []).append(edge)
+
+        # find one representative cycle per participating edge pair
+        reported: Set[Tuple[int, int]] = set()
+        for edge in edges:
+            # DFS from edge.acquired looking for edge.held
+            stack = [edge.acquired]
+            seen: Set[int] = set()
+            back: Optional[LockOrderEdge] = None
+            while stack and back is None:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                for out in succ.get(node, ()):
+                    if out.acquired == edge.held:
+                        back = out
+                        break
+                    stack.append(out.acquired)
+            if back is None:
+                continue
+            key = (min(edge.held, edge.acquired),
+                   max(edge.held, edge.acquired))
+            if key in reported:
+                continue
+            reported.add(key)
+            report.add(Violation(
+                detector="lock-order", seq=edge.seq, tid=edge.tid,
+                loc=edge.loc, address=edge.acquired,
+                kind="potential-deadlock", other_loc=back.loc,
+                other_tid=back.tid))
+        return report

@@ -1,0 +1,84 @@
+"""Eraser-style lockset detector (Savage et al., paper §8 related work).
+
+Each shared variable should be consistently protected by at least one
+lock.  The candidate lockset of a variable is refined at every access to
+the intersection with the accessing thread's held locks; an empty
+candidate set in a write-exposed state is reported.
+
+State machine per address (as in the Eraser paper):
+``VIRGIN -> EXCLUSIVE -> SHARED / SHARED_MODIFIED``; refinement happens
+only once the variable leaves its first-owner phase, which suppresses
+initialisation false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.report import Violation, ViolationReport
+from repro.machine.events import (EV_ACQUIRE, EV_LOAD, EV_RELEASE,
+                                  EV_STORE, EV_WAIT)
+from repro.trace.trace import Trace
+
+VIRGIN = 0
+EXCLUSIVE = 1
+SHARED = 2
+SHARED_MODIFIED = 3
+
+
+@dataclass
+class _AddrState:
+    state: int = VIRGIN
+    owner: int = -1
+    candidates: Optional[Set[int]] = None  # None = universe (not refined yet)
+    reported: bool = False
+
+
+class LocksetDetector:
+    """Run the lockset algorithm over a recorded trace."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def run(self, trace: Trace) -> ViolationReport:
+        report = ViolationReport("lockset", self.program)
+        held: Dict[int, Set[int]] = {}
+        addrs: Dict[int, _AddrState] = {}
+
+        for event in trace:
+            tid = event.tid
+            if event.kind == EV_ACQUIRE:
+                held.setdefault(tid, set()).add(event.addr)
+                continue
+            if event.kind in (EV_RELEASE, EV_WAIT):
+                held.setdefault(tid, set()).discard(event.addr)
+                continue
+            if event.kind not in (EV_LOAD, EV_STORE):
+                continue
+
+            entry = addrs.setdefault(event.addr, _AddrState())
+            is_write = event.kind == EV_STORE
+            if entry.state == VIRGIN:
+                entry.state = EXCLUSIVE
+                entry.owner = tid
+                continue
+            if entry.state == EXCLUSIVE:
+                if tid == entry.owner:
+                    continue
+                entry.state = SHARED_MODIFIED if is_write else SHARED
+                entry.candidates = set(held.get(tid, ()))
+            else:
+                if is_write:
+                    entry.state = SHARED_MODIFIED
+                assert entry.candidates is not None
+                entry.candidates &= held.get(tid, set())
+
+            if (entry.state == SHARED_MODIFIED and not entry.candidates
+                    and not entry.reported):
+                entry.reported = True
+                report.add(Violation(
+                    detector="lockset", seq=event.seq, tid=tid,
+                    loc=event.loc, address=event.addr,
+                    kind="lockset-empty"))
+        return report

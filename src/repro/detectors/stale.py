@@ -1,0 +1,134 @@
+"""Stale-value detector (Burrows & Leino 2002; paper §8 related work).
+
+"The stale-value detector finds where stale values are used after
+critical sections have ended, because this type of program behavior may
+be an indicator of timing-dependent bugs."
+
+Implementation: per-thread taint tracking over the recorded trace.  A
+value loaded from a *shared* location while holding locks is tagged with
+the protecting (lock, session) pairs; when a session ends (the lock is
+released), values it protected become stale.  Using a stale value --
+storing it, using it in an address computation, or branching on it --
+raises a report.
+
+This detector flags exactly the critical-section-value-escapes idiom
+that produces SVD's strict-2PL-gap false positives (the ticket pattern),
+making it the natural companion baseline for that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.report import Violation, ViolationReport
+from repro.isa.instructions import Alu, Branch, Load, Reg, Store
+from repro.machine.events import (
+    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_LOAD, EV_RELEASE, EV_STORE,
+    EV_WAIT,
+)
+from repro.trace.trace import Trace
+
+#: a taint tag: (lock address, session number)
+Tag = Tuple[int, int]
+
+
+class _ThreadState:
+    __slots__ = ("held", "sessions", "closed", "reg_taint", "mem_taint")
+
+    def __init__(self) -> None:
+        self.held: Dict[int, int] = {}        # lock -> current session
+        self.sessions: Dict[int, int] = {}    # lock -> session counter
+        self.closed: Set[Tag] = set()
+        self.reg_taint: Dict[int, FrozenSet[Tag]] = {}
+        self.mem_taint: Dict[int, FrozenSet[Tag]] = {}
+
+
+class StaleValueDetector:
+    """Run the stale-value analysis over a recorded trace."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def _shared_addresses(self, trace: Trace) -> Set[int]:
+        accessors: Dict[int, Set[int]] = {}
+        for event in trace:
+            if event.kind in (EV_LOAD, EV_STORE):
+                accessors.setdefault(event.addr, set()).add(event.tid)
+        return {a for a, tids in accessors.items() if len(tids) > 1}
+
+    def run(self, trace: Trace) -> ViolationReport:
+        report = ViolationReport("stale-value", self.program)
+        shared = self._shared_addresses(trace)
+        threads: Dict[int, _ThreadState] = {}
+        reported: Set[Tuple[int, int]] = set()  # (loc, lock) dedup
+
+        def state_of(tid: int) -> _ThreadState:
+            state = threads.get(tid)
+            if state is None:
+                state = _ThreadState()
+                threads[tid] = state
+            return state
+
+        def stale_tags(state: _ThreadState,
+                       taint: FrozenSet[Tag]) -> List[Tag]:
+            return [tag for tag in taint if tag in state.closed]
+
+        def check_use(event, state: _ThreadState,
+                      taint: Optional[FrozenSet[Tag]]) -> None:
+            if not taint:
+                return
+            for lock, _session in stale_tags(state, taint):
+                key = (event.loc, lock)
+                if key in reported:
+                    continue
+                reported.add(key)
+                report.add(Violation(
+                    detector="stale-value", seq=event.seq, tid=event.tid,
+                    loc=event.loc, address=lock, kind="stale-value-use"))
+
+        def reg_taint(state: _ThreadState, operand) -> FrozenSet[Tag]:
+            if isinstance(operand, Reg):
+                return state.reg_taint.get(operand.index, frozenset())
+            return frozenset()
+
+        for event in trace:
+            state = state_of(event.tid)
+            instr = event.instr
+            if event.kind == EV_ACQUIRE:
+                session = state.sessions.get(event.addr, 0) + 1
+                state.sessions[event.addr] = session
+                state.held[event.addr] = session
+            elif event.kind in (EV_RELEASE, EV_WAIT):
+                # waiting releases the lock: values it protected go stale
+                session = state.held.pop(event.addr, None)
+                if session is not None:
+                    state.closed.add((event.addr, session))
+            elif event.kind == EV_LOAD:
+                check_use(event, state, reg_taint(state, instr.addr))
+                if event.addr in shared:
+                    # a shared location yields a *fresh* observation,
+                    # tagged with the sessions currently protecting it;
+                    # taint never flows through shared memory (that path
+                    # crosses threads and is the race detectors' job)
+                    taint = frozenset(
+                        (lock, session)
+                        for lock, session in state.held.items())
+                else:
+                    # thread-local slots carry whatever CS value was
+                    # parked in them
+                    taint = state.mem_taint.get(event.addr, frozenset())
+                state.reg_taint[instr.dest.index] = taint
+            elif event.kind == EV_ALU:
+                taint = (reg_taint(state, instr.src1)
+                         | reg_taint(state, instr.src2))
+                state.reg_taint[instr.dest.index] = taint
+            elif event.kind == EV_STORE:
+                data_taint = reg_taint(state, instr.src)
+                check_use(event, state, data_taint)
+                check_use(event, state, reg_taint(state, instr.addr))
+                if event.addr not in shared:
+                    state.mem_taint[event.addr] = data_taint
+            elif event.kind == EV_BRANCH:
+                check_use(event, state, reg_taint(state, instr.cond))
+        return report

@@ -1,0 +1,53 @@
+"""Vector clocks (Lamport happens-before over a fixed thread set)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class VectorClock:
+    """A fixed-width vector clock.
+
+    Component ``i`` counts the epochs of thread ``i`` that are known to
+    happen before the owner's current point.
+    """
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, width: int, clocks: Sequence[int] = ()) -> None:
+        if clocks:
+            if len(clocks) != width:
+                raise ValueError("clock width mismatch")
+            self.clocks: List[int] = list(clocks)
+        else:
+            self.clocks = [0] * width
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(len(self.clocks), self.clocks)
+
+    def tick(self, tid: int) -> None:
+        self.clocks[tid] += 1
+
+    def join(self, other: "VectorClock") -> None:
+        mine, theirs = self.clocks, other.clocks
+        for i in range(len(mine)):
+            if theirs[i] > mine[i]:
+                mine[i] = theirs[i]
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True iff self ≤ other componentwise and self != other."""
+        le = all(a <= b for a, b in zip(self.clocks, other.clocks))
+        return le and self.clocks != other.clocks
+
+    def ordered_with(self, other: "VectorClock") -> bool:
+        return (self.happens_before(other) or other.happens_before(self)
+                or self.clocks == other.clocks)
+
+    def __getitem__(self, tid: int) -> int:
+        return self.clocks[tid]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self.clocks == other.clocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.clocks}"

@@ -1,0 +1,29 @@
+"""Experiment harness: runs workloads under the detectors and produces
+the paper's tables (Table 1, Table 2, §7.3 overheads and length scaling).
+"""
+
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.table1 import characterize, table1_rows
+from repro.harness.table2 import Table2Row, table2_rows, render_table2
+from repro.harness.overhead import OverheadResult, measure_overhead
+from repro.harness.length_sweep import LengthPoint, length_sweep
+from repro.harness.render import render_table
+from repro.harness.sampling import Segment, SegmentSampler, evenly_spaced_windows
+
+__all__ = [
+    "LengthPoint",
+    "OverheadResult",
+    "RunResult",
+    "Table2Row",
+    "characterize",
+    "length_sweep",
+    "measure_overhead",
+    "Segment",
+    "SegmentSampler",
+    "evenly_spaced_windows",
+    "render_table",
+    "render_table2",
+    "run_workload",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,44 @@
+"""§7.3 length scaling: false positives vs execution length.
+
+The paper's finding: *static* false positives grow slowly with execution
+length (they are bounded by the exercised code size), while *dynamic*
+false positives grow roughly linearly (each re-execution of a
+false-positive site fires again).  We sweep a workload's per-thread
+operation count and record both series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.harness.runner import run_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class LengthPoint:
+    ops: int
+    instructions: int
+    svd_static_fp: int
+    svd_dynamic_fp: int
+    frd_static_fp: int
+    frd_dynamic_fp: int
+
+
+def length_sweep(factory: Callable[[int], Workload],
+                 lengths: Sequence[int], seed: int = 3) -> List[LengthPoint]:
+    """Run ``factory(ops)`` for each length and collect FP counts."""
+    points: List[LengthPoint] = []
+    for ops in lengths:
+        workload = factory(ops)
+        result = run_workload(workload, seed=seed)
+        points.append(LengthPoint(
+            ops=ops,
+            instructions=result.instructions,
+            svd_static_fp=result.svd.static_fp,
+            svd_dynamic_fp=result.svd.dynamic_fp,
+            frd_static_fp=result.frd.static_fp if result.frd else 0,
+            frd_dynamic_fp=result.frd.dynamic_fp if result.frd else 0,
+        ))
+    return points

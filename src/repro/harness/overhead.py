@@ -1,0 +1,87 @@
+"""§7.3 overheads: SVD slowdown, memory, and scalability with program size.
+
+The paper reports a slowdown of up to 65x over the plain simulator and
+roughly doubled simulator memory; crucially, the overhead does *not*
+grow with program size (SVD focuses on the dynamic execution only).  We
+measure the same three quantities on the substitute machine: wall-clock
+slowdown of machine+SVD over the bare machine, tracked detector state as
+a fraction of program memory, and the slowdown trend across workloads of
+increasing static size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.online import OnlineSVD, SvdConfig
+from repro.machine.scheduler import RandomScheduler
+from repro.workloads.base import Workload
+
+
+@dataclass
+class OverheadResult:
+    workload: str
+    instructions: int
+    bare_seconds: float
+    svd_seconds: float
+    program_memory_words: int
+    peak_detector_state: int
+    cus_created: int
+
+    @property
+    def slowdown(self) -> float:
+        if self.bare_seconds <= 0:
+            return float("inf")
+        return self.svd_seconds / self.bare_seconds
+
+    @property
+    def memory_overhead_fraction(self) -> float:
+        if self.program_memory_words <= 0:
+            return 0.0
+        return self.peak_detector_state / self.program_memory_words
+
+
+def _run_once(workload: Workload, seed: int, with_svd: bool,
+              max_steps: Optional[int],
+              svd_config: Optional[SvdConfig]) -> Tuple[float, Optional[OnlineSVD], int]:
+    svd = OnlineSVD(workload.program, svd_config) if with_svd else None
+    observers = [svd] if svd is not None else []
+    machine = workload.make_machine(
+        RandomScheduler(seed=seed, switch_prob=0.3), observers=observers)
+    start = time.perf_counter()
+    machine.run(max_steps=max_steps)
+    elapsed = time.perf_counter() - start
+    return elapsed, svd, len(machine.memory)
+
+
+def measure_overhead(workload: Workload, seed: int = 3,
+                     max_steps: Optional[int] = None,
+                     svd_config: Optional[SvdConfig] = None,
+                     repeats: int = 3) -> OverheadResult:
+    """Measure the SVD slowdown for one workload (best of ``repeats``)."""
+    bare = min(_run_once(workload, seed, False, max_steps, svd_config)[0]
+               for _ in range(repeats))
+    svd_seconds = float("inf")
+    svd = None
+    memory_words = 0
+    peak_state = 0
+    for _ in range(repeats):
+        elapsed, detector, memory_words = _run_once(
+            workload, seed, True, max_steps, svd_config)
+        if elapsed < svd_seconds:
+            svd_seconds = elapsed
+            svd = detector
+            peak_state = sum(d.peak_tracked_blocks
+                             for d in detector.threads.values())
+    assert svd is not None
+    return OverheadResult(
+        workload=workload.name,
+        instructions=svd.instructions,
+        bare_seconds=bare,
+        svd_seconds=svd_seconds,
+        program_memory_words=memory_words,
+        peak_detector_state=peak_state,
+        cus_created=svd.cus_created,
+    )

@@ -1,0 +1,109 @@
+"""Run one workload under SVD (online) and FRD (offline over the trace).
+
+Mirrors the paper's methodology (§6): both detectors observe *identical*
+executions -- SVD attaches online while a recorder captures the trace,
+and FRD then replays the recorded trace.  A seed plays the role of a
+sampled execution segment; different seeds give the paper's "multiple
+execution segments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.online import OnlineSVD, SvdConfig
+from repro.core.posteriori import PosterioriLog
+from repro.core.report import ViolationReport
+from repro.detectors.frd import FrontierRaceDetector
+from repro.machine.machine import Machine
+from repro.machine.scheduler import RandomScheduler
+from repro.metrics.classify import DetectorMetrics, classify_report
+from repro.trace.trace import Trace, TraceRecorder
+from repro.workloads.base import Workload, WorkloadOutcome
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one seeded run of one workload."""
+
+    workload: str
+    seed: int
+    status: str
+    instructions: int
+    outcome: WorkloadOutcome
+    svd: DetectorMetrics
+    frd: Optional[DetectorMetrics]
+    svd_report: ViolationReport
+    frd_report: Optional[ViolationReport]
+    log: PosterioriLog
+    cus_created: int
+    bug_locs: Set[int] = field(default_factory=set)
+
+    @property
+    def posteriori_found_bug(self) -> bool:
+        """Did the a-posteriori log implicate a ground-truth bug statement?"""
+        for entry in self.log.entries:
+            if (entry.reader_loc in self.bug_locs
+                    or entry.remote_loc in self.bug_locs
+                    or entry.local_loc in self.bug_locs):
+                return True
+        return False
+
+    @property
+    def posteriori_static_entries(self) -> int:
+        return len(self.log.static_entries)
+
+    @property
+    def apparent_false_negative(self) -> bool:
+        """The paper's miss criterion: the error manifested and FRD found
+        the bug, but SVD found it neither online nor a posteriori."""
+        if not self.outcome.manifested:
+            return False
+        if self.frd is None or not self.frd.found_bug:
+            return False
+        return not (self.svd.found_bug or self.posteriori_found_bug)
+
+
+def run_workload(workload: Workload, seed: int = 0,
+                 switch_prob: float = 0.3,
+                 max_steps: Optional[int] = None,
+                 svd_config: Optional[SvdConfig] = None,
+                 run_frd: bool = True) -> RunResult:
+    """Execute a workload once; attach SVD online and FRD over the trace."""
+    program = workload.program
+    svd = OnlineSVD(program, svd_config)
+    observers = [svd]
+    recorder: Optional[TraceRecorder] = None
+    if run_frd:
+        recorder = TraceRecorder(program, len(workload.threads))
+        observers.append(recorder)
+    machine = workload.make_machine(
+        RandomScheduler(seed=seed, switch_prob=switch_prob),
+        observers=observers)
+    status = machine.run(max_steps=max_steps)
+    outcome = workload.validate(machine)
+    bug_locs = workload.bug_locs()
+    instructions = svd.instructions
+
+    svd_metrics = classify_report(svd.report, bug_locs, instructions)
+    frd_metrics = None
+    frd_report = None
+    if recorder is not None:
+        frd_report = FrontierRaceDetector(program).run(recorder.trace())
+        frd_metrics = classify_report(frd_report, bug_locs, instructions)
+
+    return RunResult(
+        workload=workload.name,
+        seed=seed,
+        status=status,
+        instructions=instructions,
+        outcome=outcome,
+        svd=svd_metrics,
+        frd=frd_metrics,
+        svd_report=svd.report,
+        frd_report=frd_report,
+        log=svd.log,
+        cus_created=svd.cus_created,
+        bug_locs=bug_locs,
+    )

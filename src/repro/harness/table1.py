@@ -1,0 +1,68 @@
+"""Table 1: test-program inventory with measured characteristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.harness.render import render_table
+from repro.harness.runner import run_workload
+from repro.workloads import (apache_log, mysql_prepared, mysql_tablelock,
+                             pgsql_oltp, queue_region, stringbuffer)
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Table1Row:
+    name: str
+    description: str
+    threads: int
+    program_locs: int
+    instructions: int
+    erroneous_execution: str
+
+
+def characterize(workload: Workload, seed: int = 0,
+                 max_steps: Optional[int] = None) -> Table1Row:
+    """Run a workload once and summarise it for Table 1."""
+    result = run_workload(workload, seed=seed, max_steps=max_steps,
+                          run_frd=False)
+    if workload.buggy:
+        if result.outcome.manifested:
+            error = f"manifested: {result.outcome.detail}"
+        else:
+            error = "bug present, did not manifest with this seed"
+    else:
+        error = "no known errors" + (
+            "" if not result.outcome.manifested
+            else f" (UNEXPECTED: {result.outcome.detail})")
+    return Table1Row(
+        name=workload.name,
+        description=workload.description,
+        threads=len(workload.threads),
+        program_locs=len(workload.program.locs),
+        instructions=result.instructions,
+        erroneous_execution=error,
+    )
+
+
+def table1_rows(seed: int = 3) -> List[Table1Row]:
+    """The paper's three server programs (plus our auxiliary workloads)."""
+    workloads = [
+        apache_log(),
+        mysql_prepared(),
+        mysql_tablelock(),
+        pgsql_oltp(),
+        stringbuffer(),
+        queue_region(fixed=False),
+    ]
+    return [characterize(w, seed=seed) for w in workloads]
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    return render_table(
+        ["Name", "Threads", "Static stmts", "Dyn insts", "Erroneous execution"],
+        [(r.name, r.threads, r.program_locs, r.instructions,
+          r.erroneous_execution) for r in rows],
+        title="Table 1: test programs",
+    )

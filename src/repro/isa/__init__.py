@@ -1,0 +1,53 @@
+"""Register instruction set for the deterministic multiprocessor machine.
+
+The paper's online SVD algorithm (Figure 7) is defined over a stream of
+dynamic *instructions* -- LOAD, ALU, STORE, BRANCH -- plus REMOTE_ACCESS
+messages, with CU references propagated through machine registers and
+word-sized memory blocks.  This package defines that instruction
+vocabulary.  Programs are produced by the :mod:`repro.lang` compiler and
+executed by :mod:`repro.machine`.
+"""
+
+from repro.isa.instructions import (
+    Acquire,
+    Alu,
+    Assert,
+    Branch,
+    Halt,
+    Imm,
+    Instruction,
+    Jump,
+    Load,
+    Notify,
+    NotifyAll,
+    Output,
+    Reg,
+    Release,
+    Store,
+    Wait,
+    ALU_OPS,
+)
+from repro.isa.program import Program, SourceLoc, ThreadSpec
+
+__all__ = [
+    "ALU_OPS",
+    "Acquire",
+    "Alu",
+    "Assert",
+    "Branch",
+    "Halt",
+    "Imm",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Notify",
+    "NotifyAll",
+    "Output",
+    "Program",
+    "Reg",
+    "Release",
+    "SourceLoc",
+    "Store",
+    "ThreadSpec",
+    "Wait",
+]

@@ -1,0 +1,136 @@
+"""Program container: code, data layout, thread entry points, source map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Branch, Instruction, Jump
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A static source location: file-less (line, column, text) triple.
+
+    ``loc`` indices on instructions point into :attr:`Program.locs`; the
+    same index identifies the *static statement* for the purposes of
+    static-report deduplication.
+    """
+
+    line: int
+    column: int
+    text: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}: {self.text}"
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """A thread the machine should run: entry pc, name and frame layout."""
+
+    name: str
+    entry: int
+    frame_words: int
+    param_offsets: Tuple[int, ...] = ()
+    reg_count: int = 64
+
+
+@dataclass
+class Program:
+    """A compiled program.
+
+    Attributes:
+        code: the shared instruction text, indexed by pc.
+        threads: declared thread bodies (each may be instantiated several
+            times by the machine, mirroring a server's worker pool).
+        shared_words: size of the shared static data region, in words.
+        globals_layout: name -> (address, length) of shared globals.
+        locals_layout: per-thread-body name -> (frame offset, length) of
+            thread-local variables ("local" globals plus block locals).
+        lock_names: lock-word address -> source name, used to label
+            synchronization events.
+        locs: static source locations; instruction ``loc`` fields index
+            into this list.
+        init_values: initial values for the shared region, keyed by
+            address.
+    """
+
+    code: List[Instruction] = field(default_factory=list)
+    threads: Dict[str, ThreadSpec] = field(default_factory=dict)
+    shared_words: int = 0
+    globals_layout: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    locals_layout: Dict[str, Dict[str, Tuple[int, int]]] = field(default_factory=dict)
+    lock_names: Dict[int, str] = field(default_factory=dict)
+    locs: List[SourceLoc] = field(default_factory=list)
+    init_values: Dict[int, int] = field(default_factory=dict)
+    source: str = ""
+
+    def loc_of(self, instr: Instruction) -> Optional[SourceLoc]:
+        """Return the source location of an instruction, if known."""
+        if 0 <= instr.loc < len(self.locs):
+            return self.locs[instr.loc]
+        return None
+
+    def address_of(self, name: str, index: int = 0) -> int:
+        """Return the shared-memory address of global ``name[index]``."""
+        base, length = self.globals_layout[name]
+        if not 0 <= index < length:
+            raise IndexError(f"{name}[{index}] out of bounds (len {length})")
+        return base + index
+
+    def name_of_address(self, addr: int) -> str:
+        """Best-effort reverse map from a shared address to a symbol."""
+        for name, (base, length) in self.globals_layout.items():
+            if base <= addr < base + length:
+                return name if length == 1 else f"{name}[{addr - base}]"
+        return f"@{addr}"
+
+    def reconvergence_of_branch(self, pc: int) -> Optional[int]:
+        """Skipper-style reconvergence point of the conditional branch at ``pc``.
+
+        Implements the dynamic probe from the paper's Figure 7 (BRANCH
+        case), adapted to this code generator's layout.  The generator
+        always emits "branch-if-false around the then-block":
+
+        * plain ``if``: the branch target *is* the reconvergence point;
+        * ``if/else``: the instruction just before the branch target is a
+          forward ``Jump`` over the else-block, whose target is the
+          reconvergence point;
+        * loop exit branches: the instruction just before the target is
+          the *backward* ``Jump`` of the loop; per Skipper, loop-type
+          control flow is not inferred, so ``None`` is returned.
+        """
+        instr = self.code[pc]
+        if not isinstance(instr, Branch):
+            raise TypeError(f"instruction at pc {pc} is not a Branch")
+        target = instr.target
+        if target <= pc:
+            return None  # backward conditional branch: loop-type flow
+        prev = self.code[target - 1] if target - 1 > pc else None
+        if isinstance(prev, Jump):
+            if prev.target <= pc:
+                return None  # loop back-edge: loop exit branch
+            return prev.target  # if/else join point
+        return target  # plain if
+
+    def disassemble(self) -> str:
+        """Human-readable listing with source annotations."""
+        lines = []
+        last_loc = -1
+        for pc, instr in enumerate(self.code):
+            if instr.loc != last_loc and instr.loc >= 0:
+                lines.append(f"; {self.locs[instr.loc]}")
+                last_loc = instr.loc
+            lines.append(f"{pc:5d}  {instr!r}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on failure."""
+        n = len(self.code)
+        for pc, instr in enumerate(self.code):
+            if isinstance(instr, (Branch, Jump)) and not 0 <= instr.target < n:
+                raise ValueError(f"pc {pc}: branch target {instr.target} out of range")
+        for spec in self.threads.values():
+            if not 0 <= spec.entry < n:
+                raise ValueError(f"thread {spec.name}: entry {spec.entry} out of range")

@@ -1,0 +1,32 @@
+"""MiniSMP: a small C-like concurrent language compiled to the repro ISA.
+
+The paper's workloads (Apache's ``log_config``, MySQL's table locking and
+prepared-query code, PostgreSQL's OLTP loops) are modelled as MiniSMP
+programs.  The language deliberately contains exactly the constructs those
+code fragments need:
+
+* ``shared`` globals (scalars and arrays) visible to all threads;
+* ``local`` globals -- one private copy per thread (thread-local storage);
+* ``lock`` declarations with ``acquire``/``release`` statements;
+* ``thread`` bodies with integer parameters (one OS thread per instance);
+* ``if``/``else``, ``while``, ``for``, assignment, integer expressions;
+* ``assert`` (models crashes) and ``output`` (models externalised results,
+  e.g. log records).
+
+Compilation is classical: lex -> parse -> semantic analysis -> code
+generation onto the register ISA.  Local scalars and arrays live in a
+per-thread memory frame (so the detector sees their blocks, exactly like
+``len`` in the paper's Figure 2); expression temporaries live in virtual
+registers (like ``register1`` in Figure 1).
+"""
+
+from repro.lang.compiler import compile_source
+from repro.lang.errors import LangError, LexError, ParseError, SemanticError
+
+__all__ = [
+    "LangError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "compile_source",
+]

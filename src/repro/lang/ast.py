@@ -1,0 +1,171 @@
+"""Abstract syntax tree for MiniSMP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+    column: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class NameExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``name[index]`` -- array element access."""
+
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    """Block-scope local variable: ``int x = e;`` or ``int a[n];``."""
+
+    name: str = ""
+    length: int = 1
+    is_array: bool = False
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``lvalue = expr;`` where lvalue is a name or ``name[index]``."""
+
+    target: str = ""
+    index: Optional[Expr] = None  # None for scalars
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LockStmt(Stmt):
+    """``acquire(name);`` or ``release(name);``"""
+
+    action: str = "acquire"
+    lock_name: str = ""
+
+
+@dataclass
+class AssertStmt(Stmt):
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class OutputStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class MemcpyStmt(Stmt):
+    """``memcpy(dst, dst_off, src, src_off, n);``
+
+    Copies ``n`` words from array ``src`` starting at ``src_off`` into array
+    ``dst`` starting at ``dst_off``.  Compiled to an explicit word-copy loop
+    so the detector observes every load/store (as it would for a real
+    ``memcpy``, e.g. statement 3.08 of the paper's Figure 2).
+    """
+
+    dst: str = ""
+    dst_off: Optional[Expr] = None
+    src: str = ""
+    src_off: Optional[Expr] = None
+    count: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    """Top-level variable: ``shared int x;`` / ``local int y[4] = 0;``"""
+
+    name: str = ""
+    storage: str = "shared"  # 'shared' or 'local'
+    length: int = 1
+    is_array: bool = False
+    init: Optional[int] = None
+    init_list: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class LockDecl(Node):
+    name: str = ""
+
+
+@dataclass
+class ThreadDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ProgramAst(Node):
+    variables: List[VarDecl] = field(default_factory=list)
+    locks: List[LockDecl] = field(default_factory=list)
+    threads: List[ThreadDecl] = field(default_factory=list)

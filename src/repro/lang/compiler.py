@@ -1,0 +1,466 @@
+"""Semantic analysis and code generation for MiniSMP.
+
+Storage model (chosen to mirror what the paper's binary-level SVD sees):
+
+* ``shared`` globals live in the shared static region starting at address
+  0; every thread addresses them with compile-time constants.
+* lock words also live in the shared region but are touched only by
+  ``Acquire``/``Release`` instructions.
+* ``local`` globals, thread parameters and block-scope locals live in a
+  per-thread *frame*.  Register 0 (``rfp``) is reserved: the machine
+  initialises it with the thread instance's frame base, and every local
+  access computes ``rfp + offset``.  Locals therefore occupy real memory
+  blocks -- like ``len`` in the paper's Figure 2 -- while expression
+  temporaries live in virtual registers -- like ``register1`` in Figure 1.
+
+Logical-and/or are evaluated without short-circuiting (both operands are
+always evaluated) so that control dependences arise only from ``if``,
+``while`` and ``for``, matching the statement-level dependences the paper
+draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Notify,
+    NotifyAll, Operand, Output, Reg, Release, Store, Wait,
+)
+from repro.isa.program import Program, SourceLoc, ThreadSpec
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_source
+from repro.lang.unparse import unparse_expr, unparse_stmt
+
+#: Register 0 is the frame pointer, initialised by the machine.
+FRAME_POINTER = Reg(0)
+
+
+class _SharedSymbol:
+    __slots__ = ("address", "length", "is_array")
+
+    def __init__(self, address: int, length: int, is_array: bool) -> None:
+        self.address = address
+        self.length = length
+        self.is_array = is_array
+
+
+class _LocalSymbol:
+    __slots__ = ("offset", "length", "is_array", "reg")
+
+    def __init__(self, offset: int, length: int, is_array: bool,
+                 reg: Optional[Reg] = None) -> None:
+        self.offset = offset
+        self.length = length
+        self.is_array = is_array
+        #: when set, the scalar is register-promoted: it lives in this
+        #: dedicated register and never touches the frame
+        self.reg = reg
+
+
+class _ThreadCompiler:
+    """Compiles one thread body into the shared instruction text."""
+
+    def __init__(self, outer: "Compiler", decl: ast.ThreadDecl) -> None:
+        self._outer = outer
+        self._decl = decl
+        self._program = outer.program
+        self._next_reg = 1  # register 0 is the frame pointer
+        self._frame_words = 0
+        self._scopes: List[Dict[str, _LocalSymbol]] = [{}]
+        self._loc_index = -1
+
+    # -- small helpers -----------------------------------------------------
+
+    def _fresh_reg(self) -> Reg:
+        reg = Reg(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    def _emit(self, instr) -> int:
+        instr.loc = self._loc_index
+        self._program.code.append(instr)
+        return len(self._program.code) - 1
+
+    def _set_loc(self, node: ast.Node, text: str) -> None:
+        self._program.locs.append(SourceLoc(node.line, node.column, text))
+        self._loc_index = len(self._program.locs) - 1
+
+    def _alloc_local(self, name: str, length: int, is_array: bool,
+                     node: ast.Node, promotable: bool = True) -> _LocalSymbol:
+        scope = self._scopes[-1]
+        if name in scope:
+            raise SemanticError(f"redeclaration of local {name!r}",
+                                node.line, node.column)
+        if (self._outer.promote_locals and promotable and not is_array):
+            # register promotion: scalar locals never touch memory (the
+            # behaviour of an optimising compiler; MiniSMP has no
+            # address-of operator, so every scalar local is promotable)
+            sym = _LocalSymbol(-1, length, is_array, reg=self._fresh_reg())
+        else:
+            sym = _LocalSymbol(self._frame_words, length, is_array)
+            self._frame_words += length
+        scope[name] = sym
+        return sym
+
+    def _lookup_local(self, name: str) -> Optional[_LocalSymbol]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _lookup(self, name: str, node: ast.Node):
+        """Resolve a name to a local or shared symbol."""
+        local = self._lookup_local(name)
+        if local is not None:
+            return local
+        shared = self._outer.shared_symbols.get(name)
+        if shared is not None:
+            return shared
+        if name in self._outer.lock_addresses:
+            raise SemanticError(
+                f"{name!r} is a lock; use acquire/release", node.line, node.column)
+        raise SemanticError(f"undeclared variable {name!r}", node.line, node.column)
+
+    # -- address computation ------------------------------------------------
+
+    def _local_address(self, sym: _LocalSymbol, index: Operand) -> Operand:
+        """Compute ``rfp + offset (+ index)`` into a register."""
+        dest = self._fresh_reg()
+        self._emit(Alu("+", FRAME_POINTER, Imm(sym.offset), dest))
+        if isinstance(index, Imm) and index.value == 0:
+            return dest
+        dest2 = self._fresh_reg()
+        self._emit(Alu("+", dest, index, dest2))
+        return dest2
+
+    def _shared_address(self, sym: _SharedSymbol, index: Operand) -> Operand:
+        if isinstance(index, Imm):
+            return Imm(sym.address + index.value)
+        dest = self._fresh_reg()
+        self._emit(Alu("+", Imm(sym.address), index, dest))
+        return dest
+
+    def _address_of(self, name: str, index: Operand, node: ast.Node,
+                    want_array: Optional[bool] = None) -> Operand:
+        sym = self._lookup(name, node)
+        if want_array is not None and sym.is_array != want_array:
+            kind = "array" if want_array else "scalar"
+            raise SemanticError(f"{name!r} is not a {kind}", node.line, node.column)
+        if isinstance(sym, _LocalSymbol):
+            return self._local_address(sym, index)
+        return self._shared_address(sym, index)
+
+    def _array_base(self, name: str, node: ast.Node) -> Tuple[Operand, int]:
+        """Return (base operand, declared length) of an array symbol."""
+        sym = self._lookup(name, node)
+        if not sym.is_array:
+            raise SemanticError(f"{name!r} is not an array", node.line, node.column)
+        if isinstance(sym, _LocalSymbol):
+            dest = self._fresh_reg()
+            self._emit(Alu("+", FRAME_POINTER, Imm(sym.offset), dest))
+            return dest, sym.length
+        return Imm(sym.address), sym.length
+
+    # -- expressions --------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.NumberExpr):
+            return Imm(expr.value)
+        if isinstance(expr, ast.NameExpr):
+            sym = self._lookup(expr.name, expr)
+            if isinstance(sym, _LocalSymbol) and sym.reg is not None:
+                return sym.reg
+            addr = self._address_of(expr.name, Imm(0), expr, want_array=False)
+            dest = self._fresh_reg()
+            self._emit(Load(dest, addr))
+            return dest
+        if isinstance(expr, ast.IndexExpr):
+            index = self._compile_expr(expr.index)
+            addr = self._address_of(expr.name, index, expr, want_array=True)
+            dest = self._fresh_reg()
+            self._emit(Load(dest, addr))
+            return dest
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self._compile_expr(expr.operand)
+            if expr.op == "-":
+                if isinstance(operand, Imm):
+                    return Imm(-operand.value)
+                dest = self._fresh_reg()
+                self._emit(Alu("-", Imm(0), operand, dest))
+                return dest
+            if expr.op == "!":
+                if isinstance(operand, Imm):
+                    return Imm(int(operand.value == 0))
+                dest = self._fresh_reg()
+                self._emit(Alu("==", operand, Imm(0), dest))
+                return dest
+            raise SemanticError(f"unknown unary operator {expr.op!r}",
+                                expr.line, expr.column)
+        if isinstance(expr, ast.BinaryExpr):
+            left = self._compile_expr(expr.left)
+            right = self._compile_expr(expr.right)
+            if isinstance(left, Imm) and isinstance(right, Imm):
+                from repro.isa.instructions import evaluate_alu
+                return Imm(evaluate_alu(expr.op, left.value, right.value))
+            dest = self._fresh_reg()
+            self._emit(Alu(expr.op, left, right, dest))
+            return dest
+        raise SemanticError(f"unknown expression node {type(expr).__name__}",
+                            expr.line, expr.column)
+
+    def _compile_condition(self, expr: ast.Expr) -> Reg:
+        """Compile an expression and force the result into a register."""
+        operand = self._compile_expr(expr)
+        if isinstance(operand, Reg):
+            return operand
+        dest = self._fresh_reg()
+        self._emit(Alu("|", operand, Imm(0), dest))
+        return dest
+
+    # -- statements -----------------------------------------------------------
+
+    def _compile_block(self, stmts: List[ast.Stmt]) -> None:
+        self._scopes.append({})
+        for stmt in stmts:
+            self._compile_stmt(stmt)
+        self._scopes.pop()
+
+    def _compile_stmt(self, stmt: ast.Stmt) -> None:
+        self._set_loc(stmt, unparse_stmt(stmt))
+        if isinstance(stmt, ast.VarDeclStmt):
+            sym = self._alloc_local(stmt.name, stmt.length, stmt.is_array, stmt)
+            if stmt.init is not None:
+                if stmt.is_array:
+                    raise SemanticError("array locals cannot have initialisers",
+                                        stmt.line, stmt.column)
+                value = self._compile_expr(stmt.init)
+                if sym.reg is not None:
+                    self._emit(Alu("|", value, Imm(0), sym.reg))
+                else:
+                    addr = self._local_address(sym, Imm(0))
+                    self._emit(Store(value, addr))
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            value = self._compile_expr(stmt.value)
+            if stmt.index is not None:
+                index = self._compile_expr(stmt.index)
+                addr = self._address_of(stmt.target, index, stmt, want_array=True)
+            else:
+                sym = self._lookup(stmt.target, stmt)
+                if isinstance(sym, _LocalSymbol) and sym.reg is not None:
+                    self._emit(Alu("|", value, Imm(0), sym.reg))
+                    return
+                if sym.is_array:
+                    raise SemanticError(f"{stmt.target!r} is not a scalar",
+                                        stmt.line, stmt.column)
+                addr = self._address_of(stmt.target, Imm(0), stmt, want_array=False)
+            self._emit(Store(value, addr))
+            return
+        if isinstance(stmt, ast.IfStmt):
+            cond = self._compile_condition(stmt.cond)
+            branch_pc = self._emit(Branch(cond, -1))
+            self._compile_block(stmt.then_body)
+            if stmt.else_body:
+                jump_pc = self._emit(Jump(-1))
+                self._program.code[branch_pc].target = len(self._program.code)
+                self._compile_block(stmt.else_body)
+                self._program.code[jump_pc].target = len(self._program.code)
+            else:
+                self._program.code[branch_pc].target = len(self._program.code)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            head = len(self._program.code)
+            cond = self._compile_condition(stmt.cond)
+            branch_pc = self._emit(Branch(cond, -1))
+            self._compile_block(stmt.body)
+            self._emit(Jump(head))
+            self._program.code[branch_pc].target = len(self._program.code)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                # the init clause owns its own scope entry for `int i = ...`
+                self._scopes.append({})
+                self._compile_stmt(stmt.init)
+            head = len(self._program.code)
+            branch_pc = -1
+            if stmt.cond is not None:
+                self._set_loc(stmt, unparse_stmt(stmt))
+                cond = self._compile_condition(stmt.cond)
+                branch_pc = self._emit(Branch(cond, -1))
+            self._compile_block(stmt.body)
+            if stmt.step is not None:
+                self._compile_stmt(stmt.step)
+            self._emit(Jump(head))
+            if branch_pc >= 0:
+                self._program.code[branch_pc].target = len(self._program.code)
+            if stmt.init is not None:
+                self._scopes.pop()
+            return
+        if isinstance(stmt, ast.LockStmt):
+            addr = self._outer.lock_addresses.get(stmt.lock_name)
+            if addr is None:
+                raise SemanticError(f"undeclared lock {stmt.lock_name!r}",
+                                    stmt.line, stmt.column)
+            lock_ops = {"acquire": Acquire, "release": Release,
+                        "wait": Wait, "notify": Notify,
+                        "notifyall": NotifyAll}
+            self._emit(lock_ops[stmt.action](Imm(addr)))
+            return
+        if isinstance(stmt, ast.AssertStmt):
+            cond = self._compile_expr(stmt.cond)
+            self._emit(Assert(cond))
+            return
+        if isinstance(stmt, ast.OutputStmt):
+            value = self._compile_expr(stmt.value)
+            self._emit(Output(value))
+            return
+        if isinstance(stmt, ast.MemcpyStmt):
+            self._compile_memcpy(stmt)
+            return
+        raise SemanticError(f"unknown statement node {type(stmt).__name__}",
+                            stmt.line, stmt.column)
+
+    def _compile_memcpy(self, stmt: ast.MemcpyStmt) -> None:
+        """Expand memcpy into an explicit word-copy loop."""
+        dst_base, _ = self._array_base(stmt.dst, stmt)
+        src_base, _ = self._array_base(stmt.src, stmt)
+        dst_off = self._compile_expr(stmt.dst_off)
+        src_off = self._compile_expr(stmt.src_off)
+        count = self._compile_expr(stmt.count)
+        src_start = self._fresh_reg()
+        self._emit(Alu("+", src_base, src_off, src_start))
+        dst_start = self._fresh_reg()
+        self._emit(Alu("+", dst_base, dst_off, dst_start))
+        counter = self._fresh_reg()
+        self._emit(Alu("+", Imm(0), Imm(0), counter))
+        head = len(self._program.code)
+        more = self._fresh_reg()
+        self._emit(Alu("<", counter, count, more))
+        branch_pc = self._emit(Branch(more, -1))
+        src_addr = self._fresh_reg()
+        self._emit(Alu("+", src_start, counter, src_addr))
+        value = self._fresh_reg()
+        self._emit(Load(value, src_addr))
+        dst_addr = self._fresh_reg()
+        self._emit(Alu("+", dst_start, counter, dst_addr))
+        self._emit(Store(value, dst_addr))
+        self._emit(Alu("+", counter, Imm(1), counter))
+        self._emit(Jump(head))
+        self._program.code[branch_pc].target = len(self._program.code)
+
+    # -- entry point ------------------------------------------------------------
+
+    def compile(self) -> ThreadSpec:
+        entry = len(self._program.code)
+        param_offsets = []
+        for param in self._decl.params:
+            sym = self._alloc_local(param, 1, False, self._decl,
+                                    promotable=False)
+            param_offsets.append(sym.offset)
+        # per-thread copies of `local` globals
+        for name, (length, is_array) in self._outer.local_globals.items():
+            self._alloc_local(name, length, is_array, self._decl,
+                              promotable=False)
+        self._compile_block(self._decl.body)
+        self._set_loc(self._decl, f"end of thread {self._decl.name}")
+        self._emit(Halt())
+        return ThreadSpec(
+            name=self._decl.name,
+            entry=entry,
+            frame_words=max(self._frame_words, 1),
+            param_offsets=tuple(param_offsets),
+            reg_count=self._next_reg,
+        )
+
+
+class Compiler:
+    """Whole-program compiler driver.
+
+    ``promote_locals=True`` keeps scalar block-locals in dedicated
+    registers instead of the frame (register promotion) -- what an
+    optimising compiler does to the server binaries the paper analyses.
+    The default keeps them in memory, matching the paper's Figure 2
+    where the thread-local ``len`` is a memory location.
+    """
+
+    def __init__(self, tree: ast.ProgramAst, source: str = "",
+                 promote_locals: bool = False) -> None:
+        self._tree = tree
+        self.promote_locals = promote_locals
+        self.program = Program(source=source)
+        self.shared_symbols: Dict[str, _SharedSymbol] = {}
+        self.lock_addresses: Dict[str, int] = {}
+        self.local_globals: Dict[str, Tuple[int, bool]] = {}
+
+    def _layout_globals(self) -> None:
+        address = 0
+        for decl in self._tree.variables:
+            if decl.name in self.shared_symbols or decl.name in self.local_globals:
+                raise SemanticError(f"redeclaration of {decl.name!r}",
+                                    decl.line, decl.column)
+            if decl.storage == "shared":
+                self.shared_symbols[decl.name] = _SharedSymbol(
+                    address, decl.length, decl.is_array)
+                self.program.globals_layout[decl.name] = (address, decl.length)
+                if decl.init_list is not None:
+                    if len(decl.init_list) > decl.length:
+                        raise SemanticError(
+                            f"too many initialisers for {decl.name!r}",
+                            decl.line, decl.column)
+                    for i, value in enumerate(decl.init_list):
+                        self.program.init_values[address + i] = value
+                elif decl.init is not None:
+                    for i in range(decl.length):
+                        self.program.init_values[address + i] = decl.init
+                address += decl.length
+            else:
+                if decl.init not in (None, 0) or decl.init_list is not None:
+                    raise SemanticError(
+                        "local globals are zero-initialised; "
+                        "assign in the thread body instead",
+                        decl.line, decl.column)
+                self.local_globals[decl.name] = (decl.length, decl.is_array)
+        for lock in self._tree.locks:
+            if (lock.name in self.shared_symbols
+                    or lock.name in self.lock_addresses
+                    or lock.name in self.local_globals):
+                raise SemanticError(f"redeclaration of {lock.name!r}",
+                                    lock.line, lock.column)
+            self.lock_addresses[lock.name] = address
+            self.program.lock_names[address] = lock.name
+            address += 1
+        self.program.shared_words = address
+
+    def compile(self) -> Program:
+        self._layout_globals()
+        if not self._tree.threads:
+            raise SemanticError("program declares no threads", 1, 1)
+        seen = set()
+        for decl in self._tree.threads:
+            if decl.name in seen:
+                raise SemanticError(f"redeclaration of thread {decl.name!r}",
+                                    decl.line, decl.column)
+            seen.add(decl.name)
+            thread_compiler = _ThreadCompiler(self, decl)
+            spec = thread_compiler.compile()
+            self.program.threads[decl.name] = spec
+            self.program.locals_layout[decl.name] = {
+                name: (sym.offset, sym.length)
+                for name, sym in thread_compiler._scopes[0].items()
+            }
+        self.program.validate()
+        return self.program
+
+
+def compile_source(source: str, promote_locals: bool = False) -> Program:
+    """Compile MiniSMP source text to an executable :class:`Program`.
+
+    Args:
+        source: MiniSMP program text.
+        promote_locals: keep scalar block-locals in registers instead of
+            frame memory (the optimising-compiler ablation).
+    """
+    tree = parse_source(source)
+    return Compiler(tree, source, promote_locals=promote_locals).compile()

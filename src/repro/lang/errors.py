@@ -1,0 +1,26 @@
+"""Diagnostics for the MiniSMP compiler."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all MiniSMP compilation errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        where = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(LangError):
+    """Raised on an unrecognised character or malformed token."""
+
+
+class ParseError(LangError):
+    """Raised on a syntax error."""
+
+
+class SemanticError(LangError):
+    """Raised on undeclared names, redeclarations, bad arity, etc."""

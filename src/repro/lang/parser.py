@@ -1,0 +1,345 @@
+"""Recursive-descent parser for MiniSMP."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+#: Binary operator precedence, loosest first.
+PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.ProgramAst`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if self._check(kind, value):
+            return self._advance()
+        tok = self._cur
+        want = value if value is not None else kind
+        raise ParseError(
+            f"expected {want!r}, found {tok.value or tok.kind!r}",
+            tok.line, tok.column,
+        )
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAst:
+        program = ast.ProgramAst(line=1, column=1)
+        while not self._check("eof"):
+            tok = self._cur
+            if tok.kind == "keyword" and tok.value in ("shared", "local"):
+                program.variables.append(self._parse_var_decl())
+            elif tok.kind == "keyword" and tok.value == "lock":
+                program.locks.append(self._parse_lock_decl())
+            elif tok.kind == "keyword" and tok.value == "thread":
+                program.threads.append(self._parse_thread_decl())
+            else:
+                raise ParseError(
+                    f"expected declaration, found {tok.value!r}",
+                    tok.line, tok.column,
+                )
+        return program
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        storage_tok = self._advance()
+        self._expect("keyword", "int")
+        name_tok = self._expect("ident")
+        decl = ast.VarDecl(
+            name=name_tok.value, storage=storage_tok.value,
+            line=storage_tok.line, column=storage_tok.column,
+        )
+        if self._accept("op", "["):
+            size_tok = self._expect("number")
+            decl.length = int(size_tok.value)
+            decl.is_array = True
+            if decl.length <= 0:
+                raise ParseError("array length must be positive",
+                                 size_tok.line, size_tok.column)
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            if self._accept("op", "{"):
+                values = [self._parse_signed_number()]
+                while self._accept("op", ","):
+                    values.append(self._parse_signed_number())
+                self._expect("op", "}")
+                decl.init_list = tuple(values)
+            else:
+                decl.init = self._parse_signed_number()
+        self._expect("op", ";")
+        return decl
+
+    def _parse_signed_number(self) -> int:
+        negate = bool(self._accept("op", "-"))
+        tok = self._expect("number")
+        value = int(tok.value)
+        return -value if negate else value
+
+    def _parse_lock_decl(self) -> ast.LockDecl:
+        tok = self._expect("keyword", "lock")
+        name_tok = self._expect("ident")
+        self._expect("op", ";")
+        return ast.LockDecl(name=name_tok.value, line=tok.line, column=tok.column)
+
+    def _parse_thread_decl(self) -> ast.ThreadDecl:
+        tok = self._expect("keyword", "thread")
+        name_tok = self._expect("ident")
+        self._expect("op", "(")
+        params: List[str] = []
+        if not self._check("op", ")"):
+            while True:
+                self._expect("keyword", "int")
+                params.append(self._expect("ident").value)
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.ThreadDecl(name=name_tok.value, params=params, body=body,
+                              line=tok.line, column=tok.column)
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                tok = self._cur
+                raise ParseError("unexpected end of input in block",
+                                 tok.line, tok.column)
+            stmts.append(self._parse_stmt())
+        self._expect("op", "}")
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._cur
+        if tok.kind == "keyword":
+            if tok.value == "int":
+                return self._parse_local_decl_stmt()
+            if tok.value == "if":
+                return self._parse_if()
+            if tok.value == "while":
+                return self._parse_while()
+            if tok.value == "for":
+                return self._parse_for()
+            if tok.value in ("acquire", "release", "wait", "notify",
+                             "notifyall"):
+                return self._parse_lock_stmt()
+            if tok.value == "assert":
+                return self._parse_assert()
+            if tok.value == "output":
+                return self._parse_output()
+            if tok.value == "memcpy":
+                return self._parse_memcpy()
+            raise ParseError(f"unexpected keyword {tok.value!r} in statement",
+                             tok.line, tok.column)
+        if tok.kind == "ident":
+            stmt = self._parse_assign()
+            self._expect("op", ";")
+            return stmt
+        raise ParseError(f"expected statement, found {tok.value or tok.kind!r}",
+                         tok.line, tok.column)
+
+    def _parse_local_decl_stmt(self) -> ast.VarDeclStmt:
+        tok = self._expect("keyword", "int")
+        name_tok = self._expect("ident")
+        stmt = ast.VarDeclStmt(name=name_tok.value, line=tok.line, column=tok.column)
+        if self._accept("op", "["):
+            size_tok = self._expect("number")
+            stmt.length = int(size_tok.value)
+            stmt.is_array = True
+            if stmt.length <= 0:
+                raise ParseError("array length must be positive",
+                                 size_tok.line, size_tok.column)
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            stmt.init = self._parse_expr()
+        self._expect("op", ";")
+        return stmt
+
+    def _parse_assign(self, consume_semicolon: bool = False) -> ast.AssignStmt:
+        name_tok = self._expect("ident")
+        stmt = ast.AssignStmt(target=name_tok.value,
+                              line=name_tok.line, column=name_tok.column)
+        if self._accept("op", "["):
+            stmt.index = self._parse_expr()
+            self._expect("op", "]")
+        self._expect("op", "=")
+        stmt.value = self._parse_expr()
+        if consume_semicolon:
+            self._expect("op", ";")
+        return stmt
+
+    def _parse_if(self) -> ast.IfStmt:
+        tok = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.IfStmt(cond=cond, then_body=then_body, else_body=else_body,
+                          line=tok.line, column=tok.column)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        tok = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.WhileStmt(cond=cond, body=body, line=tok.line, column=tok.column)
+
+    def _parse_for(self) -> ast.ForStmt:
+        tok = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int"):
+                # re-use the local-decl parser, which consumes the ';'
+                init = self._parse_local_decl_stmt()
+            else:
+                init = self._parse_assign()
+                self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        cond: Optional[ast.Expr] = None
+        if not self._check("op", ";"):
+            cond = self._parse_expr()
+        self._expect("op", ";")
+        step: Optional[ast.Stmt] = None
+        if not self._check("op", ")"):
+            step = self._parse_assign()
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.ForStmt(init=init, cond=cond, step=step, body=body,
+                           line=tok.line, column=tok.column)
+
+    def _parse_lock_stmt(self) -> ast.LockStmt:
+        tok = self._advance()
+        self._expect("op", "(")
+        name_tok = self._expect("ident")
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.LockStmt(action=tok.value, lock_name=name_tok.value,
+                            line=tok.line, column=tok.column)
+
+    def _parse_assert(self) -> ast.AssertStmt:
+        tok = self._expect("keyword", "assert")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.AssertStmt(cond=cond, line=tok.line, column=tok.column)
+
+    def _parse_output(self) -> ast.OutputStmt:
+        tok = self._expect("keyword", "output")
+        self._expect("op", "(")
+        value = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.OutputStmt(value=value, line=tok.line, column=tok.column)
+
+    def _parse_memcpy(self) -> ast.MemcpyStmt:
+        tok = self._expect("keyword", "memcpy")
+        self._expect("op", "(")
+        dst = self._expect("ident").value
+        self._expect("op", ",")
+        dst_off = self._parse_expr()
+        self._expect("op", ",")
+        src = self._expect("ident").value
+        self._expect("op", ",")
+        src_off = self._parse_expr()
+        self._expect("op", ",")
+        count = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.MemcpyStmt(dst=dst, dst_off=dst_off, src=src, src_off=src_off,
+                              count=count, line=tok.line, column=tok.column)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_expr(level + 1)
+        while self._cur.kind == "op" and self._cur.value in PRECEDENCE[level]:
+            op_tok = self._advance()
+            right = self._parse_expr(level + 1)
+            left = ast.BinaryExpr(op=op_tok.value, left=left, right=right,
+                                  line=op_tok.line, column=op_tok.column)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "op" and tok.value in ("-", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(op=tok.value, operand=operand,
+                                 line=tok.line, column=tok.column)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "number":
+            self._advance()
+            return ast.NumberExpr(value=int(tok.value), line=tok.line,
+                                  column=tok.column)
+        if tok.kind == "ident":
+            self._advance()
+            if self._accept("op", "["):
+                index = self._parse_expr()
+                self._expect("op", "]")
+                return ast.IndexExpr(name=tok.value, index=index,
+                                     line=tok.line, column=tok.column)
+            return ast.NameExpr(name=tok.value, line=tok.line, column=tok.column)
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(f"expected expression, found {tok.value or tok.kind!r}",
+                         tok.line, tok.column)
+
+
+def parse_source(source: str) -> ast.ProgramAst:
+    """Parse MiniSMP source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,50 @@
+"""One-line pretty printer, used to label source locations in reports."""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.NumberExpr):
+        return str(expr.value)
+    if isinstance(expr, ast.NameExpr):
+        return expr.name
+    if isinstance(expr, ast.IndexExpr):
+        return f"{expr.name}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.UnaryExpr):
+        return f"{expr.op}{unparse_expr(expr.operand)}"
+    if isinstance(expr, ast.BinaryExpr):
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def unparse_stmt(stmt: ast.Stmt) -> str:
+    """Render a statement head (not its nested blocks) as one line."""
+    if isinstance(stmt, ast.VarDeclStmt):
+        suffix = f"[{stmt.length}]" if stmt.is_array else ""
+        init = f" = {unparse_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"int {stmt.name}{suffix}{init};"
+    if isinstance(stmt, ast.AssignStmt):
+        target = stmt.target
+        if stmt.index is not None:
+            target = f"{target}[{unparse_expr(stmt.index)}]"
+        return f"{target} = {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ast.IfStmt):
+        return f"if ({unparse_expr(stmt.cond)})"
+    if isinstance(stmt, ast.WhileStmt):
+        return f"while ({unparse_expr(stmt.cond)})"
+    if isinstance(stmt, ast.ForStmt):
+        cond = unparse_expr(stmt.cond) if stmt.cond is not None else ""
+        return f"for (...; {cond}; ...)"
+    if isinstance(stmt, ast.LockStmt):
+        return f"{stmt.action}({stmt.lock_name});"
+    if isinstance(stmt, ast.AssertStmt):
+        return f"assert({unparse_expr(stmt.cond)});"
+    if isinstance(stmt, ast.OutputStmt):
+        return f"output({unparse_expr(stmt.value)});"
+    if isinstance(stmt, ast.MemcpyStmt):
+        return (f"memcpy({stmt.dst}, {unparse_expr(stmt.dst_off)}, "
+                f"{stmt.src}, {unparse_expr(stmt.src_off)}, "
+                f"{unparse_expr(stmt.count)});")
+    raise TypeError(f"unknown statement node: {stmt!r}")

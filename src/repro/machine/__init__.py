@@ -1,0 +1,39 @@
+"""Deterministic shared-memory multiprocessor machine.
+
+This package substitutes for the paper's Simics full-system simulator: a
+deterministic interpreter for the repro ISA with a seeded interleaving
+scheduler.  As in the paper's setup (§6.1), starting from the same state
+with the same seed replays the identical execution, and the detectors are
+"entirely hidden from the simulated programs": observers receive the event
+stream but cannot perturb execution.
+
+Threads are bound 1:1 to (virtual) processors; the paper's SVD
+"approximates threads with processors" (§4.3) and we adopt the same
+identification, so *thread id* and *processor id* coincide throughout.
+"""
+
+from repro.machine.events import (
+    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
+    EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    KIND_NAMES, MachineObserver,
+)
+from repro.machine.machine import (
+    CrashRecord, Machine, MachineStatus, ThreadState,
+)
+from repro.machine.recorder import (
+    Recording, program_fingerprint, record_execution, replay_execution,
+)
+from repro.machine.scheduler import (
+    RandomScheduler, ReplayScheduler, RoundRobinScheduler, Scheduler,
+    SerialScheduler,
+)
+
+__all__ = [
+    "EV_ACQUIRE", "EV_ALU", "EV_BRANCH", "EV_CRASH", "EV_HALT", "EV_JUMP",
+    "EV_LOAD", "EV_NOTIFY", "EV_OUTPUT", "EV_RELEASE", "EV_STORE",
+    "EV_WAIT",
+    "CrashRecord", "Event", "KIND_NAMES", "Machine", "MachineObserver",
+    "MachineStatus", "RandomScheduler", "Recording", "ReplayScheduler",
+    "RoundRobinScheduler", "Scheduler", "SerialScheduler", "ThreadState",
+    "program_fingerprint", "record_execution", "replay_execution",
+]

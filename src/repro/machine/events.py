@@ -1,0 +1,103 @@
+"""The machine's event stream.
+
+Every retired instruction produces exactly one :class:`Event`, delivered
+to all registered observers in global execution order.  The event order
+*is* the paper's program trace (the total order "≺" of §3.1); per-thread
+subsequences are the thread traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+EV_LOAD = 0
+EV_STORE = 1
+EV_ALU = 2
+EV_BRANCH = 3
+EV_JUMP = 4
+EV_ACQUIRE = 5
+EV_RELEASE = 6
+EV_HALT = 7
+EV_CRASH = 8
+EV_OUTPUT = 9
+EV_WAIT = 10
+EV_NOTIFY = 11
+
+KIND_NAMES = {
+    EV_LOAD: "LOAD",
+    EV_STORE: "STORE",
+    EV_ALU: "ALU",
+    EV_BRANCH: "BRANCH",
+    EV_JUMP: "JUMP",
+    EV_ACQUIRE: "ACQUIRE",
+    EV_RELEASE: "RELEASE",
+    EV_HALT: "HALT",
+    EV_CRASH: "CRASH",
+    EV_OUTPUT: "OUTPUT",
+    EV_WAIT: "WAIT",
+    EV_NOTIFY: "NOTIFY",
+}
+
+
+class Event:
+    """One retired dynamic instruction.
+
+    Attributes:
+        kind: one of the ``EV_*`` constants.
+        seq: global sequence number (position in the program trace).
+        tid: executing thread/processor id.
+        pc: program counter of the instruction.
+        instr: the static :class:`repro.isa.Instruction` (operand registers
+            are read from here by observers such as the online SVD).
+        loc: static source-location index (``instr.loc``), replicated for
+            convenience.
+        addr: word address for LOAD/STORE/ACQUIRE/RELEASE; otherwise -1.
+        value: value loaded or stored; branch condition value; output value.
+        taken: for BRANCH, whether the branch was taken.
+        target: for BRANCH/JUMP, the (static) branch target pc.
+    """
+
+    __slots__ = ("kind", "seq", "tid", "pc", "instr", "loc", "addr",
+                 "value", "taken", "target")
+
+    def __init__(self, kind: int, seq: int, tid: int, pc: int, instr,
+                 addr: int = -1, value: int = 0, taken: bool = False,
+                 target: int = -1) -> None:
+        self.kind = kind
+        self.seq = seq
+        self.tid = tid
+        self.pc = pc
+        self.instr = instr
+        self.loc = instr.loc if instr is not None else -1
+        self.addr = addr
+        self.value = value
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.kind in (EV_LOAD, EV_STORE)
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == EV_STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = KIND_NAMES.get(self.kind, "?")
+        extra = f" addr={self.addr}" if self.addr >= 0 else ""
+        return f"<{name} seq={self.seq} t{self.tid} pc={self.pc}{extra}>"
+
+
+class MachineObserver:
+    """Base class for passive machine observers (detectors, recorders).
+
+    Observers must not mutate machine state; they receive every event in
+    global order via :meth:`on_event` and a completion callback via
+    :meth:`on_finish`.
+    """
+
+    def on_event(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def on_finish(self, machine) -> None:
+        """Called once when the machine stops; default is a no-op."""

@@ -1,0 +1,377 @@
+"""The deterministic multiprocessor interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import (
+    Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Notify,
+    NotifyAll, Output, Reg, Release, Store, Wait, evaluate_alu,
+)
+from repro.isa.program import Program
+from repro.machine.events import (
+    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
+    EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    MachineObserver,
+)
+from repro.machine.scheduler import RandomScheduler, Scheduler
+
+RUNNABLE = 0
+BLOCKED = 1
+HALTED = 2
+CRASHED = 3
+WAITING = 4
+
+
+class MachineStatus:
+    """Terminal states of a machine run."""
+
+    RUNNING = "running"
+    FINISHED = "finished"
+    DEADLOCK = "deadlock"
+    STEP_LIMIT = "step_limit"
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """A thread trap: failed assertion or out-of-range memory access."""
+
+    tid: int
+    pc: int
+    loc: int
+    reason: str
+    step: int
+
+
+class ThreadState:
+    """Architectural state of one thread (= one virtual processor)."""
+
+    __slots__ = ("tid", "name", "spec", "pc", "regs", "status",
+                 "blocked_on", "frame_base", "reacquiring")
+
+    def __init__(self, tid: int, spec, frame_base: int,
+                 args: Sequence[int]) -> None:
+        self.tid = tid
+        self.name = spec.name
+        self.spec = spec
+        self.pc = spec.entry
+        self.regs: List[int] = [0] * spec.reg_count
+        self.regs[0] = frame_base  # register 0 is the frame pointer
+        self.status = RUNNABLE
+        self.blocked_on: Optional[int] = None
+        self.frame_base = frame_base
+        #: a woken waiter re-executes its Wait in "re-acquire" mode
+        self.reacquiring = False
+
+    def snapshot(self) -> Tuple:
+        return (self.pc, list(self.regs), self.status, self.blocked_on,
+                self.reacquiring)
+
+    def restore(self, state: Tuple) -> None:
+        (self.pc, regs, self.status, self.blocked_on,
+         self.reacquiring) = state
+        self.regs = list(regs)
+
+
+class Machine:
+    """Executes a compiled program on N virtual processors.
+
+    Args:
+        program: the compiled program.
+        threads: thread instances to run, each a ``(thread_name, args)``
+            pair; a thread body may be instantiated many times (a worker
+            pool).
+        scheduler: interleaving policy; defaults to a seeded
+            :class:`RandomScheduler`.
+        observers: passive observers receiving the global event stream.
+        record_schedule: when true, the processor-id choice of every step
+            is recorded in :attr:`recorded_schedule` so the run can be
+            replayed exactly with a :class:`ReplayScheduler`.
+    """
+
+    def __init__(self, program: Program,
+                 threads: Sequence[Tuple[str, Sequence[int]]],
+                 scheduler: Optional[Scheduler] = None,
+                 observers: Sequence[MachineObserver] = (),
+                 record_schedule: bool = False) -> None:
+        if not threads:
+            raise ValueError("machine needs at least one thread instance")
+        self.program = program
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.observers: List[MachineObserver] = list(observers)
+        self.record_schedule = record_schedule
+        self.recorded_schedule: List[int] = []
+
+        self.memory: List[int] = [0] * program.shared_words
+        for addr, value in program.init_values.items():
+            self.memory[addr] = value
+
+        self.threads: List[ThreadState] = []
+        for name, args in threads:
+            spec = program.threads.get(name)
+            if spec is None:
+                raise KeyError(f"program has no thread body named {name!r}")
+            if len(args) != len(spec.param_offsets):
+                raise ValueError(
+                    f"thread {name!r} takes {len(spec.param_offsets)} "
+                    f"arguments, got {len(args)}")
+            frame_base = len(self.memory)
+            self.memory.extend([0] * spec.frame_words)
+            thread = ThreadState(len(self.threads), spec, frame_base, args)
+            for offset, value in zip(spec.param_offsets, args):
+                self.memory[frame_base + offset] = value
+            self.threads.append(thread)
+
+        self.seq = 0
+        self.steps = 0
+        #: FIFO wait queues per lock address (condition variables)
+        self.wait_queues: Dict[int, List[int]] = {}
+        self.output: List[Tuple[int, int]] = []
+        self.crashes: List[CrashRecord] = []
+        self.status = MachineStatus.RUNNING
+        self._current: Optional[int] = None
+        self._finished_notified = False
+
+    # -- observer plumbing ---------------------------------------------------
+
+    def add_observer(self, observer: MachineObserver) -> None:
+        self.observers.append(observer)
+
+    def _emit(self, kind: int, thread: ThreadState, instr, addr: int = -1,
+              value: int = 0, taken: bool = False, target: int = -1) -> None:
+        event = Event(kind, self.seq, thread.tid, thread.pc, instr,
+                      addr=addr, value=value, taken=taken, target=target)
+        self.seq += 1
+        for observer in self.observers:
+            observer.on_event(event)
+
+    # -- execution ------------------------------------------------------------
+
+    def _runnable(self) -> List[int]:
+        return [t.tid for t in self.threads if t.status == RUNNABLE]
+
+    def _value(self, thread: ThreadState, operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        return thread.regs[operand.index]
+
+    def _crash(self, thread: ThreadState, instr, reason: str) -> None:
+        self.crashes.append(CrashRecord(
+            tid=thread.tid, pc=thread.pc, loc=instr.loc if instr else -1,
+            reason=reason, step=self.steps))
+        self._emit(EV_CRASH, thread, instr)
+        thread.status = CRASHED
+
+    def _check_addr(self, thread: ThreadState, instr, addr: int) -> bool:
+        if 0 <= addr < len(self.memory):
+            return True
+        self._crash(thread, instr,
+                    f"memory fault: address {addr} out of range")
+        return False
+
+    def step(self) -> bool:
+        """Retire (at most) one instruction; return False when stopped."""
+        runnable = self._runnable()
+        if not runnable:
+            if any(t.status in (BLOCKED, WAITING) for t in self.threads):
+                self.status = MachineStatus.DEADLOCK
+            else:
+                self.status = MachineStatus.FINISHED
+            self._notify_finish()
+            return False
+
+        tid = self.scheduler.pick(runnable, self._current)
+        if tid not in runnable:
+            raise RuntimeError(f"scheduler picked non-runnable thread {tid}")
+        self._current = tid
+        thread = self.threads[tid]
+        instr = self.program.code[thread.pc]
+        cls = type(instr)
+
+        if cls is Alu:
+            a = self._value(thread, instr.src1)
+            b = self._value(thread, instr.src2)
+            result = evaluate_alu(instr.op, a, b)
+            thread.regs[instr.dest.index] = result
+            self._emit(EV_ALU, thread, instr, value=result)
+            thread.pc += 1
+        elif cls is Load:
+            addr = self._value(thread, instr.addr)
+            if not self._check_addr(thread, instr, addr):
+                return self._post_step(tid)
+            value = self.memory[addr]
+            thread.regs[instr.dest.index] = value
+            self._emit(EV_LOAD, thread, instr, addr=addr, value=value)
+            thread.pc += 1
+        elif cls is Store:
+            addr = self._value(thread, instr.addr)
+            if not self._check_addr(thread, instr, addr):
+                return self._post_step(tid)
+            value = self._value(thread, instr.src)
+            self.memory[addr] = value
+            self._emit(EV_STORE, thread, instr, addr=addr, value=value)
+            thread.pc += 1
+        elif cls is Branch:
+            cond = thread.regs[instr.cond.index]
+            taken = cond == 0  # branch-if-false
+            self._emit(EV_BRANCH, thread, instr, value=cond, taken=taken,
+                       target=instr.target)
+            thread.pc = instr.target if taken else thread.pc + 1
+        elif cls is Jump:
+            self._emit(EV_JUMP, thread, instr, taken=True, target=instr.target)
+            thread.pc = instr.target
+        elif cls is Acquire:
+            addr = instr.addr.value
+            if self.memory[addr] == 0:
+                self.memory[addr] = tid + 1
+                self._emit(EV_ACQUIRE, thread, instr, addr=addr)
+                thread.pc += 1
+            else:
+                thread.status = BLOCKED
+                thread.blocked_on = addr
+                return self._post_step(tid, retired=False)
+        elif cls is Release:
+            addr = instr.addr.value
+            self.memory[addr] = 0
+            self._emit(EV_RELEASE, thread, instr, addr=addr)
+            thread.pc += 1
+            for other in self.threads:
+                if other.status == BLOCKED and other.blocked_on == addr:
+                    other.status = RUNNABLE
+                    other.blocked_on = None
+        elif cls is Wait:
+            addr = instr.addr.value
+            if thread.reacquiring:
+                # woken: re-acquire the lock before continuing
+                if self.memory[addr] == 0:
+                    self.memory[addr] = tid + 1
+                    thread.reacquiring = False
+                    self._emit(EV_ACQUIRE, thread, instr, addr=addr)
+                    thread.pc += 1
+                else:
+                    thread.status = BLOCKED
+                    thread.blocked_on = addr
+                    return self._post_step(tid, retired=False)
+            elif self.memory[addr] != tid + 1:
+                self._crash(thread, instr,
+                            "wait on a lock the thread does not hold")
+            else:
+                # atomically release and sleep
+                self.memory[addr] = 0
+                self._emit(EV_WAIT, thread, instr, addr=addr)
+                self.wait_queues.setdefault(addr, []).append(tid)
+                thread.status = WAITING
+                for other in self.threads:
+                    if other.status == BLOCKED and other.blocked_on == addr:
+                        other.status = RUNNABLE
+                        other.blocked_on = None
+        elif cls is Notify or cls is NotifyAll:
+            addr = instr.addr.value
+            self._emit(EV_NOTIFY, thread, instr, addr=addr)
+            queue = self.wait_queues.get(addr, [])
+            wake = len(queue) if cls is NotifyAll else min(1, len(queue))
+            for _ in range(wake):
+                woken = self.threads[queue.pop(0)]
+                woken.status = RUNNABLE
+                woken.reacquiring = True
+            thread.pc += 1
+        elif cls is Assert:
+            value = self._value(thread, instr.cond)
+            if value == 0:
+                loc = self.program.loc_of(instr)
+                text = f" ({loc})" if loc else ""
+                self._crash(thread, instr, f"assertion failed{text}")
+            else:
+                thread.pc += 1
+        elif cls is Output:
+            value = self._value(thread, instr.src)
+            self.output.append((tid, value))
+            self._emit(EV_OUTPUT, thread, instr, value=value)
+            thread.pc += 1
+        elif cls is Halt:
+            self._emit(EV_HALT, thread, instr)
+            thread.status = HALTED
+        else:  # pragma: no cover - all ISA classes handled above
+            raise TypeError(f"unknown instruction {instr!r}")
+
+        return self._post_step(tid)
+
+    def _post_step(self, tid: int, retired: bool = True) -> bool:
+        if retired:
+            self.steps += 1
+        if self.record_schedule:
+            self.recorded_schedule.append(tid)
+        return True
+
+    def run(self, max_steps: Optional[int] = None) -> str:
+        """Run until all threads finish, deadlock, or the step limit."""
+        while self.status == MachineStatus.RUNNING:
+            if max_steps is not None and self.steps >= max_steps:
+                self.status = MachineStatus.STEP_LIMIT
+                self._notify_finish()
+                break
+            self.step()
+        return self.status
+
+    def _notify_finish(self) -> None:
+        if self._finished_notified:
+            return
+        self._finished_notified = True
+        for observer in self.observers:
+            observer.on_finish(self)
+
+    # -- inspection -------------------------------------------------------------
+
+    def read_global(self, name: str, index: int = 0) -> int:
+        """Read shared global ``name[index]`` (for tests and examples)."""
+        return self.memory[self.program.address_of(name, index)]
+
+    def read_local(self, tid: int, name: str, index: int = 0) -> int:
+        """Read thread ``tid``'s copy of local variable ``name[index]``."""
+        thread = self.threads[tid]
+        layout = self.program.locals_layout[thread.name]
+        offset, length = layout[name]
+        if not 0 <= index < length:
+            raise IndexError(f"{name}[{index}] out of bounds (len {length})")
+        return self.memory[thread.frame_base + offset + index]
+
+    @property
+    def crashed(self) -> bool:
+        return bool(self.crashes)
+
+    # -- checkpoint / rollback (BER substrate) -----------------------------------
+
+    def checkpoint(self) -> Dict:
+        """Capture a restorable snapshot of the full architectural state."""
+        return {
+            "memory": list(self.memory),
+            "threads": [t.snapshot() for t in self.threads],
+            "wait_queues": {addr: list(q)
+                            for addr, q in self.wait_queues.items()},
+            "seq": self.seq,
+            "steps": self.steps,
+            "output_len": len(self.output),
+            "crashes_len": len(self.crashes),
+            "schedule_len": len(self.recorded_schedule),
+            "scheduler": self.scheduler.snapshot(),
+            "current": self._current,
+            "status": self.status,
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Roll architectural state back to a prior :meth:`checkpoint`."""
+        self.memory = list(snapshot["memory"])
+        for thread, state in zip(self.threads, snapshot["threads"]):
+            thread.restore(state)
+        self.wait_queues = {addr: list(q)
+                            for addr, q in snapshot["wait_queues"].items()}
+        self.seq = snapshot["seq"]
+        self.steps = snapshot["steps"]
+        del self.output[snapshot["output_len"]:]
+        del self.crashes[snapshot["crashes_len"]:]
+        del self.recorded_schedule[snapshot["schedule_len"]:]
+        self.scheduler.restore(snapshot["scheduler"])
+        self._current = snapshot["current"]
+        self.status = snapshot["status"]
+        self._finished_notified = False

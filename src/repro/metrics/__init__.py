@@ -1,0 +1,13 @@
+"""Ground-truth classification of detector reports (paper §6).
+
+A report is a *true positive* when its reporting statement or its
+conflicting statement is one of the workload's ground-truth buggy
+statements; everything else is a false positive.  Dynamic counts are
+report instances (each triggers an unnecessary BER rollback when false);
+static counts deduplicate by source statement (each distracts a
+programmer when false).
+"""
+
+from repro.metrics.classify import DetectorMetrics, classify_report
+
+__all__ = ["DetectorMetrics", "classify_report"]

@@ -1,0 +1,67 @@
+"""Report classification against ground-truth bug statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.report import Violation, ViolationReport
+
+
+@dataclass
+class DetectorMetrics:
+    """Classified counts for one detector on one run (or aggregate)."""
+
+    detector: str
+    dynamic_tp: int = 0
+    dynamic_fp: int = 0
+    static_tp_locs: Set[int] = field(default_factory=set)
+    static_fp_locs: Set[int] = field(default_factory=set)
+    instructions: int = 0
+
+    @property
+    def dynamic_total(self) -> int:
+        return self.dynamic_tp + self.dynamic_fp
+
+    @property
+    def static_tp(self) -> int:
+        return len(self.static_tp_locs)
+
+    @property
+    def static_fp(self) -> int:
+        return len(self.static_fp_locs)
+
+    @property
+    def found_bug(self) -> bool:
+        return self.dynamic_tp > 0
+
+    def dynamic_fp_per_million(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return self.dynamic_fp * 1_000_000.0 / self.instructions
+
+    def merge(self, other: "DetectorMetrics") -> None:
+        """Aggregate another run's metrics into this one (same detector)."""
+        if other.detector != self.detector:
+            raise ValueError("cannot merge metrics of different detectors")
+        self.dynamic_tp += other.dynamic_tp
+        self.dynamic_fp += other.dynamic_fp
+        self.static_tp_locs |= other.static_tp_locs
+        self.static_fp_locs |= other.static_fp_locs
+        self.instructions += other.instructions
+
+
+def classify_report(report: ViolationReport, bug_locs: Set[int],
+                    instructions: int = 0) -> DetectorMetrics:
+    """Split a report into true/false positives against ``bug_locs``."""
+    metrics = DetectorMetrics(detector=report.detector,
+                              instructions=instructions)
+    for violation in report:
+        is_tp = violation.loc in bug_locs or violation.other_loc in bug_locs
+        if is_tp:
+            metrics.dynamic_tp += 1
+            metrics.static_tp_locs.add(violation.loc)
+        else:
+            metrics.dynamic_fp += 1
+            metrics.static_fp_locs.add(violation.loc)
+    return metrics

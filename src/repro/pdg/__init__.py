@@ -1,0 +1,33 @@
+"""Dynamic program dependence graphs and computational units (paper §3).
+
+This package is the *formal* layer: it implements the paper's Definitions
+1-3 literally, as executable specifications.
+
+* :mod:`repro.pdg.static_cdg` -- control-flow graph over the compiled
+  code, postdominator analysis and the static control-dependence relation
+  (needed to materialise dynamic control-dependence arcs).
+* :mod:`repro.pdg.dpdg` -- the dynamic program dependence graph (d-PDG)
+  of a trace: true (local/shared), control and conflict dependence arcs,
+  and its per-thread restriction (td-PDG).
+* :mod:`repro.pdg.cu` -- the reference CU partition: crossing arcs
+  (Definition 1), the reduced dependence graph (Definition 2) and the CU
+  of a vertex (Definition 3).
+
+The one-pass algorithms in :mod:`repro.core` are validated against this
+layer in the test suite.
+"""
+
+from repro.pdg.cu import CuPartition, reference_cu_partition
+from repro.pdg.dpdg import Arc, DynamicPdg, build_dpdg
+from repro.pdg.static_cdg import ControlDependence, build_cfg, postdominators
+
+__all__ = [
+    "Arc",
+    "ControlDependence",
+    "CuPartition",
+    "DynamicPdg",
+    "build_cfg",
+    "build_dpdg",
+    "postdominators",
+    "reference_cu_partition",
+]

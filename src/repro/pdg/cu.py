@@ -1,0 +1,130 @@
+"""Reference CU partition: Definitions 1-3 of the paper, executed literally.
+
+Given a thread's td-PDG, the *reduced dependence graph* is obtained by
+repeatedly taking the earliest remaining true-shared arc, removing its
+*crossing arcs* (Definition 1) and then the shared arc itself
+(Definition 2).  Computational units are the weakly connected components
+of what remains (Definition 3).
+
+This implementation favours clarity over speed (components are recomputed
+per shared arc); it is the executable specification the one-pass
+algorithms in :mod:`repro.core` are tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.machine.events import EV_LOAD, EV_STORE, Event
+from repro.pdg.dpdg import CONTROL, TRUE_LOCAL, TRUE_SHARED, Arc, DynamicPdg
+
+
+@dataclass
+class CuPartition:
+    """A partition of one thread's dynamic statements into CUs."""
+
+    tid: int
+    #: CU id -> sorted list of member sequence numbers
+    members: Dict[int, List[int]] = field(default_factory=dict)
+    #: sequence number -> CU id
+    cu_of: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cu_ids(self) -> List[int]:
+        return sorted(self.members)
+
+    def cu_span(self, cu_id: int) -> Tuple[int, int]:
+        """First and last sequence number of a CU."""
+        seqs = self.members[cu_id]
+        return seqs[0], seqs[-1]
+
+    def read_set(self, cu_id: int, events: Dict[int, Event]) -> Set[int]:
+        """Input addresses: locations read before any write by this CU."""
+        written: Set[int] = set()
+        inputs: Set[int] = set()
+        for seq in self.members[cu_id]:
+            event = events[seq]
+            if event.kind == EV_LOAD and event.addr not in written:
+                inputs.add(event.addr)
+            elif event.kind == EV_STORE:
+                written.add(event.addr)
+        return inputs
+
+    def write_set(self, cu_id: int, events: Dict[int, Event]) -> Set[int]:
+        return {events[seq].addr for seq in self.members[cu_id]
+                if events[seq].kind == EV_STORE}
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _components(vertices: List[int], arcs: List[Arc]) -> _UnionFind:
+    uf = _UnionFind()
+    for v in vertices:
+        uf.find(v)
+    for arc in arcs:
+        uf.union(arc.src, arc.dst)
+    return uf
+
+
+def reference_cu_partition(pdg: DynamicPdg, tid: int) -> CuPartition:
+    """Compute the CU partition of thread ``tid`` per Definitions 1-3."""
+    vertices = pdg.thread_vertices(tid)
+    thread_arcs = pdg.thread_arcs(tid)
+    shared_arcs = sorted(
+        (a for a in thread_arcs if a.kind == TRUE_SHARED),
+        key=lambda a: a.src,  # "earliest" compares the later endpoints
+    )
+    remaining: List[Arc] = [a for a in thread_arcs
+                            if a.kind in (TRUE_LOCAL, CONTROL)]
+
+    for shared in shared_arcs:
+        y, x = shared.src, shared.dst  # y: the read (later), x: the write
+        # Definition 1 (as depicted in the paper's Figure 4): a crossing
+        # arc (b, a) of the shared arc (y, x) satisfies y ≺ b, a ≺ y, and
+        # a weakly connected with x along local+control arcs.  The
+        # connected component is the one that exists *just before the cut
+        # point y executes* -- i.e. over vertices preceding y -- which is
+        # exactly the CU that the operational algorithm (Figure 5)
+        # deactivates.  (Reading Definition 1 without the a ≺ y
+        # restriction would also sever arcs entirely among post-cut
+        # vertices and shatter every later CU, contradicting Figure 5.)
+        pre_cut = [v for v in vertices if v < y]
+        uf = _components(pre_cut, [a for a in remaining if a.src < y])
+        x_root = uf.find(x)
+        remaining = [
+            arc for arc in remaining
+            if not (arc.src >= y and arc.dst < y
+                    and uf.find(arc.dst) == x_root)
+        ]
+        # Definition 2 step 3: remove the shared arc itself (it was never
+        # in `remaining`, which holds only local/control arcs).
+
+    uf = _components(vertices, remaining)
+    partition = CuPartition(tid=tid)
+    roots: Dict[int, int] = {}
+    for v in vertices:
+        root = uf.find(v)
+        cu_id = roots.setdefault(root, len(roots))
+        partition.cu_of[v] = cu_id
+        partition.members.setdefault(cu_id, []).append(v)
+    for seqs in partition.members.values():
+        seqs.sort()
+    return partition

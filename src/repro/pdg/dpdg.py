@@ -1,0 +1,193 @@
+"""Dynamic program dependence graph construction (paper §3.1).
+
+Vertices are dynamic statements (trace events); arcs point from the
+*dependent* (later) statement to its *predecessor* (earlier), matching
+the paper's arc orientation: a true dependence arc ``(a, b)`` has
+``b ≺ a`` with a location defined in ``b`` and used in ``a``.
+
+Arc kinds:
+
+* ``true-local``  -- read-after-write through a register or a memory
+  location accessed by only one thread;
+* ``true-shared`` -- read-after-write through a memory location accessed
+  by more than one thread (still an intra-thread arc!);
+* ``control``     -- to the most recent dynamic instance of a statically
+  controlling conditional branch;
+* ``conflict``    -- inter-thread arcs between conflicting accesses with
+  no intervening write (condition III of the definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Alu, Branch, Imm, Load, Reg, Store
+from repro.machine.events import (
+    EV_ALU, EV_BRANCH, EV_LOAD, EV_STORE, Event,
+)
+from repro.pdg.static_cdg import ControlDependence
+from repro.trace.trace import Trace
+
+TRUE_LOCAL = "true-local"
+TRUE_SHARED = "true-shared"
+CONTROL = "control"
+CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A dependence arc from the later statement ``src`` to the earlier
+    statement ``dst`` (both are trace sequence numbers)."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+class DynamicPdg:
+    """A built d-PDG with query helpers."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.events: Dict[int, Event] = {}
+        self.arcs: List[Arc] = []
+        self.shared_addresses: Set[int] = set()
+        self._preds: Dict[int, List[Arc]] = {}
+
+    def add_arc(self, src: int, dst: int, kind: str) -> None:
+        arc = Arc(src, dst, kind)
+        self.arcs.append(arc)
+        self._preds.setdefault(src, []).append(arc)
+
+    def predecessors(self, seq: int, kinds: Optional[Set[str]] = None) -> List[Arc]:
+        arcs = self._preds.get(seq, [])
+        if kinds is None:
+            return list(arcs)
+        return [a for a in arcs if a.kind in kinds]
+
+    def arcs_of_kind(self, kind: str) -> List[Arc]:
+        return [a for a in self.arcs if a.kind == kind]
+
+    def thread_arcs(self, tid: int) -> List[Arc]:
+        """Arcs of the td-PDG of thread ``tid`` (true + control only)."""
+        return [a for a in self.arcs
+                if a.kind != CONFLICT and self.events[a.src].tid == tid]
+
+    def thread_vertices(self, tid: int) -> List[int]:
+        return sorted(seq for seq, e in self.events.items() if e.tid == tid)
+
+
+def _register_uses(event: Event) -> List[int]:
+    """Register indices read by an event's instruction."""
+    instr = event.instr
+    uses: List[int] = []
+    if isinstance(instr, Load):
+        if isinstance(instr.addr, Reg):
+            uses.append(instr.addr.index)
+    elif isinstance(instr, Store):
+        if isinstance(instr.src, Reg):
+            uses.append(instr.src.index)
+        if isinstance(instr.addr, Reg):
+            uses.append(instr.addr.index)
+    elif isinstance(instr, Alu):
+        for operand in (instr.src1, instr.src2):
+            if isinstance(operand, Reg):
+                uses.append(operand.index)
+    elif isinstance(instr, Branch):
+        uses.append(instr.cond.index)
+    return uses
+
+
+def _register_def(event: Event) -> Optional[int]:
+    instr = event.instr
+    if isinstance(instr, Load):
+        return instr.dest.index
+    if isinstance(instr, Alu):
+        return instr.dest.index
+    return None
+
+
+def build_dpdg(trace: Trace,
+               cdg: Optional[ControlDependence] = None) -> DynamicPdg:
+    """Build the full d-PDG of a trace.
+
+    Only LOAD/STORE/ALU/BRANCH(JUMP) events become vertices; locks and
+    administrative events carry no dataflow in this model (SVD ignores
+    synchronization by design).
+    """
+    if cdg is None:
+        cdg = ControlDependence(trace.program)
+    pdg = DynamicPdg(trace)
+
+    # ground-truth sharing: an address is shared iff >1 thread accesses it
+    accessors: Dict[int, Set[int]] = {}
+    for event in trace:
+        if event.kind in (EV_LOAD, EV_STORE):
+            accessors.setdefault(event.addr, set()).add(event.tid)
+    pdg.shared_addresses = {a for a, tids in accessors.items() if len(tids) > 1}
+
+    # per-thread dataflow state
+    reg_def: Dict[int, Dict[int, int]] = {}     # tid -> reg index -> seq
+    local_write: Dict[int, Dict[int, int]] = {} # tid -> addr -> seq
+    last_branch: Dict[int, Dict[int, int]] = {} # tid -> branch pc -> seq
+    # global conflict state
+    last_writer: Dict[int, Event] = {}
+    readers_since_write: Dict[int, List[Event]] = {}
+
+    for event in trace:
+        if event.kind not in (EV_LOAD, EV_STORE, EV_ALU, EV_BRANCH):
+            continue
+        tid = event.tid
+        seq = event.seq
+        pdg.events[seq] = event
+        regs = reg_def.setdefault(tid, {})
+        writes = local_write.setdefault(tid, {})
+        branches = last_branch.setdefault(tid, {})
+
+        # true dependences through registers
+        for reg in _register_uses(event):
+            if reg in regs:
+                pdg.add_arc(seq, regs[reg], TRUE_LOCAL)
+
+        # true dependences through memory (same-thread last write wins,
+        # regardless of interleaved remote writes -- condition III talks
+        # about the *thread* trace)
+        if event.kind == EV_LOAD:
+            if event.addr in writes:
+                kind = (TRUE_SHARED if event.addr in pdg.shared_addresses
+                        else TRUE_LOCAL)
+                pdg.add_arc(seq, writes[event.addr], kind)
+
+        # control dependences: most recent dynamic instance of each
+        # statically controlling branch
+        for branch_pc in cdg.controllers(event.pc):
+            if branch_pc in branches and branches[branch_pc] != seq:
+                pdg.add_arc(seq, branches[branch_pc], CONTROL)
+
+        # conflict dependences (inter-thread, last-conflict only)
+        if event.kind == EV_LOAD:
+            writer = last_writer.get(event.addr)
+            if writer is not None and writer.tid != tid:
+                pdg.add_arc(seq, writer.seq, CONFLICT)
+            readers_since_write.setdefault(event.addr, []).append(event)
+        elif event.kind == EV_STORE:
+            writer = last_writer.get(event.addr)
+            if writer is not None and writer.tid != tid:
+                pdg.add_arc(seq, writer.seq, CONFLICT)
+            for reader in readers_since_write.get(event.addr, ()):
+                if reader.tid != tid:
+                    pdg.add_arc(seq, reader.seq, CONFLICT)
+            readers_since_write[event.addr] = []
+            last_writer[event.addr] = event
+
+        # state updates
+        defined = _register_def(event)
+        if defined is not None:
+            regs[defined] = seq
+        if event.kind == EV_STORE:
+            writes[event.addr] = seq
+        if event.kind == EV_BRANCH:
+            branches[event.pc] = seq
+
+    return pdg

@@ -1,0 +1,30 @@
+"""CU serializability and strict two-phase locking (paper §3.3).
+
+Treating a thread's non-overlapping CUs as database transactions, an
+execution's CUs are *serializable* iff there is an equivalent program
+trace where each CU's statements are adjacent (Definition 4).  We provide
+
+* the precise conflict-graph test (acyclicity of the CU conflict graph,
+  the database-theory characterisation the paper invokes via [25]); and
+* the strict-2PL violation check the paper actually deploys: a CU must
+  have exclusive access to each datum it touched from its first access
+  until the CU ends; a conflicting remote access inside that window is a
+  violation.  Strict 2PL is sufficient but not necessary for
+  serializability -- the precise checker lets tests quantify the gap.
+"""
+
+from repro.serializability.checker import (
+    SerializabilityResult,
+    TwoPLViolation,
+    cu_conflict_graph,
+    is_serializable,
+    strict_2pl_violations,
+)
+
+__all__ = [
+    "SerializabilityResult",
+    "TwoPLViolation",
+    "cu_conflict_graph",
+    "is_serializable",
+    "strict_2pl_violations",
+]

@@ -1,0 +1,203 @@
+"""Conflict-graph serializability and strict-2PL checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.machine.events import EV_LOAD, EV_STORE, Event
+from repro.pdg.cu import CuPartition
+from repro.trace.trace import Trace
+
+#: A CU identified across threads: (thread id, CU id within the thread).
+CuKey = Tuple[int, int]
+
+
+@dataclass
+class SerializabilityResult:
+    """Outcome of the precise conflict-graph test."""
+
+    serializable: bool
+    cycle: Optional[List[CuKey]] = None
+
+    def __bool__(self) -> bool:
+        return self.serializable
+
+
+@dataclass(frozen=True)
+class TwoPLViolation:
+    """A strict-2PL violation: remote access ``intruder`` conflicted with
+    ``victim_access`` while the victim CU was still running."""
+
+    intruder: Event
+    victim_access: Event
+    victim_cu: CuKey
+    address: int
+
+
+def _cu_key_of(partitions: Dict[int, CuPartition], event: Event) -> Optional[CuKey]:
+    partition = partitions.get(event.tid)
+    if partition is None:
+        return None
+    cu_id = partition.cu_of.get(event.seq)
+    if cu_id is None:
+        return None
+    return (event.tid, cu_id)
+
+
+def cu_conflict_graph(trace: Trace, partitions: Dict[int, CuPartition],
+                      ) -> Tuple[Set[CuKey], Set[Tuple[CuKey, CuKey]]]:
+    """Build the CU conflict graph.
+
+    Nodes are CUs; there is an edge ``u -> v`` when an access of ``u``
+    conflicts with a later access of ``v`` (different CUs), or when ``u``
+    and ``v`` belong to the same thread and ``u`` finishes before ``v``
+    starts (thread program order must be respected by any equivalent
+    trace, because true and control dependences order same-thread CUs).
+
+    Definition-3 CUs may *overlap* within a thread trace (the paper
+    assumes non-overlapping CUs for its serializability model, §3.3);
+    overlapping same-thread CUs get no order edge, which errs toward
+    calling an execution serializable -- the conservative direction for a
+    false-positive analysis.
+    """
+    nodes: Set[CuKey] = set()
+    edges: Set[Tuple[CuKey, CuKey]] = set()
+
+    for tid, partition in partitions.items():
+        ordered = sorted(partition.cu_ids,
+                         key=lambda cid: partition.cu_span(cid)[0])
+        for cu_id in ordered:
+            nodes.add((tid, cu_id))
+        for i, earlier in enumerate(ordered):
+            earlier_end = partition.cu_span(earlier)[1]
+            for later in ordered[i + 1:]:
+                if partition.cu_span(later)[0] > earlier_end:
+                    edges.add(((tid, earlier), (tid, later)))
+
+    last_writer: Dict[int, Tuple[Event, CuKey]] = {}
+    readers: Dict[int, List[Tuple[Event, CuKey]]] = {}
+    for event in trace:
+        if event.kind not in (EV_LOAD, EV_STORE):
+            continue
+        key = _cu_key_of(partitions, event)
+        if key is None:
+            continue
+        nodes.add(key)
+        # conflicts are inter-thread by definition (§2.2); same-thread
+        # CU ordering comes from the program-order edges above
+        if event.kind == EV_LOAD:
+            writer = last_writer.get(event.addr)
+            if writer is not None and writer[1][0] != key[0]:
+                edges.add((writer[1], key))
+            readers.setdefault(event.addr, []).append((event, key))
+        else:
+            writer = last_writer.get(event.addr)
+            if writer is not None and writer[1][0] != key[0]:
+                edges.add((writer[1], key))
+            for _reader, reader_key in readers.get(event.addr, ()):
+                if reader_key[0] != key[0]:
+                    edges.add((reader_key, key))
+            readers[event.addr] = []
+            last_writer[event.addr] = (event, key)
+    return nodes, edges
+
+
+def _find_cycle(nodes: Set[CuKey],
+                edges: Set[Tuple[CuKey, CuKey]]) -> Optional[List[CuKey]]:
+    """Iterative DFS cycle finder; returns one cycle or None."""
+    succ: Dict[CuKey, List[CuKey]] = {n: [] for n in nodes}
+    for u, v in edges:
+        succ[u].append(v)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[CuKey, int] = {n: WHITE for n in nodes}
+    parent: Dict[CuKey, Optional[CuKey]] = {}
+
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[CuKey, int]] = [(root, 0)]
+        parent[root] = None
+        color[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(succ[node]):
+                stack[-1] = (node, idx + 1)
+                child = succ[node][idx]
+                if color[child] == GREY:
+                    cycle = [child, node]
+                    cursor = parent[node]
+                    while cursor is not None and cycle[-1] != child:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    if cycle[-1] == child and len(cycle) > 1:
+                        cycle.pop()
+                    cycle.reverse()
+                    return cycle
+                if color[child] == WHITE:
+                    color[child] = GREY
+                    parent[child] = node
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_serializable(trace: Trace,
+                    partitions: Dict[int, CuPartition]) -> SerializabilityResult:
+    """Precise test: CUs are serializable iff the conflict graph is acyclic."""
+    nodes, edges = cu_conflict_graph(trace, partitions)
+    cycle = _find_cycle(nodes, edges)
+    return SerializabilityResult(serializable=cycle is None, cycle=cycle)
+
+
+def strict_2pl_violations(trace: Trace,
+                          partitions: Dict[int, CuPartition],
+                          ) -> List[TwoPLViolation]:
+    """All strict-2PL violations in a trace (the paper's offline pass 3).
+
+    A violation is a conflicting access from thread ``t0`` landing on a
+    datum that a CU of another thread accessed earlier, while that CU is
+    still unfinished (its max sequence id lies beyond the intruder).
+    """
+    cu_end: Dict[CuKey, int] = {}
+    for tid, partition in partitions.items():
+        for cu_id in partition.cu_ids:
+            cu_end[(tid, cu_id)] = partition.cu_span(cu_id)[1]
+
+    violations: List[TwoPLViolation] = []
+    # per address: one entry per *open CU* that accessed it -- keyed by
+    # CU so a unit touching the address thousands of times costs one
+    # entry, keeping the scan linear; the recorded access is the CU's
+    # first (the earliest witness), and `wrote` accumulates
+    active: Dict[int, Dict[CuKey, List]] = {}
+    for event in trace:
+        if event.kind not in (EV_LOAD, EV_STORE):
+            continue
+        key = _cu_key_of(partitions, event)
+        entries = active.get(event.addr)
+        if entries:
+            dead: List[CuKey] = []
+            for victim_key, record in entries.items():
+                if cu_end[victim_key] <= event.seq:
+                    dead.append(victim_key)  # victim CU finished: prune
+                    continue
+                if victim_key == key:
+                    continue
+                victim, victim_wrote = record
+                if victim.tid != event.tid and (
+                        victim_wrote or event.kind == EV_STORE):
+                    violations.append(TwoPLViolation(
+                        intruder=event, victim_access=victim,
+                        victim_cu=victim_key, address=event.addr))
+            for victim_key in dead:
+                del entries[victim_key]
+        if key is not None:
+            records = active.setdefault(event.addr, {})
+            record = records.get(key)
+            if record is None:
+                records[key] = [event, event.kind == EV_STORE]
+            elif event.kind == EV_STORE:
+                record[1] = True
+    return violations

@@ -1,0 +1,14 @@
+"""Program traces: the total order of dynamic statements (paper §3.1).
+
+A :class:`Trace` is the recorded event stream of one machine run -- the
+paper's *program trace*, a total order over all dynamic statements of all
+threads.  Thread traces are its per-thread subsequences.  Traces feed the
+offline detectors (offline SVD, FRD, the precise serializability checker)
+and can be saved/loaded for post-mortem debugging sessions.
+"""
+
+from repro.trace.trace import Trace, TraceRecorder, conflicting
+from repro.trace.query import TraceQuery, VariableSummary
+
+__all__ = ["Trace", "TraceQuery", "TraceRecorder",
+           "VariableSummary", "conflicting"]

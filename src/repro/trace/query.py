@@ -1,0 +1,161 @@
+"""Post-mortem trace queries.
+
+The a-posteriori examination workflow (paper §2.3) starts from the
+detector's log but quickly needs raw-trace questions answered: who
+touched this variable, in what order, under which locks, from which
+statements?  :class:`TraceQuery` answers those over a recorded
+:class:`repro.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.machine.events import (
+    EV_ACQUIRE, EV_LOAD, EV_RELEASE, EV_STORE, EV_WAIT, Event, KIND_NAMES,
+)
+from repro.trace.trace import Trace, conflicting
+
+
+@dataclass
+class VariableSummary:
+    """Access statistics for one memory word."""
+
+    address: int
+    name: str
+    reads: int = 0
+    writes: int = 0
+    threads: Set[int] = field(default_factory=set)
+    first_seq: int = -1
+    last_seq: int = -1
+
+    @property
+    def shared(self) -> bool:
+        return len(self.threads) > 1
+
+
+class TraceQuery:
+    """Query helper over one recorded trace."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.program = trace.program
+
+    # -- address resolution ---------------------------------------------------
+
+    def resolve(self, name: str, index: int = 0) -> int:
+        """Shared-variable name -> word address."""
+        return self.program.address_of(name, index)
+
+    # -- summaries --------------------------------------------------------------
+
+    def variable_summaries(self) -> Dict[int, VariableSummary]:
+        """Per-address access statistics, keyed by address."""
+        summaries: Dict[int, VariableSummary] = {}
+        for event in self.trace:
+            if event.kind not in (EV_LOAD, EV_STORE):
+                continue
+            summary = summaries.get(event.addr)
+            if summary is None:
+                summary = VariableSummary(
+                    address=event.addr,
+                    name=self.program.name_of_address(event.addr),
+                    first_seq=event.seq)
+                summaries[event.addr] = summary
+            if event.kind == EV_LOAD:
+                summary.reads += 1
+            else:
+                summary.writes += 1
+            summary.threads.add(event.tid)
+            summary.last_seq = event.seq
+        return summaries
+
+    def shared_variables(self) -> List[VariableSummary]:
+        """Summaries of addresses touched by more than one thread,
+        hottest first."""
+        summaries = [s for s in self.variable_summaries().values()
+                     if s.shared]
+        summaries.sort(key=lambda s: -(s.reads + s.writes))
+        return summaries
+
+    def thread_summary(self) -> Dict[int, Dict[str, int]]:
+        """Per-thread event counts by kind name."""
+        result: Dict[int, Dict[str, int]] = {}
+        for event in self.trace:
+            counts = result.setdefault(event.tid, {})
+            name = KIND_NAMES.get(event.kind, "?")
+            counts[name] = counts.get(name, 0) + 1
+        return result
+
+    # -- histories ------------------------------------------------------------
+
+    def history(self, name: str, index: int = 0,
+                limit: Optional[int] = None) -> List[Event]:
+        """All accesses to ``name[index]`` in trace order."""
+        addr = self.resolve(name, index)
+        events = [e for e in self.trace
+                  if e.kind in (EV_LOAD, EV_STORE) and e.addr == addr]
+        return events if limit is None else events[:limit]
+
+    def locks_held_at(self, seq: int, tid: int) -> Set[int]:
+        """Lock addresses thread ``tid`` holds just before ``seq``."""
+        held: Set[int] = set()
+        for event in self.trace:
+            if event.seq >= seq:
+                break
+            if event.tid != tid:
+                continue
+            if event.kind == EV_ACQUIRE:
+                held.add(event.addr)
+            elif event.kind in (EV_RELEASE, EV_WAIT):
+                held.discard(event.addr)
+        return held
+
+    def conflicts_on(self, name: str, index: int = 0) -> List[Tuple[Event, Event]]:
+        """Conflicting access pairs on one variable (earlier, later)."""
+        accesses = self.history(name, index)
+        pairs = []
+        for i, early in enumerate(accesses):
+            for late in accesses[i + 1:]:
+                if conflicting(early, late):
+                    pairs.append((early, late))
+        return pairs
+
+    def find_statements(self, needle: str) -> List[Event]:
+        """Events whose source statement text contains ``needle``."""
+        matching_locs = {
+            i for i, loc in enumerate(self.program.locs)
+            if needle in loc.text}
+        return [e for e in self.trace if e.loc in matching_locs]
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_history(self, name: str, index: int = 0,
+                       limit: int = 20) -> str:
+        """Annotated access history of one variable."""
+        lines = [f"history of {name}"
+                 f"{f'[{index}]' if index else ''}:"]
+        for event in self.history(name, index, limit=limit):
+            kind = "write" if event.kind == EV_STORE else "read "
+            loc = self.program.locs[event.loc] if event.loc >= 0 else "?"
+            held = self.locks_held_at(event.seq, event.tid)
+            lock_names = ",".join(
+                self.program.lock_names.get(a, f"@{a}") for a in sorted(held))
+            lock_text = f" holding[{lock_names}]" if lock_names else ""
+            lines.append(f"  seq {event.seq:>6d} t{event.tid} {kind} "
+                         f"value={event.value}{lock_text}  {{{loc}}}")
+        total = len(self.history(name, index))
+        if total > limit:
+            lines.append(f"  ... {total - limit} more accesses")
+        return "\n".join(lines)
+
+    def render_shared_report(self, limit: int = 10) -> str:
+        """The hottest shared variables, with read/write mix."""
+        lines = ["shared variables by traffic:"]
+        for summary in self.shared_variables()[:limit]:
+            lines.append(
+                f"  {summary.name:<20s} reads={summary.reads:<6d}"
+                f" writes={summary.writes:<6d}"
+                f" threads={sorted(summary.threads)}")
+        return "\n".join(lines)

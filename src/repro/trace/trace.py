@@ -1,0 +1,125 @@
+"""Trace recording and queries."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.program import Program
+from repro.machine.events import (
+    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
+    EV_OUTPUT, EV_RELEASE, EV_STORE, Event, MachineObserver,
+)
+
+
+def conflicting(a: Event, b: Event) -> bool:
+    """Two accesses conflict iff they touch the same address from
+    different threads and at least one is a write (paper §2.2)."""
+    return (a.addr == b.addr and a.tid != b.tid
+            and a.is_memory_access and b.is_memory_access
+            and (a.is_write or b.is_write))
+
+
+class Trace:
+    """An immutable recorded program trace."""
+
+    def __init__(self, program: Program, events: Sequence[Event],
+                 n_threads: int) -> None:
+        self.program = program
+        self.events: List[Event] = list(events)
+        self.n_threads = n_threads
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def thread_trace(self, tid: int) -> List[Event]:
+        """The subsequence executed by thread ``tid``."""
+        return [e for e in self.events if e.tid == tid]
+
+    def memory_events(self) -> List[Event]:
+        """All LOAD/STORE events, in program-trace order."""
+        return [e for e in self.events if e.kind in (EV_LOAD, EV_STORE)]
+
+    def sync_events(self) -> List[Event]:
+        """All ACQUIRE/RELEASE events, in program-trace order."""
+        return [e for e in self.events if e.kind in (EV_ACQUIRE, EV_RELEASE)]
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.events)
+
+    def accesses_by_address(self) -> Dict[int, List[Event]]:
+        """Group memory accesses by word address, preserving order."""
+        by_addr: Dict[int, List[Event]] = {}
+        for event in self.events:
+            if event.kind in (EV_LOAD, EV_STORE):
+                by_addr.setdefault(event.addr, []).append(event)
+        return by_addr
+
+    def conflict_pairs(self) -> Iterator[Tuple[Event, Event]]:
+        """Yield conflicting access pairs (earlier, later), per address.
+
+        Quadratic per address; intended for tests and small traces.  The
+        detectors use incremental structures instead.
+        """
+        for accesses in self.accesses_by_address().values():
+            for i, early in enumerate(accesses):
+                for late in accesses[i + 1:]:
+                    if conflicting(early, late):
+                        yield early, late
+
+    # -- serialization ---------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the trace as JSON lines (one event per line)."""
+        with open(path, "w") as fh:
+            header = {"n_threads": self.n_threads, "n_events": len(self.events)}
+            fh.write(json.dumps(header) + "\n")
+            for e in self.events:
+                fh.write(json.dumps([e.kind, e.seq, e.tid, e.pc, e.addr,
+                                     e.value, int(e.taken), e.target]) + "\n")
+
+    @classmethod
+    def load(cls, path: str, program: Program) -> "Trace":
+        """Load a trace saved by :meth:`save`; the same compiled program
+        must be supplied so events can be re-linked to instructions."""
+        events: List[Event] = []
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            for line in fh:
+                kind, seq, tid, pc, addr, value, taken, target = json.loads(line)
+                instr = program.code[pc] if 0 <= pc < len(program.code) else None
+                event = Event(kind, seq, tid, pc, instr, addr=addr,
+                              value=value, taken=bool(taken), target=target)
+                events.append(event)
+        return cls(program, events, header["n_threads"])
+
+
+class TraceRecorder(MachineObserver):
+    """Observer that records the full event stream of a run.
+
+    Optionally restricted to a window ``[start_seq, end_seq)`` to support
+    the paper's sampling of execution segments (§6.1 "fast-forwarding and
+    sampling").
+    """
+
+    def __init__(self, program: Program, n_threads: int,
+                 start_seq: int = 0, end_seq: Optional[int] = None) -> None:
+        self._program = program
+        self._n_threads = n_threads
+        self._start_seq = start_seq
+        self._end_seq = end_seq
+        self.events: List[Event] = []
+
+    def on_event(self, event: Event) -> None:
+        if event.seq < self._start_seq:
+            return
+        if self._end_seq is not None and event.seq >= self._end_seq:
+            return
+        self.events.append(event)
+
+    def trace(self) -> Trace:
+        return Trace(self._program, self.events, self._n_threads)

@@ -1,0 +1,59 @@
+"""Workload models of the paper's test programs (Table 1).
+
+Every workload is a MiniSMP program with ground truth attached: which
+statements constitute the bug (for true/false-positive classification)
+and a validator that decides whether the modelled error *manifested* in
+a given run (corrupted log records, crashes, broken invariants).
+
+| factory             | paper artefact                                   |
+|---------------------|--------------------------------------------------|
+| ``apache_log``      | Figure 2 -- buffered access log, missing lock    |
+| ``mysql_tablelock`` | Figure 1 -- benign races on ``tot_lock``         |
+| ``mysql_prepared``  | Figure 3 -- mistakenly shared per-query fields   |
+| ``pgsql_oltp``      | Table 1 -- race-free DBT-2-style OLTP            |
+| ``stringbuffer``    | §2.1 -- JDK 1.4 StringBuffer.append bug          |
+| ``queue_region``    | Figure 9 -- independent computations in a region |
+"""
+
+from repro.workloads.apache import apache_log
+from repro.workloads.extra import (bank_transfer, bounded_buffer,
+                                   double_checked_init, rwlock_db,
+                                   spsc_ring)
+from repro.workloads.base import Workload, WorkloadOutcome, locs_matching
+from repro.workloads.mysql import mysql_prepared, mysql_tablelock
+from repro.workloads.pgsql import pgsql_oltp
+from repro.workloads.queue_region import queue_region
+from repro.workloads.stringbuffer import stringbuffer
+
+#: name -> zero-argument default factory, for harness enumeration
+WORKLOADS = {
+    "apache": apache_log,
+    "mysql-tablelock": mysql_tablelock,
+    "mysql-prepared": mysql_prepared,
+    "pgsql": pgsql_oltp,
+    "stringbuffer": stringbuffer,
+    "queue-region": queue_region,
+    "bank-transfer": bank_transfer,
+    "bounded-buffer": bounded_buffer,
+    "rwlock-db": rwlock_db,
+    "double-checked-init": double_checked_init,
+    "spsc-ring": spsc_ring,
+}
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "WorkloadOutcome",
+    "apache_log",
+    "bank_transfer",
+    "bounded_buffer",
+    "rwlock_db",
+    "double_checked_init",
+    "spsc_ring",
+    "locs_matching",
+    "mysql_prepared",
+    "mysql_tablelock",
+    "pgsql_oltp",
+    "queue_region",
+    "stringbuffer",
+]

@@ -1,0 +1,144 @@
+"""Apache ``log_config`` workload (paper Figure 2, Table 1 row 1).
+
+Multiple worker threads buffer access-log records in a shared memory
+buffer before flushing to the log "file" (the machine's output channel).
+The paper's bug: ``memcpy`` into the buffer and the ``outcnt`` index
+update are not guarded by a critical section, so concurrent writers
+interleave and silently corrupt records (Apache 2.0.48 with buffered
+logging enabled).  ``fixed=True`` applies the patch (a lock around the
+buffered write), giving the bug-free configuration of Table 2's second
+Apache row.
+
+Each record is a run of ``tid * 1000000 + req * 1000 + j`` words, so the
+validator can recover record boundaries from the flushed stream and
+count corrupted/lost records exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+from repro.workloads.generators import init_list, lcg_table
+
+_SOURCE_TEMPLATE = """
+// Apache log_config model (PLDI'05 Figure 2)
+shared int bufout[{bufsize}];
+shared int outcnt = 0;
+shared int req_len[{table_size}] = {len_table};
+lock log_lock;
+local int msg[{maxlen}];
+
+thread writer(int tid, int nreq) {{
+    int r = 0;
+    while (r < nreq) {{
+        int len = req_len[tid * nreq + r];
+        int j = 0;
+        while (j < len) {{
+            msg[j] = tid * 1000000 + r * 1000 + j;
+            j = j + 1;
+        }}
+{acquire}
+        int s = len + outcnt;
+        if (s >= {bufsize}) {{
+            int k = 0;
+            while (k < outcnt) {{
+                output(bufout[k]);
+                k = k + 1;
+            }}
+            outcnt = 0;
+        }}
+        memcpy(bufout, outcnt, msg, 0, len);
+        outcnt = outcnt + len;
+{release}
+        r = r + 1;
+    }}
+}}
+"""
+
+
+def apache_log(writers: int = 4, requests: int = 24, bufsize: int = 48,
+               seed: int = 11, fixed: bool = False) -> Workload:
+    """Build the Apache buffered-log workload.
+
+    Args:
+        writers: worker threads (Apache's worker pool).
+        requests: log records written per worker (SURGE-driven load).
+        bufsize: shared log buffer capacity, in words.
+        seed: input-generator seed (record lengths).
+        fixed: apply the patch (lock around the buffered write).
+    """
+    if writers < 2:
+        raise ValueError("need at least two writers to race")
+    min_len, max_len = 4, 9
+    if bufsize <= max_len:
+        raise ValueError("bufsize must exceed the maximum record length")
+    table = lcg_table(seed, writers * requests, min_len, max_len)
+    source = _SOURCE_TEMPLATE.format(
+        bufsize=bufsize,
+        table_size=writers * requests,
+        len_table=init_list(table),
+        maxlen=max_len + 1,
+        acquire="        acquire(log_lock);" if fixed else "",
+        release="        release(log_lock);" if fixed else "",
+    )
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        return _validate_log(machine, writers, requests, table)
+
+    variant = "patched" if fixed else "buggy"
+    return Workload(
+        name="apache",
+        description=(f"Apache buffered access log, {writers} writers x "
+                     f"{requests} requests ({variant})"),
+        source=source,
+        threads=[("writer", (tid, requests)) for tid in range(writers)],
+        buggy=not fixed,
+        bug_substrings=("outcnt", "bufout"),
+        validator=validate,
+    )
+
+
+def _validate_log(machine: Machine, writers: int, requests: int,
+                  table: List[int]) -> WorkloadOutcome:
+    """Recover records from the flushed stream + residual buffer."""
+    stream = [value for _tid, value in machine.output]
+    outcnt = machine.read_global("outcnt")
+    _base, bufsize = machine.program.globals_layout["bufout"]
+    # racing writers can push outcnt past the buffer; clamp (the overflow
+    # itself is corruption and shows up as lost records)
+    stream.extend(machine.read_global("bufout", i)
+                  for i in range(min(outcnt, bufsize)))
+
+    expected: Dict[Tuple[int, int], int] = {}
+    for tid in range(writers):
+        for r in range(requests):
+            expected[(tid, r)] = table[tid * requests + r]
+
+    recovered = 0
+    i = 0
+    n = len(stream)
+    while i < n:
+        value = stream[i]
+        tid, rest = divmod(value, 1000000)
+        req, j = divmod(rest, 1000)
+        length = expected.get((tid, req))
+        if length is None or j != 0:
+            i += 1
+            continue
+        run = 0
+        while (i + run < n and run < length
+               and stream[i + run] == tid * 1000000 + req * 1000 + run):
+            run += 1
+        if run == length:
+            recovered += 1
+            i += run
+        else:
+            i += 1
+    total = writers * requests
+    lost = total - recovered
+    return WorkloadOutcome(
+        errors=lost,
+        detail=f"{recovered}/{total} log records intact, {lost} corrupted/lost",
+    )

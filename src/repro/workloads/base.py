@@ -1,0 +1,83 @@
+"""Workload framework: a program + threads + ground truth + validator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.program import Program
+from repro.lang import compile_source
+from repro.machine.machine import Machine
+
+
+@dataclass
+class WorkloadOutcome:
+    """Ground-truth result of one run: did the modelled error manifest?"""
+
+    errors: int
+    detail: str = ""
+
+    @property
+    def manifested(self) -> bool:
+        return self.errors > 0
+
+
+@dataclass
+class Workload:
+    """A benchmark program with ground truth attached.
+
+    Attributes:
+        name: short identifier ("apache", "mysql", "pgsql", ...).
+        description: one-line summary for reports.
+        source: MiniSMP source text.
+        threads: thread instances to run.
+        buggy: whether this configuration contains the modelled bug.
+        bug_substrings: substrings of source-statement text that identify
+            the ground-truth buggy statements; a detector report whose
+            statement (or conflicting statement) matches is a true
+            positive, everything else is a false positive.
+        validator: checks a finished machine for manifested errors
+            (corrupted log records, crashes, broken invariants).
+    """
+
+    name: str
+    description: str
+    source: str
+    threads: List[Tuple[str, Tuple[int, ...]]]
+    buggy: bool
+    bug_substrings: Tuple[str, ...] = ()
+    validator: Optional[Callable[[Machine], WorkloadOutcome]] = None
+    _program: Optional[Program] = None
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = compile_source(self.source)
+        return self._program
+
+    def bug_locs(self) -> Set[int]:
+        """Source-location indices of the ground-truth buggy statements."""
+        if not self.buggy:
+            return set()
+        return locs_matching(self.program, self.bug_substrings)
+
+    def make_machine(self, scheduler, observers=(), **kwargs) -> Machine:
+        return Machine(self.program, self.threads, scheduler=scheduler,
+                       observers=list(observers), **kwargs)
+
+    def validate(self, machine: Machine) -> WorkloadOutcome:
+        if self.validator is None:
+            return WorkloadOutcome(errors=len(machine.crashes),
+                                   detail="crash count only")
+        return self.validator(machine)
+
+
+def locs_matching(program: Program, substrings: Sequence[str]) -> Set[int]:
+    """Indices of source locations whose text contains any substring."""
+    result: Set[int] = set()
+    for index, loc in enumerate(program.locs):
+        for needle in substrings:
+            if needle in loc.text:
+                result.add(index)
+                break
+    return result

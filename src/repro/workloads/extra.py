@@ -1,0 +1,410 @@
+"""Extra workloads beyond the paper's evaluation.
+
+These extend the test matrix with classic concurrency idioms the paper
+does not evaluate, providing harder calls for the detectors:
+
+* :func:`bank_transfer` -- balance transfers under per-account locks
+  (ordered acquisition) vs the buggy unlocked variant; invariant: total
+  balance is conserved.
+* :func:`double_checked_init` -- lazy one-time initialisation.  The buggy
+  variant publishes the "initialised" flag before the payload (the
+  classic double-checked-locking failure); readers can observe a
+  half-built object.
+* :func:`spsc_ring` -- a single-producer/single-consumer lock-free ring
+  buffer.  *Correct* despite having no locks and being full of data
+  races: the index ownership discipline makes every interleaving safe.
+  Race detectors necessarily report it; it probes how far
+  serializability checking gets on intentional synchronization-free
+  code.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+from repro.workloads.generators import init_list, lcg_table
+
+_BANK_TEMPLATE = """
+// balance transfers with per-account locks (ordered acquisition)
+shared int balance[{accounts}];
+shared int tx_from[{count}] = {from_table};
+shared int tx_to[{count}] = {to_table};
+shared int tx_amt[{count}] = {amt_table};
+{lock_decls}
+
+thread teller(int tid, int txns) {{
+    int t = 0;
+    while (t < txns) {{
+        int src = tx_from[tid * txns + t];
+        int dst = tx_to[tid * txns + t];
+        int amt = tx_amt[tid * txns + t];
+        if (src != dst) {{
+{body}
+        }}
+        t = t + 1;
+    }}
+}}
+"""
+
+_BANK_LOCKED_BODY = """            int lo = src;
+            int hi = dst;
+            if (dst < src) {{ lo = dst; hi = src; }}
+{acquire_chain}
+            int sb = balance[src];
+            balance[src] = sb - amt;
+            int db = balance[dst];
+            balance[dst] = db + amt;
+{release_chain}"""
+
+_BANK_UNLOCKED_BODY = """            int sb = balance[src];
+            balance[src] = sb - amt;
+            int db = balance[dst];
+            balance[dst] = db + amt;"""
+
+
+def bank_transfer(accounts: int = 4, tellers: int = 3, txns: int = 15,
+                  seed: int = 71, fixed: bool = True) -> Workload:
+    """Build the bank-transfer workload (deadlock-free ordered locking)."""
+    if accounts < 2:
+        raise ValueError("need at least two accounts")
+    count = tellers * txns
+    from_table = lcg_table(seed, count, 0, accounts - 1)
+    to_table = lcg_table(seed + 1, count, 0, accounts - 1)
+    amt_table = lcg_table(seed + 2, count, 1, 9)
+    initial = 100
+
+    lock_decls = "\n".join(f"lock acct{a};" for a in range(accounts))
+    if fixed:
+        # ordered acquisition by account id prevents deadlock; the chain
+        # dispatches on the runtime (lo, hi) pair
+        acquire = "\n".join(
+            f"            if (lo == {a}) {{ acquire(acct{a}); }}"
+            for a in range(accounts)) + "\n" + "\n".join(
+            f"            if (hi == {a}) {{ acquire(acct{a}); }}"
+            for a in range(accounts))
+        release = "\n".join(
+            f"            if (hi == {a}) {{ release(acct{a}); }}"
+            for a in range(accounts)) + "\n" + "\n".join(
+            f"            if (lo == {a}) {{ release(acct{a}); }}"
+            for a in range(accounts))
+        body = _BANK_LOCKED_BODY.format(acquire_chain=acquire,
+                                        release_chain=release)
+    else:
+        body = _BANK_UNLOCKED_BODY
+
+    source = _BANK_TEMPLATE.format(
+        accounts=accounts, count=count,
+        from_table=init_list(from_table), to_table=init_list(to_table),
+        amt_table=init_list(amt_table), lock_decls=lock_decls, body=body)
+    # pre-fund the accounts
+    source = source.replace(f"shared int balance[{accounts}];",
+                            f"shared int balance[{accounts}] = {initial};")
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        total = sum(machine.read_global("balance", a)
+                    for a in range(accounts))
+        drift = abs(total - accounts * initial)
+        return WorkloadOutcome(
+            errors=drift + len(machine.crashes),
+            detail=f"total balance {total} (expected {accounts * initial})")
+
+    variant = "locked" if fixed else "buggy (no locks)"
+    return Workload(
+        name="bank-transfer",
+        description=(f"bank transfers, {tellers} tellers x {txns} txns "
+                     f"over {accounts} accounts ({variant})"),
+        source=source,
+        threads=[("teller", (tid, txns)) for tid in range(tellers)],
+        buggy=not fixed,
+        bug_substrings=("balance",),
+        validator=validate,
+    )
+
+
+_DCI_TEMPLATE = """
+// lazy one-time initialisation (double-checked idiom)
+shared int initialized = 0;
+shared int payload[4];
+lock init_lock;
+
+thread user(int tid, int uses) {{
+    int u = 0;
+    while (u < uses) {{
+        if (initialized == 0) {{
+            acquire(init_lock);
+            if (initialized == 0) {{
+{init_body}
+            }}
+            release(init_lock);
+        }}
+        if (initialized == 1) {{
+            assert(payload[0] == 11);
+            assert(payload[3] == 44);
+        }}
+        u = u + 1;
+    }}
+}}
+"""
+
+_DCI_GOOD = """                payload[0] = 11;
+                payload[1] = 22;
+                payload[2] = 33;
+                payload[3] = 44;
+                initialized = 1;"""
+
+#: the bug: the flag is published before the payload is complete; the
+#: remaining construction takes real work (as object construction does),
+#: leaving a wide window in which readers see a half-built object
+_DCI_BAD = """                payload[0] = 11;
+                initialized = 1;
+                payload[1] = 22;
+                int w = 0;
+                int acc = 0;
+                while (w < 40) {
+                    acc = acc + w;
+                    w = w + 1;
+                }
+                payload[2] = 33;
+                payload[3] = 44;"""
+
+
+def double_checked_init(users: int = 3, uses: int = 10,
+                        fixed: bool = True) -> Workload:
+    """Build the lazy-initialisation workload."""
+    source = _DCI_TEMPLATE.format(init_body=_DCI_GOOD if fixed else _DCI_BAD)
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        crashes = len(machine.crashes)
+        return WorkloadOutcome(
+            errors=crashes,
+            detail=f"{crashes} users observed a half-built object")
+
+    variant = "correct publication" if fixed else "flag published early"
+    return Workload(
+        name="double-checked-init",
+        description=f"lazy init, {users} users ({variant})",
+        source=source,
+        threads=[("user", (tid, uses)) for tid in range(users)],
+        buggy=not fixed,
+        bug_substrings=("initialized", "payload"),
+        validator=validate,
+    )
+
+
+_BOUNDED_BUFFER_TEMPLATE = """
+// monitor-style bounded buffer (condition variables)
+shared int buffer[{capacity}];
+shared int count = 0;
+shared int checksum = 0;
+lock m;
+
+thread producer(int tid, int items) {{
+    int i = 0;
+    while (i < items) {{
+        acquire(m);
+        while (count == {capacity}) {{
+            wait(m);
+        }}
+        buffer[count] = tid * 1000 + i;
+        count = count + 1;
+        notifyall(m);
+        release(m);
+        i = i + 1;
+    }}
+}}
+
+thread consumer(int items) {{
+    int i = 0;
+    while (i < items) {{
+        acquire(m);
+        while (count == 0) {{
+            wait(m);
+        }}
+        count = count - 1;
+        checksum = checksum + buffer[count];
+        notifyall(m);
+        release(m);
+        i = i + 1;
+    }}
+}}
+"""
+
+
+def bounded_buffer(producers: int = 2, items: int = 12,
+                   capacity: int = 3) -> Workload:
+    """Build the monitor-style bounded buffer (wait/notify; race-free).
+
+    Exercises the paper's "signal, monitor" class of synchronization
+    mechanisms: blocking producers and consumers coordinated through a
+    condition variable, with no spinning.
+    """
+    total = producers * items
+    source = _BOUNDED_BUFFER_TEMPLATE.format(capacity=capacity)
+    expected = sum(tid * 1000 + i
+                   for tid in range(producers) for i in range(items))
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        drift = abs(machine.read_global("checksum") - expected)
+        leftover = machine.read_global("count")
+        return WorkloadOutcome(
+            errors=drift + leftover + len(machine.crashes),
+            detail=(f"checksum drift {drift}, {leftover} items left "
+                    f"in the buffer"))
+
+    threads = [("producer", (tid, items)) for tid in range(producers)]
+    threads.append(("consumer", (total,)))
+    return Workload(
+        name="bounded-buffer",
+        description=(f"monitor bounded buffer, {producers} producers x "
+                     f"{items} items, capacity {capacity} (race-free)"),
+        source=source,
+        threads=threads,
+        buggy=False,
+        validator=validate,
+    )
+
+
+_RWLOCK_TEMPLATE = """
+// reader-writer lock built from a monitor; the database keeps two
+// copies that must always agree when observed by a reader
+shared int readers = 0;
+shared int writer_active = 0;
+shared int db_a = 0;
+shared int db_b = 0;
+lock rw;
+
+thread reader(int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        acquire(rw);
+        while (writer_active == 1) {{
+            wait(rw);
+        }}
+        readers = readers + 1;
+        release(rw);
+        int a = db_a;
+        int b = db_b;
+        assert(a == b);
+        acquire(rw);
+        readers = readers - 1;
+        if (readers == 0) {{
+            notifyall(rw);
+        }}
+        release(rw);
+        i = i + 1;
+    }}
+}}
+
+thread writer(int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        acquire(rw);
+        while ({writer_guard}) {{
+            wait(rw);
+        }}
+        writer_active = 1;
+        release(rw);
+        db_a = db_a + 1;
+        db_b = db_b + 1;
+        acquire(rw);
+        writer_active = 0;
+        notifyall(rw);
+        release(rw);
+        i = i + 1;
+    }}
+}}
+"""
+
+
+def rwlock_db(readers: int = 2, writers: int = 2, ops: int = 10,
+              fixed: bool = True) -> Workload:
+    """Build the reader-writer-lock workload.
+
+    The buggy variant's writer guard forgets to wait for active readers
+    (it only excludes other writers), so a writer can update the two
+    database copies while a reader is between them -- the reader observes
+    a torn snapshot and traps.
+    """
+    guard = ("writer_active == 1 || readers > 0" if fixed
+             else "writer_active == 1")
+    source = _RWLOCK_TEMPLATE.format(writer_guard=guard)
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        crashes = len(machine.crashes)
+        drift = abs(machine.read_global("db_a") - machine.read_global("db_b"))
+        return WorkloadOutcome(
+            errors=crashes + drift,
+            detail=f"{crashes} torn reads observed, copy drift {drift}")
+
+    threads = [("reader", (ops,)) for _ in range(readers)]
+    threads += [("writer", (ops,)) for _ in range(writers)]
+    variant = "correct" if fixed else "buggy (writers ignore readers)"
+    return Workload(
+        name="rwlock-db",
+        description=(f"reader-writer lock, {readers} readers + {writers} "
+                     f"writers x {ops} ops ({variant})"),
+        source=source,
+        threads=threads,
+        buggy=not fixed,
+        bug_substrings=("db_a", "db_b", "writer_active"),
+        validator=validate,
+    )
+
+
+_RING_TEMPLATE = """
+// single-producer / single-consumer lock-free ring buffer
+shared int ring[{capacity}];
+shared int head = 0;     // written only by the producer
+shared int tail = 0;     // written only by the consumer
+shared int received[{items}];
+
+thread producer(int items) {{
+    int produced = 0;
+    while (produced < items) {{
+        int h = head;
+        int t = tail;
+        if (h - t < {capacity}) {{
+            ring[h % {capacity}] = 1000 + produced;
+            head = h + 1;
+            produced = produced + 1;
+        }}
+    }}
+}}
+
+thread consumer(int items) {{
+    int consumed = 0;
+    while (consumed < items) {{
+        int h = head;
+        int t = tail;
+        if (t < h) {{
+            int value = ring[t % {capacity}];
+            received[consumed] = value;
+            tail = t + 1;
+            consumed = consumed + 1;
+        }}
+    }}
+}}
+"""
+
+
+def spsc_ring(items: int = 20, capacity: int = 4) -> Workload:
+    """Build the lock-free SPSC ring workload (correct by discipline)."""
+    source = _RING_TEMPLATE.format(capacity=capacity, items=items)
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        got = [machine.read_global("received", i) for i in range(items)]
+        expected = [1000 + i for i in range(items)]
+        wrong = sum(1 for g, e in zip(got, expected) if g != e)
+        return WorkloadOutcome(
+            errors=wrong + len(machine.crashes),
+            detail=f"{items - wrong}/{items} items received in order")
+
+    return Workload(
+        name="spsc-ring",
+        description=(f"lock-free SPSC ring, {items} items, "
+                     f"capacity {capacity} (correct, synchronization-free)"),
+        source=source,
+        threads=[("producer", (items,)), ("consumer", (items,))],
+        buggy=False,
+        validator=validate,
+    )

@@ -1,0 +1,61 @@
+"""Seeded input generators for the server workloads.
+
+The paper drives its servers with SURGE (web requests), an in-house SQL
+query generator, and OSDL DBT-2 (OLTP transactions).  MiniSMP has no
+runtime randomness, so generators pre-compute per-thread input tables in
+Python (seeded, hence reproducible) and bake them into the program source
+as initialised shared arrays.  A Zipf-like popularity skew mirrors
+SURGE's object popularity model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def lcg_table(seed: int, count: int, low: int, high: int) -> List[int]:
+    """A table of ``count`` integers in ``[low, high]`` from a seeded RNG."""
+    if high < low:
+        raise ValueError("high must be >= low")
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+def zipf_table(seed: int, count: int, n_objects: int,
+               skew: float = 1.1) -> List[int]:
+    """Zipf-distributed object ids in ``[0, n_objects)`` (SURGE-style
+    popularity: few objects take most requests)."""
+    if n_objects <= 0:
+        raise ValueError("n_objects must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** skew) for rank in range(1, n_objects + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    table = []
+    for _ in range(count):
+        u = rng.random()
+        for obj, edge in enumerate(cumulative):
+            if u <= edge:
+                table.append(obj)
+                break
+        else:
+            table.append(n_objects - 1)
+    return table
+
+
+def init_list(values: Sequence[int]) -> str:
+    """Render an initialiser list for MiniSMP source."""
+    return "{" + ", ".join(str(v) for v in values) + "}"
+
+
+def interleave_tables(tables: Sequence[Sequence[int]]) -> List[int]:
+    """Flatten per-thread tables into one array laid out thread-major."""
+    flat: List[int] = []
+    for table in tables:
+        flat.extend(table)
+    return flat

@@ -1,0 +1,182 @@
+"""MySQL workloads (paper Figures 1 and 3, Table 1 row 2).
+
+Two models:
+
+* :func:`mysql_tablelock` -- the *benign-race* table-locking code of
+  Figure 1.  ``tot_lock`` is updated under ``internal_lock`` but read
+  without synchronization by other threads; the racy predicate
+  ``tot_lock == 0`` is never true for shared tables (they are locked
+  before use), so the races are harmless.  A race detector reports them
+  (false positives); SVD must stay silent because every CU serialises.
+* :func:`mysql_prepared` -- the prepared-query bug of Figure 3, whose
+  root cause was unknown before SVD.  ``field->query_id`` and
+  ``join_tab->used_fields`` are *mistakenly shared* between sessions;
+  a session's field walk can observe another session's counts and
+  crash (the paper's non-deterministic segfault, modelled with
+  ``assert``).  Online SVD forms CUs smaller than the atomic region here
+  (shared dependences inside the region) and misses the bug -- the
+  a-posteriori log is what exposes it, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+from repro.workloads.generators import init_list, lcg_table
+
+_TABLELOCK_SOURCE = """
+// MySQL thr_multi_lock model (PLDI'05 Figure 1): benign races
+shared int tot_lock = 1;
+shared int table_rows = 0;
+lock internal_lock;
+
+thread locker(int tid, int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        acquire(internal_lock);
+        int t = tot_lock;
+        if (t == 0) {{
+            table_rows = 0;
+        }}
+        tot_lock = t + 1;
+        int w = table_rows;
+        table_rows = w + 1;
+        release(internal_lock);
+        acquire(internal_lock);
+        tot_lock = tot_lock - 1;
+        release(internal_lock);
+        i = i + 1;
+    }}
+}}
+
+thread checker(int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        if (tot_lock == 0) {{
+            output(0 - 99);
+        }}
+        i = i + 1;
+    }}
+}}
+"""
+
+_PREPARED_TEMPLATE = """
+// MySQL prepared-query model (PLDI'05 Figure 3): mistakenly shared fields
+shared int query_id = 0;
+{field_decls}
+shared int field_sel[{table_size}] = {sel_table};
+lock qid_lock;
+
+thread session(int tid, int queries) {{
+    int think = 0;
+    int q = 0;
+    while (q < queries) {{
+        acquire(qid_lock);
+        int qid = query_id + 1;
+        query_id = qid;
+        release(qid_lock);
+        int sel = field_sel[tid * queries + q];
+        int nused = 0;
+        int f = 0;
+        while (f < {nfields}) {{
+            if (((sel + f * f) % 3) == 0) {{
+                field_query_id[f] = qid;
+                used_idx[nused] = f;
+                nused = nused + 1;
+            }}
+            f = f + 1;
+        }}
+        used_fields = nused;
+        int k = 0;
+        int lim = used_fields;
+        while (k < lim) {{
+            int pos = used_idx[k];
+            assert(field_query_id[pos] == qid);
+            k = k + 1;
+        }}
+        // client think time: local work between queries, so the racy
+        // prepared-query phases of different sessions only sometimes
+        // overlap (the paper's crash is non-deterministic)
+        int w = 0;
+        while (w < {think}) {{
+            think = think + w;
+            w = w + 1;
+        }}
+        q = q + 1;
+    }}
+}}
+"""
+
+_SHARED_FIELD_DECLS = """shared int field_query_id[{nfields}];
+shared int used_idx[{nfields}];
+shared int used_fields = 0;"""
+
+_LOCAL_FIELD_DECLS = """local int field_query_id[{nfields}];
+local int used_idx[{nfields}];
+local int used_fields;"""
+
+
+def mysql_tablelock(lockers: int = 2, checkers: int = 2,
+                    ops: int = 30) -> Workload:
+    """Build the Figure 1 benign-race workload (no bug; all reports FP)."""
+    source = _TABLELOCK_SOURCE.format()
+    threads = [("locker", (tid, ops)) for tid in range(lockers)]
+    threads += [("checker", (ops,)) for _ in range(checkers)]
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        # the racy predicate must never fire, and lock counting must
+        # balance back to the bootstrap value
+        fired = sum(1 for _tid, v in machine.output if v == -99)
+        drift = machine.read_global("tot_lock") - 1
+        errors = fired + abs(drift) + len(machine.crashes)
+        return WorkloadOutcome(
+            errors=errors,
+            detail=f"predicate fired {fired}x, tot_lock drift {drift}")
+
+    return Workload(
+        name="mysql-tablelock",
+        description=(f"MySQL table locking (benign races), {lockers} "
+                     f"lockers + {checkers} unsynchronized checkers"),
+        source=source,
+        threads=threads,
+        buggy=False,
+        validator=validate,
+    )
+
+
+def mysql_prepared(sessions: int = 3, queries: int = 8, nfields: int = 8,
+                   seed: int = 23, fixed: bool = False,
+                   think: int = 800) -> Workload:
+    """Build the Figure 3 prepared-query workload.
+
+    ``fixed=True`` makes the mistakenly-shared variables thread-local
+    (the actual fix), giving the bug-free MySQL configuration.
+    """
+    table = lcg_table(seed, sessions * queries, 0, 96)
+    decls = (_LOCAL_FIELD_DECLS if fixed else _SHARED_FIELD_DECLS).format(
+        nfields=nfields)
+    source = _PREPARED_TEMPLATE.format(
+        field_decls=decls,
+        table_size=sessions * queries,
+        sel_table=init_list(table),
+        nfields=nfields,
+        think=think,
+    )
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        crashes = len(machine.crashes)
+        return WorkloadOutcome(
+            errors=crashes,
+            detail=f"{crashes} session crashes (inconsistent field walk)")
+
+    variant = "patched" if fixed else "buggy"
+    return Workload(
+        name="mysql-prepared",
+        description=(f"MySQL prepared queries, {sessions} sessions x "
+                     f"{queries} queries ({variant})"),
+        source=source,
+        threads=[("session", (tid, queries)) for tid in range(sessions)],
+        buggy=not fixed,
+        bug_substrings=("used_fields", "field_query_id", "used_idx"),
+        validator=validate,
+    )

@@ -1,0 +1,80 @@
+"""Shared-queue workload (paper Figure 9 and §5.1).
+
+An atomic region dequeues a slot and fills two fields whose values come
+from *program inputs* -- two computations that are not data-dependent on
+each other, so the region's statements are not weakly connected by true
+dependences alone.  Small CUs could cause false negatives; SVD mitigates
+the problem by checking *address dependences* (both field stores are
+address-dependent on the ``head`` read), which is exactly what this
+workload exercises and what the address-dependence ablation bench turns
+off.
+
+The buggy variant omits the queue lock; concurrent producers then grab
+the same slot and lose items.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+from repro.workloads.generators import init_list, lcg_table
+
+_SOURCE_TEMPLATE = """
+// shared-queue fill (PLDI'05 Figure 9)
+shared int head = 0;
+shared int q_a[{slots}];
+shared int q_b[{slots}];
+shared int in_a[{table_size}] = {a_table};
+shared int in_b[{table_size}] = {b_table};
+lock qlock;
+
+thread producer(int tid, int items) {{
+    int i = 0;
+    while (i < items) {{
+{acquire}
+        int h = head;
+        q_a[h] = in_a[tid * items + i];
+        q_b[h] = in_b[tid * items + i];
+        head = h + 1;
+{release}
+        i = i + 1;
+    }}
+}}
+"""
+
+
+def queue_region(producers: int = 3, items: int = 15, seed: int = 51,
+                 fixed: bool = True) -> Workload:
+    """Build the queue workload; ``fixed=False`` drops the queue lock."""
+    total = producers * items
+    a_table = lcg_table(seed, total, 1000, 9999)
+    b_table = lcg_table(seed + 1, total, 1000, 9999)
+    source = _SOURCE_TEMPLATE.format(
+        slots=total + 4,
+        table_size=total,
+        a_table=init_list(a_table),
+        b_table=init_list(b_table),
+        acquire="        acquire(qlock);" if fixed else "",
+        release="        release(qlock);" if fixed else "",
+    )
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        head = machine.read_global("head")
+        present = {machine.read_global("q_a", i) for i in range(min(head, total))}
+        lost = total - len(present & set(a_table))
+        drift = abs(head - total)
+        return WorkloadOutcome(
+            errors=lost + drift + len(machine.crashes),
+            detail=f"{lost} items lost, head drift {drift}")
+
+    variant = "locked" if fixed else "buggy (no lock)"
+    return Workload(
+        name="queue-region",
+        description=(f"shared queue fill, {producers} producers x {items} "
+                     f"items ({variant})"),
+        source=source,
+        threads=[("producer", (tid, items)) for tid in range(producers)],
+        buggy=not fixed,
+        bug_substrings=("head", "q_a", "q_b"),
+        validator=validate,
+    )

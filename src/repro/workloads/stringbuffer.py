@@ -1,0 +1,108 @@
+"""The JDK 1.4 ``StringBuffer.append`` bug (paper §2.1, reference [16]).
+
+``sb1.append(sb2)`` locks only ``sb1``: it reads ``sb2``'s length and
+then copies ``sb2``'s characters without holding ``sb2``'s lock.  A
+concurrent mutation of ``sb2`` between the length read and the copy
+produces a torn append.  The paper manually verified that the region
+hypothesis holds for this atomic region; SVD detects the violation when
+it manifests.
+
+Mutator fills write a single distinct value across the buffer, so a torn
+copy is detected in-program (the copied run is not uniform) via
+``assert`` -- the manifested-error signal for the validator.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+
+_SOURCE_TEMPLATE = """
+// JDK 1.4 StringBuffer.append(StringBuffer) model
+shared int sb1_data[{capacity}];
+shared int sb1_len = 0;
+shared int sb2_data[{sb2_capacity}] = {{7, 7, 7, 7, 7, 7, 7, 7}};
+shared int sb2_len = 4;
+lock sb1_lock;
+lock sb2_lock;
+
+thread appender(int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        acquire(sb1_lock);
+        int len = sb2_len;
+{acquire2}
+        int base = sb1_len;
+        memcpy(sb1_data, base, sb2_data, 0, len);
+{release2}
+        if (len > 1) {{
+            assert(sb1_data[base] == sb1_data[base + len - 1]);
+        }}
+        sb1_len = base + len;
+        if (sb1_len > {wrap_at}) {{
+            sb1_len = 0;
+        }}
+        release(sb1_lock);
+        i = i + 1;
+    }}
+}}
+
+thread mutator(int ops) {{
+    int i = 0;
+    while (i < ops) {{
+        acquire(sb2_lock);
+        int n = 2 + (i % 5);
+        sb2_len = n;
+        int j = 0;
+        while (j < n) {{
+            sb2_data[j] = 500 + i;
+            j = j + 1;
+        }}
+        release(sb2_lock);
+        i = i + 1;
+    }}
+}}
+"""
+
+
+def stringbuffer(appenders: int = 2, mutators: int = 1, ops: int = 20,
+                 capacity: int = 64, fixed: bool = False) -> Workload:
+    """Build the StringBuffer workload.
+
+    ``fixed=True`` acquires ``sb2_lock`` around the length read and the
+    copy (the JDK fix), eliminating the torn append.
+    """
+    sb2_capacity = 8
+    source = _SOURCE_TEMPLATE.format(
+        capacity=capacity,
+        sb2_capacity=sb2_capacity,
+        wrap_at=capacity - sb2_capacity - 1,
+        acquire2="        acquire(sb2_lock);" if fixed else "",
+        release2="        release(sb2_lock);" if fixed else "",
+    )
+    if fixed:
+        # in the fixed variant the length read must also sit under the lock
+        source = source.replace(
+            "        int len = sb2_len;\n        acquire(sb2_lock);",
+            "        acquire(sb2_lock);\n        int len = sb2_len;")
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        crashes = len(machine.crashes)
+        return WorkloadOutcome(
+            errors=crashes,
+            detail=f"{crashes} torn appends detected in-program")
+
+    threads = [("appender", (ops,)) for _ in range(appenders)]
+    threads += [("mutator", (ops,)) for _ in range(mutators)]
+    variant = "patched" if fixed else "buggy"
+    return Workload(
+        name="stringbuffer",
+        description=(f"JDK 1.4 StringBuffer.append, {appenders} appenders "
+                     f"+ {mutators} mutators ({variant})"),
+        source=source,
+        threads=threads,
+        buggy=not fixed,
+        bug_substrings=("sb2_len", "sb2_data", "memcpy(sb1_data",
+                        "sb1_data[base]"),
+        validator=validate,
+    )

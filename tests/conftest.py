@@ -1,0 +1,114 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import OnlineSVD, SvdConfig
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+from repro.trace import TraceRecorder
+
+#: lost-update race: read-modify-write of a shared counter with no lock
+COUNTER_RACE = """
+shared int counter = 0;
+thread worker(int n) {
+    int i = 0;
+    while (i < n) {
+        int c = counter;
+        counter = c + 1;
+        i = i + 1;
+    }
+}
+"""
+
+#: the same counter correctly protected by a lock
+COUNTER_LOCKED = """
+shared int counter = 0;
+lock mtx;
+thread worker(int n) {
+    int i = 0;
+    while (i < n) {
+        acquire(mtx);
+        int c = counter;
+        counter = c + 1;
+        release(mtx);
+        i = i + 1;
+    }
+}
+"""
+
+#: benign race: monotone flag updated under a lock, read without one,
+#: with a never-true racy predicate (the paper's Figure 1 pattern)
+BENIGN_RACE = """
+shared int tot_lock = 1;
+lock internal;
+thread locker(int n) {
+    int i = 0;
+    while (i < n) {
+        acquire(internal);
+        int t = tot_lock;
+        tot_lock = t + 1;
+        release(internal);
+        acquire(internal);
+        tot_lock = tot_lock - 1;
+        release(internal);
+        i = i + 1;
+    }
+}
+thread checker(int n) {
+    int i = 0;
+    while (i < n) {
+        if (tot_lock == 0) {
+            output(0 - 99);
+        }
+        i = i + 1;
+    }
+}
+"""
+
+
+def run_program(source, threads, seed=1, switch_prob=0.4, observers=(),
+                max_steps=200_000, record=False, program=None):
+    """Compile + run; returns (machine, trace_or_None, extra observers)."""
+    prog = program if program is not None else compile_source(source)
+    obs = list(observers)
+    recorder = None
+    if record:
+        recorder = TraceRecorder(prog, len(threads))
+        obs.append(recorder)
+    machine = Machine(prog, threads,
+                      scheduler=RandomScheduler(seed=seed,
+                                                switch_prob=switch_prob),
+                      observers=obs)
+    machine.run(max_steps=max_steps)
+    trace = recorder.trace() if recorder else None
+    return machine, trace
+
+
+def run_with_svd(source, threads, seed=1, switch_prob=0.4, config=None,
+                 max_steps=200_000):
+    """Compile + run with an online SVD attached; returns (machine, svd)."""
+    prog = compile_source(source)
+    svd = OnlineSVD(prog, config)
+    machine = Machine(prog, threads,
+                      scheduler=RandomScheduler(seed=seed,
+                                                switch_prob=switch_prob),
+                      observers=[svd])
+    machine.run(max_steps=max_steps)
+    return machine, svd
+
+
+@pytest.fixture
+def counter_race_source():
+    return COUNTER_RACE
+
+
+@pytest.fixture
+def counter_locked_source():
+    return COUNTER_LOCKED
+
+
+@pytest.fixture
+def benign_race_source():
+    return BENIGN_RACE

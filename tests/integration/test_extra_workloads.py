@@ -1,0 +1,113 @@
+"""Beyond-paper workload integration tests (bank, lazy init, SPSC ring)."""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.workloads import bank_transfer, double_checked_init, spsc_ring
+
+
+class TestBankTransfer:
+    def test_locked_conserves_total(self):
+        workload = bank_transfer()
+        for seed in range(3):
+            result = run_workload(workload, seed=seed, switch_prob=0.5)
+            assert result.outcome.errors == 0, result.outcome.detail
+            assert result.status == "finished"  # ordered locks: no deadlock
+
+    def test_locked_frd_silent(self):
+        result = run_workload(bank_transfer(), seed=1, switch_prob=0.5)
+        assert result.frd.dynamic_total == 0
+
+    def test_unlocked_loses_money_and_both_detect(self):
+        workload = bank_transfer(fixed=False)
+        manifested = detected = False
+        for seed in range(4):
+            result = run_workload(workload, seed=seed, switch_prob=0.5)
+            if result.outcome.errors:
+                manifested = True
+                detected = detected or (result.svd.found_bug
+                                        and result.frd.found_bug)
+        assert manifested
+        assert detected
+
+    def test_svd_dynamic_reports_below_frd(self):
+        workload = bank_transfer(fixed=False)
+        for seed in range(3):
+            result = run_workload(workload, seed=seed, switch_prob=0.5)
+            assert result.svd.dynamic_total <= result.frd.dynamic_total
+
+    def test_needs_two_accounts(self):
+        with pytest.raises(ValueError):
+            bank_transfer(accounts=1)
+
+
+class TestDoubleCheckedInit:
+    def test_correct_publication_never_observed_broken(self):
+        workload = double_checked_init()
+        for seed in range(4):
+            result = run_workload(workload, seed=seed, switch_prob=0.5)
+            assert result.outcome.errors == 0
+
+    def test_early_flag_publication_observed_broken(self):
+        workload = double_checked_init(fixed=False)
+        crashed = [run_workload(workload, seed=s, switch_prob=0.5)
+                   for s in range(8)]
+        manifested = [r for r in crashed if r.outcome.errors]
+        assert manifested, "the half-built object was never observed"
+        # when the error manifests, SVD flags the execution
+        assert any(r.svd.found_bug for r in manifested)
+
+    def test_manifestation_is_nondeterministic(self):
+        workload = double_checked_init(fixed=False)
+        outcomes = {run_workload(workload, seed=s,
+                                 switch_prob=0.5).outcome.manifested
+                    for s in range(8)}
+        assert outcomes == {True, False}
+
+
+class TestSpscRing:
+    def test_ring_is_correct_without_locks(self):
+        workload = spsc_ring()
+        for seed in range(3):
+            result = run_workload(workload, seed=seed, switch_prob=0.5)
+            assert result.outcome.errors == 0, result.outcome.detail
+
+    def test_frd_necessarily_reports_the_sync_free_design(self):
+        result = run_workload(spsc_ring(), seed=1, switch_prob=0.5)
+        assert result.frd.dynamic_total > 0
+
+    def test_svd_far_below_frd_on_intentional_races(self):
+        """SVD cannot fully bless flag-based synchronization (the
+        head/tail handoff violates strict 2PL), but it reports an order
+        of magnitude less noise than a race detector."""
+        result = run_workload(spsc_ring(), seed=1, switch_prob=0.5)
+        assert result.svd.dynamic_total * 5 <= result.frd.dynamic_total
+
+
+class TestMonitorCodeThroughFormalPipeline:
+    """Condition-variable programs flow through the trace-based stack."""
+
+    def test_bounded_buffer_offline_and_pdg(self):
+        from repro.core import OfflineSVD
+        from repro.pdg import build_dpdg, reference_cu_partition
+        from repro.serializability import is_serializable
+        from repro.trace import TraceRecorder
+        from repro.machine import RandomScheduler
+        from repro.workloads import bounded_buffer
+
+        workload = bounded_buffer(producers=1, items=6, capacity=2)
+        recorder = TraceRecorder(workload.program, len(workload.threads))
+        machine = workload.make_machine(
+            RandomScheduler(seed=1, switch_prob=0.5), observers=[recorder])
+        machine.run(max_steps=200_000)
+        assert workload.validate(machine).errors == 0
+        trace = recorder.trace()
+        # the offline algorithm handles WAIT/NOTIFY events gracefully
+        result = OfflineSVD(workload.program).run(trace)
+        assert result.cu_count > 0
+        # and the formal layer partitions the monitor code
+        pdg = build_dpdg(trace)
+        parts = {tid: reference_cu_partition(pdg, tid)
+                 for tid in range(len(workload.threads))}
+        for tid, part in parts.items():
+            assert sorted(part.cu_of) == pdg.thread_vertices(tid)

@@ -1,0 +1,58 @@
+"""Figure 2 integration: the Apache buffered-log bug.
+
+The paper: SVD detects the serializability violation when the log-buffer
+CU's input (the buffer index / buffer contents) is overwritten by another
+thread before the CU's own writes complete -- "SVD detects ... when 3.09
+is writing buf.outcnt by observing a conflict".
+"""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.workloads import apache_log
+
+
+def manifested_run():
+    for seed in range(6):
+        result = run_workload(apache_log(), seed=seed, switch_prob=0.5)
+        if result.outcome.manifested:
+            return result
+    pytest.fail("the Apache bug did not manifest under any seed")
+
+
+@pytest.fixture(scope="module")
+def buggy_result():
+    return manifested_run()
+
+
+class TestFigure2:
+    def test_error_manifests(self, buggy_result):
+        assert buggy_result.outcome.errors > 0
+
+    def test_svd_detects_online(self, buggy_result):
+        assert buggy_result.svd.found_bug
+
+    def test_svd_reports_the_buffer_statements(self, buggy_result):
+        texts = {buggy_result.svd_report.program.locs[v.loc].text
+                 for v in buggy_result.svd_report}
+        assert any("outcnt" in t or "bufout" in t for t in texts)
+
+    def test_frd_also_detects(self, buggy_result):
+        assert buggy_result.frd.found_bug
+
+    def test_no_apparent_false_negative(self, buggy_result):
+        assert not buggy_result.apparent_false_negative
+
+    def test_svd_dynamic_reports_far_fewer_than_frd(self, buggy_result):
+        """Order-of-magnitude fewer dynamic reports: the BER argument."""
+        assert buggy_result.svd.dynamic_total < buggy_result.frd.dynamic_total
+        assert (buggy_result.svd.dynamic_total * 5
+                <= buggy_result.frd.dynamic_total)
+
+    def test_fixed_apache_clean_for_both(self):
+        for seed in range(3):
+            result = run_workload(apache_log(fixed=True), seed=seed,
+                                  switch_prob=0.5)
+            assert result.outcome.errors == 0
+            assert result.svd.dynamic_total == 0
+            assert result.frd.dynamic_total == 0

@@ -1,0 +1,62 @@
+"""Golden regression pins: exact deterministic results for fixed seeds.
+
+Everything in this library is deterministic given (source, seed,
+scheduler), so these tests pin exact numbers.  A failure here means an
+intentional behaviour change -- update the goldens deliberately, never
+casually: each pinned value is cross-checked by the looser invariant
+tests elsewhere, and together they freeze the detector's semantics.
+"""
+
+import pytest
+
+from repro.core import OnlineSVD
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+from tests.conftest import COUNTER_RACE
+
+
+def run_counter_race(seed):
+    program = compile_source(COUNTER_RACE)
+    svd = OnlineSVD(program)
+    machine = Machine(program, [("worker", (30,)), ("worker", (30,))],
+                      scheduler=RandomScheduler(seed=seed, switch_prob=0.4),
+                      observers=[svd])
+    machine.run()
+    return machine, svd
+
+
+class TestCounterRaceGoldens:
+    def test_seed1_execution(self):
+        machine, svd = run_counter_race(1)
+        assert machine.read_global("counter") == 46
+        assert machine.seq == 1158
+        assert svd.report.dynamic_count == 11
+        assert svd.report.static_count == 2
+        assert svd.cus_created == 58
+
+    def test_seed2_execution(self):
+        machine, svd = run_counter_race(2)
+        # a different seed, a different interleaving, same determinism
+        assert machine.read_global("counter") == \
+            run_counter_race(2)[0].read_global("counter")
+        assert svd.report.dynamic_count == \
+            run_counter_race(2)[1].report.dynamic_count
+
+
+class TestWorkloadGoldens:
+    def test_apache_seed3(self):
+        from repro.harness import run_workload
+        from repro.workloads import apache_log
+        result = run_workload(apache_log(), seed=3, switch_prob=0.3)
+        assert result.outcome.errors == 93
+        assert result.svd.dynamic_tp == 111
+        assert result.svd.dynamic_fp == 0
+        assert result.frd.dynamic_tp == 5679
+
+    def test_tablelock_seed1(self):
+        from repro.harness import run_workload
+        from repro.workloads import mysql_tablelock
+        result = run_workload(mysql_tablelock(), seed=1, switch_prob=0.5)
+        assert result.outcome.errors == 0
+        assert result.svd.dynamic_total == 0
+        assert result.frd.static_fp == 3

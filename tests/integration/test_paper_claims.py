@@ -1,0 +1,96 @@
+"""Cross-cutting integration tests for the paper's §7 claims."""
+
+import pytest
+
+from repro.harness import run_workload, table2_rows
+from repro.harness.table2 import aggregate_row
+from repro.workloads import (apache_log, mysql_prepared, mysql_tablelock,
+                             pgsql_oltp, stringbuffer)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_rows(max_steps=300_000)
+
+
+class TestTable2Shape:
+    """The qualitative shape of Table 2 (see DESIGN.md §5)."""
+
+    def test_no_apparent_false_negatives(self, rows):
+        for row in rows:
+            if row.buggy:
+                assert row.apparent_fn == 0, row.program
+
+    def test_bugs_found_by_both_detectors(self, rows):
+        for row in rows:
+            if row.buggy:
+                assert row.bugs_found_svd == row.segments
+                assert row.bugs_found_frd == row.segments
+
+    def test_mysql_bugfree_svd_static_fp_below_frd(self, rows):
+        row = next(r for r in rows if r.program == "MySQL (bug-free)")
+        assert row.svd_static_fp < row.frd_static_fp
+
+    def test_mysql_bugfree_svd_dynamic_fp_below_frd(self, rows):
+        row = next(r for r in rows if r.program == "MySQL (bug-free)")
+        assert row.svd_dynamic_fp < row.frd_dynamic_fp
+
+    def test_pgsql_crossover(self, rows):
+        """PgSQL is the row where SVD reports MORE than FRD."""
+        row = next(r for r in rows if r.program == "PgSQL")
+        assert row.frd_static_fp == 0
+        assert row.svd_static_fp > row.frd_static_fp
+
+    def test_pgsql_absolute_rate_low(self, rows):
+        """...but at a low absolute dynamic rate: far below the buggy
+        workloads' FRD race rates."""
+        pgsql = next(r for r in rows if r.program == "PgSQL")
+        apache = next(r for r in rows if r.program == "Apache (buggy)")
+        frd_race_rate = (apache.runs[0].frd.dynamic_tp * 1e6
+                         / apache.runs[0].instructions)
+        assert pgsql.svd_dynfp_per_million() < frd_race_rate
+
+    def test_posteriori_counts_recorded(self, rows):
+        for row in rows:
+            assert row.posteriori_examinations >= 0
+        mysql = next(r for r in rows if r.program == "MySQL (buggy)")
+        assert mysql.posteriori_examinations > 0
+
+
+class TestStringBufferClaim:
+    """§2.1: the region hypothesis holds on the JDK StringBuffer bug and
+    SVD detects the torn append."""
+
+    def test_svd_detects_torn_append(self):
+        workload = stringbuffer()
+        detected = False
+        for seed in range(6):
+            result = run_workload(workload, seed=seed, switch_prob=0.6)
+            if result.outcome.manifested:
+                detected = detected or result.svd.found_bug
+        assert detected
+
+    def test_fixed_stringbuffer_never_tears(self):
+        """The patched append never tears.  SVD may still report a few
+        strict-2PL-gap false positives (the copied length is used after
+        sb2's lock is released -- the same §5.2 FP class the paper sees
+        on its patched programs), but they are all false positives."""
+        workload = stringbuffer(fixed=True)
+        for seed in range(3):
+            result = run_workload(workload, seed=seed, switch_prob=0.6)
+            assert result.outcome.errors == 0
+            assert result.svd.dynamic_tp == 0
+
+
+class TestDynamicFpBerArgument:
+    """§6: dynamic FPs are proportional to lost work under BER; SVD's
+    advantage must hold on the identical executions FRD sees."""
+
+    def test_svd_dynamic_reports_below_frd_on_buggy_runs(self):
+        for factory, seeds in ((apache_log, range(3)),
+                               (lambda: mysql_prepared(), range(3))):
+            for seed in seeds:
+                result = run_workload(factory(), seed=seed, switch_prob=0.5)
+                if result.frd.dynamic_total:
+                    assert (result.svd.dynamic_total
+                            <= result.frd.dynamic_total)

@@ -1,0 +1,47 @@
+"""Reader-writer-lock workload integration tests."""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.workloads import rwlock_db
+
+
+class TestFixedRwLock:
+    def test_correct_and_race_free(self):
+        for seed in range(3):
+            result = run_workload(rwlock_db(), seed=seed, switch_prob=0.5,
+                                  max_steps=400_000)
+            assert result.status == "finished"
+            assert result.outcome.errors == 0, result.outcome.detail
+            assert result.frd.dynamic_total == 0
+
+    def test_svd_reports_only_false_positives(self):
+        result = run_workload(rwlock_db(), seed=1, switch_prob=0.5,
+                              max_steps=400_000)
+        assert result.svd.dynamic_tp == 0
+
+
+class TestBuggyRwLock:
+    def test_torn_reads_manifest(self):
+        manifested = [run_workload(rwlock_db(fixed=False), seed=s,
+                                   switch_prob=0.5, max_steps=400_000)
+                      for s in range(6)]
+        assert any(r.outcome.manifested for r in manifested)
+
+    def test_both_detectors_find_the_bug(self):
+        for seed in range(3):
+            result = run_workload(rwlock_db(fixed=False), seed=seed,
+                                  switch_prob=0.5, max_steps=400_000)
+            assert result.svd.found_bug or result.posteriori_found_bug
+            assert result.frd.found_bug
+
+    def test_no_apparent_false_negative(self):
+        for seed in range(4):
+            result = run_workload(rwlock_db(fixed=False), seed=seed,
+                                  switch_prob=0.5, max_steps=400_000)
+            assert not result.apparent_false_negative
+
+    def test_svd_noise_below_frd(self):
+        result = run_workload(rwlock_db(fixed=False), seed=0,
+                              switch_prob=0.5, max_steps=400_000)
+        assert result.svd.dynamic_total <= result.frd.dynamic_total

@@ -1,0 +1,76 @@
+"""Checkpoint/restore property tests over generated programs.
+
+The BER substrate's correctness rests on restore being exact: replaying
+from a mid-run snapshot must reproduce the original completion
+bit-for-bit (same memory, same output, same crashes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+
+from tests.property.genprog import programs
+
+SETTINGS = dict(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(source, seed):
+    program = compile_source(source)
+    return Machine(program, [("t0", ()), ("t1", ())],
+                   scheduler=RandomScheduler(seed=seed, switch_prob=0.5))
+
+
+def final_state(machine):
+    return (list(machine.memory), list(machine.output),
+            [(c.tid, c.pc) for c in machine.crashes], machine.status)
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 50), st.integers(0, 300))
+def test_restore_replays_identically(source, seed, prefix_steps):
+    machine = build(source, seed)
+    for _ in range(prefix_steps):
+        if not machine.step():
+            break
+    snapshot = machine.checkpoint()
+    machine.run(max_steps=5000)
+    first = final_state(machine)
+    machine.restore(snapshot)
+    machine.run(max_steps=5000)
+    assert final_state(machine) == first
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 50))
+def test_restore_is_exact_at_capture_point(source, seed):
+    machine = build(source, seed)
+    for _ in range(137):
+        if not machine.step():
+            break
+    memory_before = list(machine.memory)
+    pcs_before = [t.pc for t in machine.threads]
+    snapshot = machine.checkpoint()
+    machine.run(max_steps=2000)
+    machine.restore(snapshot)
+    assert list(machine.memory) == memory_before
+    assert [t.pc for t in machine.threads] == pcs_before
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 50))
+def test_double_restore_idempotent(source, seed):
+    machine = build(source, seed)
+    for _ in range(50):
+        if not machine.step():
+            break
+    snapshot = machine.checkpoint()
+    machine.run(max_steps=1000)
+    machine.restore(snapshot)
+    after_first = (list(machine.memory), [t.snapshot() for t in machine.threads])
+    machine.restore(snapshot)
+    after_second = (list(machine.memory), [t.snapshot() for t in machine.threads])
+    assert after_first == after_second

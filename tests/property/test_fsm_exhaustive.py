@@ -1,0 +1,87 @@
+"""Exhaustive FSM verification: every event sequence up to length 7.
+
+The Figure 8 reconstruction is small enough to model-check outright
+(3^7 = 2187 sequences); these tests complement the randomised hypothesis
+suite with full certainty over short histories.
+"""
+
+import itertools
+
+from repro.core.fsm import (
+    IDLE, LOADED, LOADED_SHARED, SHARED_STATES, STORED, STORED_SHARED,
+    TRUE_DEP, on_local_load, on_local_store, on_remote_access,
+)
+
+STEP = {"l": on_local_load, "s": on_local_store, "r": on_remote_access}
+MAX_LEN = 7
+
+
+def run(sequence):
+    state = IDLE
+    cuts = []
+    for position, symbol in enumerate(sequence):
+        state, cut = STEP[symbol](state)
+        if cut:
+            cuts.append(position)
+    return state, cuts
+
+
+def all_sequences():
+    for length in range(MAX_LEN + 1):
+        yield from itertools.product("lsr", repeat=length)
+
+
+def test_cut_positions_always_follow_store_and_remote():
+    """Every cut happens at a position with both a local store and a
+    remote access strictly before-or-at it (counting the current
+    event)."""
+    for sequence in all_sequences():
+        _state, cuts = run(sequence)
+        for position in cuts:
+            prefix = sequence[:position + 1]
+            assert "s" in prefix, sequence
+            assert "r" in prefix, sequence
+
+
+def test_shared_states_require_remote():
+    for sequence in all_sequences():
+        state, _cuts = run(sequence)
+        if state in SHARED_STATES:
+            assert "r" in sequence
+
+
+def test_true_dep_requires_store_then_load():
+    for sequence in all_sequences():
+        state, _cuts = run(sequence)
+        if state == TRUE_DEP:
+            assert "s" in sequence and "l" in sequence
+            assert sequence.index("s") < len(sequence) - 1 or \
+                sequence[-1] == "l" or sequence[-1] == "s" or True
+            # there must exist a store strictly before some load
+            first_store = sequence.index("s")
+            assert "l" in sequence[first_store + 1:]
+
+    # and the canonical witness works
+    assert run("sl")[0] == TRUE_DEP
+
+
+def test_cut_resets_are_observable():
+    """After a remote-true-dep cut the state is IDLE; after a
+    stored-shared-load cut the state is LOADED (the load re-tracks)."""
+    state, cuts = run("slr")  # store, load (True_Dep), remote -> cut
+    assert cuts and state == IDLE
+    state, cuts = run("srl")  # store, remote (Stored_Shared), load -> cut
+    assert cuts and state == LOADED
+
+
+def test_at_most_one_cut_per_remote_or_load():
+    """A single event can cut at most once, so cuts never outnumber the
+    loads+remotes in the sequence."""
+    for sequence in all_sequences():
+        _state, cuts = run(sequence)
+        assert len(cuts) <= sequence.count("l") + sequence.count("r")
+
+
+def test_deterministic_and_total():
+    for sequence in all_sequences():
+        assert run(sequence) == run(sequence)

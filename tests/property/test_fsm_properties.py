@@ -1,0 +1,88 @@
+"""Property tests for the block FSM (Figure 8 reconstruction)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import (
+    IDLE, LOADED, LOADED_SHARED, SHARED_STATES, STORED, STORED_SHARED,
+    TRUE_DEP, on_local_load, on_local_store, on_remote_access,
+)
+
+ALL_STATES = [IDLE, LOADED, STORED, TRUE_DEP, LOADED_SHARED, STORED_SHARED]
+
+#: an event sequence: 'l' local load, 's' local store, 'r' remote access
+events = st.lists(st.sampled_from("lsr"), max_size=40)
+
+STEP = {
+    "l": on_local_load,
+    "s": on_local_store,
+    "r": on_remote_access,
+}
+
+
+def run_events(sequence, state=IDLE):
+    """Apply events; on a cut, the block resets (load re-tracks)."""
+    cuts = 0
+    for symbol in sequence:
+        state, cut = STEP[symbol](state)
+        if cut:
+            cuts += 1
+    return state, cuts
+
+
+@given(events)
+def test_states_stay_in_domain(sequence):
+    state, _ = run_events(sequence)
+    assert state in ALL_STATES
+
+
+@given(events)
+def test_no_remote_access_means_never_shared_and_never_cut(sequence):
+    local_only = [s for s in sequence if s != "r"]
+    state, cuts = run_events(local_only)
+    assert state not in SHARED_STATES
+    assert cuts == 0
+
+
+@given(events)
+def test_cut_requires_prior_local_write_and_remote(sequence):
+    """A cut needs both a local store and a remote access in history."""
+    _state, cuts = run_events(sequence)
+    if cuts:
+        assert "s" in sequence
+        assert "r" in sequence
+
+
+@given(events)
+def test_shared_state_requires_remote_access(sequence):
+    state, _ = run_events(sequence)
+    if state in SHARED_STATES:
+        assert "r" in sequence
+
+
+@given(events)
+def test_loads_only_never_cuts(sequence):
+    """Read-only blocks never cut no matter how threads interleave."""
+    reads_only = [s for s in sequence if s in "lr"]
+    _state, cuts = run_events(reads_only)
+    assert cuts == 0
+
+
+@given(st.sampled_from(ALL_STATES))
+def test_transitions_total(state):
+    for step in STEP.values():
+        new_state, cut = step(state)
+        assert new_state in ALL_STATES
+        assert isinstance(cut, bool)
+
+
+@given(st.sampled_from(ALL_STATES))
+def test_store_is_idempotent_in_state(state):
+    once, _ = on_local_store(state)
+    twice, _ = on_local_store(once)
+    assert once == twice
+
+
+@given(events)
+def test_cut_sequence_deterministic(sequence):
+    assert run_events(sequence) == run_events(sequence)

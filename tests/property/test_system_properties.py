@@ -1,0 +1,121 @@
+"""System-level property tests over randomly generated programs.
+
+These are the library's strongest correctness guarantees: for *any*
+small concurrent program the machine is deterministic, the reference CU
+partition obeys the region hypothesis, and the serializability theory
+relations (strict 2PL  =>  conflict-serializable) hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import OfflineSVD, OnlineSVD
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+from repro.pdg import build_dpdg, reference_cu_partition
+from repro.pdg.dpdg import TRUE_SHARED
+from repro.serializability import is_serializable, strict_2pl_violations
+from repro.trace import TraceRecorder
+
+from tests.property.genprog import programs
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def execute(source, seed, record=True, svd=False, max_steps=6000):
+    program = compile_source(source)
+    observers = []
+    recorder = TraceRecorder(program, 2) if record else None
+    if recorder:
+        observers.append(recorder)
+    detector = OnlineSVD(program) if svd else None
+    if detector:
+        observers.append(detector)
+    machine = Machine(program, [("t0", ()), ("t1", ())],
+                      scheduler=RandomScheduler(seed=seed, switch_prob=0.5),
+                      observers=observers)
+    machine.run(max_steps=max_steps)
+    trace = recorder.trace() if recorder else None
+    return machine, trace, detector
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_machine_deterministic(source, seed):
+    m1, t1, _ = execute(source, seed)
+    m2, t2, _ = execute(source, seed)
+    assert [(e.tid, e.pc, e.addr, e.value) for e in t1] == \
+        [(e.tid, e.pc, e.addr, e.value) for e in t2]
+    assert m1.output == m2.output
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_reference_partition_is_partition(source, seed):
+    _m, trace, _ = execute(source, seed)
+    pdg = build_dpdg(trace)
+    for tid in (0, 1):
+        part = reference_cu_partition(pdg, tid)
+        vertices = pdg.thread_vertices(tid)
+        covered = sorted(s for members in part.members.values()
+                         for s in members)
+        assert covered == vertices
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_region_hypothesis_rule_one_always_holds(source, seed):
+    """No CU of the reference partition contains a shared dependence."""
+    _m, trace, _ = execute(source, seed)
+    pdg = build_dpdg(trace)
+    for tid in (0, 1):
+        part = reference_cu_partition(pdg, tid)
+        for arc in pdg.thread_arcs(tid):
+            if arc.kind == TRUE_SHARED:
+                assert part.cu_of[arc.src] != part.cu_of[arc.dst]
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_strict_2pl_clean_implies_serializable(source, seed):
+    """The paper's §3.3 soundness direction, on random executions."""
+    _m, trace, _ = execute(source, seed)
+    pdg = build_dpdg(trace)
+    parts = {tid: reference_cu_partition(pdg, tid) for tid in (0, 1)}
+    if not strict_2pl_violations(trace, parts):
+        assert is_serializable(trace, parts).serializable
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_online_svd_never_crashes_and_closes_everything(source, seed):
+    machine, _t, svd = execute(source, seed, record=False, svd=True)
+    assert svd.open_cus == 0
+    assert svd.tracked_state_words() == 0
+    assert svd.instructions == machine.seq
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_offline_svd_runs_on_any_trace(source, seed):
+    _m, trace, _ = execute(source, seed)
+    result = OfflineSVD(trace.program).run(trace)
+    assert result.cu_count >= 0
+    for violation in result.report:
+        assert violation.tid != violation.other_tid
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 50))
+def test_serial_execution_never_reports(source, seed):
+    """Any program run serially has trivially serializable CUs: the
+    online detector must stay silent."""
+    from repro.machine import SerialScheduler
+    program = compile_source(source)
+    svd = OnlineSVD(program)
+    machine = Machine(program, [("t0", ()), ("t1", ())],
+                      scheduler=SerialScheduler(), observers=[svd])
+    machine.run(max_steps=6000)
+    assert svd.report.dynamic_count == 0

@@ -1,0 +1,77 @@
+"""Property tests for vector clocks."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detectors.vector_clock import VectorClock
+
+WIDTH = 4
+
+clock_values = st.lists(st.integers(min_value=0, max_value=50),
+                        min_size=WIDTH, max_size=WIDTH)
+
+
+def vc(values):
+    return VectorClock(WIDTH, values)
+
+
+@given(clock_values, clock_values)
+def test_happens_before_antisymmetric(a_vals, b_vals):
+    a, b = vc(a_vals), vc(b_vals)
+    assert not (a.happens_before(b) and b.happens_before(a))
+
+
+@given(clock_values)
+def test_irreflexive(vals):
+    a = vc(vals)
+    assert not a.happens_before(vc(vals))
+
+
+@given(clock_values, clock_values, clock_values)
+def test_transitive(a_vals, b_vals, c_vals):
+    a, b, c = vc(a_vals), vc(b_vals), vc(c_vals)
+    if a.happens_before(b) and b.happens_before(c):
+        assert a.happens_before(c)
+
+
+@given(clock_values, clock_values)
+def test_join_is_upper_bound(a_vals, b_vals):
+    a, b = vc(a_vals), vc(b_vals)
+    joined = a.copy()
+    joined.join(b)
+    for i in range(WIDTH):
+        assert joined[i] >= a[i]
+        assert joined[i] >= b[i]
+    # and it's the LEAST upper bound
+    assert joined.clocks == [max(x, y) for x, y in zip(a_vals, b_vals)]
+
+
+@given(clock_values, clock_values)
+def test_join_commutative(a_vals, b_vals):
+    ab = vc(a_vals)
+    ab.join(vc(b_vals))
+    ba = vc(b_vals)
+    ba.join(vc(a_vals))
+    assert ab == ba
+
+
+@given(clock_values)
+def test_join_idempotent(vals):
+    a = vc(vals)
+    a.join(vc(vals))
+    assert a.clocks == vals
+
+
+@given(clock_values)
+def test_tick_advances(vals):
+    a = vc(vals)
+    before = a.copy()
+    a.tick(0)
+    assert before.happens_before(a)
+
+
+@given(clock_values, clock_values)
+def test_ordered_with_consistent(a_vals, b_vals):
+    a, b = vc(a_vals), vc(b_vals)
+    assert a.ordered_with(b) == (
+        a.happens_before(b) or b.happens_before(a) or a == b)

@@ -1,0 +1,91 @@
+"""BER controller unit tests."""
+
+import pytest
+
+from repro.ber import BerController, SwitchableScheduler
+from repro.lang import compile_source
+from repro.machine import MachineStatus, RandomScheduler, SerialScheduler
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE
+
+
+def make_controller(source, threads, seed=1, switch=0.5, **kwargs):
+    prog = compile_source(source)
+    return BerController(prog, threads,
+                         RandomScheduler(seed=seed, switch_prob=switch),
+                         **kwargs)
+
+
+class TestSwitchableScheduler:
+    def test_delegates_to_normal(self):
+        sched = SwitchableScheduler(SerialScheduler())
+        assert sched.pick([0, 1], None) == 0
+
+    def test_serial_mode_sticks_to_current(self):
+        sched = SwitchableScheduler(RandomScheduler(seed=0, switch_prob=1.0))
+        sched.serial_mode = True
+        assert sched.pick([0, 1], 1) == 1
+
+    def test_snapshot_roundtrip(self):
+        sched = SwitchableScheduler(RandomScheduler(seed=0))
+        state = sched.snapshot()
+        sched.serial_mode = True
+        sched.pick([0, 1], None)
+        sched.restore(state)
+        assert not sched.serial_mode
+
+
+class TestBerController:
+    def test_clean_program_no_rollbacks(self):
+        controller = make_controller(
+            COUNTER_LOCKED, [("worker", (15,)), ("worker", (15,))])
+        outcome = controller.run()
+        assert outcome.rollbacks == 0
+        assert outcome.status == MachineStatus.FINISHED
+        assert controller.machine.read_global("counter") == 30
+
+    def test_racy_program_triggers_rollbacks(self):
+        rolled = False
+        for seed in range(5):
+            controller = make_controller(
+                COUNTER_RACE, [("worker", (25,)), ("worker", (25,))],
+                seed=seed)
+            outcome = controller.run()
+            rolled = rolled or outcome.rollbacks > 0
+            assert outcome.status in (MachineStatus.FINISHED,
+                                      MachineStatus.STEP_LIMIT)
+        assert rolled
+
+    def test_rollback_accounting(self):
+        for seed in range(5):
+            controller = make_controller(
+                COUNTER_RACE, [("worker", (25,)), ("worker", (25,))],
+                seed=seed, checkpoint_interval=200, recovery_window=500)
+            outcome = controller.run()
+            if outcome.rollbacks:
+                assert outcome.wasted_steps > 0
+                assert outcome.total_steps > controller.machine.steps
+                assert 0 < outcome.overhead_fraction < 1
+                return
+        pytest.fail("no rollback observed")
+
+    def test_max_rollbacks_terminates(self):
+        controller = make_controller(
+            COUNTER_RACE, [("worker", (40,)), ("worker", (40,))],
+            seed=1, max_rollbacks=2, checkpoint_interval=100,
+            recovery_window=50)
+        outcome = controller.run(max_steps=500_000)
+        assert outcome.rollbacks <= 2
+        assert outcome.status in (MachineStatus.FINISHED,
+                                  MachineStatus.STEP_LIMIT)
+
+    def test_invalid_checkpoint_interval(self):
+        prog = compile_source(COUNTER_LOCKED)
+        with pytest.raises(ValueError):
+            BerController(prog, [("worker", (5,)), ("worker", (5,))],
+                          SerialScheduler(), checkpoint_interval=0)
+
+    def test_step_limit_respected(self):
+        controller = make_controller(
+            COUNTER_LOCKED, [("worker", (500,)), ("worker", (500,))])
+        outcome = controller.run(max_steps=1000)
+        assert outcome.status == MachineStatus.STEP_LIMIT

@@ -1,0 +1,109 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def msp_file(tmp_path):
+    path = tmp_path / "prog.msp"
+    path.write_text(
+        "shared int x = 0;\n"
+        "thread t(int n) { int i = 0; while (i < n) {"
+        " x = x + 1; i = i + 1; } output(x); }\n")
+    return str(path)
+
+
+class TestRun:
+    def test_run_svd(self, capsys):
+        assert main(["run", "mysql-tablelock", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "svd: 0 dynamic reports" in out
+        assert "a-posteriori log" in out
+
+    def test_run_all_detectors(self, capsys):
+        assert main(["run", "apache", "--seed", "3",
+                     "--detector", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "svd:" in out
+        assert "frd:" in out
+
+    def test_run_fixed_variant(self, capsys):
+        assert main(["run", "apache", "--fixed", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "patched" in out
+
+    def test_run_fixed_unsupported(self, capsys):
+        assert main(["run", "pgsql", "--fixed"]) == 2
+
+    def test_run_frd(self, capsys):
+        assert main(["run", "mysql-tablelock", "--detector", "frd",
+                     "--seed", "1"]) == 0
+        assert "frd:" in capsys.readouterr().out
+
+    def test_run_precise(self, capsys):
+        assert main(["run", "queue-region", "--detector", "precise"]) == 0
+        assert "svd-precise:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("detector", ["lockset", "atomizer", "offline"])
+    def test_run_other_detectors(self, detector, capsys):
+        assert main(["run", "mysql-tablelock", "--detector", detector]) == 0
+        assert "dynamic reports" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonexistent"])
+
+
+class TestExec:
+    def test_exec_with_threads(self, msp_file, capsys):
+        assert main(["exec", msp_file, "--thread", "t:5",
+                     "--thread", "t:5", "--svd"]) == 0
+        out = capsys.readouterr().out
+        assert "status: finished" in out
+        assert "svd:" in out
+
+    def test_exec_missing_file(self, capsys):
+        assert main(["exec", "/does/not/exist.msp"]) == 2
+
+    def test_exec_compile_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.msp"
+        bad.write_text("thread t() { undeclared = 1; }")
+        assert main(["exec", str(bad)]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+    def test_exec_needs_threads_when_parameterised(self, msp_file, capsys):
+        assert main(["exec", msp_file]) == 2
+
+    def test_exec_reports_crash(self, tmp_path, capsys):
+        prog = tmp_path / "crash.msp"
+        prog.write_text("thread t() { assert(0); }")
+        assert main(["exec", str(prog)]) == 0
+        assert "CRASH" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_listing(self, msp_file, capsys):
+        assert main(["compile", msp_file]) == 0
+        out = capsys.readouterr().out
+        assert "LOAD" in out or "STORE" in out
+
+    def test_stats(self, msp_file, capsys):
+        assert main(["compile", msp_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "frame words" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/does/not/exist.msp"]) == 2
+
+
+class TestHarnessCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "mysql-tablelock", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "with SVD" in out

@@ -1,0 +1,291 @@
+"""Compiler (semantic analysis + codegen) unit tests."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Output, Reg,
+    Release, Store,
+)
+from repro.lang import compile_source
+from repro.lang.errors import SemanticError
+from tests.conftest import run_program
+
+
+def compile_thread(body, decls=""):
+    return compile_source(f"{decls}\nthread t() {{ {body} }}")
+
+
+class TestLayout:
+    def test_shared_scalar_gets_address(self):
+        prog = compile_source("shared int x; thread t() { x = 1; }")
+        assert prog.globals_layout["x"] == (0, 1)
+
+    def test_sequential_layout(self):
+        prog = compile_source(
+            "shared int x; shared int a[4]; shared int y; thread t() { }")
+        assert prog.globals_layout["x"] == (0, 1)
+        assert prog.globals_layout["a"] == (1, 4)
+        assert prog.globals_layout["y"] == (5, 1)
+
+    def test_locks_after_globals(self):
+        prog = compile_source("shared int x; lock m; thread t() { }")
+        assert 1 in prog.lock_names
+        assert prog.lock_names[1] == "m"
+        assert prog.shared_words == 2
+
+    def test_scalar_init_value(self):
+        prog = compile_source("shared int x = 9; thread t() { }")
+        assert prog.init_values[0] == 9
+
+    def test_array_init_list(self):
+        prog = compile_source("shared int a[3] = {4, 5, 6}; thread t() { }")
+        assert [prog.init_values[i] for i in range(3)] == [4, 5, 6]
+
+    def test_array_broadcast_init(self):
+        prog = compile_source("shared int a[3] = 7; thread t() { }")
+        assert [prog.init_values[i] for i in range(3)] == [7, 7, 7]
+
+    def test_too_many_initialisers_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("shared int a[2] = {1,2,3}; thread t() { }")
+
+    def test_thread_frame_includes_params_and_locals(self):
+        prog = compile_source(
+            "local int g; thread t(int p) { int x = p; x = x + g; }")
+        spec = prog.threads["t"]
+        assert spec.frame_words >= 3  # p, g, x
+
+    def test_reg_count_recorded(self):
+        prog = compile_source("shared int x; thread t() { x = x + 1; }")
+        assert prog.threads["t"].reg_count > 1
+
+
+class TestSemanticErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            compile_thread("x = 1;")
+
+    def test_redeclared_global(self):
+        with pytest.raises(SemanticError):
+            compile_source("shared int x; shared int x; thread t() { }")
+
+    def test_redeclared_local(self):
+        with pytest.raises(SemanticError):
+            compile_thread("int x = 0; int x = 1;")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        compile_thread("int x = 0; if (x) { int x = 1; x = 2; }")
+
+    def test_undeclared_lock(self):
+        with pytest.raises(SemanticError):
+            compile_thread("acquire(m);")
+
+    def test_lock_used_as_variable(self):
+        with pytest.raises(SemanticError):
+            compile_source("lock m; thread t() { m = 1; }")
+
+    def test_scalar_indexed_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("shared int x; thread t() { x[0] = 1; }")
+
+    def test_array_used_as_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("shared int a[4]; thread t() { a = 1; }")
+
+    def test_memcpy_on_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source(
+                "shared int a[4]; shared int x;"
+                "thread t() { memcpy(a, 0, x, 0, 1); }")
+
+    def test_duplicate_thread_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("thread t() { } thread t() { }")
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("shared int x;")
+
+    def test_local_global_with_initialiser_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("local int g = 5; thread t() { }")
+
+
+class TestCodegenExecution:
+    """End-to-end: compiled programs compute the right values."""
+
+    def run_single(self, source, threads=None, **kwargs):
+        machine, _ = run_program(source, threads or [("t", ())], **kwargs)
+        return machine
+
+    def test_arithmetic(self):
+        m = self.run_single(
+            "shared int r; thread t() { r = 2 + 3 * 4 - 6 / 2; }")
+        assert m.read_global("r") == 11
+
+    def test_modulo_and_compare(self):
+        m = self.run_single(
+            "shared int r; shared int s;"
+            "thread t() { r = 17 % 5; s = (3 < 4) + (4 <= 4) + (5 > 9); }")
+        assert m.read_global("r") == 2
+        assert m.read_global("s") == 2
+
+    def test_logical_ops(self):
+        m = self.run_single(
+            "shared int r; thread t() { r = (1 && 0) + (1 || 0) * 10; }")
+        assert m.read_global("r") == 10
+
+    def test_unary(self):
+        m = self.run_single(
+            "shared int r; shared int s;"
+            "thread t() { r = -5 + 6; s = !0 + !7; }")
+        assert m.read_global("r") == 1
+        assert m.read_global("s") == 1
+
+    def test_if_taken_and_not_taken(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " if (1) { r = r + 10; } if (0) { r = r + 100; } }")
+        assert m.read_global("r") == 10
+
+    def test_if_else(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " if (0) { r = 1; } else { r = 2; } }")
+        assert m.read_global("r") == 2
+
+    def test_while_loop(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " int i = 0; while (i < 5) { r = r + i; i = i + 1; } }")
+        assert m.read_global("r") == 10
+
+    def test_for_loop(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " for (int i = 0; i < 4; i = i + 1) { r = r + 2; } }")
+        assert m.read_global("r") == 8
+
+    def test_nested_loops(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " for (int i = 0; i < 3; i = i + 1) {"
+            "   for (int j = 0; j < 3; j = j + 1) { r = r + 1; } } }")
+        assert m.read_global("r") == 9
+
+    def test_array_read_write(self):
+        m = self.run_single(
+            "shared int a[4]; shared int r; thread t() {"
+            " a[0] = 5; a[3] = 7; r = a[0] + a[3]; }")
+        assert m.read_global("r") == 12
+
+    def test_array_dynamic_index(self):
+        m = self.run_single(
+            "shared int a[8]; shared int r; thread t() {"
+            " for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; }"
+            " r = a[5]; }")
+        assert m.read_global("r") == 25
+
+    def test_local_array(self):
+        m = self.run_single(
+            "shared int r; thread t() {"
+            " int a[4]; a[1] = 3; a[2] = 4; r = a[1] * a[2]; }")
+        assert m.read_global("r") == 12
+
+    def test_memcpy(self):
+        m = self.run_single(
+            "shared int src[4] = {1,2,3,4}; shared int dst[8];"
+            "thread t() { memcpy(dst, 2, src, 0, 4); }")
+        assert [m.read_global("dst", i) for i in range(8)] == \
+            [0, 0, 1, 2, 3, 4, 0, 0]
+
+    def test_memcpy_with_offsets(self):
+        m = self.run_single(
+            "shared int src[4] = {1,2,3,4}; shared int dst[4];"
+            "thread t() { memcpy(dst, 0, src, 2, 2); }")
+        assert [m.read_global("dst", i) for i in range(4)] == [3, 4, 0, 0]
+
+    def test_param_passing(self):
+        m = self.run_single(
+            "shared int r; thread t(int a, int b) { r = a * 10 + b; }",
+            threads=[("t", (3, 4))])
+        assert m.read_global("r") == 34
+
+    def test_local_globals_are_per_thread(self):
+        m = self.run_single(
+            "local int g; shared int r0; shared int r1;"
+            "thread t(int tid) { g = g + tid + 1;"
+            " if (tid == 0) { r0 = g; } else { r1 = g; } }",
+            threads=[("t", (0,)), ("t", (1,))])
+        assert m.read_global("r0") == 1
+        assert m.read_global("r1") == 2
+
+    def test_output_statement(self):
+        m = self.run_single("thread t() { output(42); output(43); }")
+        assert [v for _t, v in m.output] == [42, 43]
+
+    def test_assert_pass(self):
+        m = self.run_single("thread t() { assert(1 == 1); }")
+        assert not m.crashed
+
+    def test_assert_failure_crashes_thread(self):
+        m = self.run_single("thread t() { assert(1 == 2); }")
+        assert m.crashed
+        assert m.crashes[0].reason.startswith("assertion failed")
+
+    def test_division_by_zero_yields_zero(self):
+        m = self.run_single(
+            "shared int r; shared int z; thread t() { r = 5 / z; }")
+        assert m.read_global("r") == 0
+
+    def test_constant_folding_still_correct(self):
+        m = self.run_single(
+            "shared int r; thread t() { r = (2 + 3) * (10 - 6); }")
+        assert m.read_global("r") == 20
+
+
+class TestReconvergence:
+    """The Skipper reconvergence probe against this codegen's layout."""
+
+    def _branches(self, prog):
+        return [pc for pc, instr in enumerate(prog.code)
+                if isinstance(instr, Branch)]
+
+    def test_plain_if_reconverges_at_target(self):
+        prog = compile_source(
+            "shared int x; thread t() { if (x) { x = 1; } x = 2; }")
+        branch_pc = self._branches(prog)[0]
+        assert prog.reconvergence_of_branch(branch_pc) == \
+            prog.code[branch_pc].target
+
+    def test_if_else_reconverges_after_else(self):
+        prog = compile_source(
+            "shared int x; thread t() {"
+            " if (x) { x = 1; } else { x = 2; } x = 3; }")
+        branch_pc = self._branches(prog)[0]
+        target = prog.code[branch_pc].target
+        reconv = prog.reconvergence_of_branch(branch_pc)
+        assert reconv is not None
+        assert reconv > target  # past the else block
+
+    def test_loop_branch_not_inferred(self):
+        prog = compile_source(
+            "shared int x; thread t() { while (x < 3) { x = x + 1; } }")
+        branch_pc = self._branches(prog)[0]
+        assert prog.reconvergence_of_branch(branch_pc) is None
+
+    def test_for_loop_branch_not_inferred(self):
+        prog = compile_source(
+            "shared int x; thread t() {"
+            " for (int i = 0; i < 3; i = i + 1) { x = x + 1; } }")
+        branch_pc = self._branches(prog)[0]
+        assert prog.reconvergence_of_branch(branch_pc) is None
+
+    def test_if_inside_loop_reconverges(self):
+        prog = compile_source(
+            "shared int x; thread t() {"
+            " while (x < 9) { if (x % 2) { x = x + 2; } x = x + 1; } }")
+        branches = self._branches(prog)
+        # first branch is the loop exit (None), second the if
+        assert prog.reconvergence_of_branch(branches[0]) is None
+        assert prog.reconvergence_of_branch(branches[1]) is not None

@@ -1,0 +1,154 @@
+"""Condition-variable (wait/notify) tests: machine, language, detectors."""
+
+import pytest
+
+from repro.core import OnlineSVD, SvdConfig
+from repro.detectors import FrontierRaceDetector
+from repro.harness import run_workload
+from repro.lang import compile_source
+from repro.machine import (Machine, MachineStatus, RandomScheduler,
+                           RoundRobinScheduler)
+from repro.workloads import bounded_buffer
+
+HANDOFF = """
+shared int data = 0;
+shared int ready = 0;
+lock m;
+thread producer() {
+    acquire(m);
+    data = 42;
+    ready = 1;
+    notify(m);
+    release(m);
+}
+thread consumer() {
+    acquire(m);
+    while (ready == 0) {
+        wait(m);
+    }
+    output(data);
+    release(m);
+}
+"""
+
+
+class TestMachineSemantics:
+    def run_handoff(self, seed=0, switch=0.5):
+        prog = compile_source(HANDOFF)
+        machine = Machine(prog, [("producer", ()), ("consumer", ())],
+                          scheduler=RandomScheduler(seed=seed,
+                                                    switch_prob=switch))
+        machine.run(max_steps=100_000)
+        return machine
+
+    def test_handoff_delivers_value(self):
+        for seed in range(6):
+            machine = self.run_handoff(seed=seed)
+            assert machine.status == MachineStatus.FINISHED, seed
+            assert machine.output == [(1, 42)], seed
+
+    def test_consumer_first_blocks_until_notify(self):
+        # force the consumer to run first: it must wait, not spin-crash
+        prog = compile_source(HANDOFF)
+        machine = Machine(prog, [("producer", ()), ("consumer", ())],
+                          scheduler=RoundRobinScheduler(quantum=3))
+        machine.run(max_steps=100_000)
+        assert machine.output == [(1, 42)]
+
+    def test_wait_without_lock_crashes(self):
+        src = "lock m; thread t() { wait(m); }"
+        prog = compile_source(src)
+        machine = Machine(prog, [("t", ())])
+        machine.run()
+        assert machine.crashed
+        assert "does not hold" in machine.crashes[0].reason
+
+    def test_notify_without_waiters_is_noop(self):
+        src = "lock m; shared int x; thread t() { notify(m); x = 1; }"
+        prog = compile_source(src)
+        machine = Machine(prog, [("t", ())])
+        machine.run()
+        assert machine.status == MachineStatus.FINISHED
+        assert machine.read_global("x") == 1
+
+    def test_lost_wakeup_is_deadlock(self):
+        """A waiter that sleeps after the only notify has passed
+        deadlocks; the machine detects it."""
+        src = ("lock m; shared int go;"
+               "thread waiter() { acquire(m); wait(m); release(m); }")
+        prog = compile_source(src)
+        machine = Machine(prog, [("waiter", ())])
+        machine.run(max_steps=10_000)
+        assert machine.status == MachineStatus.DEADLOCK
+
+    def test_notifyall_wakes_everyone(self):
+        src = ("lock m; shared int woken = 0;"
+               "thread waiter() { acquire(m); wait(m);"
+               " woken = woken + 1; release(m); }"
+               "thread boss() { int i = 0; while (i < 200) { i = i + 1; }"
+               " acquire(m); notifyall(m); release(m); }")
+        prog = compile_source(src)
+        machine = Machine(prog, [("waiter", ()), ("waiter", ()), ("boss", ())],
+                          scheduler=RoundRobinScheduler(quantum=10))
+        machine.run(max_steps=100_000)
+        assert machine.status == MachineStatus.FINISHED
+        assert machine.read_global("woken") == 2
+
+    def test_checkpoint_restores_wait_queues(self):
+        prog = compile_source(HANDOFF)
+        machine = Machine(prog, [("producer", ()), ("consumer", ())],
+                          scheduler=RoundRobinScheduler(quantum=3))
+        # step until the consumer is waiting
+        for _ in range(60):
+            machine.step()
+        snap = machine.checkpoint()
+        machine.run(max_steps=100_000)
+        assert machine.output == [(1, 42)]
+        machine.restore(snap)
+        machine.run(max_steps=100_000)
+        assert machine.output == [(1, 42)]
+
+
+class TestDetectorsOnMonitors:
+    def test_bounded_buffer_correct_and_race_free(self):
+        for seed in range(3):
+            result = run_workload(bounded_buffer(), seed=seed,
+                                  switch_prob=0.5, max_steps=400_000)
+            assert result.outcome.errors == 0, result.outcome.detail
+            assert result.frd.dynamic_total == 0
+
+    def test_handoff_race_free_under_frd(self):
+        result_prog = compile_source(HANDOFF)
+        from repro.trace import TraceRecorder
+        recorder = TraceRecorder(result_prog, 2)
+        machine = Machine(result_prog, [("producer", ()), ("consumer", ())],
+                          scheduler=RandomScheduler(seed=2, switch_prob=0.5),
+                          observers=[recorder])
+        machine.run(max_steps=100_000)
+        report = FrontierRaceDetector(result_prog).run(recorder.trace())
+        assert report.dynamic_count == 0
+
+    def test_cut_at_wait_reduces_monitor_false_positives(self):
+        workload = bounded_buffer()
+        totals = {}
+        for cut in (False, True):
+            count = 0
+            for seed in range(3):
+                svd = OnlineSVD(workload.program,
+                                SvdConfig(cut_at_wait=cut))
+                machine = workload.make_machine(
+                    RandomScheduler(seed=seed, switch_prob=0.5),
+                    observers=[svd])
+                machine.run(max_steps=400_000)
+                count += svd.report.dynamic_count
+            totals[cut] = count
+        assert totals[True] < totals[False]
+
+    def test_wait_cut_records_logged(self):
+        workload = bounded_buffer()
+        svd = OnlineSVD(workload.program, SvdConfig(cut_at_wait=True))
+        machine = workload.make_machine(
+            RandomScheduler(seed=0, switch_prob=0.5), observers=[svd])
+        machine.run(max_steps=400_000)
+        reasons = {r.reason for r in svd.log.cu_records}
+        assert "wait" in reasons

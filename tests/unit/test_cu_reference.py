@@ -1,0 +1,140 @@
+"""Reference CU partition tests (Definitions 1-3, paper §3.2)."""
+
+import pytest
+
+from repro.machine.events import EV_LOAD, EV_STORE
+from repro.pdg import build_dpdg, reference_cu_partition
+from repro.pdg.dpdg import TRUE_SHARED
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE, run_program
+
+
+def partition_for(source, threads, **kwargs):
+    _m, trace = run_program(source, threads, record=True, **kwargs)
+    pdg = build_dpdg(trace)
+    parts = {tid: reference_cu_partition(pdg, tid)
+             for tid in range(len(threads))}
+    return trace, pdg, parts
+
+
+class TestPartitionBasics:
+    def test_is_a_partition(self):
+        _t, pdg, parts = partition_for(
+            COUNTER_RACE, [("worker", (10,)), ("worker", (10,))])
+        for tid, part in parts.items():
+            vertices = pdg.thread_vertices(tid)
+            covered = sorted(s for members in part.members.values()
+                             for s in members)
+            assert covered == vertices
+            for seq in vertices:
+                assert part.cu_of[seq] in part.members
+                assert seq in part.members[part.cu_of[seq]]
+
+    def test_members_sorted(self):
+        _t, _pdg, parts = partition_for(
+            COUNTER_RACE, [("worker", (5,)), ("worker", (5,))])
+        for part in parts.values():
+            for members in part.members.values():
+                assert members == sorted(members)
+
+    def test_single_thread_no_shared_is_one_component_per_chain(self):
+        src = "thread t() { int a = 1; int b = a + 1; int c = b + 1; }"
+        _t, pdg, parts = partition_for(src, [("t", ())])
+        part = parts[0]
+        # the a->b->c chain must share one CU
+        sizes = sorted(len(m) for m in part.members.values())
+        assert sizes[-1] >= 6  # loads+stores+ALUs of the chain
+
+
+class TestRegionHypothesisRuleOne:
+    """No CU may contain a shared (write -> read) dependence."""
+
+    def _assert_no_internal_shared_arcs(self, pdg, parts):
+        for tid, part in parts.items():
+            for arc in pdg.thread_arcs(tid):
+                if arc.kind == TRUE_SHARED:
+                    assert part.cu_of[arc.src] != part.cu_of[arc.dst], \
+                        f"shared arc {arc} inside one CU"
+
+    def test_counter_race(self):
+        _t, pdg, parts = partition_for(
+            COUNTER_RACE, [("worker", (10,)), ("worker", (10,))])
+        self._assert_no_internal_shared_arcs(pdg, parts)
+
+    def test_counter_locked(self):
+        _t, pdg, parts = partition_for(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        self._assert_no_internal_shared_arcs(pdg, parts)
+
+    def test_producer_consumer(self):
+        src = ("shared int flag; shared int data;"
+               "thread p() { data = 42; flag = 1; }"
+               "thread c() { while (flag == 0) { } int v = data;"
+               " output(v); }")
+        _t, pdg, parts = partition_for(src, [("p", ()), ("c", ())],
+                                       switch_prob=0.8)
+        self._assert_no_internal_shared_arcs(pdg, parts)
+
+
+class TestCutSemantics:
+    def test_rmw_iterations_in_separate_cus(self):
+        """Each read-modify-write of the shared counter must start a new
+        CU (the previous iteration's write is read back)."""
+        _t, pdg, parts = partition_for(
+            COUNTER_RACE, [("worker", (8,)), ("worker", (8,))])
+        trace = pdg.trace
+        counter_addr = trace.program.address_of("counter")
+        for tid, part in parts.items():
+            loads = [e for e in trace.thread_trace(tid)
+                     if e.kind == EV_LOAD and e.addr == counter_addr]
+            cu_ids = [part.cu_of[e.seq] for e in loads]
+            # consecutive counter loads must be in distinct CUs
+            assert len(set(cu_ids)) == len(cu_ids)
+
+    def test_cut_keeps_read_with_its_consumers(self):
+        """The load that triggers the cut belongs to the *new* CU along
+        with the store it feeds."""
+        _t, pdg, parts = partition_for(
+            COUNTER_RACE, [("worker", (6,)), ("worker", (6,))])
+        trace = pdg.trace
+        counter_addr = trace.program.address_of("counter")
+        part = parts[0]
+        events = [e for e in trace.thread_trace(0)
+                  if e.addr == counter_addr and e.kind in (EV_LOAD, EV_STORE)]
+        # pair up load/store per iteration: same CU
+        for load, store in zip(events[::2], events[1::2]):
+            assert load.kind == EV_LOAD and store.kind == EV_STORE
+            assert part.cu_of[load.seq] == part.cu_of[store.seq]
+
+    def test_private_chain_untouched_by_other_threads_cuts(self):
+        """A thread-private dependence chain stays one CU even while other
+        threads race on shared data."""
+        src = ("shared int x;"
+               "thread racer(int n) { int i = 0; while (i < n) {"
+               " x = x + 1; i = i + 1; } }"
+               "thread solo() { int a = 1; int b = a + 1; int c = b + a; }")
+        _t, pdg, parts = partition_for(
+            src, [("racer", (10,)), ("racer", (10,)), ("solo", ())])
+        solo = parts[2]
+        sizes = sorted((len(m) for m in solo.members.values()), reverse=True)
+        assert sizes[0] >= 8
+
+
+class TestReadSetComputation:
+    def test_input_blocks_exclude_self_written(self):
+        src = ("shared int x; shared int y = 3;"
+               "thread t() { x = y; int z = x; output(z); }"
+               "thread o() { int w = x; }")
+        _t, pdg, parts = partition_for(src, [("t", ()), ("o", ())])
+        trace = pdg.trace
+        x_addr = trace.program.address_of("x")
+        y_addr = trace.program.address_of("y")
+        part = parts[0]
+        # find the CU containing the store to x
+        store = next(e for e in trace.thread_trace(0)
+                     if e.kind == EV_STORE and e.addr == x_addr)
+        cu_id = part.cu_of[store.seq]
+        reads = part.read_set(cu_id, pdg.events)
+        assert y_addr in reads
+        assert x_addr not in reads  # x was written before being read
+        writes = part.write_set(cu_id, pdg.events)
+        assert x_addr in writes

@@ -1,0 +1,162 @@
+"""Dynamic PDG construction tests (paper §3.1 definitions)."""
+
+import pytest
+
+from repro.machine.events import EV_LOAD, EV_STORE
+from repro.pdg import build_dpdg
+from repro.pdg.dpdg import CONFLICT, CONTROL, TRUE_LOCAL, TRUE_SHARED
+from tests.conftest import run_program
+
+
+def build(source, threads, **kwargs):
+    _m, trace = run_program(source, threads, record=True, **kwargs)
+    return trace, build_dpdg(trace)
+
+
+class TestSharedClassification:
+    def test_address_shared_iff_multiple_threads(self):
+        src = ("shared int x; shared int y;"
+               "thread t(int tid) {"
+               " if (tid == 0) { x = 1; y = 1; } else { x = 2; } }")
+        trace, pdg = build(src, [("t", (0,)), ("t", (1,))])
+        x_addr = trace.program.address_of("x")
+        y_addr = trace.program.address_of("y")
+        assert x_addr in pdg.shared_addresses
+        assert y_addr not in pdg.shared_addresses
+
+    def test_frames_never_shared(self):
+        src = "thread t() { int a = 1; int b = a + 1; }"
+        trace, pdg = build(src, [("t", ()), ("t", ())])
+        prog = trace.program
+        # all frame addresses lie at/after shared_words
+        for addr in pdg.shared_addresses:
+            assert addr < prog.shared_words
+
+
+class TestTrueDependences:
+    def test_register_flow_creates_arc(self):
+        src = "shared int x; shared int y; thread t() { y = x + 1; }"
+        trace, pdg = build(src, [("t", ())])
+        # store of y depends (through ALU/registers) on the load of x
+        mem = trace.memory_events()
+        load_x = next(e for e in mem if e.kind == EV_LOAD)
+        store_y = next(e for e in mem if e.kind == EV_STORE)
+        # follow arcs backward from the store; must reach the load
+        seen = set()
+        frontier = [store_y.seq]
+        while frontier:
+            seq = frontier.pop()
+            for arc in pdg.predecessors(seq):
+                if arc.kind in (TRUE_LOCAL, TRUE_SHARED) and arc.dst not in seen:
+                    seen.add(arc.dst)
+                    frontier.append(arc.dst)
+        assert load_x.seq in seen
+
+    def test_memory_raw_arc_same_thread(self):
+        src = "shared int x; thread t() { x = 5; int y = x; }"
+        trace, pdg = build(src, [("t", ())])
+        x_addr = trace.program.address_of("x")
+        store = next(e for e in trace.memory_events()
+                     if e.kind == EV_STORE and e.addr == x_addr)
+        load = next(e for e in trace.memory_events()
+                    if e.kind == EV_LOAD and e.addr == x_addr)
+        arcs = pdg.predecessors(load.seq, kinds={TRUE_LOCAL, TRUE_SHARED})
+        assert any(a.dst == store.seq for a in arcs)
+
+    def test_shared_arc_classified_shared(self):
+        # two threads touch x, so the same-thread RAW through x is shared
+        src = ("shared int x;"
+               "thread w() { x = 5; int y = x; }"
+               "thread r() { int z = x; }")
+        trace, pdg = build(src, [("w", ()), ("r", ())])
+        shared_arcs = pdg.arcs_of_kind(TRUE_SHARED)
+        assert shared_arcs
+
+    def test_arc_points_backward(self):
+        src = "shared int x; thread t() { x = 1; int y = x + 1; }"
+        _trace, pdg = build(src, [("t", ())])
+        for arc in pdg.arcs:
+            assert arc.dst < arc.src
+
+
+class TestControlArcs:
+    def test_then_block_arc_to_branch_instance(self):
+        src = ("shared int x = 1; shared int y;"
+               "thread t() { if (x) { y = 7; } }")
+        trace, pdg = build(src, [("t", ())])
+        y_addr = trace.program.address_of("y")
+        store = next(e for e in trace.memory_events()
+                     if e.kind == EV_STORE and e.addr == y_addr)
+        assert pdg.predecessors(store.seq, kinds={CONTROL})
+
+    def test_loop_iterations_attach_to_latest_branch_instance(self):
+        src = ("shared int x;"
+               "thread t() { int i = 0; while (i < 3) {"
+               " x = x + 1; i = i + 1; } }")
+        trace, pdg = build(src, [("t", ())])
+        x_addr = trace.program.address_of("x")
+        stores = [e for e in trace.memory_events()
+                  if e.kind == EV_STORE and e.addr == x_addr]
+        branch_targets = []
+        for store in stores:
+            ctrl = pdg.predecessors(store.seq, kinds={CONTROL})
+            assert ctrl
+            branch_targets.append(max(a.dst for a in ctrl))
+        # each iteration binds to a later branch instance
+        assert branch_targets == sorted(branch_targets)
+        assert len(set(branch_targets)) == 3
+
+
+class TestConflictArcs:
+    def test_write_write_conflict(self):
+        src = "shared int x; thread t(int v) { x = v; }"
+        trace, pdg = build(src, [("t", (1,)), ("t", (2,))])
+        assert pdg.arcs_of_kind(CONFLICT)
+
+    def test_no_conflict_on_private_data(self):
+        src = "thread t() { int a = 1; a = a + 1; }"
+        _trace, pdg = build(src, [("t", ()), ("t", ())])
+        assert not pdg.arcs_of_kind(CONFLICT)
+
+    def test_conflict_arcs_cross_threads(self):
+        src = "shared int x; thread t(int v) { x = v; int y = x; }"
+        trace, pdg = build(src, [("t", (1,)), ("t", (2,))])
+        for arc in pdg.arcs_of_kind(CONFLICT):
+            assert pdg.events[arc.src].tid != pdg.events[arc.dst].tid
+
+    def test_intervening_write_cuts_conflict_arc(self):
+        # t0 writes, t0 writes again, then t1 reads: the read's conflict
+        # arc must go to the *last* write only
+        src = ("shared int x; shared int go;"
+               "thread w() { x = 1; x = 2; go = 1; }"
+               "thread r() { while (go == 0) { } int y = x; }")
+        trace, pdg = build(src, [("w", ()), ("r", ())], switch_prob=0.9,
+                           seed=5)
+        x_addr = trace.program.address_of("x")
+        writes = [e for e in trace.memory_events()
+                  if e.kind == EV_STORE and e.addr == x_addr]
+        read = next((e for e in trace.memory_events()
+                     if e.kind == EV_LOAD and e.addr == x_addr
+                     and e.tid == 1), None)
+        if read is None:
+            pytest.skip("reader never reached the load under this schedule")
+        arcs = [a for a in pdg.predecessors(read.seq, kinds={CONFLICT})]
+        dsts = {a.dst for a in arcs}
+        assert writes[0].seq not in dsts
+        assert writes[-1].seq in dsts
+
+
+class TestThreadViews:
+    def test_td_pdg_has_no_conflict_arcs(self):
+        src = "shared int x; thread t(int v) { x = v; int y = x; }"
+        _trace, pdg = build(src, [("t", (1,)), ("t", (2,))])
+        for arc in pdg.thread_arcs(0):
+            assert arc.kind != CONFLICT
+
+    def test_thread_vertices_sorted_and_disjoint(self):
+        src = "shared int x; thread t(int v) { x = x + v; }"
+        _trace, pdg = build(src, [("t", (1,)), ("t", (2,))])
+        v0 = pdg.thread_vertices(0)
+        v1 = pdg.thread_vertices(1)
+        assert v0 == sorted(v0)
+        assert not set(v0) & set(v1)

@@ -1,0 +1,109 @@
+"""Frontier Race Detector tests (paper §6.2)."""
+
+import pytest
+
+from repro.detectors import FrontierRaceDetector, frontier_races
+from repro.lang import compile_source
+from tests.conftest import (
+    BENIGN_RACE, COUNTER_LOCKED, COUNTER_RACE, run_program,
+)
+
+
+def frd_on(source, threads, **kwargs):
+    _m, trace = run_program(source, threads, record=True, **kwargs)
+    return trace, FrontierRaceDetector(trace.program).run(trace)
+
+
+class TestHappensBefore:
+    def test_unlocked_counter_races(self):
+        _t, report = frd_on(COUNTER_RACE, [("worker", (20,)), ("worker", (20,))],
+                            switch_prob=0.5)
+        assert report.dynamic_count > 0
+        assert report.static_count == 2  # the read and the write
+
+    def test_locked_counter_clean(self):
+        _t, report = frd_on(COUNTER_LOCKED,
+                            [("worker", (20,)), ("worker", (20,))],
+                            switch_prob=0.5)
+        assert report.dynamic_count == 0
+
+    def test_benign_race_reported(self):
+        """FRD reports the Figure 1 benign races (its false positives)."""
+        _t, report = frd_on(BENIGN_RACE, [("locker", (20,)), ("checker", (20,))],
+                            switch_prob=0.5)
+        assert report.dynamic_count > 0
+
+    def test_fork_start_not_racy(self):
+        """Initial values written before thread start do not race."""
+        src = ("shared int x = 5; shared int r0; shared int r1;"
+               "thread t(int tid) {"
+               " if (tid == 0) { r0 = x; } else { r1 = x; } }")
+        _t, report = frd_on(src, [("t", (0,)), ("t", (1,))])
+        assert report.dynamic_count == 0
+
+    def test_release_acquire_orders_accesses(self):
+        src = ("shared int data; shared int done; lock m;"
+               "thread producer() { acquire(m); data = 42; done = 1;"
+               " release(m); }"
+               "thread consumer() { int seen = 0; while (seen == 0) {"
+               " acquire(m); seen = done; release(m); }"
+               " acquire(m); int v = data; release(m); output(v); }")
+        _t, report = frd_on(src, [("producer", ()), ("consumer", ())],
+                            switch_prob=0.6)
+        assert report.dynamic_count == 0
+
+    def test_unlocked_flag_spin_is_racy(self):
+        src = ("shared int data; shared int done;"
+               "thread producer() { data = 42; done = 1; }"
+               "thread consumer() { while (done == 0) { }"
+               " output(data); }")
+        _t, report = frd_on(src, [("producer", ()), ("consumer", ())],
+                            switch_prob=0.6)
+        assert report.dynamic_count > 0
+
+    def test_race_pairs_cross_threads(self):
+        _t, report = frd_on(COUNTER_RACE, [("worker", (10,)), ("worker", (10,))],
+                            switch_prob=0.5)
+        for v in report:
+            assert v.tid != v.other_tid
+
+
+class TestFrontierPass:
+    def test_frontier_subset_of_conflicts(self):
+        _m, trace = run_program(COUNTER_RACE,
+                                [("worker", (15,)), ("worker", (15,))],
+                                record=True, switch_prob=0.5)
+        races = frontier_races(trace)
+        assert races
+        for race in races:
+            assert race.first_tid != race.second_tid
+            assert race.first_seq < race.second_seq
+
+    def test_frontier_ignores_locks(self):
+        """Pass 1 runs without synchronization knowledge: even the locked
+        counter has frontier races (they would then be annotated away)."""
+        _m, trace = run_program(COUNTER_LOCKED,
+                                [("worker", (15,)), ("worker", (15,))],
+                                record=True, switch_prob=0.5)
+        races = frontier_races(trace)
+        assert races
+
+    def test_conflict_ordered_chain_collapses_frontier(self):
+        """Once a conflict pair orders two threads, later conflicting
+        accesses through the same chain are not frontier races."""
+        src = ("shared int x;"
+               "thread a() { x = 1; }"
+               "thread b() { int v = x; int w = x; output(v + w); }")
+        _m, trace = run_program(src, [("a", ()), ("b", ())],
+                                record=True, seed=4, switch_prob=0.2)
+        races = frontier_races(trace)
+        x_addr = trace.program.address_of("x")
+        x_races = [r for r in races if r.address == x_addr]
+        # the write->first-read pair is a frontier race; the second read
+        # is ordered by it and must not appear
+        assert len(x_races) <= 1
+
+    def test_no_threads_no_races(self):
+        src = "shared int x; thread t() { x = 1; }"
+        _m, trace = run_program(src, [("t", ())], record=True)
+        assert frontier_races(trace) == []

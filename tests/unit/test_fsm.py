@@ -1,0 +1,134 @@
+"""Block FSM tests (paper Figure 8 reconstruction)."""
+
+import pytest
+
+from repro.core.fsm import (
+    IDLE, LOADED, LOADED_SHARED, SHARED_STATES, STATE_NAMES, STORED,
+    STORED_SHARED, TRUE_DEP, WRITTEN_STATES, on_local_load, on_local_store,
+    on_remote_access,
+)
+
+ALL_STATES = [IDLE, LOADED, STORED, TRUE_DEP, LOADED_SHARED, STORED_SHARED]
+
+
+class TestLocalLoad:
+    def test_idle_to_loaded(self):
+        assert on_local_load(IDLE) == (LOADED, False)
+
+    def test_loaded_stable(self):
+        assert on_local_load(LOADED) == (LOADED, False)
+
+    def test_stored_to_true_dep(self):
+        assert on_local_load(STORED) == (TRUE_DEP, False)
+
+    def test_true_dep_stable(self):
+        assert on_local_load(TRUE_DEP) == (TRUE_DEP, False)
+
+    def test_loaded_shared_stable(self):
+        assert on_local_load(LOADED_SHARED) == (LOADED_SHARED, False)
+
+    def test_stored_shared_cuts(self):
+        """Figure 7 lines 5-6: load on Stored_Shared = shared dependence."""
+        state, cut = on_local_load(STORED_SHARED)
+        assert cut
+        assert state == LOADED  # re-tracked fresh after the cut
+
+
+class TestLocalStore:
+    def test_idle_to_stored(self):
+        assert on_local_store(IDLE) == (STORED, False)
+
+    def test_loaded_to_stored(self):
+        assert on_local_store(LOADED) == (STORED, False)
+
+    def test_stored_stable(self):
+        assert on_local_store(STORED) == (STORED, False)
+
+    def test_loaded_shared_to_stored_shared(self):
+        assert on_local_store(LOADED_SHARED) == (STORED_SHARED, False)
+
+    def test_stored_shared_stable(self):
+        assert on_local_store(STORED_SHARED) == (STORED_SHARED, False)
+
+    def test_true_dep_sticky(self):
+        assert on_local_store(TRUE_DEP) == (TRUE_DEP, False)
+
+    def test_store_never_cuts(self):
+        for state in ALL_STATES:
+            _new, cut = on_local_store(state)
+            assert not cut
+
+
+class TestRemoteAccess:
+    def test_loaded_becomes_shared(self):
+        assert on_remote_access(LOADED) == (LOADED_SHARED, False)
+
+    def test_stored_becomes_shared(self):
+        assert on_remote_access(STORED) == (STORED_SHARED, False)
+
+    def test_true_dep_cuts(self):
+        """Figure 7 lines 30-31: remote access on True_Dep cuts."""
+        state, cut = on_remote_access(TRUE_DEP)
+        assert cut
+        assert state == IDLE
+
+    def test_shared_states_stable(self):
+        assert on_remote_access(LOADED_SHARED) == (LOADED_SHARED, False)
+        assert on_remote_access(STORED_SHARED) == (STORED_SHARED, False)
+
+    def test_idle_stable(self):
+        assert on_remote_access(IDLE) == (IDLE, False)
+
+
+class TestStateSets:
+    def test_shared_states(self):
+        assert SHARED_STATES == {LOADED_SHARED, STORED_SHARED}
+
+    def test_written_states_conflict_with_remote_reads(self):
+        assert STORED in WRITTEN_STATES
+        assert STORED_SHARED in WRITTEN_STATES
+        assert TRUE_DEP in WRITTEN_STATES
+        assert LOADED not in WRITTEN_STATES
+        assert LOADED_SHARED not in WRITTEN_STATES
+
+    def test_names_cover_all_states(self):
+        for state in ALL_STATES:
+            assert state in STATE_NAMES
+
+
+class TestProseConstraints:
+    """Every transition the paper's prose names, end to end."""
+
+    def test_shared_inference_heuristic(self):
+        """'A variable is shared if it is accessed by more than one thread
+        after it is accessed by a CU and before the CU ends' -- local
+        access then remote access lands in a shared state."""
+        for first in (on_local_load, on_local_store):
+            state, _ = first(IDLE)
+            state, cut = on_remote_access(state)
+            assert not cut
+            assert state in SHARED_STATES
+
+    def test_write_read_then_remote_is_shared_dependence(self):
+        state, _ = on_local_store(IDLE)
+        state, _ = on_local_load(state)
+        assert state == TRUE_DEP
+        _state, cut = on_remote_access(state)
+        assert cut
+
+    def test_write_remote_read_is_shared_dependence(self):
+        state, _ = on_local_store(IDLE)
+        state, _ = on_remote_access(state)
+        assert state == STORED_SHARED
+        _state, cut = on_local_load(state)
+        assert cut
+
+    def test_read_only_sharing_never_cuts(self):
+        """Read-read sharing is harmless: no sequence of loads and remote
+        accesses starting from a load can ever cut."""
+        state = IDLE
+        state, cut = on_local_load(state)
+        for step in [on_remote_access, on_local_load, on_remote_access,
+                     on_local_load]:
+            state, cut = step(state)
+            assert not cut

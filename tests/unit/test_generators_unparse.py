@@ -1,0 +1,100 @@
+"""Tests for input generators and the statement unparser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_source
+from repro.lang.unparse import unparse_expr, unparse_stmt
+from repro.workloads.generators import (
+    init_list, interleave_tables, lcg_table, zipf_table,
+)
+
+
+class TestGenerators:
+    def test_lcg_table_bounds(self):
+        table = lcg_table(seed=1, count=200, low=3, high=9)
+        assert len(table) == 200
+        assert all(3 <= v <= 9 for v in table)
+
+    def test_lcg_table_deterministic(self):
+        assert lcg_table(5, 50, 0, 100) == lcg_table(5, 50, 0, 100)
+        assert lcg_table(5, 50, 0, 100) != lcg_table(6, 50, 0, 100)
+
+    def test_lcg_table_validates_range(self):
+        with pytest.raises(ValueError):
+            lcg_table(1, 10, 5, 4)
+
+    def test_zipf_table_bounds(self):
+        table = zipf_table(seed=2, count=300, n_objects=10)
+        assert len(table) == 300
+        assert all(0 <= v < 10 for v in table)
+
+    def test_zipf_is_skewed(self):
+        """Object 0 must be the most popular by a clear margin."""
+        table = zipf_table(seed=2, count=2000, n_objects=20, skew=1.2)
+        counts = [table.count(i) for i in range(20)]
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * (sum(counts[10:]) / 10 + 1)
+
+    def test_zipf_validates_objects(self):
+        with pytest.raises(ValueError):
+            zipf_table(1, 10, 0)
+
+    def test_init_list_rendering(self):
+        assert init_list([1, -2, 3]) == "{1, -2, 3}"
+
+    def test_interleave_tables(self):
+        assert interleave_tables([[1, 2], [3, 4]]) == [1, 2, 3, 4]
+
+
+def _stmts(body):
+    return parse_source("thread t() { %s }" % body).threads[0].body
+
+
+class TestUnparse:
+    def test_expressions_roundtrip_structure(self):
+        stmt = _stmts("x = (a + b) * c[i] - -d;")[0]
+        text = unparse_expr(stmt.value)
+        assert "a + b" in text
+        assert "c[i]" in text
+
+    def test_assign(self):
+        assert unparse_stmt(_stmts("x = 1;")[0]) == "x = 1;"
+
+    def test_array_assign(self):
+        assert unparse_stmt(_stmts("a[i + 1] = 0;")[0]) == "a[(i + 1)] = 0;"
+
+    def test_var_decl(self):
+        assert unparse_stmt(_stmts("int x = 5;")[0]) == "int x = 5;"
+        assert unparse_stmt(_stmts("int b[4];")[0]) == "int b[4];"
+
+    def test_if_head_only(self):
+        text = unparse_stmt(_stmts("if (x > 0) { x = 1; }")[0])
+        assert text == "if ((x > 0))"
+
+    def test_while_head(self):
+        text = unparse_stmt(_stmts("while (x) { x = 0; }")[0])
+        assert text == "while (x)"
+
+    def test_for_head(self):
+        text = unparse_stmt(
+            _stmts("for (int i = 0; i < 3; i = i + 1) { }")[0])
+        assert "for" in text and "(i < 3)" in text
+
+    def test_lock_statements(self):
+        body = _stmts("x = 0;")  # placeholder to build lock stmts by hand
+        stmt = ast.LockStmt(action="acquire", lock_name="m")
+        assert unparse_stmt(stmt) == "acquire(m);"
+
+    def test_assert_output_memcpy(self):
+        assert unparse_stmt(_stmts("assert(x == 1);")[0]) == \
+            "assert((x == 1));"
+        assert unparse_stmt(_stmts("output(7);")[0]) == "output(7);"
+        text = unparse_stmt(_stmts("memcpy(d, 0, s, 2, n);")[0])
+        assert text.startswith("memcpy(d, 0, s, 2, n")
+
+    def test_unknown_nodes_rejected(self):
+        with pytest.raises(TypeError):
+            unparse_expr(object())
+        with pytest.raises(TypeError):
+            unparse_stmt(object())

@@ -1,0 +1,106 @@
+"""Harness (runner, tables, overhead, length sweep) tests."""
+
+import pytest
+
+from repro.harness import (
+    characterize, length_sweep, measure_overhead, render_table,
+    run_workload, table2_rows,
+)
+from repro.harness.table2 import aggregate_row, render_table2
+from repro.workloads import apache_log, mysql_tablelock, pgsql_oltp
+
+
+class TestRunner:
+    def test_run_result_fields(self):
+        result = run_workload(apache_log(writers=2, requests=6), seed=1)
+        assert result.workload == "apache"
+        assert result.instructions > 0
+        assert result.svd.detector == "svd"
+        assert result.frd is not None
+        assert result.cus_created > 0
+
+    def test_frd_can_be_skipped(self):
+        result = run_workload(apache_log(writers=2, requests=6), seed=1,
+                              run_frd=False)
+        assert result.frd is None
+        assert result.frd_report is None
+
+    def test_apparent_fn_requires_manifestation(self):
+        # a clean run of a buggy workload cannot be an apparent FN
+        result = run_workload(apache_log(writers=2, requests=6), seed=1)
+        if not result.outcome.manifested:
+            assert not result.apparent_false_negative
+
+    def test_bug_locs_attached(self):
+        workload = apache_log(writers=2, requests=6)
+        result = run_workload(workload, seed=1)
+        assert result.bug_locs == workload.bug_locs()
+
+
+class TestAggregation:
+    def test_aggregate_sums_instructions(self):
+        workload = mysql_tablelock(ops=10)
+        runs = [run_workload(workload, seed=s) for s in range(2)]
+        row = aggregate_row("MySQL", False, runs)
+        assert row.instructions == sum(r.instructions for r in runs)
+        assert row.segments == 2
+        assert row.apparent_fn_text == "N/A"
+
+    def test_static_fps_are_unioned_not_summed(self):
+        workload = mysql_tablelock(ops=10)
+        runs = [run_workload(workload, seed=s) for s in range(3)]
+        row = aggregate_row("MySQL", False, runs)
+        per_run_max = max(len(r.frd.static_fp_locs) for r in runs)
+        assert row.frd_static_fp >= per_run_max
+        assert row.frd_static_fp <= sum(len(r.frd.static_fp_locs)
+                                        for r in runs)
+
+    def test_render_table2_smoke(self):
+        workload = mysql_tablelock(ops=10)
+        runs = [run_workload(workload, seed=0)]
+        row = aggregate_row("PgSQL", False, runs)
+        text = render_table2([row])
+        assert "PgSQL" in text
+        assert "staticFP" in text
+
+
+class TestCharacterize:
+    def test_buggy_run_labelled(self):
+        row = characterize(apache_log(writers=2, requests=10), seed=3)
+        assert row.threads == 2
+        assert "manifest" in row.erroneous_execution or \
+            "bug present" in row.erroneous_execution
+
+    def test_clean_run_labelled(self):
+        row = characterize(mysql_tablelock(ops=10))
+        assert "no known errors" in row.erroneous_execution
+
+
+class TestOverheadAndSweep:
+    def test_overhead_measures_slowdown(self):
+        result = measure_overhead(mysql_tablelock(ops=15), repeats=1)
+        assert result.slowdown > 1.0
+        assert result.instructions > 0
+        assert result.peak_detector_state > 0
+
+    def test_length_sweep_monotone_instructions(self):
+        points = length_sweep(lambda ops: mysql_tablelock(ops=ops),
+                              [5, 10, 20])
+        insts = [p.instructions for p in points]
+        assert insts == sorted(insts)
+        assert points[-1].frd_dynamic_fp >= points[0].frd_dynamic_fp
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["A", "B"], [(1, 2.5), ("xy", 0.0001)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "B" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [(1234.5,), (0.000123,), (0.0,)])
+        assert "1234" in text or "1235" in text
+        assert "0.00012" in text

@@ -1,0 +1,64 @@
+"""Hardware cost model tests (paper §4.4)."""
+
+import pytest
+
+from repro.core import OnlineSVD
+from repro.core.hwmodel import HwCostParams, estimate_hardware_cost
+from repro.machine import RandomScheduler
+from repro.workloads import apache_log, mysql_tablelock
+
+
+@pytest.fixture(scope="module")
+def apache_svd():
+    workload = apache_log()
+    svd = OnlineSVD(workload.program)
+    machine = workload.make_machine(
+        RandomScheduler(seed=3, switch_prob=0.4), observers=[svd])
+    machine.run()
+    return svd
+
+
+class TestEstimate:
+    def test_counts_consistent(self, apache_svd):
+        est = estimate_hardware_cost(apache_svd)
+        assert est.counts["instructions"] == apache_svd.instructions
+        assert est.counts["remote_messages"] == apache_svd.remote_messages
+        assert est.counts["violation_checks"] == apache_svd.violation_checks
+        assert est.counts["cu_lifecycle"] == (
+            apache_svd.cus_created + apache_svd.cus_closed
+            + apache_svd.cus_merged)
+
+    def test_software_slowdown_in_paper_regime(self, apache_svd):
+        """The calibration puts per-instruction dependence tracking in the
+        paper's 'up to 65x' ballpark."""
+        est = estimate_hardware_cost(apache_svd)
+        assert 30.0 < est.sw_slowdown < 120.0
+
+    def test_hardware_dramatically_cheaper(self, apache_svd):
+        est = estimate_hardware_cost(apache_svd)
+        assert est.hw_slowdown < est.sw_slowdown / 10
+        assert est.speedup_over_software > 10
+
+    def test_slowdowns_at_least_one(self, apache_svd):
+        est = estimate_hardware_cost(apache_svd)
+        assert est.sw_slowdown >= 1.0
+        assert est.hw_slowdown >= 1.0
+
+    def test_spill_penalty_applies(self, apache_svd):
+        tiny_table = HwCostParams(hw_table_capacity=1)
+        spilled = estimate_hardware_cost(apache_svd, tiny_table)
+        normal = estimate_hardware_cost(apache_svd)
+        assert spilled.counts["table_spills"] > 0
+        assert spilled.hw_extra_cycles > normal.hw_extra_cycles
+
+    def test_empty_run_rejected(self):
+        workload = mysql_tablelock()
+        svd = OnlineSVD(workload.program)
+        with pytest.raises(ValueError):
+            estimate_hardware_cost(svd)
+
+    def test_custom_params_scale(self, apache_svd):
+        doubled = HwCostParams(sw_per_instruction=80.0)
+        base = estimate_hardware_cost(apache_svd)
+        heavy = estimate_hardware_cost(apache_svd, doubled)
+        assert heavy.sw_slowdown > base.sw_slowdown

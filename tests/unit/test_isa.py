@@ -1,0 +1,123 @@
+"""ISA-level unit tests: ALU semantics, program validation, disassembly."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Alu, Branch, Halt, Imm, Jump, Load, Reg, Store, evaluate_alu,
+)
+from repro.isa.program import Program, SourceLoc, ThreadSpec
+
+
+class TestEvaluateAlu:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("+", 2, 3, 5),
+        ("-", 2, 3, -1),
+        ("*", -4, 3, -12),
+        ("/", 7, 2, 3),
+        ("/", -7, 2, -3),      # C-style truncation toward zero
+        ("/", 7, -2, -3),
+        ("%", 7, 2, 1),
+        ("%", -7, 2, -1),      # sign follows dividend, C-style
+        ("==", 3, 3, 1),
+        ("!=", 3, 3, 0),
+        ("<", 2, 3, 1),
+        ("<=", 3, 3, 1),
+        (">", 3, 2, 1),
+        (">=", 2, 3, 0),
+        ("&&", 2, 3, 1),
+        ("&&", 0, 3, 0),
+        ("||", 0, 0, 0),
+        ("||", 0, 9, 1),
+        ("&", 6, 3, 2),
+        ("|", 6, 3, 7),
+        ("^", 6, 3, 5),
+    ])
+    def test_operations(self, op, a, b, expected):
+        assert evaluate_alu(op, a, b) == expected
+
+    def test_division_by_zero(self):
+        assert evaluate_alu("/", 5, 0) == 0
+        assert evaluate_alu("%", 5, 0) == 0
+
+    def test_c_style_truncation_identity(self):
+        # (a/b)*b + a%b == a must hold for all sign combinations
+        for a in (-7, -1, 0, 1, 7):
+            for b in (-3, -2, 2, 3):
+                q = evaluate_alu("/", a, b)
+                r = evaluate_alu("%", a, b)
+                assert q * b + r == a, (a, b)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_alu("**", 2, 3)
+
+    def test_alu_constructor_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Alu("<<", Imm(1), Imm(2), Reg(1))
+
+
+class TestProgramValidation:
+    def _program(self, code):
+        prog = Program(code=code)
+        prog.threads["t"] = ThreadSpec(name="t", entry=0, frame_words=1)
+        return prog
+
+    def test_valid_program(self):
+        prog = self._program([Jump(1), Halt()])
+        prog.validate()
+
+    def test_branch_target_out_of_range(self):
+        prog = self._program([Branch(Reg(1), 99), Halt()])
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_entry_out_of_range(self):
+        prog = self._program([Halt()])
+        prog.threads["t"] = ThreadSpec(name="t", entry=5, frame_words=1)
+        with pytest.raises(ValueError):
+            prog.validate()
+
+
+class TestProgramQueries:
+    def test_address_of(self):
+        prog = Program()
+        prog.globals_layout["a"] = (4, 3)
+        assert prog.address_of("a", 2) == 6
+        with pytest.raises(IndexError):
+            prog.address_of("a", 3)
+
+    def test_name_of_address(self):
+        prog = Program()
+        prog.globals_layout["x"] = (0, 1)
+        prog.globals_layout["a"] = (1, 4)
+        assert prog.name_of_address(0) == "x"
+        assert prog.name_of_address(3) == "a[2]"
+        assert prog.name_of_address(99) == "@99"
+
+    def test_loc_of(self):
+        prog = Program(locs=[SourceLoc(3, 1, "x = 1;")])
+        instr = Halt()
+        instr.loc = 0
+        assert "x = 1;" in str(prog.loc_of(instr))
+        instr.loc = -1
+        assert prog.loc_of(instr) is None
+
+    def test_disassemble_mentions_source(self):
+        prog = Program(code=[Load(Reg(1), Imm(0), loc=0), Halt()],
+                       locs=[SourceLoc(1, 1, "x = y;")])
+        text = prog.disassemble()
+        assert "x = y;" in text
+        assert "LOAD" in text
+
+    def test_reconvergence_requires_branch(self):
+        prog = Program(code=[Halt()])
+        with pytest.raises(TypeError):
+            prog.reconvergence_of_branch(0)
+
+
+class TestOperandRepr:
+    def test_reg_repr(self):
+        assert repr(Reg(5)) == "r5"
+
+    def test_imm_repr(self):
+        assert repr(Imm(-3)) == "#-3"

@@ -1,0 +1,201 @@
+"""Online SVD detector tests (paper §4.2-4.3, Figure 7)."""
+
+import pytest
+
+from repro.core import OnlineSVD, SvdConfig
+from repro.core.cu import Cu, merge_cus
+from tests.conftest import (
+    BENIGN_RACE, COUNTER_LOCKED, COUNTER_RACE, run_with_svd,
+)
+
+
+class TestDetection:
+    def test_detects_lost_update_race(self):
+        found = False
+        for seed in range(6):
+            machine, svd = run_with_svd(
+                COUNTER_RACE, [("worker", (30,)), ("worker", (30,))],
+                seed=seed, switch_prob=0.5)
+            if machine.read_global("counter") < 60:
+                found = found or svd.report.dynamic_count > 0
+        assert found
+
+    def test_silent_on_locked_counter(self):
+        for seed in range(4):
+            _m, svd = run_with_svd(
+                COUNTER_LOCKED, [("worker", (30,)), ("worker", (30,))],
+                seed=seed, switch_prob=0.5)
+            assert svd.report.dynamic_count == 0, seed
+
+    def test_silent_on_benign_race(self):
+        """The Figure 1 headline: serializable data races are not reported."""
+        for seed in range(4):
+            _m, svd = run_with_svd(
+                BENIGN_RACE, [("locker", (20,)), ("checker", (20,))],
+                seed=seed, switch_prob=0.5)
+            assert svd.report.dynamic_count == 0, seed
+
+    def test_single_thread_never_reports(self):
+        src = ("shared int x; thread t() { int i = 0; while (i < 50) {"
+               " x = x + 1; i = i + 1; } }")
+        _m, svd = run_with_svd(src, [("t", ())])
+        assert svd.report.dynamic_count == 0
+
+    def test_read_only_sharing_never_reports(self):
+        src = ("shared int table[8] = {1,2,3,4,5,6,7,8}; shared int r0;"
+               "shared int r1;"
+               "thread t(int tid) { int s = 0; int i = 0; while (i < 8) {"
+               " s = s + table[i]; i = i + 1; }"
+               " if (tid == 0) { r0 = s; } else { r1 = s; } }")
+        _m, svd = run_with_svd(src, [("t", (0,)), ("t", (1,))],
+                               switch_prob=0.7)
+        assert svd.report.dynamic_count == 0
+
+    def test_report_sites_are_buggy_statements(self):
+        machine, svd = run_with_svd(
+            COUNTER_RACE, [("worker", (30,)), ("worker", (30,))],
+            seed=1, switch_prob=0.5)
+        texts = {svd.program.locs[v.loc].text for v in svd.report}
+        assert texts <= {"int c = counter;", "counter = (c + 1);"}
+
+    def test_violation_records_conflicting_thread(self):
+        _m, svd = run_with_svd(
+            COUNTER_RACE, [("worker", (30,)), ("worker", (30,))],
+            seed=1, switch_prob=0.5)
+        for v in svd.report:
+            assert v.other_tid != v.tid
+            assert v.other_tid >= 0
+
+
+class TestCuAccounting:
+    def test_cus_created_and_closed_balance(self):
+        _m, svd = run_with_svd(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        # after on_finish every CU is closed
+        assert svd.open_cus == 0
+        assert svd.cus_created == svd.cus_closed
+
+    def test_cu_records_logged_at_closure(self):
+        _m, svd = run_with_svd(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        assert len(svd.log.cu_records) == svd.cus_closed
+        reasons = {r.reason for r in svd.log.cu_records}
+        assert reasons <= {"stored-shared-load", "remote-true-dep",
+                           "thread-end"}
+
+    def test_directory_empty_after_finish(self):
+        _m, svd = run_with_svd(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        assert svd.tracked_state_words() == 0
+        assert not svd.trackers
+
+    def test_instruction_count_matches_machine(self):
+        machine, svd = run_with_svd(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        assert svd.instructions == machine.seq
+
+    def test_cus_per_million(self):
+        _m, svd = run_with_svd(
+            COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        expected = svd.cus_created * 1e6 / svd.instructions
+        assert svd.cus_per_million() == pytest.approx(expected)
+
+
+class TestConfigKnobs:
+    def test_block_size_validation(self):
+        from repro.lang import compile_source
+        prog = compile_source("thread t() { }")
+        with pytest.raises(ValueError):
+            OnlineSVD(prog, SvdConfig(block_size=0))
+
+    def test_larger_blocks_false_sharing(self):
+        """With giant blocks, unrelated variables alias into one block and
+        false conflicts appear on an otherwise clean program."""
+        src = ("shared int a; shared int b;"
+               "thread ta(int n) { int i = 0; while (i < n) {"
+               " a = a + 1; i = i + 1; } }"
+               "thread tb(int n) { int i = 0; while (i < n) {"
+               " b = b + 1; i = i + 1; } }")
+        _m, svd_word = run_with_svd(src, [("ta", (20,)), ("tb", (20,))],
+                                    switch_prob=0.6)
+        _m, svd_big = run_with_svd(src, [("ta", (20,)), ("tb", (20,))],
+                                   switch_prob=0.6,
+                                   config=SvdConfig(block_size=64))
+        assert svd_word.report.dynamic_count == 0
+        assert svd_big.report.dynamic_count > 0
+
+    def test_address_deps_catch_queue_race(self):
+        """Figure 9 mitigation: with address dependences off, the
+        independent-computation stores stop checking the index CU."""
+        from repro.workloads import queue_region
+        wl = queue_region(fixed=False, producers=3, items=12)
+        from repro.machine import RandomScheduler
+        results = {}
+        for use_addr in (True, False):
+            svd = OnlineSVD(wl.program, SvdConfig(use_address_deps=use_addr))
+            m = wl.make_machine(RandomScheduler(seed=2, switch_prob=0.6),
+                                observers=[svd])
+            m.run()
+            results[use_addr] = svd.report.dynamic_count
+        assert results[True] >= results[False]
+
+    def test_check_all_blocks_reports_at_least_as_much(self):
+        for seed in (1, 2):
+            _m, inputs_only = run_with_svd(
+                COUNTER_RACE, [("worker", (20,)), ("worker", (20,))],
+                seed=seed, switch_prob=0.5)
+            _m, all_blocks = run_with_svd(
+                COUNTER_RACE, [("worker", (20,)), ("worker", (20,))],
+                seed=seed, switch_prob=0.5,
+                config=SvdConfig(check_all_blocks=True))
+            assert (all_blocks.report.dynamic_count
+                    >= inputs_only.report.dynamic_count)
+
+    def test_log_can_be_disabled(self):
+        _m, svd = run_with_svd(
+            COUNTER_RACE, [("worker", (10,)), ("worker", (10,))],
+            config=SvdConfig(log_communications=False))
+        assert not svd.log.entries
+
+
+class TestMergeMachinery:
+    def test_merge_empty_creates_fresh(self):
+        cu = merge_cus([], tid=0, seq=5)
+        assert cu.active
+        assert cu.tid == 0
+        assert not cu.rs and not cu.ws
+
+    def test_merge_unions_sets(self):
+        a = Cu(0, 0)
+        a.add_read(1)
+        a.add_write(2)
+        b = Cu(0, 1)
+        b.add_read(3)
+        merged = merge_cus([a, b], tid=0, seq=2)
+        assert merged.rs >= {1, 3}
+        assert 2 in merged.ws
+
+    def test_merge_forwards_stale_references(self):
+        a = Cu(0, 0)
+        b = Cu(0, 1)
+        merged = merge_cus([a, b], tid=0, seq=2)
+        assert a.resolve() is merged
+        assert b.resolve() is merged
+
+    def test_merge_skips_inactive(self):
+        a = Cu(0, 0)
+        a.active = False
+        b = Cu(0, 1)
+        merged = merge_cus([a, b], tid=0, seq=2)
+        assert merged is b
+
+    def test_merge_idempotent_on_single(self):
+        a = Cu(0, 0)
+        assert merge_cus([a, a], tid=0, seq=1) is a
+
+    def test_add_read_after_write_not_input(self):
+        cu = Cu(0, 0)
+        cu.add_write(7)
+        cu.add_read(7)
+        assert 7 not in cu.rs
+        assert 7 in cu.ws

@@ -1,0 +1,213 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_source
+
+
+def parse_thread_body(body):
+    tree = parse_source("thread t() { %s }" % body)
+    return tree.threads[0].body
+
+
+def parse_expr(text):
+    body = parse_thread_body(f"x = {text};")
+    # the body's single statement is an assignment whose value is our expr;
+    # x must merely parse, not resolve
+    return body[0].value
+
+
+class TestDeclarations:
+    def test_shared_scalar(self):
+        tree = parse_source("shared int x; thread t() { }")
+        decl = tree.variables[0]
+        assert decl.name == "x"
+        assert decl.storage == "shared"
+        assert not decl.is_array
+
+    def test_shared_scalar_with_init(self):
+        tree = parse_source("shared int x = 7; thread t() { }")
+        assert tree.variables[0].init == 7
+
+    def test_negative_init(self):
+        tree = parse_source("shared int x = -3; thread t() { }")
+        assert tree.variables[0].init == -3
+
+    def test_shared_array(self):
+        tree = parse_source("shared int a[16]; thread t() { }")
+        decl = tree.variables[0]
+        assert decl.is_array
+        assert decl.length == 16
+
+    def test_array_init_list(self):
+        tree = parse_source("shared int a[3] = {1, 2, 3}; thread t() { }")
+        assert tree.variables[0].init_list == (1, 2, 3)
+
+    def test_zero_length_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("shared int a[0]; thread t() { }")
+
+    def test_local_storage(self):
+        tree = parse_source("local int y; thread t() { }")
+        assert tree.variables[0].storage == "local"
+
+    def test_lock_declaration(self):
+        tree = parse_source("lock m; thread t() { }")
+        assert tree.locks[0].name == "m"
+
+    def test_thread_with_params(self):
+        tree = parse_source("thread t(int a, int b) { }")
+        assert tree.threads[0].params == ["a", "b"]
+
+    def test_thread_without_params(self):
+        tree = parse_source("thread t() { }")
+        assert tree.threads[0].params == []
+
+    def test_junk_at_top_level_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("banana;")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        stmt = parse_thread_body("x = 1;")[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.target == "x"
+        assert stmt.index is None
+
+    def test_array_assignment(self):
+        stmt = parse_thread_body("a[i] = 1;")[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.index, ast.NameExpr)
+
+    def test_local_decl_with_init(self):
+        stmt = parse_thread_body("int x = 2;")[0]
+        assert isinstance(stmt, ast.VarDeclStmt)
+        assert isinstance(stmt.init, ast.NumberExpr)
+
+    def test_local_array_decl(self):
+        stmt = parse_thread_body("int buf[8];")[0]
+        assert stmt.is_array
+        assert stmt.length == 8
+
+    def test_if_without_else(self):
+        stmt = parse_thread_body("if (x) { y = 1; }")[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+        assert stmt.else_body == []
+
+    def test_if_with_else(self):
+        stmt = parse_thread_body("if (x) { y = 1; } else { y = 2; }")[0]
+        assert len(stmt.else_body) == 1
+
+    def test_else_if_chain(self):
+        stmt = parse_thread_body(
+            "if (x) { y = 1; } else if (z) { y = 2; } else { y = 3; }")[0]
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+        assert len(stmt.else_body[0].else_body) == 1
+
+    def test_while(self):
+        stmt = parse_thread_body("while (x < 3) { x = x + 1; }")[0]
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_for_full(self):
+        stmt = parse_thread_body("for (int i = 0; i < 4; i = i + 1) { }")[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.VarDeclStmt)
+        assert stmt.step is not None
+
+    def test_for_with_assignment_init(self):
+        stmt = parse_thread_body("for (i = 0; i < 4; i = i + 1) { }")[0]
+        assert isinstance(stmt.init, ast.AssignStmt)
+
+    def test_for_without_clauses(self):
+        stmt = parse_thread_body("for (; x; ) { }")[0]
+        assert stmt.init is None
+        assert stmt.step is None
+
+    def test_acquire_release(self):
+        body = parse_thread_body("acquire(m); release(m);")
+        assert body[0].action == "acquire"
+        assert body[1].action == "release"
+        assert body[0].lock_name == "m"
+
+    def test_assert(self):
+        stmt = parse_thread_body("assert(x == 1);")[0]
+        assert isinstance(stmt, ast.AssertStmt)
+
+    def test_output(self):
+        stmt = parse_thread_body("output(x + 1);")[0]
+        assert isinstance(stmt, ast.OutputStmt)
+
+    def test_memcpy(self):
+        stmt = parse_thread_body("memcpy(dst, off, src, 0, n);")[0]
+        assert isinstance(stmt, ast.MemcpyStmt)
+        assert stmt.dst == "dst"
+        assert stmt.src == "src"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_thread_body("x = 1")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse_source("thread t() { x = 1;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        expr = parse_expr("a < b && c < d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "-"
+
+    def test_unary_not(self):
+        expr = parse_expr("!x")
+        assert expr.op == "!"
+
+    def test_nested_unary(self):
+        expr = parse_expr("!!x")
+        assert expr.operand.op == "!"
+
+    def test_index_expression(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert expr.index.op == "+"
+
+    def test_modulo(self):
+        expr = parse_expr("a % 3")
+        assert expr.op == "%"
+
+    def test_or_precedence_loosest(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_error_on_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_source("thread t() {\n  x = ;\n}")
+        assert exc.value.line == 2

@@ -1,0 +1,107 @@
+"""Register-promotion compiler pass tests."""
+
+import pytest
+
+from repro.core import OnlineSVD
+from repro.isa.instructions import Load, Store
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler, SerialScheduler
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE
+
+
+def run_serial(source, threads=None, promote=True):
+    program = compile_source(source, promote_locals=promote)
+    machine = Machine(program, threads or [("t", ())],
+                      scheduler=SerialScheduler())
+    machine.run()
+    return machine
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("promote", [False, True])
+    def test_arithmetic_unchanged(self, promote):
+        machine = run_serial(
+            "shared int r; thread t() {"
+            " int a = 3; int b = a * 4; a = b - a; r = a + b; }",
+            promote=promote)
+        assert machine.read_global("r") == 21
+
+    @pytest.mark.parametrize("promote", [False, True])
+    def test_loops_unchanged(self, promote):
+        machine = run_serial(
+            "shared int r; thread t() {"
+            " int s = 0; for (int i = 0; i < 6; i = i + 1) { s = s + i; }"
+            " r = s; }", promote=promote)
+        assert machine.read_global("r") == 15
+
+    def test_concurrent_results_agree(self):
+        for promote in (False, True):
+            program = compile_source(COUNTER_LOCKED, promote_locals=promote)
+            machine = Machine(program, [("worker", (25,)), ("worker", (25,))],
+                              scheduler=RandomScheduler(seed=4,
+                                                        switch_prob=0.5))
+            machine.run()
+            assert machine.read_global("counter") == 50, promote
+
+    def test_shadowing_with_promotion(self):
+        machine = run_serial(
+            "shared int r; thread t() {"
+            " int x = 1; if (1) { int x = 10; r = r + x; } r = r + x; }")
+        assert machine.read_global("r") == 11
+
+
+class TestCodeShape:
+    def _memory_ops(self, source, promote):
+        program = compile_source(source, promote_locals=promote)
+        return sum(1 for i in program.code if isinstance(i, (Load, Store)))
+
+    def test_promotion_removes_local_memory_traffic(self):
+        src = ("shared int r; thread t() {"
+               " int a = 1; int b = a + 1; int c = b + a; r = c; }")
+        assert self._memory_ops(src, True) < self._memory_ops(src, False)
+
+    def test_arrays_never_promoted(self):
+        src = "shared int r; thread t() { int a[4]; a[0] = 1; r = a[0]; }"
+        # array accesses must remain loads/stores
+        assert self._memory_ops(src, True) >= 2
+
+    def test_params_stay_in_frame(self):
+        program = compile_source(
+            "shared int r; thread t(int p) { r = p; }", promote_locals=True)
+        assert program.threads["t"].param_offsets == (0,)
+        # reading p is still a Load
+        assert any(isinstance(i, Load) for i in program.code)
+
+    def test_frame_shrinks(self):
+        src = ("thread t() { int a = 1; int b = 2; int c = a + b;"
+               " output(c); }")
+        plain = compile_source(src, promote_locals=False)
+        promoted = compile_source(src, promote_locals=True)
+        assert promoted.threads["t"].frame_words < plain.threads["t"].frame_words
+
+
+class TestDetectionUnderPromotion:
+    def test_race_still_detected(self):
+        program = compile_source(COUNTER_RACE, promote_locals=True)
+        found = False
+        for seed in range(5):
+            svd = OnlineSVD(program)
+            machine = Machine(program, [("worker", (30,)), ("worker", (30,))],
+                              scheduler=RandomScheduler(seed=seed,
+                                                        switch_prob=0.5),
+                              observers=[svd])
+            machine.run()
+            if machine.read_global("counter") < 60:
+                found = found or svd.report.dynamic_count > 0
+        assert found
+
+    def test_locked_still_silent(self):
+        program = compile_source(COUNTER_LOCKED, promote_locals=True)
+        for seed in range(3):
+            svd = OnlineSVD(program)
+            machine = Machine(program, [("worker", (20,)), ("worker", (20,))],
+                              scheduler=RandomScheduler(seed=seed,
+                                                        switch_prob=0.5),
+                              observers=[svd])
+            machine.run()
+            assert svd.report.dynamic_count == 0

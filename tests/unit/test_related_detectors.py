@@ -1,0 +1,195 @@
+"""Stale-value, lock-order and hybrid detector tests (paper §8)."""
+
+import pytest
+
+from repro.detectors import (HybridRaceDetector, LockOrderDetector,
+                             StaleValueDetector)
+from repro.lang import compile_source
+from repro.machine import (Machine, MachineStatus, RandomScheduler,
+                           RoundRobinScheduler)
+from repro.trace import TraceRecorder
+from repro.workloads import bank_transfer
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE, run_program
+
+TICKET = """
+shared int ticket = 0;
+lock m;
+local int stats;
+thread worker(int n) {
+    int i = 0;
+    while (i < n) {
+        acquire(m);
+        int mine = ticket;
+        ticket = mine + 1;
+        release(m);
+        stats = stats + mine;
+        i = i + 1;
+    }
+}
+"""
+
+DEADLOCK_PRONE = """
+lock a; lock b;
+shared int x;
+thread t1(int n) { int i = 0; while (i < n) {
+    acquire(a); acquire(b); x = x + 1; release(b); release(a);
+    i = i + 1; } }
+thread t2(int n) { int i = 0; while (i < n) {
+    acquire(b); acquire(a); x = x + 1; release(a); release(b);
+    i = i + 1; } }
+"""
+
+
+def trace_of(source, threads, scheduler=None, seed=1, switch=0.5,
+             program=None):
+    machine, trace = run_program(source, threads, seed=seed,
+                                 switch_prob=switch, record=True,
+                                 program=program)
+    if scheduler is not None:
+        prog = program if program is not None else compile_source(source)
+        recorder = TraceRecorder(prog, len(threads))
+        machine = Machine(prog, threads, scheduler=scheduler,
+                          observers=[recorder])
+        machine.run(max_steps=200_000)
+        return machine, recorder.trace()
+    return machine, trace
+
+
+class TestStaleValue:
+    def test_escaped_cs_value_reported(self):
+        _m, trace = trace_of(TICKET, [("worker", (8,)), ("worker", (8,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        texts = {trace.program.locs[v.loc].text for v in report}
+        assert "stats = (stats + mine);" in texts
+
+    def test_in_cs_uses_not_reported(self):
+        _m, trace = trace_of(TICKET, [("worker", (8,)), ("worker", (8,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        texts = {trace.program.locs[v.loc].text for v in report}
+        assert "ticket = (mine + 1);" not in texts
+        assert "int mine = ticket;" not in texts
+
+    def test_locked_counter_clean(self):
+        """All uses stay inside the critical section: nothing escapes."""
+        _m, trace = trace_of(COUNTER_LOCKED,
+                             [("worker", (10,)), ("worker", (10,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        assert report.dynamic_count == 0
+
+    def test_unlocked_program_has_nothing_to_report(self):
+        """Without critical sections there are no protected values."""
+        _m, trace = trace_of(COUNTER_RACE,
+                             [("worker", (10,)), ("worker", (10,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        assert report.dynamic_count == 0
+
+    def test_static_dedup_per_site_and_lock(self):
+        _m, trace = trace_of(TICKET, [("worker", (20,)), ("worker", (20,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        keys = [(v.loc, v.address) for v in report]
+        assert len(keys) == len(set(keys))
+
+    def test_branch_on_stale_value_reported(self):
+        source = """
+        shared int size = 4;
+        lock m;
+        shared int out;
+        thread t(int n) {
+            int i = 0;
+            while (i < n) {
+                acquire(m);
+                int snapshot = size;
+                release(m);
+                if (snapshot > 2) {
+                    out = out + 1;
+                }
+                i = i + 1;
+            }
+        }
+        thread other(int n) {
+            int i = 0;
+            while (i < n) {
+                acquire(m);
+                size = size + 1;
+                release(m);
+                i = i + 1;
+            }
+        }
+        """
+        _m, trace = trace_of(source, [("t", (8,)), ("other", (8,))])
+        report = StaleValueDetector(trace.program).run(trace)
+        texts = {trace.program.locs[v.loc].text for v in report}
+        assert any("snapshot > 2" in t for t in texts)
+
+
+class TestLockOrder:
+    def test_consistent_order_clean(self):
+        _m, trace = trace_of(COUNTER_LOCKED,
+                             [("worker", (10,)), ("worker", (10,))])
+        report = LockOrderDetector(trace.program).run(trace)
+        assert report.dynamic_count == 0
+
+    def test_opposite_order_reported_even_without_deadlocking(self):
+        """Coarse quanta keep this run deadlock-free; the detector still
+        finds the potential deadlock."""
+        prog = compile_source(DEADLOCK_PRONE)
+        recorder = TraceRecorder(prog, 2)
+        machine = Machine(prog, [("t1", (5,)), ("t2", (5,))],
+                          scheduler=RoundRobinScheduler(quantum=100),
+                          observers=[recorder])
+        machine.run()
+        assert machine.status == MachineStatus.FINISHED  # got lucky
+        report = LockOrderDetector(prog).run(recorder.trace())
+        assert report.dynamic_count == 1
+        assert report.violations[0].kind == "potential-deadlock"
+
+    def test_ordered_bank_transfers_clean(self):
+        workload = bank_transfer()
+        prog = workload.program
+        recorder = TraceRecorder(prog, len(workload.threads))
+        machine = workload.make_machine(
+            RandomScheduler(seed=2, switch_prob=0.5), observers=[recorder])
+        machine.run()
+        report = LockOrderDetector(prog).run(recorder.trace())
+        assert report.dynamic_count == 0
+
+    def test_edges_recorded_for_nesting(self):
+        source = ("lock a; lock b; shared int x;"
+                  "thread t() { acquire(a); acquire(b); x = 1;"
+                  " release(b); release(a); }")
+        _m, trace = trace_of(source, [("t", ())])
+        detector = LockOrderDetector(trace.program)
+        edges = detector.edges(trace)
+        assert len(edges) == 1
+        names = trace.program.lock_names
+        assert names[edges[0].held] == "a"
+        assert names[edges[0].acquired] == "b"
+
+
+class TestHybrid:
+    def test_real_race_confirmed(self):
+        _m, trace = trace_of(COUNTER_RACE,
+                             [("worker", (15,)), ("worker", (15,))])
+        report = HybridRaceDetector(trace.program).run(trace)
+        assert report.dynamic_count > 0
+        assert all(v.kind == "confirmed-race" for v in report)
+
+    def test_locked_program_clean(self):
+        _m, trace = trace_of(COUNTER_LOCKED,
+                             [("worker", (10,)), ("worker", (10,))])
+        report = HybridRaceDetector(trace.program).run(trace)
+        assert report.dynamic_count == 0
+
+    def test_subset_of_frd(self):
+        from repro.detectors import FrontierRaceDetector
+        _m, trace = trace_of(COUNTER_RACE,
+                             [("worker", (15,)), ("worker", (15,))])
+        hybrid = HybridRaceDetector(trace.program).run(trace)
+        frd = FrontierRaceDetector(trace.program).run(trace)
+        assert hybrid.dynamic_count <= frd.dynamic_count
+
+    def test_candidate_count(self):
+        _m, trace = trace_of(COUNTER_RACE,
+                             [("worker", (10,)), ("worker", (10,))])
+        detector = HybridRaceDetector(trace.program)
+        assert detector.candidate_count(trace) >= 1

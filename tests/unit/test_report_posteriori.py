@@ -1,0 +1,99 @@
+"""Violation report and a-posteriori log unit tests."""
+
+import pytest
+
+from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
+from repro.core.report import Violation, ViolationReport
+from repro.isa.program import Program, SourceLoc
+
+
+def make_violation(loc=0, seq=0, kind="serializability-violation",
+                   address=0, tid=0):
+    return Violation(detector="svd", seq=seq, tid=tid, loc=loc,
+                     address=address, kind=kind)
+
+
+class TestViolationReport:
+    def test_dynamic_counts_every_instance(self):
+        report = ViolationReport("svd")
+        for i in range(5):
+            report.add(make_violation(loc=1, seq=i))
+        assert report.dynamic_count == 5
+        assert report.static_count == 1
+
+    def test_static_key_includes_kind(self):
+        report = ViolationReport("svd")
+        report.add(make_violation(loc=1, kind="a"))
+        report.add(make_violation(loc=1, kind="b"))
+        assert report.static_count == 2
+
+    def test_per_million(self):
+        report = ViolationReport("svd")
+        report.add(make_violation())
+        report.add(make_violation())
+        assert report.dynamic_per_million(1_000_000) == pytest.approx(2.0)
+        assert report.dynamic_per_million(500_000) == pytest.approx(4.0)
+        assert report.dynamic_per_million(0) == 0.0
+
+    def test_describe_groups_by_site(self):
+        prog = Program(locs=[SourceLoc(3, 1, "x = y;")])
+        prog.globals_layout["x"] = (0, 1)
+        report = ViolationReport("svd", prog)
+        report.add(make_violation(loc=0))
+        report.add(make_violation(loc=0))
+        text = report.describe()
+        assert "x = y;" in text
+        assert "x2" in text.replace("(x2", "x2")  # grouped count shown
+
+    def test_iteration_and_len(self):
+        report = ViolationReport("svd")
+        report.add(make_violation())
+        assert len(report) == 1
+        assert list(report)[0].detector == "svd"
+
+
+class TestPosterioriLog:
+    def _entry(self, reader_loc=1, remote_loc=2, local_loc=3, addr=7):
+        return LogEntry(tid=0, reader_seq=10, reader_loc=reader_loc,
+                        address=addr, remote_tid=1, remote_seq=8,
+                        remote_loc=remote_loc, local_seq=5,
+                        local_loc=local_loc)
+
+    def test_static_entries_dedup(self):
+        log = PosterioriLog()
+        log.add_entry(self._entry())
+        log.add_entry(self._entry())
+        log.add_entry(self._entry(reader_loc=9))
+        assert len(log.entries) == 3
+        assert len(log.static_entries) == 2
+
+    def test_entries_for_address(self):
+        log = PosterioriLog()
+        log.add_entry(self._entry(addr=7))
+        log.add_entry(self._entry(addr=8))
+        assert len(log.entries_for_address(7)) == 1
+
+    def test_suspicious_addresses_ranked(self):
+        log = PosterioriLog()
+        for _ in range(3):
+            log.add_entry(self._entry(addr=5))
+        log.add_entry(self._entry(addr=9))
+        ranked = list(log.suspicious_addresses())
+        assert ranked[0] == 5
+
+    def test_describe_renders_symbols(self):
+        prog = Program(locs=[SourceLoc(1, 1, "a"), SourceLoc(2, 1, "b"),
+                             SourceLoc(3, 1, "c"), SourceLoc(4, 1, "d")])
+        prog.globals_layout["used_fields"] = (7, 1)
+        log = PosterioriLog(prog)
+        log.add_entry(self._entry(reader_loc=0, remote_loc=1, local_loc=2))
+        text = log.describe()
+        assert "used_fields" in text
+        assert "communication" in text
+
+    def test_cu_records(self):
+        log = PosterioriLog()
+        log.add_cu_record(CuLogRecord(tid=0, uid=1, birth_seq=0, end_seq=9,
+                                      read_blocks=(1, 2), write_blocks=(3,),
+                                      reason="thread-end"))
+        assert log.cu_records[0].read_blocks == (1, 2)

@@ -1,0 +1,125 @@
+"""Serializability and strict-2PL checker tests (paper §3.3)."""
+
+import pytest
+
+from repro.pdg import build_dpdg, reference_cu_partition
+from repro.serializability import (
+    cu_conflict_graph, is_serializable, strict_2pl_violations,
+)
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE, run_program
+
+
+def analyse(source, threads, **kwargs):
+    machine, trace = run_program(source, threads, record=True, **kwargs)
+    pdg = build_dpdg(trace)
+    parts = {tid: reference_cu_partition(pdg, tid)
+             for tid in range(len(threads))}
+    return machine, trace, parts
+
+
+class TestPreciseSerializability:
+    def test_lost_update_not_serializable(self):
+        # pick a seed where the lost update actually happens
+        for seed in range(8):
+            machine, trace, parts = analyse(
+                COUNTER_RACE, [("worker", (30,)), ("worker", (30,))],
+                seed=seed, switch_prob=0.5)
+            if machine.read_global("counter") < 60:
+                result = is_serializable(trace, parts)
+                assert not result.serializable
+                assert result.cycle  # witness produced
+                return
+        pytest.fail("no seed manifested the lost update")
+
+    def test_locked_counter_serializable(self):
+        _m, trace, parts = analyse(
+            COUNTER_LOCKED, [("worker", (20,)), ("worker", (20,))])
+        assert is_serializable(trace, parts).serializable
+
+    def test_single_thread_always_serializable(self):
+        src = "shared int x; thread t() { x = 1; int y = x; x = y + 1; }"
+        _m, trace, parts = analyse(src, [("t", ())])
+        assert is_serializable(trace, parts).serializable
+
+    def test_disjoint_data_serializable(self):
+        src = ("shared int a; shared int b;"
+               "thread ta(int n) { int i = 0; while (i < n) {"
+               " a = a + 1; i = i + 1; } }"
+               "thread tb(int n) { int i = 0; while (i < n) {"
+               " b = b + 1; i = i + 1; } }")
+        _m, trace, parts = analyse(src, [("ta", (10,)), ("tb", (10,))])
+        assert is_serializable(trace, parts).serializable
+
+    def test_cycle_witness_is_a_cycle(self):
+        for seed in range(8):
+            machine, trace, parts = analyse(
+                COUNTER_RACE, [("worker", (30,)), ("worker", (30,))],
+                seed=seed, switch_prob=0.5)
+            result = is_serializable(trace, parts)
+            if not result.serializable:
+                _nodes, edges = cu_conflict_graph(trace, parts)
+                cycle = result.cycle
+                for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+                    assert (u, v) in edges
+                return
+        pytest.fail("no non-serializable execution found")
+
+
+class TestConflictGraph:
+    def test_program_order_edges_present(self):
+        src = "shared int x; thread t() { x = 1; int y = x; }"
+        _m, trace, parts = analyse(src, [("t", ()), ("t", ())])
+        _nodes, edges = cu_conflict_graph(trace, parts)
+        # same-thread CUs are chained in start order
+        part = parts[0]
+        ordered = sorted(part.cu_ids, key=lambda c: part.cu_span(c)[0])
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert ((0, earlier), (0, later)) in edges
+
+    def test_nodes_cover_all_cus(self):
+        _m, trace, parts = analyse(
+            COUNTER_RACE, [("worker", (5,)), ("worker", (5,))])
+        nodes, _edges = cu_conflict_graph(trace, parts)
+        for tid, part in parts.items():
+            for cu_id in part.cu_ids:
+                assert (tid, cu_id) in nodes
+
+
+class TestStrict2PL:
+    def test_violations_point_at_conflicting_events(self):
+        _m, trace, parts = analyse(
+            COUNTER_RACE, [("worker", (20,)), ("worker", (20,))],
+            switch_prob=0.5)
+        violations = strict_2pl_violations(trace, parts)
+        assert violations
+        for v in violations:
+            assert v.intruder.tid != v.victim_access.tid
+            assert v.intruder.addr == v.victim_access.addr == v.address
+            assert v.victim_access.seq < v.intruder.seq
+            # intruder lands before the victim CU finished
+            tid, cu_id = v.victim_cu
+            assert parts[tid].cu_span(cu_id)[1] > v.intruder.seq
+
+    def test_2pl_clean_implies_serializable(self):
+        """Strict 2PL is sufficient for serializability (paper §3.3)."""
+        for seed in range(6):
+            _m, trace, parts = analyse(
+                COUNTER_RACE, [("worker", (10,)), ("worker", (10,))],
+                seed=seed, switch_prob=0.5)
+            if not strict_2pl_violations(trace, parts):
+                assert is_serializable(trace, parts).serializable
+
+    def test_non_serializable_implies_2pl_violation(self):
+        """Contrapositive on real traces."""
+        for seed in range(8):
+            _m, trace, parts = analyse(
+                COUNTER_RACE, [("worker", (20,)), ("worker", (20,))],
+                seed=seed, switch_prob=0.5)
+            if not is_serializable(trace, parts).serializable:
+                assert strict_2pl_violations(trace, parts)
+
+    def test_empty_trace(self):
+        src = "thread t() { }"
+        _m, trace, parts = analyse(src, [("t", ())])
+        assert is_serializable(trace, parts).serializable
+        assert strict_2pl_violations(trace, parts) == []

@@ -1,0 +1,133 @@
+"""Static CFG / postdominator / control-dependence tests."""
+
+import pytest
+
+from repro.isa.instructions import Branch
+from repro.lang import compile_source
+from repro.pdg.static_cdg import EXIT, ControlDependence, build_cfg, postdominators
+
+
+def branch_pcs(prog):
+    return [pc for pc, instr in enumerate(prog.code)
+            if isinstance(instr, Branch)]
+
+
+def pcs_for_line(prog, line):
+    return [pc for pc, instr in enumerate(prog.code)
+            if instr.loc >= 0 and prog.locs[instr.loc].line == line]
+
+
+class TestCfg:
+    def test_straight_line(self):
+        prog = compile_source("shared int x; thread t() { x = 1; x = 2; }")
+        succ = build_cfg(prog)
+        # each non-control instruction has exactly one successor
+        for pc, targets in succ.items():
+            if pc == EXIT:
+                continue
+            assert 1 <= len(targets) <= 2
+
+    def test_halt_goes_to_exit(self):
+        prog = compile_source("thread t() { }")
+        succ = build_cfg(prog)
+        halt_pc = len(prog.code) - 1
+        assert succ[halt_pc] == [EXIT]
+
+    def test_branch_has_two_successors(self):
+        prog = compile_source(
+            "shared int x; thread t() { if (x) { x = 1; } }")
+        succ = build_cfg(prog)
+        bpc = branch_pcs(prog)[0]
+        assert len(succ[bpc]) == 2
+
+
+class TestPostdominators:
+    def test_exit_postdominates_itself_only(self):
+        prog = compile_source("thread t() { }")
+        pdom = postdominators(build_cfg(prog))
+        assert pdom[EXIT] == {EXIT}
+
+    def test_straight_line_chain(self):
+        prog = compile_source("shared int x; thread t() { x = 1; }")
+        pdom = postdominators(build_cfg(prog))
+        # first instruction is postdominated by every later one
+        for later in range(1, len(prog.code)):
+            assert later in pdom[0]
+
+    def test_join_point_postdominates_branch(self):
+        prog = compile_source(
+            "shared int x; thread t() {"
+            " if (x) { x = 1; } else { x = 2; } x = 3; }")
+        pdom = postdominators(build_cfg(prog))
+        bpc = branch_pcs(prog)[0]
+        join = prog.reconvergence_of_branch(bpc)
+        assert join in pdom[bpc]
+
+    def test_then_block_does_not_postdominate_branch(self):
+        prog = compile_source(
+            "shared int x; thread t() { if (x) { x = 1; } x = 2; }")
+        pdom = postdominators(build_cfg(prog))
+        bpc = branch_pcs(prog)[0]
+        then_pcs = pcs_for_line(prog, 1)  # single-line source: find stores
+        # at least one then-block instruction is NOT a postdominator of b
+        inside = [pc for pc in range(bpc + 1, prog.code[bpc].target)]
+        assert inside
+        assert any(pc not in pdom[bpc] for pc in inside)
+
+
+class TestControlDependence:
+    def test_then_block_controlled_by_branch(self):
+        prog = compile_source(
+            "shared int x; shared int y;"
+            "thread t() { if (x) { y = 1; } y = 2; }")
+        cdg = ControlDependence(prog)
+        bpc = branch_pcs(prog)[0]
+        inside = list(range(bpc + 1, prog.code[bpc].target))
+        assert all(cdg.is_control_dependent(pc, bpc) for pc in inside)
+
+    def test_code_after_join_not_controlled(self):
+        prog = compile_source(
+            "shared int x; shared int y;"
+            "thread t() { if (x) { y = 1; } y = 2; }")
+        cdg = ControlDependence(prog)
+        bpc = branch_pcs(prog)[0]
+        join = prog.code[bpc].target
+        assert not cdg.is_control_dependent(join, bpc)
+
+    def test_else_block_controlled(self):
+        prog = compile_source(
+            "shared int x; shared int y;"
+            "thread t() { if (x) { y = 1; } else { y = 2; } }")
+        cdg = ControlDependence(prog)
+        bpc = branch_pcs(prog)[0]
+        else_start = prog.code[bpc].target
+        join = prog.reconvergence_of_branch(bpc)
+        else_pcs = list(range(else_start, join))
+        assert else_pcs
+        assert all(cdg.is_control_dependent(pc, bpc) for pc in else_pcs)
+
+    def test_loop_body_controlled_by_loop_branch(self):
+        prog = compile_source(
+            "shared int x; thread t() { while (x < 5) { x = x + 1; } }")
+        cdg = ControlDependence(prog)
+        bpc = branch_pcs(prog)[0]
+        body = list(range(bpc + 1, prog.code[bpc].target - 1))
+        assert body
+        assert all(cdg.is_control_dependent(pc, bpc) for pc in body)
+
+    def test_nested_if_immediate_controller(self):
+        prog = compile_source(
+            "shared int x; shared int y; shared int z;"
+            "thread t() { if (x) { if (y) { z = 1; } } }")
+        cdg = ControlDependence(prog)
+        outer, inner = branch_pcs(prog)[:2]
+        store_pcs = [pc for pc in range(inner + 1, prog.code[inner].target)]
+        # the innermost store is controlled by the inner branch
+        assert any(cdg.is_control_dependent(pc, inner) for pc in store_pcs)
+        # and the inner branch is itself controlled by the outer branch
+        assert cdg.is_control_dependent(inner, outer)
+
+    def test_straight_line_has_no_controllers(self):
+        prog = compile_source("shared int x; thread t() { x = 1; }")
+        cdg = ControlDependence(prog)
+        assert cdg.controllers(0) == set()

@@ -1,0 +1,103 @@
+"""Trace query toolkit tests."""
+
+import pytest
+
+from repro.machine.events import EV_LOAD, EV_STORE
+from repro.trace import TraceQuery
+from repro.workloads import mysql_tablelock
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE, run_program
+
+
+@pytest.fixture(scope="module")
+def query():
+    workload = mysql_tablelock(ops=5)
+    _machine, trace = run_program(workload.source, workload.threads,
+                                  seed=1, switch_prob=0.5, record=True,
+                                  program=workload.program)
+    return TraceQuery(trace)
+
+
+class TestSummaries:
+    def test_variable_summary_counts(self, query):
+        summaries = query.variable_summaries()
+        addr = query.resolve("tot_lock")
+        summary = summaries[addr]
+        assert summary.reads > 0
+        assert summary.writes > 0
+        assert summary.shared
+        assert summary.first_seq <= summary.last_seq
+
+    def test_shared_variables_sorted_by_traffic(self, query):
+        shared = query.shared_variables()
+        assert shared
+        traffic = [s.reads + s.writes for s in shared]
+        assert traffic == sorted(traffic, reverse=True)
+        assert all(s.shared for s in shared)
+
+    def test_private_variables_excluded_from_shared(self, query):
+        shared_names = {s.name for s in query.shared_variables()}
+        assert not any(name.startswith("@") and False for name in shared_names)
+        # frame addresses (locals) must not appear as shared
+        for summary in query.shared_variables():
+            assert summary.address < query.program.shared_words
+
+    def test_thread_summary(self, query):
+        summary = query.thread_summary()
+        assert set(summary) == {0, 1, 2, 3}
+        for counts in summary.values():
+            assert counts.get("LOAD", 0) + counts.get("STORE", 0) > 0
+
+
+class TestHistories:
+    def test_history_in_order_and_filtered(self, query):
+        events = query.history("tot_lock")
+        assert events
+        assert all(e.addr == query.resolve("tot_lock") for e in events)
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_history_limit(self, query):
+        assert len(query.history("tot_lock", limit=3)) == 3
+
+    def test_locks_held_at(self, query):
+        # find a locker's guarded access and check the lock is reported
+        guarded = [e for e in query.history("tot_lock")
+                   if query.program.locs[e.loc].text == "int t = tot_lock;"]
+        assert guarded
+        event = guarded[0]
+        held = query.locks_held_at(event.seq, event.tid)
+        lock_addr = next(iter(query.program.lock_names))
+        assert lock_addr in held
+
+    def test_unlocked_access_reports_no_locks(self, query):
+        unguarded = [e for e in query.history("tot_lock")
+                     if "== 0" in query.program.locs[e.loc].text]
+        assert unguarded
+        event = unguarded[0]
+        assert query.locks_held_at(event.seq, event.tid) == set()
+
+    def test_conflicts_on_variable(self, query):
+        pairs = query.conflicts_on("tot_lock")
+        assert pairs
+        for early, late in pairs:
+            assert early.seq < late.seq
+            assert early.tid != late.tid
+
+    def test_find_statements(self, query):
+        events = query.find_statements("tot_lock = (t + 1)")
+        assert events
+        texts = {query.program.locs[e.loc].text for e in events}
+        assert texts == {"tot_lock = (t + 1);"}
+
+
+class TestRendering:
+    def test_render_history_mentions_locks_and_values(self, query):
+        text = query.render_history("tot_lock", limit=5)
+        assert "holding[internal_lock]" in text
+        assert "value=" in text
+        assert "more accesses" in text
+
+    def test_render_shared_report(self, query):
+        text = query.render_shared_report()
+        assert "tot_lock" in text
+        assert "threads=" in text

@@ -1,0 +1,72 @@
+"""Vector clock unit tests."""
+
+import pytest
+
+from repro.detectors.vector_clock import VectorClock
+
+
+class TestBasics:
+    def test_zero_initialised(self):
+        vc = VectorClock(3)
+        assert vc.clocks == [0, 0, 0]
+
+    def test_explicit_clocks(self):
+        vc = VectorClock(2, [3, 4])
+        assert vc.clocks == [3, 4]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock(2, [1, 2, 3])
+
+    def test_tick(self):
+        vc = VectorClock(2)
+        vc.tick(1)
+        assert vc.clocks == [0, 1]
+
+    def test_copy_is_independent(self):
+        vc = VectorClock(2, [1, 2])
+        other = vc.copy()
+        other.tick(0)
+        assert vc.clocks == [1, 2]
+
+
+class TestOrdering:
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock(3, [1, 5, 2])
+        b = VectorClock(3, [4, 3, 2])
+        a.join(b)
+        assert a.clocks == [4, 5, 2]
+
+    def test_happens_before_strict(self):
+        a = VectorClock(2, [1, 2])
+        b = VectorClock(2, [1, 3])
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_equal_clocks_not_happens_before(self):
+        a = VectorClock(2, [1, 2])
+        b = VectorClock(2, [1, 2])
+        assert not a.happens_before(b)
+        assert a.ordered_with(b)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock(2, [2, 0])
+        b = VectorClock(2, [0, 2])
+        assert not a.happens_before(b)
+        assert not b.happens_before(a)
+        assert not a.ordered_with(b)
+
+    def test_transitivity_via_join(self):
+        a = VectorClock(3, [1, 0, 0])
+        b = VectorClock(3, [0, 1, 0])
+        b.join(a)
+        b.tick(1)
+        c = VectorClock(3, [0, 0, 1])
+        c.join(b)
+        c.tick(2)
+        assert a.happens_before(c)
+
+    def test_equality(self):
+        assert VectorClock(2, [1, 2]) == VectorClock(2, [1, 2])
+        assert VectorClock(2, [1, 2]) != VectorClock(2, [2, 1])
+        assert VectorClock(2) != object()

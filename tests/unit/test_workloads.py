@@ -1,0 +1,160 @@
+"""Workload model tests: compile, run, ground truth, validators."""
+
+import pytest
+
+from repro.machine import RandomScheduler, SerialScheduler
+from repro.workloads import (
+    WORKLOADS, apache_log, mysql_prepared, mysql_tablelock, pgsql_oltp,
+    queue_region, stringbuffer,
+)
+
+
+def run(workload, seed=3, switch=0.4, max_steps=400_000):
+    machine = workload.make_machine(
+        RandomScheduler(seed=seed, switch_prob=switch))
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+class TestRegistry:
+    def test_all_factories_compile(self):
+        for name, factory in WORKLOADS.items():
+            workload = factory()
+            assert workload.program.code, name
+            workload.program.validate()
+
+    def test_buggy_workloads_have_bug_locs(self):
+        for factory in (apache_log, mysql_prepared, stringbuffer):
+            workload = factory()
+            assert workload.buggy
+            assert workload.bug_locs()
+
+    def test_clean_workloads_have_no_bug_locs(self):
+        for workload in (apache_log(fixed=True), mysql_tablelock(),
+                         pgsql_oltp(), queue_region()):
+            assert not workload.buggy
+            assert workload.bug_locs() == set()
+
+
+class TestApache:
+    def test_serial_run_is_clean_even_when_buggy(self):
+        workload = apache_log()
+        machine = workload.make_machine(SerialScheduler())
+        machine.run()
+        assert workload.validate(machine).errors == 0
+
+    def test_concurrent_buggy_run_corrupts_log(self):
+        workload = apache_log()
+        corrupted = any(
+            workload.validate(run(workload, seed=s, switch=0.5)).errors > 0
+            for s in range(4))
+        assert corrupted
+
+    def test_fixed_run_always_clean(self):
+        workload = apache_log(fixed=True)
+        for seed in range(3):
+            machine = run(workload, seed=seed, switch=0.5)
+            assert workload.validate(machine).errors == 0, seed
+
+    def test_validator_counts_records(self):
+        workload = apache_log(fixed=True, writers=2, requests=5)
+        machine = run(workload)
+        outcome = workload.validate(machine)
+        assert "10" in outcome.detail  # 2 writers x 5 requests intact
+
+    def test_requires_two_writers(self):
+        with pytest.raises(ValueError):
+            apache_log(writers=1)
+
+    def test_bufsize_validation(self):
+        with pytest.raises(ValueError):
+            apache_log(bufsize=4)
+
+
+class TestMysql:
+    def test_tablelock_predicate_never_fires(self):
+        workload = mysql_tablelock()
+        for seed in range(3):
+            machine = run(workload, seed=seed, switch=0.6)
+            assert workload.validate(machine).errors == 0
+
+    def test_prepared_buggy_crashes_some_seed(self):
+        workload = mysql_prepared()
+        crashed = any(run(workload, seed=s, switch=0.5).crashed
+                      for s in range(5))
+        assert crashed
+
+    def test_prepared_crash_is_nondeterministic(self):
+        """The paper: MySQL crashes *non-deterministically* -- some seeds
+        survive."""
+        workload = mysql_prepared()
+        results = {run(workload, seed=s, switch=switch).crashed
+                   for s in range(4)
+                   for switch in (0.02, 0.5)}
+        assert results == {True, False}
+
+    def test_prepared_fixed_never_crashes(self):
+        workload = mysql_prepared(fixed=True)
+        for seed in range(4):
+            machine = run(workload, seed=seed, switch=0.5)
+            assert not machine.crashed, seed
+
+    def test_prepared_serial_never_crashes(self):
+        workload = mysql_prepared()
+        machine = workload.make_machine(SerialScheduler())
+        machine.run()
+        assert not machine.crashed
+
+
+class TestPgsql:
+    def test_balances_always_consistent(self):
+        workload = pgsql_oltp()
+        for seed in range(3):
+            machine = run(workload, seed=seed, switch=0.5)
+            outcome = workload.validate(machine)
+            assert outcome.errors == 0, (seed, outcome.detail)
+
+    def test_scales_with_parameters(self):
+        small = pgsql_oltp(terminals=2, txns=5)
+        large = pgsql_oltp(terminals=4, txns=10)
+        m_small = run(small)
+        m_large = run(large)
+        assert m_large.steps > m_small.steps
+
+    def test_warehouse_validation(self):
+        with pytest.raises(ValueError):
+            pgsql_oltp(warehouses=0)
+
+
+class TestStringBuffer:
+    def test_buggy_tears_some_seed(self):
+        workload = stringbuffer()
+        torn = any(run(workload, seed=s, switch=0.6).crashed
+                   for s in range(6))
+        assert torn
+
+    def test_fixed_never_tears(self):
+        workload = stringbuffer(fixed=True)
+        for seed in range(4):
+            assert not run(workload, seed=seed, switch=0.6).crashed
+
+    def test_serial_never_tears(self):
+        workload = stringbuffer()
+        machine = workload.make_machine(SerialScheduler())
+        machine.run()
+        assert not machine.crashed
+
+
+class TestQueueRegion:
+    def test_locked_queue_loses_nothing(self):
+        workload = queue_region(fixed=True)
+        for seed in range(3):
+            machine = run(workload, seed=seed, switch=0.6)
+            assert workload.validate(machine).errors == 0
+
+    def test_unlocked_queue_loses_items(self):
+        workload = queue_region(fixed=False)
+        lost = any(
+            workload.validate(run(workload, seed=s, switch=0.6)).errors > 0
+            for s in range(4))
+        assert lost
