@@ -8,6 +8,8 @@ Commands:
 * ``table1``   -- regenerate the paper's Table 1
 * ``table2``   -- regenerate the paper's Table 2
 * ``overhead`` -- measure the §7.3 detection overheads
+* ``campaign`` -- parallel (workload, seed, detector-config) sweep
+* ``fuzz``     -- differential fuzzing of the SVD detector family
 """
 
 from __future__ import annotations
@@ -105,6 +107,56 @@ def _build_parser() -> argparse.ArgumentParser:
     over.add_argument("workload", choices=sorted(WORKLOADS), nargs="?",
                       default="mysql-tablelock")
     over.add_argument("--repeats", type=int, default=2)
+
+    camp = sub.add_parser(
+        "campaign", help="parallel (workload, seed, config) sweep")
+    camp.add_argument("--workloads", default="all",
+                      help="comma-separated workload names, or 'all'")
+    camp.add_argument("--configs", default="default",
+                      help="comma-separated detector configs "
+                      "(default, block4, all-blocks, no-addr-deps, "
+                      "no-ctrl-deps, cut-at-wait)")
+    camp.add_argument("--seeds", type=int, default=8,
+                      help="seeded segments per (workload, config) cell")
+    camp.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial in-process)")
+    camp.add_argument("--master-seed", type=int, default=0)
+    camp.add_argument("--switch-prob", type=float, default=0.3)
+    camp.add_argument("--max-steps", type=int, default=400_000)
+    camp.add_argument("--timeout", type=float, default=None,
+                      help="per-run wall-clock limit in seconds "
+                      "(parallel mode); a hung run becomes one "
+                      "timeout result")
+    camp.add_argument("--budget", type=float, default=None,
+                      help="campaign wall-clock budget in seconds; "
+                      "undispatched runs are marked skipped")
+    camp.add_argument("--no-frd", action="store_true",
+                      help="skip the FRD comparison pass")
+    camp.add_argument("--table2", action="store_true",
+                      help="also render with the paper's Table 2 "
+                      "reference columns")
+    camp.add_argument("--quiet", action="store_true",
+                      help="suppress per-run progress lines")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the SVD detector family")
+    fuzz.add_argument("--budget", type=float, default=30.0,
+                      help="wall-clock budget in seconds")
+    fuzz.add_argument("--programs", type=int, default=None,
+                      help="cap on generated programs (default: "
+                      "budget-bound only)")
+    fuzz.add_argument("--seeds", type=int, default=2,
+                      help="schedule probes per generated program")
+    fuzz.add_argument("--workers", type=int, default=1)
+    fuzz.add_argument("--master-seed", type=int, default=0)
+    fuzz.add_argument("--minimize", action="store_true",
+                      help="shrink violating programs before reporting")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="existing corpus directory; report which "
+                      "entries this session rediscovered")
+    fuzz.add_argument("--save-corpus", default=None, metavar="DIR",
+                      help="write up to 10 violating programs as a "
+                      "seed corpus")
     return parser
 
 
@@ -363,6 +415,101 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.harness.campaign import (CampaignSpec, ConfigSpec,
+                                        NAMED_CONFIGS, WorkloadSpec,
+                                        run_campaign)
+    if args.workloads == "all":
+        names = sorted(WORKLOADS)
+    else:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    configs = []
+    for cname in args.configs.split(","):
+        cname = cname.strip()
+        if cname not in NAMED_CONFIGS:
+            print(f"unknown config {cname!r} (choose from "
+                  f"{', '.join(sorted(NAMED_CONFIGS))})", file=sys.stderr)
+            return 2
+        config = NAMED_CONFIGS[cname]()
+        config.switch_prob = args.switch_prob
+        config.max_steps = args.max_steps
+        config.run_frd = not args.no_frd
+        configs.append(config)
+    spec = CampaignSpec(
+        workloads=[WorkloadSpec(name=n) for n in names],
+        configs=configs, seeds=args.seeds,
+        master_seed=args.master_seed, task_timeout=args.timeout)
+    total = len(names) * len(configs) * args.seeds
+    done = [0]
+
+    def progress(result) -> None:
+        done[0] += 1
+        if args.quiet:
+            return
+        note = result.status
+        if result.ok:
+            note += (f", {result.svd.dynamic_total} svd reports, "
+                     f"{result.instructions} insts")
+        print(f"[{done[0]}/{total}] {result.workload}/{result.config} "
+              f"seed#{result.seed_index} -> {note}", file=sys.stderr)
+
+    report = run_campaign(spec, workers=args.workers, budget=args.budget,
+                          on_result=progress)
+    print(report.render_metrics())
+    if args.table2:
+        print()
+        print(report.render_table2())
+    failed = report.errors
+    print(f"{len(report.results)} runs ({len(report.results) - len(failed)}"
+          f" ok, {len(failed)} failed/skipped) in {report.elapsed:.1f}s "
+          f"with {args.workers} worker(s)", file=sys.stderr)
+    for result in failed[:5]:
+        first_line = result.error.strip().splitlines()[-1:] or ["?"]
+        print(f"  {result.workload}/{result.config} seed#"
+              f"{result.seed_index}: {result.status}: {first_line[0]}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import (load_corpus, rediscovered, run_fuzz,
+                            save_corpus)
+    if args.budget is not None and args.budget <= 0:
+        args.budget = None
+    try:
+        report = run_fuzz(budget=args.budget, max_programs=args.programs,
+                          probes_per_program=args.seeds,
+                          workers=args.workers,
+                          master_seed=args.master_seed,
+                          minimize=args.minimize)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.describe())
+    if args.corpus:
+        try:
+            entries = load_corpus(args.corpus)
+        except OSError as exc:
+            print(f"cannot read corpus: {exc}", file=sys.stderr)
+            return 2
+        hits = rediscovered(report, entries)
+        print(f"corpus: rediscovered {len(hits)}/{len(entries)} entries")
+        for entry in hits:
+            print(f"  {entry.file}")
+    if args.save_corpus:
+        entries = save_corpus(args.save_corpus, report.findings)
+        print(f"saved {len(entries)} corpus entries to {args.save_corpus}")
+    if report.stats.replay_divergences:
+        print("FAIL: live and trace-replayed online SVD disagreed "
+              f"{report.stats.replay_divergences} time(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "analyze": _cmd_analyze,
@@ -372,6 +519,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "overhead": _cmd_overhead,
+    "campaign": _cmd_campaign,
+    "fuzz": _cmd_fuzz,
 }
 
 

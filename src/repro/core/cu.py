@@ -82,8 +82,11 @@ def merge_cus(cus: Iterable[Cu], tid: int, seq: int) -> Cu:
             canonical.append(root)
     if not canonical:
         return Cu(tid, seq)
-    # absorb smaller sets into the largest to bound total work
-    canonical.sort(key=lambda c: len(c.rs) + len(c.ws), reverse=True)
+    # absorb smaller sets into the largest to bound total work; ties
+    # break on creation order (uid) so the canonical choice -- and with
+    # it the reported cu_birth_seq -- never depends on set iteration
+    # order, which varies across processes with identity-hashed CUs
+    canonical.sort(key=lambda c: (-(len(c.rs) + len(c.ws)), c.uid))
     target = canonical[0]
     for other in canonical[1:]:
         target.rs |= other.rs

@@ -259,8 +259,13 @@ class _ThreadSvd:
     # -- checks and logging ------------------------------------------------------
 
     def _check_violations(self, cus: Set[Cu], event: Event) -> None:
-        """Strict-2PL check at a store (Figure 7, line 18)."""
-        for cu in cus:
+        """Strict-2PL check at a store (Figure 7, line 18).
+
+        CUs are visited in creation order: iterating the raw set would
+        emit same-event violations in identity-hash order, which differs
+        from process to process and breaks replay determinism.
+        """
+        for cu in sorted(cus, key=lambda c: c.uid):
             if not cu.active:
                 continue
             blocks = cu.rs if not self.config.check_all_blocks else cu.rs | cu.ws

@@ -1,0 +1,39 @@
+"""Generative differential fuzzing for the SVD detector family.
+
+* :mod:`repro.fuzz.genprog`  -- MiniSMP program generators
+* :mod:`repro.fuzz.oracle`   -- the differential oracle (one program,
+  one schedule, every SVD variant over the identical recorded trace)
+* :mod:`repro.fuzz.fuzzer`   -- budget-driven parallel fuzzing sessions
+* :mod:`repro.fuzz.minimize` -- statement-level corpus minimizer
+* :mod:`repro.fuzz.corpus`   -- seed-corpus storage and rediscovery
+"""
+
+from repro.fuzz.corpus import (CorpusEntry, entry_source, load_corpus,
+                               rediscovered, save_corpus)
+from repro.fuzz.fuzzer import (FuzzFinding, FuzzReport, FuzzStats,
+                               probe_program, run_fuzz)
+from repro.fuzz.genprog import (GeneratedProgram, ProgramGenerator,
+                                generate_program)
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.oracle import (DifferentialResult, replay_online,
+                               run_differential)
+
+__all__ = [
+    "CorpusEntry",
+    "DifferentialResult",
+    "FuzzFinding",
+    "FuzzReport",
+    "FuzzStats",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "entry_source",
+    "generate_program",
+    "load_corpus",
+    "minimize_program",
+    "probe_program",
+    "rediscovered",
+    "replay_online",
+    "run_differential",
+    "run_fuzz",
+    "save_corpus",
+]

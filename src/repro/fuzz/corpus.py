@@ -1,0 +1,96 @@
+"""Seed-corpus storage: minimized violating programs plus their verdicts.
+
+A corpus is a directory of ``.msp`` MiniSMP sources and a
+``manifest.json`` recording, for every entry, the (program seed,
+schedule seed) pair that found it and the verdict of each detector at
+save time.  The machine is deterministic, so replaying an entry under
+its recorded schedule seed must reproduce the recorded verdicts exactly
+-- that is both the regression test and the fuzzer's rediscovery check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Tuple
+
+from repro.fuzz.fuzzer import MAX_STEPS, SWITCH_PROB, FuzzFinding, FuzzReport
+from repro.fuzz.oracle import run_differential
+
+MANIFEST = "manifest.json"
+
+
+@dataclass
+class CorpusEntry:
+    file: str
+    program_seed: int
+    schedule_seed: int
+    online: bool
+    offline: bool
+    offline_nc: bool
+    frd: bool
+    switch_prob: float = SWITCH_PROB
+    max_steps: int = MAX_STEPS
+
+    def key(self) -> Tuple[int, int]:
+        return (self.program_seed, self.schedule_seed)
+
+
+def save_corpus(directory: str, findings: List[FuzzFinding],
+                limit: int = 10) -> List[CorpusEntry]:
+    """Write up to ``limit`` violation findings as corpus entries,
+    de-duplicated by minimized source text."""
+    os.makedirs(directory, exist_ok=True)
+    entries: List[CorpusEntry] = []
+    seen_sources: Dict[str, bool] = {}
+    for finding in findings:
+        if len(entries) >= limit:
+            break
+        if finding.kind != "violation" or not finding.source:
+            continue
+        if finding.source in seen_sources:
+            continue
+        seen_sources[finding.source] = True
+        # re-probe the (possibly minimized) source so the manifest
+        # records the verdicts of exactly what is being committed
+        probe = run_differential(finding.source, finding.schedule_seed,
+                                 switch_prob=SWITCH_PROB,
+                                 max_steps=MAX_STEPS)
+        if not probe.online_verdict:
+            continue  # minimization artefact; not a violating entry
+        name = (f"{len(entries):03d}_p{finding.program_seed}"
+                f"_s{finding.schedule_seed}.msp")
+        with open(os.path.join(directory, name), "w") as fh:
+            fh.write(finding.source.rstrip() + "\n")
+        entries.append(CorpusEntry(
+            file=name,
+            program_seed=finding.program_seed,
+            schedule_seed=finding.schedule_seed,
+            online=probe.online_verdict,
+            offline=probe.offline_verdict,
+            offline_nc=probe.offline_nc_verdict,
+            frd=probe.frd_verdict))
+    with open(os.path.join(directory, MANIFEST), "w") as fh:
+        json.dump([asdict(e) for e in entries], fh, indent=2)
+        fh.write("\n")
+    return entries
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    with open(os.path.join(directory, MANIFEST)) as fh:
+        return [CorpusEntry(**raw) for raw in json.load(fh)]
+
+
+def entry_source(directory: str, entry: CorpusEntry) -> str:
+    with open(os.path.join(directory, entry.file)) as fh:
+        return fh.read()
+
+
+def rediscovered(report: FuzzReport,
+                 entries: List[CorpusEntry]) -> List[CorpusEntry]:
+    """Corpus entries whose exact (program seed, schedule seed) pair the
+    session probed again and found violating."""
+    found = {(f.program_seed, f.schedule_seed)
+             for f in report.findings if f.kind == "violation"}
+    return [e for e in entries if e.key() in found]

@@ -1,0 +1,233 @@
+"""Budget-driven differential fuzzing sessions.
+
+A session walks program seeds ``master_seed, master_seed+1, ...``
+deterministically, generates one MiniSMP program per seed with
+:func:`repro.fuzz.genprog.generate_program`, probes each under several
+derived schedule seeds with the differential oracle, and collects:
+
+* **violations** -- probes where online SVD reported (corpus material);
+* **replay divergences** -- live vs trace-replayed online SVD mismatch,
+  which indicates a real determinism bug and must stay at zero;
+* divergence statistics between online SVD, offline SVD and FRD.
+
+Probes fan out across the same crash-isolating worker pool the campaign
+engine uses, one task per generated program.  Because program seeds and
+schedule seeds are derived, a session with the same master seed always
+explores the same (program, schedule) pairs -- which is what lets a
+fresh budgeted run *rediscover* the committed corpus entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fuzz.genprog import GeneratedProgram, generate_program
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.oracle import run_differential
+from repro.harness.campaign import derive_seed
+from repro.harness.pool import parallel_map
+from repro.lang import LangError, compile_source
+
+#: default schedule randomness for fuzzing probes (high switch rate --
+#: the point is to stress interleavings, not realism)
+SWITCH_PROB = 0.5
+MAX_STEPS = 6000
+
+
+@dataclass
+class FuzzFinding:
+    """One interesting probe, slim enough to stream between processes."""
+
+    program_seed: int
+    schedule_seed: int
+    source: str
+    kind: str  # "violation" | "replay-divergence"
+    online_verdict: bool
+    offline_verdict: bool
+    offline_nc_verdict: bool
+    frd_verdict: bool
+    frd_corroborated: int
+    frd_only: int
+    detail: str = ""
+
+
+@dataclass
+class FuzzStats:
+    programs: int = 0
+    probes: int = 0
+    compile_failures: int = 0
+    violations: int = 0
+    replay_divergences: int = 0
+    online_not_offline: int = 0
+    offline_not_online: int = 0
+    frd_vs_online: int = 0
+    errors: int = 0
+
+
+@dataclass
+class FuzzReport:
+    master_seed: int
+    stats: FuzzStats
+    findings: List[FuzzFinding]
+    elapsed: float = 0.0
+
+    def describe(self) -> str:
+        s = self.stats
+        lines = [
+            f"fuzz: {s.programs} programs x {s.probes} probes "
+            f"in {self.elapsed:.1f}s (master seed {self.master_seed})",
+            f"  violations (online SVD fired) : {s.violations}",
+            f"  online-vs-replay divergences  : {s.replay_divergences}"
+            + ("  <-- BUG" if s.replay_divergences else ""),
+            f"  online-only vs offline        : {s.online_not_offline}",
+            f"  offline-only vs online        : {s.offline_not_online}",
+            f"  FRD/online verdict splits     : {s.frd_vs_online}",
+            f"  compile failures              : {s.compile_failures}",
+            f"  worker errors                 : {s.errors}",
+        ]
+        return "\n".join(lines)
+
+
+def probe_program(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool task: generate one program and probe every schedule seed.
+
+    Returns only plain data (verdict tuples, counts) so results stay
+    cheap to pickle; the source rides along only when a probe found
+    something worth keeping.
+    """
+    program_seed = payload["program_seed"]
+    master_seed = payload["master_seed"]
+    n_probes = payload["probes"]
+    generated = generate_program(program_seed)
+    source = generated.source
+    out: Dict[str, Any] = {"program_seed": program_seed, "probes": [],
+                           "compile_failure": False}
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        out["compile_failure"] = True
+        out["detail"] = str(exc)
+        return out
+    for probe_index in range(n_probes):
+        schedule_seed = derive_seed(master_seed, "fuzz",
+                                    str(program_seed), probe_index)
+        result = run_differential(source, schedule_seed,
+                                  switch_prob=SWITCH_PROB,
+                                  max_steps=MAX_STEPS, program=program)
+        probe = {
+            "schedule_seed": schedule_seed,
+            "online": result.online_verdict,
+            "offline": result.offline_verdict,
+            "offline_nc": result.offline_nc_verdict,
+            "frd": result.frd_verdict,
+            "replay_divergence": result.replay_divergence,
+            "frd_corroborated": result.frd_vs_svd.dynamic_tp,
+            "frd_only": result.frd_vs_svd.dynamic_fp,
+        }
+        if result.online_verdict or result.replay_divergence:
+            probe["source"] = source
+        out["probes"].append(probe)
+    return out
+
+
+def run_fuzz(budget: Optional[float] = 30.0,
+             max_programs: Optional[int] = None,
+             probes_per_program: int = 2,
+             workers: int = 1,
+             master_seed: int = 0,
+             minimize: bool = False,
+             max_findings: int = 200,
+             on_progress: Optional[Callable[[FuzzStats], None]] = None,
+             ) -> FuzzReport:
+    """Run a fuzzing session until the budget or program cap is hit."""
+    if budget is None and max_programs is None:
+        raise ValueError("need a --budget or a program cap")
+    stats = FuzzStats()
+    findings: List[FuzzFinding] = []
+    started = time.monotonic()
+    batch = max(1, workers) * 4
+    next_seed = master_seed
+
+    def absorb(outcome_status: str, value: Any) -> None:
+        if outcome_status == "skipped":
+            return
+        if outcome_status != "ok":
+            stats.errors += 1
+            return
+        stats.programs += 1
+        if value["compile_failure"]:
+            stats.compile_failures += 1
+            return
+        for probe in value["probes"]:
+            stats.probes += 1
+            if probe["online"]:
+                stats.violations += 1
+            if probe["replay_divergence"]:
+                stats.replay_divergences += 1
+            if probe["online"] and not probe["offline"]:
+                stats.online_not_offline += 1
+            if probe["offline"] and not probe["online"]:
+                stats.offline_not_online += 1
+            if probe["frd"] != probe["online"]:
+                stats.frd_vs_online += 1
+            interesting = (probe["online"]
+                           or probe["replay_divergence"] is not None)
+            if interesting and len(findings) < max_findings:
+                findings.append(FuzzFinding(
+                    program_seed=value["program_seed"],
+                    schedule_seed=probe["schedule_seed"],
+                    source=probe.get("source", ""),
+                    kind=("replay-divergence" if probe["replay_divergence"]
+                          else "violation"),
+                    online_verdict=probe["online"],
+                    offline_verdict=probe["offline"],
+                    offline_nc_verdict=probe["offline_nc"],
+                    frd_verdict=probe["frd"],
+                    frd_corroborated=probe["frd_corroborated"],
+                    frd_only=probe["frd_only"],
+                    detail=probe["replay_divergence"] or ""))
+
+    while True:
+        if budget is not None and time.monotonic() - started > budget:
+            break
+        if max_programs is not None and next_seed - master_seed >= max_programs:
+            break
+        count = batch
+        if max_programs is not None:
+            count = min(count, master_seed + max_programs - next_seed)
+        payloads = [{"program_seed": seed, "master_seed": master_seed,
+                     "probes": probes_per_program}
+                    for seed in range(next_seed, next_seed + count)]
+        next_seed += count
+        remaining = None
+        if budget is not None:
+            remaining = max(0.5, budget - (time.monotonic() - started))
+        outcomes = parallel_map(probe_program, payloads, workers=workers,
+                                budget=remaining)
+        for status, value in outcomes:
+            absorb(status, value)
+        if on_progress is not None:
+            on_progress(stats)
+
+    if minimize:
+        _minimize_findings(findings)
+    return FuzzReport(master_seed=master_seed, stats=stats,
+                      findings=findings,
+                      elapsed=time.monotonic() - started)
+
+
+def _minimize_findings(findings: List[FuzzFinding],
+                       cap: int = 10) -> None:
+    """Shrink the first ``cap`` violation findings in place."""
+    done = 0
+    for finding in findings:
+        if done >= cap or finding.kind != "violation" or not finding.source:
+            continue
+        generated = generate_program(finding.program_seed)
+        if generated.source != finding.source:
+            continue  # source drifted (shouldn't happen); keep as-is
+        reduced = minimize_program(generated, finding.schedule_seed)
+        finding.source = reduced.source
+        done += 1

@@ -1,0 +1,200 @@
+"""MiniSMP program generators for fuzzing and property testing.
+
+Two generators share one grammar (shared scalars ``g0..g2``, a
+lock-guarded ``g3``, thread-locals ``x``/``y``, bounded loops, so every
+generated program terminates and compiles):
+
+* :class:`ProgramGenerator` -- a plain ``random.Random``-driven
+  generator.  Deterministic from a seed, importable without test
+  dependencies, and *structured*: it returns a :class:`GeneratedProgram`
+  whose threads are lists of top-level statements, which is what the
+  corpus minimizer manipulates.
+* ``programs()`` -- the Hypothesis strategy used by the property suite
+  (promoted here from ``tests/property/genprog.py``).  Only defined when
+  Hypothesis is installed; the library itself never needs it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+SHARED = ["g0", "g1", "g2"]
+LOCKED_VAR = "g3"
+LOCALS = ["x", "y"]
+
+
+@dataclass
+class GeneratedProgram:
+    """A structured generated program: declarations + per-thread
+    top-level statement lists, joined into MiniSMP source on demand."""
+
+    decls: str
+    threads: List[List[str]] = field(default_factory=list)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def source(self) -> str:
+        bodies = [f"thread t{t}() {{ {' '.join(stmts)} }}"
+                  for t, stmts in enumerate(self.threads)]
+        return self.decls + "\n".join(bodies)
+
+    def replace_thread(self, tid: int,
+                       stmts: List[str]) -> "GeneratedProgram":
+        threads = [list(s) for s in self.threads]
+        threads[tid] = list(stmts)
+        return GeneratedProgram(decls=self.decls, threads=threads)
+
+
+class ProgramGenerator:
+    """Seeded random generator over the shared grammar."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # -- grammar ---------------------------------------------------------------
+
+    def expression(self, depth: int = 0) -> str:
+        choice = self.rng.randint(0, 5 if depth < 2 else 2)
+        if choice == 0:
+            return str(self.rng.randint(0, 9))
+        if choice == 1:
+            return self.rng.choice(SHARED + LOCALS)
+        if choice == 2:
+            return LOCKED_VAR
+        op = self.rng.choice(["+", "-", "*", "%"])
+        left = self.expression(depth + 1)
+        right = self.expression(depth + 1)
+        if op == "%":
+            right = str(self.rng.randint(2, 7))  # avoid %0
+        return f"({left} {op} {right})"
+
+    def statement(self, depth: int = 0, in_lock: bool = False) -> str:
+        choice = self.rng.randint(0, 6 if depth < 2 else 3)
+        if choice <= 1:
+            target = self.rng.choice(SHARED + LOCALS)
+            return f"{target} = {self.expression()};"
+        if choice == 2:
+            return f"output({self.expression()});"
+        if choice == 3 and not in_lock:
+            expr = self.expression()
+            return (f"acquire(m); {LOCKED_VAR} = {LOCKED_VAR} + ({expr}); "
+                    f"release(m);")
+        if choice == 4:
+            body = self.block_text(depth + 1, in_lock)
+            return f"if ({self.expression()}) {{ {body} }}"
+        if choice == 5:
+            body = self.block_text(depth + 1, in_lock)
+            bound = self.rng.randint(1, 4)
+            loop_var = f"i{depth}"
+            # wrapped in `if (1)` so the loop variable gets its own scope
+            # and two loops in one block cannot collide on the name
+            return (f"if (1) {{ int {loop_var} = 0; "
+                    f"while ({loop_var} < {bound}) "
+                    f"{{ {body} {loop_var} = {loop_var} + 1; }} }}")
+        body = self.block_text(depth + 1, in_lock)
+        else_body = self.block_text(depth + 1, in_lock)
+        return (f"if ({self.expression()}) {{ {body} }} "
+                f"else {{ {else_body} }}")
+
+    def block(self, depth: int = 0, in_lock: bool = False) -> List[str]:
+        count = self.rng.randint(1, 3 if depth else 5)
+        return [self.statement(depth, in_lock) for _ in range(count)]
+
+    def block_text(self, depth: int = 0, in_lock: bool = False) -> str:
+        return " ".join(self.block(depth, in_lock))
+
+    # -- programs --------------------------------------------------------------
+
+    def generate(self, n_threads: int = 2) -> GeneratedProgram:
+        decls = "\n".join(f"shared int {name} = {self.rng.randint(0, 5)};"
+                          for name in SHARED)
+        decls += f"\nshared int {LOCKED_VAR} = 0;\nlock m;\n"
+        decls += "local int x;\nlocal int y;\n"
+        return GeneratedProgram(
+            decls=decls,
+            threads=[self.block() for _ in range(n_threads)])
+
+
+def generate_program(seed: int, n_threads: int = 2) -> GeneratedProgram:
+    """The fuzzer's program source: deterministic in ``seed``."""
+    return ProgramGenerator(random.Random(seed)).generate(n_threads)
+
+
+# -- Hypothesis strategies (property-test surface) -----------------------------
+
+try:  # pragma: no cover - exercised via the property suite
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis-free deployments
+    st = None
+
+if st is not None:
+
+    @st.composite
+    def expressions(draw, depth=0):
+        choice = draw(st.integers(0, 5 if depth < 2 else 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 9)))
+        if choice == 1:
+            return draw(st.sampled_from(SHARED + LOCALS))
+        if choice == 2:
+            return LOCKED_VAR
+        op = draw(st.sampled_from(["+", "-", "*", "%"]))
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        if op == "%":
+            right = str(draw(st.integers(2, 7)))  # avoid %0
+        return f"({left} {op} {right})"
+
+    @st.composite
+    def statements(draw, depth=0, in_lock=False):
+        choice = draw(st.integers(0, 6 if depth < 2 else 3))
+        if choice <= 1:
+            target = draw(st.sampled_from(SHARED + LOCALS))
+            return f"{target} = {draw(expressions())};"
+        if choice == 2:
+            return f"output({draw(expressions())});"
+        if choice == 3 and not in_lock:
+            # guarded update of the locked variable
+            expr = draw(expressions())
+            return (f"acquire(m); {LOCKED_VAR} = {LOCKED_VAR} + ({expr}); "
+                    f"release(m);")
+        if choice == 4:
+            body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
+            return f"if ({draw(expressions())}) {{ {body} }}"
+        if choice == 5:
+            body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
+            bound = draw(st.integers(1, 4))
+            loop_var = f"i{depth}"
+            # wrapped in `if (1)` so the loop variable gets its own scope
+            # and two loops in one block cannot collide on the name
+            return (f"if (1) {{ int {loop_var} = 0; "
+                    f"while ({loop_var} < {bound}) "
+                    f"{{ {body} {loop_var} = {loop_var} + 1; }} }}")
+        body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
+        else_body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
+        return (f"if ({draw(expressions())}) {{ {body} }} "
+                f"else {{ {else_body} }}")
+
+    @st.composite
+    def statement_blocks(draw, depth=0, in_lock=False):
+        count = draw(st.integers(1, 3 if depth else 5))
+        return " ".join(draw(statements(depth=depth, in_lock=in_lock))
+                        for _ in range(count))
+
+    @st.composite
+    def programs(draw, n_threads=2):
+        """A complete MiniSMP source with ``n_threads`` generated threads."""
+        decls = "\n".join(f"shared int {name} = {draw(st.integers(0, 5))};"
+                          for name in SHARED)
+        decls += f"\nshared int {LOCKED_VAR} = 0;\nlock m;\n"
+        decls += "local int x;\nlocal int y;\n"
+        bodies = []
+        for t in range(n_threads):
+            body = draw(statement_blocks())
+            bodies.append(f"thread t{t}() {{ {body} }}")
+        return decls + "\n".join(bodies)

@@ -1,0 +1,70 @@
+"""Greedy statement-level reducer for generated programs.
+
+Works on the *structured* :class:`repro.fuzz.genprog.GeneratedProgram`
+(lists of top-level statements per thread): repeatedly drop one
+statement and keep the removal whenever the predicate -- by default
+"online SVD still reports a violation under the same schedule seed" --
+continues to hold.  Runs to a fixpoint, so the resulting corpus entries
+are 1-minimal at top-level-statement granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.fuzz.genprog import GeneratedProgram
+from repro.fuzz.oracle import run_differential
+from repro.lang import LangError, compile_source
+
+
+def default_predicate(seed: int, switch_prob: float = 0.5,
+                      max_steps: int = 6000) -> Callable[[str], bool]:
+    """True when the program still compiles and online SVD still fires."""
+
+    def holds(source: str) -> bool:
+        try:
+            compile_source(source)
+        except LangError:
+            return False
+        result = run_differential(source, seed, switch_prob=switch_prob,
+                                  max_steps=max_steps)
+        return result.online_verdict
+
+    return holds
+
+
+def minimize_program(program: GeneratedProgram, seed: int,
+                     predicate: Optional[Callable[[str], bool]] = None,
+                     max_probes: int = 400) -> GeneratedProgram:
+    """Shrink ``program`` while ``predicate(source)`` keeps holding.
+
+    ``max_probes`` bounds total predicate evaluations so minimization
+    stays cheap inside a fuzzing budget.  Each thread keeps at least one
+    statement (the harness always launches every declared thread).
+    """
+    if predicate is None:
+        predicate = default_predicate(seed)
+    if not predicate(program.source):
+        return program  # nothing to preserve; refuse to "minimize" noise
+
+    probes = 0
+    current = program
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        for tid in range(current.n_threads):
+            stmts = current.threads[tid]
+            index = 0
+            while index < len(stmts) and probes < max_probes:
+                if len(stmts) == 1:
+                    break
+                candidate = current.replace_thread(
+                    tid, stmts[:index] + stmts[index + 1:])
+                probes += 1
+                if predicate(candidate.source):
+                    current = candidate
+                    stmts = current.threads[tid]
+                    changed = True
+                else:
+                    index += 1
+    return current

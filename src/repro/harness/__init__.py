@@ -1,7 +1,14 @@
 """Experiment harness: runs workloads under the detectors and produces
-the paper's tables (Table 1, Table 2, §7.3 overheads and length scaling).
+the paper's tables (Table 1, Table 2, §7.3 overheads and length scaling),
+plus the parallel campaign engine that fans seed sweeps across a
+process pool.
 """
 
+from repro.harness.campaign import (CampaignReport, CampaignResult,
+                                    CampaignSpec, ConfigSpec,
+                                    WorkloadSpec, derive_seed,
+                                    run_campaign)
+from repro.harness.pool import parallel_map
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.table1 import characterize, table1_rows
 from repro.harness.table2 import Table2Row, table2_rows, render_table2
@@ -11,6 +18,14 @@ from repro.harness.render import render_table
 from repro.harness.sampling import Segment, SegmentSampler, evenly_spaced_windows
 
 __all__ = [
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignSpec",
+    "ConfigSpec",
+    "WorkloadSpec",
+    "derive_seed",
+    "parallel_map",
+    "run_campaign",
     "LengthPoint",
     "OverheadResult",
     "RunResult",

@@ -1,0 +1,311 @@
+"""Parallel schedule-exploration campaigns over the workload matrix.
+
+A campaign expands a spec -- workloads x detector configs x seed count
+-- into a deterministic task list, fans the tasks across a
+:mod:`repro.harness.pool` worker pool (each run is CPU-bound pure
+Python, so processes sidestep the GIL), streams slim results back as
+they complete, and aggregates them with the same machinery that renders
+the paper's Table 2.
+
+Determinism contract: every task's schedule seed is *derived* (SHA-256)
+from the campaign master seed and the task's coordinates, never from
+worker identity or arrival order, and aggregation sorts results by task
+index.  A campaign therefore produces byte-identical aggregated metrics
+for any worker count, and serial (``workers=1``) is the reference the
+parallel path must reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+
+from repro.core.online import SvdConfig
+from repro.harness.pool import Outcome, parallel_map
+from repro.harness.runner import run_workload
+from repro.harness.table2 import Table2Row, aggregate_row, render_table2
+from repro.harness.render import render_table
+from repro.metrics.classify import DetectorMetrics
+
+
+@dataclass
+class ConfigSpec:
+    """One detector configuration axis of the campaign matrix."""
+
+    name: str = "default"
+    #: keyword overrides applied to :class:`SvdConfig`
+    svd: Dict[str, Any] = field(default_factory=dict)
+    switch_prob: float = 0.3
+    max_steps: Optional[int] = 400_000
+    run_frd: bool = True
+
+    def svd_config(self) -> SvdConfig:
+        return SvdConfig(**self.svd)
+
+
+#: named detector-config ablations selectable from the CLI
+NAMED_CONFIGS: Dict[str, Callable[[], ConfigSpec]] = {
+    "default": lambda: ConfigSpec(),
+    "block4": lambda: ConfigSpec(name="block4",
+                                 svd={"block_size": 4}),
+    "all-blocks": lambda: ConfigSpec(name="all-blocks",
+                                     svd={"check_all_blocks": True}),
+    "no-addr-deps": lambda: ConfigSpec(name="no-addr-deps",
+                                       svd={"use_address_deps": False}),
+    "no-ctrl-deps": lambda: ConfigSpec(name="no-ctrl-deps",
+                                       svd={"use_control_deps": False}),
+    "cut-at-wait": lambda: ConfigSpec(name="cut-at-wait",
+                                      svd={"cut_at_wait": True}),
+}
+
+
+@dataclass
+class WorkloadSpec:
+    """A workload axis entry: a registry name, or any importable factory
+    given as ``"package.module:callable"`` (what lets tests inject
+    failing workloads and keeps tasks picklable under spawn)."""
+
+    name: str
+    factory: Optional[str] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self):
+        if self.factory is not None:
+            module_name, _sep, attr = self.factory.partition(":")
+            fn: Any = importlib.import_module(module_name)
+            for part in attr.split("."):
+                fn = getattr(fn, part)
+        else:
+            from repro.workloads import WORKLOADS
+            fn = WORKLOADS[self.name]
+        return fn(**self.kwargs)
+
+
+@dataclass
+class CampaignSpec:
+    """The full campaign matrix plus execution policy."""
+
+    workloads: List[WorkloadSpec]
+    configs: List[ConfigSpec] = field(default_factory=lambda: [ConfigSpec()])
+    seeds: int = 8
+    master_seed: int = 0
+    #: per-task wall-clock limit (parallel mode only)
+    task_timeout: Optional[float] = None
+
+    def tasks(self) -> List["CampaignTask"]:
+        """The deterministic task expansion of the matrix."""
+        out: List[CampaignTask] = []
+        for workload in self.workloads:
+            for config in self.configs:
+                for seed_index in range(self.seeds):
+                    out.append(CampaignTask(
+                        index=len(out),
+                        workload=workload,
+                        config=config,
+                        seed_index=seed_index,
+                        seed=derive_seed(self.master_seed, workload.name,
+                                         config.name, seed_index)))
+        return out
+
+
+def derive_seed(master_seed: int, workload: str, config: str,
+                seed_index: int) -> int:
+    """Deterministic per-task schedule seed.
+
+    Hash-derived so (a) the same campaign spec always explores the same
+    schedules regardless of worker count or completion order, and (b)
+    distinct matrix cells do not accidentally share schedule prefixes
+    the way ``master_seed + index`` schemes do.
+    """
+    key = f"{master_seed}:{workload}:{config}:{seed_index}".encode()
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
+
+
+@dataclass
+class CampaignTask:
+    index: int
+    workload: WorkloadSpec
+    config: ConfigSpec
+    seed_index: int
+    seed: int
+
+
+@dataclass
+class CampaignResult:
+    """Slim, picklable per-run record.
+
+    Exposes exactly the attributes :func:`repro.harness.table2.aggregate_row`
+    reads from a full ``RunResult``, so campaign results flow unchanged
+    into the Table 2 aggregation; the heavyweight reports, traces and
+    logs never cross the process boundary.
+    """
+
+    index: int
+    workload: str
+    config: str
+    seed_index: int
+    seed: int
+    status: str
+    instructions: int
+    manifested: bool
+    svd: DetectorMetrics
+    frd: Optional[DetectorMetrics]
+    posteriori_found_bug: bool
+    posteriori_static_entries: int
+    cus_created: int
+    apparent_false_negative: bool
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status not in ("error", "timeout", "skipped")
+
+
+def execute_task(task: CampaignTask) -> CampaignResult:
+    """Run one matrix cell; any failure becomes an ``error`` result so a
+    broken workload never takes the campaign down with it."""
+    try:
+        workload = task.workload.build()
+        result = run_workload(workload, seed=task.seed,
+                              switch_prob=task.config.switch_prob,
+                              max_steps=task.config.max_steps,
+                              svd_config=task.config.svd_config(),
+                              run_frd=task.config.run_frd)
+        return CampaignResult(
+            index=task.index,
+            workload=task.workload.name,
+            config=task.config.name,
+            seed_index=task.seed_index,
+            seed=task.seed,
+            status=result.status,
+            instructions=result.instructions,
+            manifested=result.outcome.manifested,
+            svd=result.svd,
+            frd=result.frd,
+            posteriori_found_bug=result.posteriori_found_bug,
+            posteriori_static_entries=result.posteriori_static_entries,
+            cus_created=result.cus_created,
+            apparent_false_negative=result.apparent_false_negative,
+        )
+    except Exception:
+        return failed_result(task, "error", traceback.format_exc())
+
+
+def failed_result(task: CampaignTask, status: str,
+                  message: str) -> CampaignResult:
+    return CampaignResult(
+        index=task.index, workload=task.workload.name,
+        config=task.config.name, seed_index=task.seed_index,
+        seed=task.seed, status=status, instructions=0, manifested=False,
+        svd=DetectorMetrics(detector="svd"), frd=None,
+        posteriori_found_bug=False, posteriori_static_entries=0,
+        cus_created=0, apparent_false_negative=False, error=message)
+
+
+@dataclass
+class CampaignReport:
+    """All per-run results plus the Table 2 style aggregation."""
+
+    spec: CampaignSpec
+    results: List[CampaignResult]
+    elapsed: float = 0.0
+
+    @property
+    def errors(self) -> List[CampaignResult]:
+        return [r for r in self.results if not r.ok]
+
+    def group_results(self) -> "Dict[Tuple[str, str], List[CampaignResult]]":
+        groups: Dict[Tuple[str, str], List[CampaignResult]] = {}
+        for result in sorted(self.results, key=lambda r: r.index):
+            groups.setdefault((result.workload, result.config),
+                              []).append(result)
+        return groups
+
+    def table2_rows(self) -> List[Table2Row]:
+        """Merge each (workload, config) cell's metrics exactly the way
+        Table 2 aggregates its seeded segments."""
+        buggy = {}
+        for workload in self.spec.workloads:
+            try:
+                buggy[workload.name] = workload.build().buggy
+            except Exception:
+                buggy[workload.name] = False
+        rows = []
+        for (wname, cname), results in self.group_results().items():
+            label = wname if cname == "default" else f"{wname}[{cname}]"
+            rows.append(aggregate_row(label, buggy[wname],
+                                      [r for r in results if r.ok]))
+        return rows
+
+    def render_metrics(self) -> str:
+        """Deterministic aggregated-metrics table: identical input
+        matrix => byte-identical text, for any worker count."""
+        rows = []
+        for table_row in self.table2_rows():
+            failed = sum(1 for r in self.results
+                         if not r.ok
+                         and _row_label(r) == table_row.program)
+            rows.append((
+                table_row.program,
+                table_row.segments,
+                failed,
+                f"{table_row.instructions / 1e6:.3f}",
+                table_row.apparent_fn_text,
+                f"{table_row.bugs_found_svd}/{table_row.bugs_found_frd}",
+                f"{table_row.svd_static_fp}/{table_row.frd_static_fp}",
+                (f"{table_row.svd_dynfp_per_million():.3g}/"
+                 f"{table_row.frd_dynfp_per_million():.3g}"),
+                table_row.posteriori_examinations,
+                f"{table_row.cus_per_million():.3g}",
+            ))
+        return render_table(
+            ["Workload[config]", "Runs", "Fail", "M insts", "FN",
+             "bugs s/f", "staticFP s/f", "dynFP/M s/f", "a-post", "CUs/M"],
+            rows,
+            title=(f"Campaign: {len(self.results)} runs, "
+                   f"master seed {self.spec.master_seed}"))
+
+    def render_table2(self) -> str:
+        return render_table2(self.table2_rows())
+
+
+def _row_label(result: CampaignResult) -> str:
+    return (result.workload if result.config == "default"
+            else f"{result.workload}[{result.config}]")
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1,
+                 budget: Optional[float] = None,
+                 on_result: Optional[Callable[[CampaignResult], None]] = None,
+                 ) -> CampaignReport:
+    """Execute the campaign matrix and aggregate.
+
+    ``workers=1`` runs serially in-process; ``workers>1`` fans out via
+    the crash-isolating pool.  ``on_result`` streams results back in
+    completion order while the campaign is still running.
+    """
+    tasks = spec.tasks()
+    started = time.monotonic()
+    results: List[CampaignResult] = []
+
+    def on_outcome(index: int, outcome: Outcome) -> None:
+        status, value = outcome
+        if status == "ok":
+            result = value
+        else:
+            result = failed_result(tasks[index], status, str(value))
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    parallel_map(execute_task, tasks, workers=workers,
+                 timeout=spec.task_timeout, budget=budget,
+                 on_outcome=on_outcome)
+    results.sort(key=lambda r: r.index)
+    return CampaignReport(spec=spec, results=results,
+                          elapsed=time.monotonic() - started)

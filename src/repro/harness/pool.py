@@ -1,0 +1,211 @@
+"""A crash-isolating process pool for CPU-bound pure-Python runs.
+
+Every run in a campaign or fuzzing session is an independent, CPU-bound
+interpretation of a MiniSMP program, so the GIL makes in-process threads
+useless; this pool fans work across ``multiprocessing`` workers instead.
+It differs from ``multiprocessing.Pool`` where the harness needs it to:
+
+* **crash isolation** -- a worker that raises, dies, or hangs past a
+  per-task timeout yields an ``error``/``timeout`` outcome for *that
+  task only*; the pool replaces the worker and the run continues;
+* **incremental streaming** -- outcomes are delivered to an
+  ``on_outcome`` callback the moment they arrive, in completion order;
+* **budget cutoff** -- an optional wall-clock budget stops dispatching
+  new tasks; undispatched tasks come back as ``skipped``.
+
+Outcomes are ``(status, value)`` pairs, indexed like the input payloads:
+``("ok", result)``, ``("error", message)``, ``("timeout", message)`` or
+``("skipped", message)``.  With ``workers <= 1`` everything runs inline
+in this process (no timeout enforcement, identical outcome shape), which
+is also the reference behaviour parallel runs must reproduce.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+Outcome = Tuple[str, Any]
+
+#: how often the parent wakes up to check deadlines and dead workers
+_POLL_SECONDS = 0.05
+
+
+def resolve_runner(path: str) -> Callable[[Any], Any]:
+    """Import ``"package.module:function"`` -- the form workers use so
+    tasks stay picklable under both fork and spawn start methods."""
+    module_name, _sep, attr = path.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in attr.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def runner_path(fn: Callable[[Any], Any]) -> str:
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def _worker_loop(runner_dotted: str, worker_id: int, task_queue,
+                 result_queue) -> None:  # pragma: no cover - child process
+    runner = resolve_runner(runner_dotted)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        index, payload = item
+        result_queue.put(("start", index, worker_id, None))
+        try:
+            result = runner(payload)
+        except BaseException:
+            result_queue.put(("error", index, worker_id,
+                              traceback.format_exc()))
+        else:
+            result_queue.put(("done", index, worker_id, result))
+
+
+def _pick_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
+                 workers: int = 1,
+                 timeout: Optional[float] = None,
+                 budget: Optional[float] = None,
+                 on_outcome: Optional[Callable[[int, Outcome], None]] = None,
+                 ) -> List[Outcome]:
+    """Apply ``runner`` to every payload, one task per worker at a time.
+
+    ``runner`` must be an importable module-level callable.  See the
+    module docstring for outcome semantics.
+    """
+    total = len(payloads)
+    outcomes: List[Optional[Outcome]] = [None] * total
+    started = time.monotonic()
+
+    def record(index: int, outcome: Outcome) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+
+    if workers <= 1 or total <= 1:
+        for index, payload in enumerate(payloads):
+            if budget is not None and time.monotonic() - started > budget:
+                record(index, ("skipped", "budget exhausted"))
+                continue
+            try:
+                record(index, ("ok", runner(payload)))
+            except BaseException:
+                record(index, ("error", traceback.format_exc()))
+        return [o for o in outcomes if o is not None]
+
+    ctx = _pick_context()
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    dotted = runner_path(runner)
+    next_worker_id = 0
+    procs: Dict[int, Any] = {}
+    running: Dict[int, Tuple[int, float]] = {}  # worker_id -> (task, t0)
+
+    def spawn_worker() -> None:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        proc = ctx.Process(target=_worker_loop,
+                           args=(dotted, worker_id, task_queue,
+                                 result_queue),
+                           daemon=True)
+        proc.start()
+        procs[worker_id] = proc
+
+    # lazy feeding keeps at most ~2 tasks queued per worker so a budget
+    # cutoff leaves undispatched work cleanly skippable
+    next_task = 0
+    dispatched = 0
+    completed = 0
+    stop_dispatch = False
+
+    def feed() -> None:
+        nonlocal next_task, dispatched, stop_dispatch
+        if budget is not None and time.monotonic() - started > budget:
+            stop_dispatch = True
+        if stop_dispatch:
+            return
+        while (next_task < total
+               and dispatched - completed < 2 * len(procs)):
+            task_queue.put((next_task, payloads[next_task]))
+            next_task += 1
+            dispatched += 1
+
+    for _ in range(min(workers, total)):
+        spawn_worker()
+    feed()
+
+    try:
+        while completed < total:
+            if stop_dispatch and completed == dispatched:
+                for index in range(total):
+                    if outcomes[index] is None:
+                        completed += 1
+                        record(index, ("skipped", "budget exhausted"))
+                break
+            try:
+                kind, index, worker_id, payload = result_queue.get(
+                    timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                kind = None
+            if kind == "start":
+                running[worker_id] = (index, time.monotonic())
+            elif kind in ("done", "error"):
+                running.pop(worker_id, None)
+                completed += 1
+                record(index, ("ok", payload) if kind == "done"
+                       else ("error", payload))
+                feed()
+
+            now = time.monotonic()
+            for worker_id, (index, t0) in list(running.items()):
+                proc = procs.get(worker_id)
+                timed_out = timeout is not None and now - t0 > timeout
+                died = proc is not None and not proc.is_alive()
+                if not timed_out and not died:
+                    continue
+                if proc is not None:
+                    proc.terminate()
+                    proc.join(timeout=5)
+                procs.pop(worker_id, None)
+                running.pop(worker_id, None)
+                if outcomes[index] is None:
+                    completed += 1
+                    record(index, ("timeout",
+                                   f"task exceeded {timeout}s") if timed_out
+                           else ("error", "worker process died"))
+                spawn_worker()
+                feed()
+            # a worker that died while idle (e.g. OOM-killed between
+            # tasks) is silently replaced
+            for worker_id, proc in list(procs.items()):
+                if worker_id not in running and not proc.is_alive():
+                    procs.pop(worker_id)
+                    spawn_worker()
+            feed()
+    finally:
+        for proc in procs.values():
+            if proc.is_alive():
+                task_queue.put(None)
+        deadline = time.monotonic() + 5
+        for proc in procs.values():
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        task_queue.close()
+        result_queue.close()
+
+    return [o if o is not None else ("error", "lost task")
+            for o in outcomes]

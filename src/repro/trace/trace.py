@@ -71,6 +71,17 @@ class Trace:
                     if conflicting(early, late):
                         yield early, late
 
+    def feed(self, observer: MachineObserver) -> int:
+        """Deliver every recorded event to ``observer`` in trace order,
+        as a live machine would have.  Returns the sequence number one
+        past the last event (what ``machine.seq`` was at that point), so
+        callers can synthesise the end-of-run callback."""
+        end_seq = 0
+        for event in self.events:
+            observer.on_event(event)
+            end_seq = event.seq + 1
+        return end_seq
+
     # -- serialization ---------------------------------------------------------
 
     def save(self, path: str) -> None:

@@ -1,0 +1,50 @@
+"""Regression suite over the committed seed corpus.
+
+Every entry is a minimized MiniSMP program the differential fuzzer
+found violating, together with the schedule seed that exposed it and
+the verdict each detector gave at save time.  The machine is
+deterministic, so replaying an entry must reproduce those verdicts
+exactly -- any drift means a detector changed behaviour.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import entry_source, load_corpus
+from repro.fuzz.oracle import run_differential
+
+CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 10
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.file)
+def test_replay_reproduces_recorded_verdicts(entry):
+    source = entry_source(CORPUS_DIR, entry)
+    result = run_differential(source, entry.schedule_seed,
+                              switch_prob=entry.switch_prob,
+                              max_steps=entry.max_steps)
+    assert result.online_verdict == entry.online
+    assert result.offline_verdict == entry.offline
+    assert result.offline_nc_verdict == entry.offline_nc
+    assert result.frd_verdict == entry.frd
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.file)
+def test_replay_has_no_live_vs_trace_divergence(entry):
+    """The oracle's hard invariant holds on every corpus program."""
+    source = entry_source(CORPUS_DIR, entry)
+    result = run_differential(source, entry.schedule_seed,
+                              switch_prob=entry.switch_prob,
+                              max_steps=entry.max_steps)
+    assert result.replay_divergence is None
+
+
+def test_every_corpus_entry_is_violating():
+    """The corpus exists to pin violations; a non-violating entry is a
+    stale artefact that should be regenerated."""
+    assert all(entry.online for entry in ENTRIES)

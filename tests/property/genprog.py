@@ -1,83 +1,8 @@
-"""Hypothesis strategies that generate small, terminating MiniSMP programs.
+"""Compatibility shim: the program generators moved into the library at
+:mod:`repro.fuzz.genprog` so the fuzzer can import them; property tests
+keep importing from here."""
 
-Programs use a fixed vocabulary: shared scalars g0..g3 (g3 guarded by a
-lock in "locked" mode), thread-local x, y, and bounded loops, so every
-generated program terminates and compiles.
-"""
-
-from __future__ import annotations
-
-from hypothesis import strategies as st
-
-SHARED = ["g0", "g1", "g2"]
-LOCKED_VAR = "g3"
-LOCALS = ["x", "y"]
-
-
-@st.composite
-def expressions(draw, depth=0):
-    choice = draw(st.integers(0, 5 if depth < 2 else 2))
-    if choice == 0:
-        return str(draw(st.integers(0, 9)))
-    if choice == 1:
-        return draw(st.sampled_from(SHARED + LOCALS))
-    if choice == 2:
-        return LOCKED_VAR
-    op = draw(st.sampled_from(["+", "-", "*", "%"]))
-    left = draw(expressions(depth=depth + 1))
-    right = draw(expressions(depth=depth + 1))
-    if op == "%":
-        right = str(draw(st.integers(2, 7)))  # avoid %0
-    return f"({left} {op} {right})"
-
-
-@st.composite
-def statements(draw, depth=0, in_lock=False):
-    choice = draw(st.integers(0, 6 if depth < 2 else 3))
-    if choice <= 1:
-        target = draw(st.sampled_from(SHARED + LOCALS))
-        return f"{target} = {draw(expressions())};"
-    if choice == 2:
-        return f"output({draw(expressions())});"
-    if choice == 3 and not in_lock:
-        # guarded update of the locked variable
-        expr = draw(expressions())
-        return (f"acquire(m); {LOCKED_VAR} = {LOCKED_VAR} + ({expr}); "
-                f"release(m);")
-    if choice == 4:
-        body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
-        return f"if ({draw(expressions())}) {{ {body} }}"
-    if choice == 5:
-        body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
-        bound = draw(st.integers(1, 4))
-        loop_var = f"i{depth}"
-        # wrapped in `if (1)` so the loop variable gets its own scope and
-        # two loops in one block cannot collide on the name
-        return (f"if (1) {{ int {loop_var} = 0; "
-                f"while ({loop_var} < {bound}) "
-                f"{{ {body} {loop_var} = {loop_var} + 1; }} }}")
-    body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
-    else_body = draw(statement_blocks(depth=depth + 1, in_lock=in_lock))
-    return (f"if ({draw(expressions())}) {{ {body} }} "
-            f"else {{ {else_body} }}")
-
-
-@st.composite
-def statement_blocks(draw, depth=0, in_lock=False):
-    count = draw(st.integers(1, 3 if depth else 5))
-    return " ".join(draw(statements(depth=depth, in_lock=in_lock))
-                    for _ in range(count))
-
-
-@st.composite
-def programs(draw, n_threads=2):
-    """A complete MiniSMP source with ``n_threads`` generated threads."""
-    decls = "\n".join(f"shared int {name} = {draw(st.integers(0, 5))};"
-                      for name in SHARED)
-    decls += f"\nshared int {LOCKED_VAR} = 0;\nlock m;\n"
-    decls += "local int x;\nlocal int y;\n"
-    bodies = []
-    for t in range(n_threads):
-        body = draw(statement_blocks())
-        bodies.append(f"thread t{t}() {{ {body} }}")
-    return decls + "\n".join(bodies)
+from repro.fuzz.genprog import (  # noqa: F401
+    LOCALS, LOCKED_VAR, SHARED, GeneratedProgram, ProgramGenerator,
+    expressions, generate_program, programs, statement_blocks, statements,
+)

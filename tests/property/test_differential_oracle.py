@@ -1,0 +1,101 @@
+"""Differential-oracle properties over Hypothesis-generated programs.
+
+The hard invariant: the online detector is a pure function of the event
+stream, so running it live and replaying it over the recorded trace of
+the same execution must produce the *identical* violation sequence --
+same verdict, same reports, same order.  (This property caught a real
+bug: ``merge_cus`` and the store-time 2PL check used to iterate raw
+``Set[Cu]`` objects, whose identity-hash order varies across processes.)
+
+Online vs the three-pass offline algorithm is deliberately *not* an
+equality: the online detector infers sharedness at block granularity
+and approximates dependences (§4.3), so verdicts legitimately diverge
+on some programs.  The oracle records those divergences; here we pin
+the structural facts that must hold regardless.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import OfflineSVD
+from repro.fuzz.oracle import replay_online, run_differential
+from repro.lang import compile_source
+from repro.machine import Machine, RandomScheduler
+from repro.trace import TraceRecorder
+
+from tests.property.genprog import programs
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_online_svd_live_equals_trace_replay(source, seed):
+    """Live and trace-replayed online SVD report the same verdict (and
+    in fact the same violations, in the same order)."""
+    result = run_differential(source, seed)
+    assert result.replay_divergence is None
+    assert result.online_verdict == result.replay_verdict
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_replay_preserves_detector_statistics(source, seed):
+    """Replay reproduces not just the report but the cost counters."""
+    program = compile_source(source)
+    from repro.core import OnlineSVD
+    live = OnlineSVD(program)
+    recorder = TraceRecorder(program, 2)
+    machine = Machine(program, [("t0", ()), ("t1", ())],
+                      scheduler=RandomScheduler(seed=seed, switch_prob=0.5),
+                      observers=[live, recorder])
+    machine.run(max_steps=6000)
+    replayed = replay_online(program, recorder.trace())
+    assert replayed.instructions == live.instructions
+    assert replayed.cus_created == live.cus_created
+    assert replayed.violation_checks == live.violation_checks
+    assert replayed.report.static_keys == live.report.static_keys
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_offline_svd_verdict_is_deterministic(source, seed):
+    """The three-pass offline algorithm is a pure function of the
+    trace: two runs over the same trace agree exactly."""
+    program = compile_source(source)
+    recorder = TraceRecorder(program, 2)
+    machine = Machine(program, [("t0", ()), ("t1", ())],
+                      scheduler=RandomScheduler(seed=seed, switch_prob=0.5),
+                      observers=[recorder])
+    machine.run(max_steps=6000)
+    trace = recorder.trace()
+    first = OfflineSVD(program).run(trace)
+    second = OfflineSVD(program).run(trace)
+    keys = lambda rep: [(v.seq, v.tid, v.loc, v.address, v.other_loc)
+                        for v in rep]
+    assert keys(first.report) == keys(second.report)
+    assert first.cu_count == second.cu_count
+
+
+@settings(**SETTINGS)
+@given(programs(), st.integers(0, 100))
+def test_oracle_classification_is_consistent(source, seed):
+    """The FRD-vs-SVD classification partitions FRD's reports, and the
+    recorded divergence categories match the verdicts they summarise."""
+    result = run_differential(source, seed)
+    kinds = result.disagreements()
+    assert "replay" not in kinds
+    assert ("online-not-offline" in kinds) == \
+        (result.online_verdict and not result.offline_verdict)
+    assert ("offline-not-online" in kinds) == \
+        (result.offline_verdict and not result.online_verdict)
+    classified = result.frd_vs_svd
+    assert classified.dynamic_tp + classified.dynamic_fp >= 0
+    if result.frd_verdict:
+        assert classified.dynamic_total > 0
+    else:
+        assert classified.dynamic_total == 0
+    # FRD corroboration exists only where online SVD flagged something
+    if not result.online_static_locs:
+        assert classified.dynamic_tp == 0

@@ -107,3 +107,55 @@ class TestHarnessCommands:
         assert main(["overhead", "mysql-tablelock", "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "with SVD" in out
+
+
+class TestCampaignCmd:
+    ARGS = ["campaign", "--workloads", "stringbuffer,queue-region",
+            "--seeds", "2", "--max-steps", "30000", "--quiet"]
+
+    def test_serial_campaign(self, capsys):
+        assert main(self.ARGS + ["--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: 4 runs" in out
+        assert "stringbuffer" in out and "queue-region" in out
+
+    def test_parallel_matches_serial_output(self, capsys):
+        assert main(self.ARGS + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_table2_rendering(self, capsys):
+        assert main(self.ARGS + ["--table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["campaign", "--workloads", "nope"]) == 2
+
+    def test_unknown_config(self, capsys):
+        assert main(["campaign", "--workloads", "stringbuffer",
+                     "--configs", "nope"]) == 2
+
+
+class TestFuzzCmd:
+    def test_program_capped_fuzz(self, capsys):
+        assert main(["fuzz", "--budget", "0", "--programs", "6",
+                     "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "6 programs" in out
+        assert "online-vs-replay divergences  : 0" in out
+
+    def test_save_and_rediscover_corpus(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        assert main(["fuzz", "--budget", "0", "--programs", "10",
+                     "--seeds", "2", "--save-corpus", corpus]) == 0
+        assert "saved" in capsys.readouterr().out
+        assert main(["fuzz", "--budget", "0", "--programs", "10",
+                     "--seeds", "2", "--corpus", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "rediscovered" in out
+
+    def test_missing_corpus_dir(self, capsys):
+        assert main(["fuzz", "--budget", "0", "--programs", "2",
+                     "--corpus", "/does/not/exist"]) == 2

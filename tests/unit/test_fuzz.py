@@ -1,0 +1,116 @@
+"""Unit tests for the fuzz subsystem: generator determinism, the
+fuzzing session driver, the minimizer, and corpus round-trips."""
+
+import pytest
+
+from repro.fuzz import (generate_program, load_corpus, minimize_program,
+                        probe_program, rediscovered, run_fuzz, save_corpus)
+from repro.fuzz.genprog import GeneratedProgram
+from repro.fuzz.oracle import run_differential
+from repro.lang import compile_source
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        assert generate_program(17).source == generate_program(17).source
+
+    def test_distinct_seeds_distinct_programs(self):
+        sources = {generate_program(seed).source for seed in range(20)}
+        assert len(sources) > 15
+
+    def test_every_program_compiles(self):
+        for seed in range(30):
+            compile_source(generate_program(seed).source)  # must not raise
+
+    def test_structure_matches_source(self):
+        generated = generate_program(3)
+        assert generated.n_threads == 2
+        for tid in range(2):
+            assert f"thread t{tid}()" in generated.source
+        for stmt in generated.threads[0]:
+            assert stmt in generated.source
+
+    def test_replace_thread_copies(self):
+        generated = generate_program(3)
+        replaced = generated.replace_thread(0, ["output(1);"])
+        assert replaced.threads[0] == ["output(1);"]
+        assert generated.threads[0] != ["output(1);"]
+
+
+class TestProbe:
+    def test_probe_program_returns_plain_data(self):
+        out = probe_program({"program_seed": 0, "master_seed": 0,
+                             "probes": 2})
+        assert out["program_seed"] == 0
+        assert len(out["probes"]) == 2
+        for probe in out["probes"]:
+            assert probe["replay_divergence"] is None
+
+    def test_probe_is_deterministic(self):
+        payload = {"program_seed": 5, "master_seed": 0, "probes": 2}
+        first = probe_program(payload)
+        second = probe_program(payload)
+        strip = lambda o: [{k: v for k, v in p.items()}
+                           for p in o["probes"]]
+        assert strip(first) == strip(second)
+
+
+class TestSession:
+    def test_program_capped_session(self):
+        report = run_fuzz(budget=None, max_programs=12,
+                          probes_per_program=1, workers=1)
+        assert report.stats.programs == 12
+        assert report.stats.probes == 12
+        assert report.stats.replay_divergences == 0
+
+    def test_serial_equals_parallel(self):
+        serial = run_fuzz(budget=None, max_programs=10,
+                          probes_per_program=1, workers=1)
+        parallel = run_fuzz(budget=None, max_programs=10,
+                            probes_per_program=1, workers=2)
+        key = lambda r: sorted((f.program_seed, f.schedule_seed, f.kind)
+                               for f in r.findings)
+        assert key(serial) == key(parallel)
+        assert serial.stats.violations == parallel.stats.violations
+
+    def test_requires_some_bound(self):
+        with pytest.raises(ValueError):
+            run_fuzz(budget=None, max_programs=None)
+
+
+class TestMinimizer:
+    def _violating_finding(self):
+        report = run_fuzz(budget=None, max_programs=20,
+                          probes_per_program=2, workers=1)
+        for finding in report.findings:
+            if finding.kind == "violation":
+                return finding
+        pytest.fail("no violation found in 20 generated programs")
+
+    def test_minimized_program_still_violates(self):
+        finding = self._violating_finding()
+        generated = generate_program(finding.program_seed)
+        reduced = minimize_program(generated, finding.schedule_seed)
+        assert sum(map(len, reduced.threads)) <= \
+            sum(map(len, generated.threads))
+        result = run_differential(reduced.source, finding.schedule_seed)
+        assert result.online_verdict
+
+    def test_refuses_to_minimize_non_violating(self):
+        generated = GeneratedProgram(
+            decls="shared int g0 = 0;\n",
+            threads=[["output(0);"], ["output(0);"]])
+        reduced = minimize_program(generated, seed=1)
+        assert reduced.source == generated.source
+
+
+class TestCorpus:
+    def test_save_load_rediscover_roundtrip(self, tmp_path):
+        report = run_fuzz(budget=None, max_programs=20,
+                          probes_per_program=2, workers=1)
+        entries = save_corpus(str(tmp_path), report.findings, limit=3)
+        assert 1 <= len(entries) <= 3
+        loaded = load_corpus(str(tmp_path))
+        assert [e.key() for e in loaded] == [e.key() for e in entries]
+        hits = rediscovered(report, loaded)
+        assert [e.key() for e in hits] == [e.key() for e in loaded]
