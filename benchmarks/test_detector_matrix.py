@@ -2,20 +2,18 @@
 
 Extends Table 2 with the §8 related-work detectors implemented in
 :mod:`repro.detectors` (lockset, Atomizer, stale-value, lock-order,
-hybrid) plus the precise checker, all on identical executions.  The
-matrix shows each detector's characteristic blind spots and noise
-sources at a glance.
+hybrid) plus the precise checker, all on identical executions: the
+:class:`repro.engine.DetectorEngine` multiplexes one live run per
+workload to the whole registry-resolved detector set.  The matrix shows
+each detector's characteristic blind spots and noise sources at a
+glance.
 """
 
 import pytest
 
-from repro.core import OfflineSVD, OnlineSVD, PreciseSVD
-from repro.detectors import (AtomizerDetector, FrontierRaceDetector,
-                             HybridRaceDetector, LockOrderDetector,
-                             LocksetDetector, StaleValueDetector)
+from repro.engine import DetectorEngine
 from repro.harness import render_table
 from repro.machine import RandomScheduler
-from repro.trace import TraceRecorder
 from repro.workloads import (apache_log, mysql_prepared, mysql_tablelock,
                              pgsql_oltp, spsc_ring)
 
@@ -27,36 +25,24 @@ WORKLOADS = [
     ("spsc-ring (clean)", spsc_ring, 1),
 ]
 
+DETECTORS = ["svd", "precise", "offline", "frd", "lockset", "atomizer",
+             "stale", "lockorder", "hybrid"]
+
 
 def run_matrix():
     rows = []
     cells = {}
     for label, factory, seed in WORKLOADS:
         workload = factory()
-        program = workload.program
-        online = OnlineSVD(program)
-        precise = PreciseSVD(program)
-        recorder = TraceRecorder(program, len(workload.threads))
+        engine = DetectorEngine(workload.program, DETECTORS)
         machine = workload.make_machine(
-            RandomScheduler(seed=seed, switch_prob=0.5),
-            observers=[online, precise, recorder])
-        machine.run(max_steps=300_000)
-        trace = recorder.trace()
-        counts = {
-            "svd": online.report.dynamic_count,
-            "precise": precise.report.dynamic_count,
-            "offline": OfflineSVD(program).run(trace).report.dynamic_count,
-            "frd": FrontierRaceDetector(program).run(trace).dynamic_count,
-            "lockset": LocksetDetector(program).run(trace).dynamic_count,
-            "atomizer": AtomizerDetector(program).run(trace).dynamic_count,
-            "stale": StaleValueDetector(program).run(trace).dynamic_count,
-            "lockorder": LockOrderDetector(program).run(trace).dynamic_count,
-            "hybrid": HybridRaceDetector(program).run(trace).dynamic_count,
-        }
+            RandomScheduler(seed=seed, switch_prob=0.5))
+        result = engine.run_machine(machine, max_steps=300_000)
+        counts = {name: result.report(name).dynamic_count
+                  for name in DETECTORS}
         cells[label] = counts
         rows.append((label, *counts.values()))
-    headers = ["workload", "svd", "precise", "offline", "frd", "lockset",
-               "atomizer", "stale", "lockorder", "hybrid"]
+    headers = ["workload"] + DETECTORS
     return headers, rows, cells
 
 

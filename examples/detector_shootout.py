@@ -1,21 +1,20 @@
-"""Compare four detectors on your own MiniSMP program.
+"""Compare five detectors on your own MiniSMP program.
 
-Runs SVD (online), offline SVD, the Frontier Race Detector, Eraser-style
-lockset and the Atomizer-style atomicity checker on one execution of a
-user-editable program, plus the precise conflict-graph serializability
+One :class:`repro.engine.DetectorEngine` runs SVD (online), offline SVD,
+the Frontier Race Detector, Eraser-style lockset and the Atomizer-style
+atomicity checker over a *single* execution of a user-editable program
+-- the engine records the run once and replays the recording for the
+trace-side detectors -- plus the precise conflict-graph serializability
 verdict as ground truth.
 
 Run:  python examples/detector_shootout.py
 """
 
-from repro.core import OfflineSVD, OnlineSVD
-from repro.detectors import (AtomizerDetector, FrontierRaceDetector,
-                             LocksetDetector)
+from repro.engine import DetectorEngine
 from repro.lang import compile_source
 from repro.machine import Machine, RandomScheduler
 from repro.pdg import build_dpdg, reference_cu_partition
 from repro.serializability import is_serializable
-from repro.trace import TraceRecorder
 
 # -- edit me -----------------------------------------------------------------
 SOURCE = """
@@ -47,33 +46,34 @@ thread auditor(int n) {
 """
 THREADS = [("depositor", (10,)), ("auditor", (10,))]
 SEED = 7
+DETECTORS = ["svd", "offline", "frd", "lockset", "atomizer"]
+LABELS = {
+    "svd": "SVD (online)",
+    "offline": "SVD (offline)",
+    "frd": "FRD happens-before",
+    "lockset": "lockset (Eraser)",
+    "atomizer": "atomicity (Atomizer)",
+}
 # ----------------------------------------------------------------------------
 
 
 def main() -> None:
     program = compile_source(SOURCE)
-    online = OnlineSVD(program)
-    recorder = TraceRecorder(program, len(THREADS))
     machine = Machine(program, THREADS,
-                      scheduler=RandomScheduler(seed=SEED, switch_prob=0.5),
-                      observers=[online, recorder])
-    machine.run()
-    trace = recorder.trace()
-
-    reports = {
-        "SVD (online)": online.report,
-        "SVD (offline)": OfflineSVD(program).run(trace).report,
-        "FRD happens-before": FrontierRaceDetector(program).run(trace),
-        "lockset (Eraser)": LocksetDetector(program).run(trace),
-        "atomicity (Atomizer)": AtomizerDetector(program).run(trace),
-    }
+                      scheduler=RandomScheduler(seed=SEED, switch_prob=0.5))
+    engine = DetectorEngine(program, DETECTORS)
+    result = engine.run_machine(machine)
+    trace = result.trace
 
     print(f"executed {machine.seq} instructions; "
           f"balance={machine.read_global('balance')}, "
-          f"audit_total={machine.read_global('audit_total')}\n")
-    width = max(len(k) for k in reports)
-    for name, report in reports.items():
-        print(f"{name:{width}s} : {report.dynamic_count:4d} dynamic, "
+          f"audit_total={machine.read_global('audit_total')}")
+    print(f"({result.stats.stream_passes} stream passes for "
+          f"{len(DETECTORS)} detectors)\n")
+    width = max(len(v) for v in LABELS.values())
+    for name in DETECTORS:
+        report = result.report(name)
+        print(f"{LABELS[name]:{width}s} : {report.dynamic_count:4d} dynamic, "
               f"{report.static_count:2d} static")
     print()
 
@@ -86,7 +86,7 @@ def main() -> None:
     if verdict.cycle:
         print(f"  witness cycle through CUs: {verdict.cycle}")
     print()
-    print(online.report.describe(limit=8))
+    print(result.report("svd").describe(limit=8))
 
 
 if __name__ == "__main__":

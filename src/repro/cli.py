@@ -18,10 +18,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core import OfflineSVD, OnlineSVD, PreciseSVD
-from repro.detectors import (AtomizerDetector, FrontierRaceDetector,
-                             HybridRaceDetector, LockOrderDetector,
-                             LocksetDetector, StaleValueDetector)
+from repro.core import OnlineSVD
+from repro.engine import DetectorEngine, available, parse_detector_list
 from repro.harness import measure_overhead, render_table, run_workload
 from repro.harness.table1 import render_table1, table1_rows
 from repro.harness.table2 import render_table2, table2_rows
@@ -52,6 +50,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["svd", "precise", "frd", "lockset",
                               "atomizer", "offline", "stale",
                               "lock-order", "hybrid", "all"])
+    run.add_argument("--detectors", default=None, metavar="NAMES",
+                     help="comma-separated registry detector names (or "
+                     "'all') multiplexed over one execution by the "
+                     "engine; available: " + ", ".join(available()))
     run.add_argument("--max-steps", type=int, default=1_000_000)
 
     execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
@@ -76,9 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace", help="trace file saved by `exec "
                          "--save-trace`")
     analyze.add_argument("--detector", default="frd",
-                         choices=["frd", "lockset", "atomizer", "offline",
-                                  "stale", "lock-order", "hybrid",
-                                  "queries"])
+                         metavar="NAMES",
+                         help="comma-separated registry detector names "
+                         "(or 'all'), or 'queries'; available: "
+                         + ", ".join(available()))
     analyze.add_argument("--variable", default=None,
                          help="with --detector queries: variable history "
                          "to print")
@@ -132,6 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       "undispatched runs are marked skipped")
     camp.add_argument("--no-frd", action="store_true",
                       help="skip the FRD comparison pass")
+    camp.add_argument("--detectors", default=None, metavar="NAMES",
+                      help="extra registry detector names attached to "
+                      "every run alongside SVD(+FRD)")
     camp.add_argument("--table2", action="store_true",
                       help="also render with the paper's Table 2 "
                       "reference columns")
@@ -181,6 +187,25 @@ def _cmd_run(args) -> int:
         workload = WORKLOADS[args.workload]()
     print(f"workload: {workload.description}")
 
+    if args.detectors:
+        try:
+            names = parse_detector_list(args.detectors)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        engine = DetectorEngine(workload.program, names)
+        machine = workload.make_machine(
+            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
+        result = engine.run_machine(machine, max_steps=args.max_steps)
+        print(f"outcome : {workload.validate(machine).detail}")
+        print(f"status  : {result.status}, {result.end_seq} events, "
+              f"{result.stats.stream_passes} stream pass(es) for "
+              f"{len(result.requested)} detector(s)")
+        for name in result.requested:
+            print()
+            print(result.report(name).describe())
+        return 0
+
     if args.detector in ("svd", "all"):
         result = run_workload(workload, seed=args.seed,
                               switch_prob=args.switch_prob,
@@ -199,36 +224,13 @@ def _cmd_run(args) -> int:
         print(result.log.describe(limit=5))
         return 0
 
-    # trace-based detectors
-    program = workload.program
-    recorder = TraceRecorder(program, len(workload.threads))
-    observers = [recorder]
-    online = None
-    if args.detector == "precise":
-        online = PreciseSVD(program)
-        observers.append(online)
+    # any other single detector resolves through the same registry
+    engine = DetectorEngine(workload.program, [args.detector])
     machine = workload.make_machine(
-        RandomScheduler(seed=args.seed, switch_prob=args.switch_prob),
-        observers=observers)
-    machine.run(max_steps=args.max_steps)
+        RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
+    result = engine.run_machine(machine, max_steps=args.max_steps)
     print(f"outcome : {workload.validate(machine).detail}")
-    trace = recorder.trace()
-    if args.detector == "precise":
-        print(online.report.describe())
-    elif args.detector == "frd":
-        print(FrontierRaceDetector(program).run(trace).describe())
-    elif args.detector == "lockset":
-        print(LocksetDetector(program).run(trace).describe())
-    elif args.detector == "atomizer":
-        print(AtomizerDetector(program).run(trace).describe())
-    elif args.detector == "offline":
-        print(OfflineSVD(program).run(trace).report.describe())
-    elif args.detector == "stale":
-        print(StaleValueDetector(program).run(trace).describe())
-    elif args.detector == "lock-order":
-        print(LockOrderDetector(program).run(trace).describe())
-    elif args.detector == "hybrid":
-        print(HybridRaceDetector(program).run(trace).describe())
+    print(result.report(result.requested[0]).describe())
     return 0
 
 
@@ -363,16 +365,16 @@ def _cmd_analyze(args) -> int:
             print()
             print(query.render_history(args.variable))
         return 0
-    detectors = {
-        "frd": lambda: FrontierRaceDetector(program).run(trace),
-        "lockset": lambda: LocksetDetector(program).run(trace),
-        "atomizer": lambda: AtomizerDetector(program).run(trace),
-        "offline": lambda: OfflineSVD(program).run(trace).report,
-        "stale": lambda: StaleValueDetector(program).run(trace),
-        "lock-order": lambda: LockOrderDetector(program).run(trace),
-        "hybrid": lambda: HybridRaceDetector(program).run(trace),
-    }
-    print(detectors[args.detector]().describe())
+    try:
+        names = parse_detector_list(args.detector)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = DetectorEngine(program, names).run_trace(trace)
+    for i, name in enumerate(result.requested):
+        if i:
+            print()
+        print(result.report(name).describe())
     return 0
 
 
@@ -438,6 +440,13 @@ def _cmd_campaign(args) -> int:
         config.switch_prob = args.switch_prob
         config.max_steps = args.max_steps
         config.run_frd = not args.no_frd
+        if args.detectors:
+            try:
+                config.detectors = tuple(
+                    parse_detector_list(args.detectors))
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
         configs.append(config)
     spec = CampaignSpec(
         workloads=[WorkloadSpec(name=n) for n in names],

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.report import Violation, ViolationReport
+from repro.engine.analysis import TraceAnalysis
 from repro.machine.events import EV_ALU, EV_BRANCH, EV_LOAD, EV_STORE, Event
 from repro.pdg.cu import CuPartition
 from repro.pdg.dpdg import CONTROL, TRUE_LOCAL, TRUE_SHARED, DynamicPdg, build_dpdg
@@ -155,9 +156,7 @@ class OfflineSVD:
             pdg = build_dpdg(trace)
         partitions = self._compute_cus(trace, pdg)
         report = ViolationReport("svd-offline", self.program)
-        seen: Set[Tuple[int, int]] = set()
         for violation in strict_2pl_violations(trace, partitions):
-            key = (violation.victim_access.loc, violation.intruder.loc)
             report.add(Violation(
                 detector="svd-offline",
                 seq=violation.intruder.seq,
@@ -167,7 +166,35 @@ class OfflineSVD:
                 kind="serializability-violation",
                 other_loc=violation.intruder.loc,
                 other_tid=violation.intruder.tid))
-            seen.add(key)
         cu_count = sum(len(p.members) for p in partitions.values())
         return OfflineResult(partitions=partitions, report=report,
                              cu_count=cu_count)
+
+
+class OfflineSvdAnalysis(TraceAnalysis):
+    """Engine adapter for the batch three-pass algorithm.
+
+    Under the :class:`repro.engine.DetectorEngine` the shared recorded
+    trace is injected once for all batch analyses; ``name`` lets the two
+    ablation variants ("offline" with control-dependence merging,
+    "offline-nc" without) coexist in one engine run.
+    """
+
+    def __init__(self, program, merge_control: bool = True,
+                 name: str = "offline") -> None:
+        super().__init__()
+        self.name = name
+        self.svd = OfflineSVD(program, merge_control=merge_control)
+        self.offline_result: Optional[OfflineResult] = None
+        self.report: Optional[ViolationReport] = None
+
+    def start(self, n_threads: int) -> None:
+        self.offline_result = None
+        self.report = None
+
+    def analyze(self, trace: Trace) -> None:
+        self.offline_result = self.svd.run(trace)
+        self.report = self.offline_result.report
+
+    def unwrap(self):
+        return self.svd

@@ -390,12 +390,15 @@ class OnlineSVD(MachineObserver):
                 self.remote_messages += 1
                 self.threads[tid].on_remote(block, is_write, event)
 
-    def on_finish(self, machine) -> None:
+    def finish(self, end_seq: int) -> None:
         """Close all still-open CUs at the end of the run."""
-        final = Event(EV_HALT, machine.seq, -1, -1, None)
+        final = Event(EV_HALT, end_seq, -1, -1, None)
         for detector in self.threads.values():
             final.tid = detector.tid
             detector.on_thread_end(final)
+
+    def on_finish(self, machine) -> None:
+        self.finish(machine.seq)
 
     # -- statistics --------------------------------------------------------------
 

@@ -63,7 +63,6 @@ class PreciseSVD(OnlineSVD):
         #: per block: reading CUs since the last write, deduplicated by
         #: CU uid (a long-lived reader appears once, not once per read)
         self._readers: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
-        self._reported_edges: Set[Tuple[int, int]] = set()
         self.edges_added = 0
         self.cycle_checks = 0
         #: bounded search: a DFS visiting more nodes than this gives up
@@ -129,15 +128,14 @@ class PreciseSVD(OnlineSVD):
         self.edges_added += 1
         # adding src -> dst closes a cycle iff dst already reaches src
         if self._reaches(dst_uid, src):
-            key = (min(src, dst_uid), max(src, dst_uid))
-            if key not in self._reported_edges:
-                self._reported_edges.add(key)
-                self.report.add(Violation(
+            self.report.add_once(
+                Violation(
                     detector="svd-precise", seq=event.seq, tid=event.tid,
                     loc=event.loc, address=event.addr,
                     kind="serializability-cycle",
                     other_loc=src_loc, other_tid=src_tid,
-                    cu_birth_seq=dst.resolve().birth_seq))
+                    cu_birth_seq=dst.resolve().birth_seq),
+                key=(min(src, dst_uid), max(src, dst_uid)))
             return  # keep the graph acyclic so later cycles stay visible
         succ.add(dst_uid)
 

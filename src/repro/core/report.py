@@ -55,9 +55,31 @@ class ViolationReport:
         self.detector = detector
         self.program = program
         self.violations: List[Violation] = []
+        self._dedup_keys: Set[Tuple] = set()
 
     def add(self, violation: Violation) -> None:
         self.violations.append(violation)
+
+    def add_once(self, violation: Violation, key: Optional[Tuple] = None) -> bool:
+        """Add unless an equivalent violation was already reported.
+
+        ``key`` defaults to the :meth:`Violation.static_key` --
+        the ``(kind, source statement)`` deduplication every detector
+        used to reimplement privately; detectors with a different
+        report identity (per lock, per address, per dynamic block) pass
+        an explicit key.  Returns whether the violation was added.
+        """
+        if key is None:
+            key = violation.static_key()
+        if key in self._dedup_keys:
+            return False
+        self._dedup_keys.add(key)
+        self.violations.append(violation)
+        return True
+
+    def already_reported(self, key: Tuple) -> bool:
+        """Whether :meth:`add_once` has seen ``key``."""
+        return key in self._dedup_keys
 
     def __len__(self) -> int:
         return len(self.violations)

@@ -17,17 +17,28 @@ not be reducible to an atomic execution, and a violation is reported.
 Unlike SVD, this detector *requires* the synchronization annotation (the
 critical sections) -- it is the "a priori annotations" comparison point
 of the paper's related-work discussion.
+
+This is the library's canonical two-pass detector: the race-exposure
+pass must finish before the reduction pass starts.  Under the
+:class:`repro.engine.DetectorEngine` the extra pass is declared as a
+dependency on the shared ``lockset`` analysis (``requires``), so the
+engine schedules this checker one phase later and the exposure set is
+computed once for everyone; standalone :meth:`AtomizerDetector.run` runs
+a private lockset pass as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.core.report import Violation, ViolationReport
 from repro.detectors.lockset import LocksetDetector
-from repro.machine.events import (EV_ACQUIRE, EV_LOAD, EV_RELEASE,
-                                  EV_STORE, EV_WAIT)
+from repro.engine.analysis import Analysis
+from repro.machine.events import (
+    EV_ACQUIRE, EV_LOAD, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    MEMORY_KINDS, SYNC_KINDS,
+)
 from repro.trace.trace import Trace
 
 PRE_COMMIT = 0
@@ -42,66 +53,88 @@ class _BlockState:
     reported: bool = False
 
 
-class AtomizerDetector:
-    """Run the reduction-based atomicity check over a recorded trace."""
+class AtomizerDetector(Analysis):
+    """The reduction-based atomicity check (exposure set from lockset)."""
+
+    name = "atomizer"
+    interests = MEMORY_KINDS | SYNC_KINDS
+    requires = ("lockset",)
 
     def __init__(self, program) -> None:
         self.program = program
+        self.report = ViolationReport("atomizer", program)
+        self._lockset: Optional[LocksetDetector] = None
+        self._exposed: Set[int] = set()
+        self._blocks: Dict[int, _BlockState] = {}
+
+    def resolve(self, name: str, dependency) -> None:
+        self._lockset = dependency.unwrap()
+
+    def start(self, n_threads: int) -> None:
+        self.report = ViolationReport("atomizer", self.program)
+        self._blocks = {}
+        # by the time this phase starts, the lockset dependency has
+        # finished its pass over the same stream
+        if self._lockset is not None:
+            self._exposed = {violation.address
+                             for violation in self._lockset.report}
 
     def _race_exposed(self, trace: Trace) -> Set[int]:
         """Auxiliary pass: addresses the lockset analysis flags as racy."""
         lockset_report = LocksetDetector(self.program).run(trace)
         return {violation.address for violation in lockset_report}
 
+    def on_event(self, event: Event) -> None:
+        state = self._blocks.get(event.tid)
+        if state is None:
+            state = _BlockState()
+            self._blocks[event.tid] = state
+        if event.kind == EV_ACQUIRE:
+            if state.depth == 0:
+                state.depth = 1
+                state.phase = PRE_COMMIT
+                state.entry_loc = event.loc
+                state.reported = False
+            else:
+                state.depth += 1
+                if state.phase == POST_COMMIT and not state.reported:
+                    state.reported = True
+                    self.report.add(Violation(
+                        detector="atomizer", seq=event.seq,
+                        tid=event.tid, loc=event.loc,
+                        address=event.addr,
+                        kind="atomicity-violation",
+                        other_loc=state.entry_loc))
+            return
+        if event.kind in (EV_RELEASE, EV_WAIT):
+            if state.depth > 0:
+                state.depth -= 1
+                state.phase = POST_COMMIT  # a left mover commits the block
+            return
+        if state.depth == 0:
+            return
+        if event.addr in self._exposed:
+            # non-mover inside an atomic block
+            if state.phase == POST_COMMIT:
+                if not state.reported:
+                    state.reported = True
+                    self.report.add(Violation(
+                        detector="atomizer", seq=event.seq,
+                        tid=event.tid, loc=event.loc,
+                        address=event.addr,
+                        kind="atomicity-violation",
+                        other_loc=state.entry_loc))
+            else:
+                state.phase = POST_COMMIT
+
     def run(self, trace: Trace) -> ViolationReport:
-        report = ViolationReport("atomizer", self.program)
-        exposed = self._race_exposed(trace)
-        blocks: Dict[int, _BlockState] = {}
-
-        def block_of(tid: int) -> _BlockState:
-            state = blocks.get(tid)
-            if state is None:
-                state = _BlockState()
-                blocks[tid] = state
-            return state
-
+        """Standalone two-pass run: private exposure pass, then check."""
+        self.start(trace.n_threads)
+        self._exposed = self._race_exposed(trace)
+        interests = self.interests
+        on_event = self.on_event
         for event in trace:
-            state = block_of(event.tid)
-            if event.kind == EV_ACQUIRE:
-                if state.depth == 0:
-                    state.depth = 1
-                    state.phase = PRE_COMMIT
-                    state.entry_loc = event.loc
-                    state.reported = False
-                else:
-                    state.depth += 1
-                    if state.phase == POST_COMMIT and not state.reported:
-                        state.reported = True
-                        report.add(Violation(
-                            detector="atomizer", seq=event.seq,
-                            tid=event.tid, loc=event.loc,
-                            address=event.addr,
-                            kind="atomicity-violation",
-                            other_loc=state.entry_loc))
-                continue
-            if event.kind in (EV_RELEASE, EV_WAIT):
-                if state.depth > 0:
-                    state.depth -= 1
-                    state.phase = POST_COMMIT  # a left mover commits the block
-                continue
-            if event.kind not in (EV_LOAD, EV_STORE) or state.depth == 0:
-                continue
-            if event.addr in exposed:
-                # non-mover inside an atomic block
-                if state.phase == POST_COMMIT:
-                    if not state.reported:
-                        state.reported = True
-                        report.add(Violation(
-                            detector="atomizer", seq=event.seq,
-                            tid=event.tid, loc=event.loc,
-                            address=event.addr,
-                            kind="atomicity-violation",
-                            other_loc=state.entry_loc))
-                else:
-                    state.phase = POST_COMMIT
-        return report
+            if event.kind in interests:
+                on_event(event)
+        self.finish(trace.end_seq)
+        return self.report

@@ -13,8 +13,13 @@ FRD works in two passes over a recorded trace:
    detection: lock release->acquire edges (plus program order) define
    causality; conflicting accesses not ordered by it are data races.
 
-Dynamic reports are per racy access instance; static deduplication is by
-the (kind, source statement) key, like every detector in this library.
+The happens-before pass is a streaming :class:`repro.engine.Analysis`:
+under the :class:`repro.engine.DetectorEngine` it consumes the shared
+event stream (live or replayed) alongside every other detector;
+:meth:`FrontierRaceDetector.run` remains the standalone one-shot entry
+point.  Dynamic reports are per racy access instance; static
+deduplication is by the (kind, source statement) key, via
+:meth:`repro.core.report.ViolationReport.static_keys`.
 """
 
 from __future__ import annotations
@@ -24,8 +29,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.report import Violation, ViolationReport
 from repro.detectors.vector_clock import VectorClock
+from repro.engine.analysis import Analysis
 from repro.machine.events import (
     EV_ACQUIRE, EV_LOAD, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    MEMORY_KINDS, SYNC_KINDS,
 )
 from repro.trace.trace import Trace
 
@@ -94,58 +101,76 @@ def frontier_races(trace: Trace) -> List[FrontierRace]:
     return races
 
 
-class FrontierRaceDetector:
+class FrontierRaceDetector(Analysis):
     """Pass 2: happens-before data races with known synchronization."""
+
+    name = "frd"
+    interests = MEMORY_KINDS | SYNC_KINDS
 
     def __init__(self, program) -> None:
         self.program = program
+        self.report = ViolationReport("frd", program)
+        self._clocks: List[VectorClock] = []
+        self._lock_clocks: Dict[int, VectorClock] = {}
+        self._last_write: Dict[int, Tuple[int, VectorClock, int, int]] = {}
+        self._reads: Dict[int, List[Tuple[int, VectorClock, int, int]]] = {}
+
+    def start(self, n_threads: int) -> None:
+        self.report = ViolationReport("frd", self.program)
+        self._clocks = [VectorClock(n_threads) for _ in range(n_threads)]
+        for tid in range(n_threads):
+            self._clocks[tid].tick(tid)
+        self._lock_clocks = {}
+        self._last_write = {}
+        self._reads = {}
+
+    def _race(self, prev: Tuple[int, VectorClock, int, int],
+              event: Event) -> None:
+        prev_tid, prev_vc, _prev_seq, prev_loc = prev
+        if prev_tid == event.tid:
+            return
+        if not prev_vc.happens_before(self._clocks[event.tid]):
+            self.report.add(Violation(
+                detector="frd", seq=event.seq, tid=event.tid,
+                loc=event.loc, address=event.addr, kind="data-race",
+                other_loc=prev_loc, other_tid=prev_tid))
+
+    def on_event(self, event: Event) -> None:
+        tid = event.tid
+        clocks = self._clocks
+        if event.kind == EV_ACQUIRE:
+            held = self._lock_clocks.get(event.addr)
+            if held is not None:
+                clocks[tid].join(held)
+        elif event.kind in (EV_RELEASE, EV_WAIT):
+            # a Wait atomically releases the lock, so it carries the
+            # same happens-before edge as a Release; the wake-up side
+            # re-acquires and joins the lock clock via its ACQUIRE
+            self._lock_clocks[event.addr] = clocks[tid].copy()
+            clocks[tid].tick(tid)
+        elif event.kind == EV_LOAD:
+            prev = self._last_write.get(event.addr)
+            if prev is not None:
+                self._race(prev, event)
+            self._reads.setdefault(event.addr, []).append(
+                (tid, clocks[tid].copy(), event.seq, event.loc))
+        elif event.kind == EV_STORE:
+            prev = self._last_write.get(event.addr)
+            if prev is not None:
+                self._race(prev, event)
+            for read in self._reads.get(event.addr, ()):
+                self._race(read, event)
+            self._reads[event.addr] = []
+            self._last_write[event.addr] = (
+                tid, clocks[tid].copy(), event.seq, event.loc)
 
     def run(self, trace: Trace) -> ViolationReport:
-        report = ViolationReport("frd", self.program)
-        n = trace.n_threads
-        clocks = [VectorClock(n) for _ in range(n)]
-        for tid in range(n):
-            clocks[tid].tick(tid)
-        lock_clocks: Dict[int, VectorClock] = {}
-        last_write: Dict[int, Tuple[int, VectorClock, int, int]] = {}
-        reads: Dict[int, List[Tuple[int, VectorClock, int, int]]] = {}
-
-        def race(prev: Tuple[int, VectorClock, int, int], event: Event,
-                 kind: str) -> None:
-            prev_tid, prev_vc, _prev_seq, prev_loc = prev
-            if prev_tid == event.tid:
-                return
-            if not prev_vc.happens_before(clocks[event.tid]):
-                report.add(Violation(
-                    detector="frd", seq=event.seq, tid=event.tid,
-                    loc=event.loc, address=event.addr, kind=kind,
-                    other_loc=prev_loc, other_tid=prev_tid))
-
+        """Standalone one-shot: stream ``trace`` and return the report."""
+        self.start(trace.n_threads)
+        interests = self.interests
+        on_event = self.on_event
         for event in trace:
-            tid = event.tid
-            if event.kind == EV_ACQUIRE:
-                held = lock_clocks.get(event.addr)
-                if held is not None:
-                    clocks[tid].join(held)
-            elif event.kind in (EV_RELEASE, EV_WAIT):
-                # a Wait atomically releases the lock, so it carries the
-                # same happens-before edge as a Release; the wake-up side
-                # re-acquires and joins the lock clock via its ACQUIRE
-                lock_clocks[event.addr] = clocks[tid].copy()
-                clocks[tid].tick(tid)
-            elif event.kind == EV_LOAD:
-                prev = last_write.get(event.addr)
-                if prev is not None:
-                    race(prev, event, "data-race")
-                reads.setdefault(event.addr, []).append(
-                    (tid, clocks[tid].copy(), event.seq, event.loc))
-            elif event.kind == EV_STORE:
-                prev = last_write.get(event.addr)
-                if prev is not None:
-                    race(prev, event, "data-race")
-                for read in reads.get(event.addr, ()):
-                    race(read, event, "data-race")
-                reads[event.addr] = []
-                last_write[event.addr] = (
-                    tid, clocks[tid].copy(), event.seq, event.loc)
-        return report
+            if event.kind in interests:
+                on_event(event)
+        self.finish(trace.end_seq)
+        return self.report

@@ -6,6 +6,13 @@ graph is a *potential deadlock*: there exists a schedule in which the
 participating threads block each other, even if this particular run got
 lucky.  The bank-transfer workload's ordered acquisition keeps the graph
 acyclic; swapping the order introduces a cycle.
+
+Streaming split: edges accumulate online from synchronization events
+(so the detector only subscribes to lock traffic under the
+:class:`repro.engine.DetectorEngine`); the cycle search runs over the
+finished graph in :meth:`finish`.  Cycles are deduplicated per
+unordered lock pair through
+:meth:`repro.core.report.ViolationReport.add_once`.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.report import Violation, ViolationReport
-from repro.machine.events import EV_ACQUIRE, EV_RELEASE, EV_WAIT
+from repro.engine.analysis import Analysis
+from repro.machine.events import (EV_ACQUIRE, EV_RELEASE, EV_WAIT, Event,
+                                  SYNC_KINDS)
 from repro.trace.trace import Trace
 
 
@@ -29,41 +38,47 @@ class LockOrderEdge:
     loc: int
 
 
-class LockOrderDetector:
-    """Build the lock-order graph of a trace and report cycles."""
+class LockOrderDetector(Analysis):
+    """Build the lock-order graph of an execution and report cycles."""
+
+    name = "lockorder"
+    interests = SYNC_KINDS
 
     def __init__(self, program) -> None:
         self.program = program
+        self.report = ViolationReport("lock-order", program)
+        self._held: Dict[int, List[int]] = {}
+        self._seen: Set[Tuple[int, int]] = set()
+        self._edges: List[LockOrderEdge] = []
 
-    def edges(self, trace: Trace) -> List[LockOrderEdge]:
-        held: Dict[int, List[int]] = {}
-        seen: Set[Tuple[int, int]] = set()
-        result: List[LockOrderEdge] = []
-        for event in trace:
-            if event.kind == EV_ACQUIRE:
-                stack = held.setdefault(event.tid, [])
-                for lock in stack:
-                    if (lock, event.addr) not in seen:
-                        seen.add((lock, event.addr))
-                        result.append(LockOrderEdge(
-                            held=lock, acquired=event.addr, tid=event.tid,
-                            seq=event.seq, loc=event.loc))
-                stack.append(event.addr)
-            elif event.kind in (EV_RELEASE, EV_WAIT):
-                stack = held.get(event.tid)
-                if stack and event.addr in stack:
-                    stack.remove(event.addr)
-        return result
+    def start(self, n_threads: int) -> None:
+        self.report = ViolationReport("lock-order", self.program)
+        self._held = {}
+        self._seen = set()
+        self._edges = []
 
-    def run(self, trace: Trace) -> ViolationReport:
-        report = ViolationReport("lock-order", self.program)
-        edges = self.edges(trace)
+    def on_event(self, event: Event) -> None:
+        if event.kind == EV_ACQUIRE:
+            stack = self._held.setdefault(event.tid, [])
+            for lock in stack:
+                if (lock, event.addr) not in self._seen:
+                    self._seen.add((lock, event.addr))
+                    self._edges.append(LockOrderEdge(
+                        held=lock, acquired=event.addr, tid=event.tid,
+                        seq=event.seq, loc=event.loc))
+            stack.append(event.addr)
+        elif event.kind in (EV_RELEASE, EV_WAIT):
+            stack = self._held.get(event.tid)
+            if stack and event.addr in stack:
+                stack.remove(event.addr)
+
+    def finish(self, end_seq: int) -> None:
+        edges = self._edges
         succ: Dict[int, List[LockOrderEdge]] = {}
         for edge in edges:
             succ.setdefault(edge.held, []).append(edge)
 
         # find one representative cycle per participating edge pair
-        reported: Set[Tuple[int, int]] = set()
         for edge in edges:
             # DFS from edge.acquired looking for edge.held
             stack = [edge.acquired]
@@ -81,14 +96,26 @@ class LockOrderDetector:
                     stack.append(out.acquired)
             if back is None:
                 continue
-            key = (min(edge.held, edge.acquired),
-                   max(edge.held, edge.acquired))
-            if key in reported:
-                continue
-            reported.add(key)
-            report.add(Violation(
-                detector="lock-order", seq=edge.seq, tid=edge.tid,
-                loc=edge.loc, address=edge.acquired,
-                kind="potential-deadlock", other_loc=back.loc,
-                other_tid=back.tid))
-        return report
+            self.report.add_once(
+                Violation(detector="lock-order", seq=edge.seq,
+                          tid=edge.tid, loc=edge.loc,
+                          address=edge.acquired,
+                          kind="potential-deadlock", other_loc=back.loc,
+                          other_tid=back.tid),
+                key=(min(edge.held, edge.acquired),
+                     max(edge.held, edge.acquired)))
+
+    def edges(self, trace: Trace) -> List[LockOrderEdge]:
+        """The deduplicated lock-order edges of ``trace``."""
+        self.start(trace.n_threads)
+        on_event = self.on_event
+        for event in trace:
+            if event.kind in SYNC_KINDS:
+                on_event(event)
+        return list(self._edges)
+
+    def run(self, trace: Trace) -> ViolationReport:
+        """Standalone one-shot: stream ``trace`` and return the report."""
+        self.edges(trace)
+        self.finish(trace.end_seq)
+        return self.report

@@ -9,16 +9,25 @@ State machine per address (as in the Eraser paper):
 ``VIRGIN -> EXCLUSIVE -> SHARED / SHARED_MODIFIED``; refinement happens
 only once the variable leaves its first-owner phase, which suppresses
 initialisation false positives.
+
+The detector streams: under the :class:`repro.engine.DetectorEngine` it
+subscribes to memory and synchronization events of the shared stream;
+:meth:`LocksetDetector.run` remains the standalone one-shot entry point.
+Reports are deduplicated per address through
+:meth:`repro.core.report.ViolationReport.add_once`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.core.report import Violation, ViolationReport
-from repro.machine.events import (EV_ACQUIRE, EV_LOAD, EV_RELEASE,
-                                  EV_STORE, EV_WAIT)
+from repro.engine.analysis import Analysis
+from repro.machine.events import (
+    EV_ACQUIRE, EV_LOAD, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    MEMORY_KINDS, SYNC_KINDS,
+)
 from repro.trace.trace import Trace
 
 VIRGIN = 0
@@ -32,53 +41,65 @@ class _AddrState:
     state: int = VIRGIN
     owner: int = -1
     candidates: Optional[Set[int]] = None  # None = universe (not refined yet)
-    reported: bool = False
 
 
-class LocksetDetector:
-    """Run the lockset algorithm over a recorded trace."""
+class LocksetDetector(Analysis):
+    """The streaming lockset algorithm."""
+
+    name = "lockset"
+    interests = MEMORY_KINDS | SYNC_KINDS
 
     def __init__(self, program) -> None:
         self.program = program
+        self.report = ViolationReport("lockset", program)
+        self._held: Dict[int, Set[int]] = {}
+        self._addrs: Dict[int, _AddrState] = {}
+
+    def start(self, n_threads: int) -> None:
+        self.report = ViolationReport("lockset", self.program)
+        self._held = {}
+        self._addrs = {}
+
+    def on_event(self, event: Event) -> None:
+        tid = event.tid
+        if event.kind == EV_ACQUIRE:
+            self._held.setdefault(tid, set()).add(event.addr)
+            return
+        if event.kind in (EV_RELEASE, EV_WAIT):
+            self._held.setdefault(tid, set()).discard(event.addr)
+            return
+
+        entry = self._addrs.setdefault(event.addr, _AddrState())
+        is_write = event.kind == EV_STORE
+        if entry.state == VIRGIN:
+            entry.state = EXCLUSIVE
+            entry.owner = tid
+            return
+        if entry.state == EXCLUSIVE:
+            if tid == entry.owner:
+                return
+            entry.state = SHARED_MODIFIED if is_write else SHARED
+            entry.candidates = set(self._held.get(tid, ()))
+        else:
+            if is_write:
+                entry.state = SHARED_MODIFIED
+            assert entry.candidates is not None
+            entry.candidates &= self._held.get(tid, set())
+
+        if entry.state == SHARED_MODIFIED and not entry.candidates:
+            self.report.add_once(
+                Violation(detector="lockset", seq=event.seq, tid=tid,
+                          loc=event.loc, address=event.addr,
+                          kind="lockset-empty"),
+                key=("lockset-empty", event.addr))
 
     def run(self, trace: Trace) -> ViolationReport:
-        report = ViolationReport("lockset", self.program)
-        held: Dict[int, Set[int]] = {}
-        addrs: Dict[int, _AddrState] = {}
-
+        """Standalone one-shot: stream ``trace`` and return the report."""
+        self.start(trace.n_threads)
+        interests = self.interests
+        on_event = self.on_event
         for event in trace:
-            tid = event.tid
-            if event.kind == EV_ACQUIRE:
-                held.setdefault(tid, set()).add(event.addr)
-                continue
-            if event.kind in (EV_RELEASE, EV_WAIT):
-                held.setdefault(tid, set()).discard(event.addr)
-                continue
-            if event.kind not in (EV_LOAD, EV_STORE):
-                continue
-
-            entry = addrs.setdefault(event.addr, _AddrState())
-            is_write = event.kind == EV_STORE
-            if entry.state == VIRGIN:
-                entry.state = EXCLUSIVE
-                entry.owner = tid
-                continue
-            if entry.state == EXCLUSIVE:
-                if tid == entry.owner:
-                    continue
-                entry.state = SHARED_MODIFIED if is_write else SHARED
-                entry.candidates = set(held.get(tid, ()))
-            else:
-                if is_write:
-                    entry.state = SHARED_MODIFIED
-                assert entry.candidates is not None
-                entry.candidates &= held.get(tid, set())
-
-            if (entry.state == SHARED_MODIFIED and not entry.candidates
-                    and not entry.reported):
-                entry.reported = True
-                report.add(Violation(
-                    detector="lockset", seq=event.seq, tid=tid,
-                    loc=event.loc, address=event.addr,
-                    kind="lockset-empty"))
-        return report
+            if event.kind in interests:
+                on_event(event)
+        self.finish(trace.end_seq)
+        return self.report

@@ -4,12 +4,18 @@
 critical sections have ended, because this type of program behavior may
 be an indicator of timing-dependent bugs."
 
-Implementation: per-thread taint tracking over the recorded trace.  A
+Implementation: per-thread taint tracking over the event stream.  A
 value loaded from a *shared* location while holding locks is tagged with
 the protecting (lock, session) pairs; when a session ends (the lock is
 released), values it protected become stale.  Using a stale value --
 storing it, using it in an address computation, or branching on it --
 raises a report.
+
+Knowing which locations are shared requires a whole-trace pass; under
+the :class:`repro.engine.DetectorEngine` that pass is the shared
+``shared-index`` precomputation (declared via ``requires``), computed
+once no matter how many analyses consume it.  Standalone
+:meth:`StaleValueDetector.run` runs the private pass as before.
 
 This detector flags exactly the critical-section-value-escapes idiom
 that produces SVD's strict-2PL-gap false positives (the ticket pattern),
@@ -18,14 +24,14 @@ making it the natural companion baseline for that analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.report import Violation, ViolationReport
-from repro.isa.instructions import Alu, Branch, Load, Reg, Store
+from repro.engine.analysis import Analysis
+from repro.isa.instructions import Reg
 from repro.machine.events import (
     EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_LOAD, EV_RELEASE, EV_STORE,
-    EV_WAIT,
+    EV_WAIT, Event, MEMORY_KINDS, SYNC_KINDS,
 )
 from repro.trace.trace import Trace
 
@@ -44,11 +50,30 @@ class _ThreadState:
         self.mem_taint: Dict[int, FrozenSet[Tag]] = {}
 
 
-class StaleValueDetector:
-    """Run the stale-value analysis over a recorded trace."""
+class StaleValueDetector(Analysis):
+    """Streaming stale-value analysis (shared set from ``shared-index``)."""
+
+    name = "stale"
+    interests = (MEMORY_KINDS | SYNC_KINDS
+                 | frozenset({EV_ALU, EV_BRANCH}))
+    requires = ("shared-index",)
 
     def __init__(self, program) -> None:
         self.program = program
+        self.report = ViolationReport("stale-value", program)
+        self._index = None
+        self._shared: Set[int] = set()
+        self._threads: Dict[int, _ThreadState] = {}
+
+    def resolve(self, name: str, dependency) -> None:
+        self._index = dependency
+
+    def start(self, n_threads: int) -> None:
+        self.report = ViolationReport("stale-value", self.program)
+        self._threads = {}
+        # the shared-index dependency finished in an earlier phase
+        if self._index is not None:
+            self._shared = set(self._index.shared_addresses)
 
     def _shared_addresses(self, trace: Trace) -> Set[int]:
         accessors: Dict[int, Set[int]] = {}
@@ -57,78 +82,79 @@ class StaleValueDetector:
                 accessors.setdefault(event.addr, set()).add(event.tid)
         return {a for a, tids in accessors.items() if len(tids) > 1}
 
+    def _state_of(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            state = _ThreadState()
+            self._threads[tid] = state
+        return state
+
+    def _check_use(self, event: Event, state: _ThreadState,
+                   taint: Optional[FrozenSet[Tag]]) -> None:
+        if not taint:
+            return
+        for lock, _session in [tag for tag in taint
+                               if tag in state.closed]:
+            self.report.add_once(
+                Violation(detector="stale-value", seq=event.seq,
+                          tid=event.tid, loc=event.loc, address=lock,
+                          kind="stale-value-use"),
+                key=(event.loc, lock))
+
+    @staticmethod
+    def _reg_taint(state: _ThreadState, operand) -> FrozenSet[Tag]:
+        if isinstance(operand, Reg):
+            return state.reg_taint.get(operand.index, frozenset())
+        return frozenset()
+
+    def on_event(self, event: Event) -> None:
+        state = self._state_of(event.tid)
+        instr = event.instr
+        if event.kind == EV_ACQUIRE:
+            session = state.sessions.get(event.addr, 0) + 1
+            state.sessions[event.addr] = session
+            state.held[event.addr] = session
+        elif event.kind in (EV_RELEASE, EV_WAIT):
+            # waiting releases the lock: values it protected go stale
+            session = state.held.pop(event.addr, None)
+            if session is not None:
+                state.closed.add((event.addr, session))
+        elif event.kind == EV_LOAD:
+            self._check_use(event, state, self._reg_taint(state, instr.addr))
+            if event.addr in self._shared:
+                # a shared location yields a *fresh* observation,
+                # tagged with the sessions currently protecting it;
+                # taint never flows through shared memory (that path
+                # crosses threads and is the race detectors' job)
+                taint = frozenset(
+                    (lock, session)
+                    for lock, session in state.held.items())
+            else:
+                # thread-local slots carry whatever CS value was
+                # parked in them
+                taint = state.mem_taint.get(event.addr, frozenset())
+            state.reg_taint[instr.dest.index] = taint
+        elif event.kind == EV_ALU:
+            taint = (self._reg_taint(state, instr.src1)
+                     | self._reg_taint(state, instr.src2))
+            state.reg_taint[instr.dest.index] = taint
+        elif event.kind == EV_STORE:
+            data_taint = self._reg_taint(state, instr.src)
+            self._check_use(event, state, data_taint)
+            self._check_use(event, state, self._reg_taint(state, instr.addr))
+            if event.addr not in self._shared:
+                state.mem_taint[event.addr] = data_taint
+        elif event.kind == EV_BRANCH:
+            self._check_use(event, state, self._reg_taint(state, instr.cond))
+
     def run(self, trace: Trace) -> ViolationReport:
-        report = ViolationReport("stale-value", self.program)
-        shared = self._shared_addresses(trace)
-        threads: Dict[int, _ThreadState] = {}
-        reported: Set[Tuple[int, int]] = set()  # (loc, lock) dedup
-
-        def state_of(tid: int) -> _ThreadState:
-            state = threads.get(tid)
-            if state is None:
-                state = _ThreadState()
-                threads[tid] = state
-            return state
-
-        def stale_tags(state: _ThreadState,
-                       taint: FrozenSet[Tag]) -> List[Tag]:
-            return [tag for tag in taint if tag in state.closed]
-
-        def check_use(event, state: _ThreadState,
-                      taint: Optional[FrozenSet[Tag]]) -> None:
-            if not taint:
-                return
-            for lock, _session in stale_tags(state, taint):
-                key = (event.loc, lock)
-                if key in reported:
-                    continue
-                reported.add(key)
-                report.add(Violation(
-                    detector="stale-value", seq=event.seq, tid=event.tid,
-                    loc=event.loc, address=lock, kind="stale-value-use"))
-
-        def reg_taint(state: _ThreadState, operand) -> FrozenSet[Tag]:
-            if isinstance(operand, Reg):
-                return state.reg_taint.get(operand.index, frozenset())
-            return frozenset()
-
+        """Standalone two-pass run: private shared pass, then check."""
+        self.start(trace.n_threads)
+        self._shared = self._shared_addresses(trace)
+        interests = self.interests
+        on_event = self.on_event
         for event in trace:
-            state = state_of(event.tid)
-            instr = event.instr
-            if event.kind == EV_ACQUIRE:
-                session = state.sessions.get(event.addr, 0) + 1
-                state.sessions[event.addr] = session
-                state.held[event.addr] = session
-            elif event.kind in (EV_RELEASE, EV_WAIT):
-                # waiting releases the lock: values it protected go stale
-                session = state.held.pop(event.addr, None)
-                if session is not None:
-                    state.closed.add((event.addr, session))
-            elif event.kind == EV_LOAD:
-                check_use(event, state, reg_taint(state, instr.addr))
-                if event.addr in shared:
-                    # a shared location yields a *fresh* observation,
-                    # tagged with the sessions currently protecting it;
-                    # taint never flows through shared memory (that path
-                    # crosses threads and is the race detectors' job)
-                    taint = frozenset(
-                        (lock, session)
-                        for lock, session in state.held.items())
-                else:
-                    # thread-local slots carry whatever CS value was
-                    # parked in them
-                    taint = state.mem_taint.get(event.addr, frozenset())
-                state.reg_taint[instr.dest.index] = taint
-            elif event.kind == EV_ALU:
-                taint = (reg_taint(state, instr.src1)
-                         | reg_taint(state, instr.src2))
-                state.reg_taint[instr.dest.index] = taint
-            elif event.kind == EV_STORE:
-                data_taint = reg_taint(state, instr.src)
-                check_use(event, state, data_taint)
-                check_use(event, state, reg_taint(state, instr.addr))
-                if event.addr not in shared:
-                    state.mem_taint[event.addr] = data_taint
-            elif event.kind == EV_BRANCH:
-                check_use(event, state, reg_taint(state, instr.cond))
-        return report
+            if event.kind in interests:
+                on_event(event)
+        self.finish(trace.end_seq)
+        return self.report

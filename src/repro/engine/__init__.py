@@ -1,0 +1,38 @@
+"""Unified detector engine: one event stream, N analyses, single-pass
+dispatch.
+
+* :mod:`repro.engine.analysis` -- the common :class:`Analysis` protocol
+  every checker adapts to
+* :mod:`repro.engine.engine`   -- :class:`DetectorEngine`, the
+  record-once / analyze-many multiplexer
+* :mod:`repro.engine.registry` -- string-keyed detector registry shared
+  by the harness, the fuzz oracle, the benchmarks and the CLI
+* :mod:`repro.engine.index`    -- shared precomputation passes
+"""
+
+from repro.engine.analysis import (Analysis, ObserverAnalysis,
+                                   TraceAnalysis)
+from repro.engine.engine import (DetectorEngine, EngineError,
+                                 EngineResult, EngineStats, PhaseStats)
+from repro.engine.index import SharedAddressIndex
+from repro.engine.registry import (available, canonical_name, create,
+                                   describe, parse_detector_list,
+                                   register)
+
+__all__ = [
+    "Analysis",
+    "DetectorEngine",
+    "EngineError",
+    "EngineResult",
+    "EngineStats",
+    "ObserverAnalysis",
+    "PhaseStats",
+    "SharedAddressIndex",
+    "TraceAnalysis",
+    "available",
+    "canonical_name",
+    "create",
+    "describe",
+    "parse_detector_list",
+    "register",
+]

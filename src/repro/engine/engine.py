@@ -1,0 +1,336 @@
+"""The unified detector engine: one event stream, N analyses.
+
+The paper's methodology (§6) requires every detector to observe the
+*identical* execution.  :class:`DetectorEngine` is the one place that
+guarantees it: it takes a single execution -- a live
+:class:`repro.machine.Machine` or a recorded
+:class:`repro.trace.Trace` -- and multiplexes its normalized event
+stream to any set of registered analyses, streaming the execution
+exactly once per scheduled *phase* rather than once per detector.
+
+Scheduling.  Analyses declare dependencies by name
+(:attr:`Analysis.requires`); the engine instantiates missing
+dependencies from the registry and topologically groups analyses into
+phases, so an analysis always streams strictly after everything it
+reads.  Phase 0 runs online when the source is a live machine; if later
+phases exist (or a batch analysis wants the whole trace) the engine
+attaches one internal recorder during phase 0 and replays the recording
+for the remaining phases -- record once, analyze many.  A phase whose
+analyses subscribe to no events at all (pure composition, e.g. the
+hybrid detector) is *skipped* entirely: its analyses are finished
+without another pass over the stream.
+
+Dispatch.  Per phase the engine builds an event-kind dispatch table
+(``kind -> [bound on_event callbacks]``) from each analysis's
+:attr:`interests`, hoisting the per-detector "do I care about this
+event?" checks out of every hot loop; an event reaches exactly the
+analyses that want its kind, in registration order.
+
+:class:`EngineStats` records, per phase, how many events were read from
+the source and how many callbacks were dispatched -- the event-count
+probe tests and the throughput benchmark assert the single-pass
+guarantee through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.report import ViolationReport
+from repro.engine.analysis import Analysis
+from repro.machine.events import MachineObserver, N_KINDS
+from repro.trace.trace import Trace, TraceRecorder
+
+
+class EngineError(Exception):
+    """Misconfigured engine: unknown detector, dependency cycle, reuse."""
+
+
+class _PhaseDispatcher(MachineObserver):
+    """Routes one phase's events through a per-kind callback table."""
+
+    def __init__(self, analyses: Sequence[Analysis]) -> None:
+        handlers: List[List] = [[] for _ in range(N_KINDS)]
+        for analysis in analyses:
+            kinds = (range(N_KINDS) if analysis.interests is None
+                     else analysis.interests)
+            for kind in kinds:
+                handlers[kind].append(analysis.on_event)
+        self.handlers = handlers
+        self.events_read = 0
+        self.events_dispatched = 0
+
+    @property
+    def any_subscribers(self) -> bool:
+        return any(self.handlers)
+
+    def on_event(self, event) -> None:
+        self.events_read += 1
+        callbacks = self.handlers[event.kind]
+        if callbacks:
+            self.events_dispatched += len(callbacks)
+            for callback in callbacks:
+                callback(event)
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase accounting for the single-pass guarantee."""
+
+    index: int
+    analyses: Tuple[str, ...]
+    events_read: int = 0
+    events_dispatched: int = 0
+    #: True when the phase needed no events (pure composition)
+    skipped: bool = False
+
+
+@dataclass
+class EngineStats:
+    phases: List[PhaseStats] = field(default_factory=list)
+
+    @property
+    def stream_passes(self) -> int:
+        """How many times the event stream was actually read."""
+        return sum(1 for p in self.phases if not p.skipped)
+
+    @property
+    def total_events_read(self) -> int:
+        return sum(p.events_read for p in self.phases)
+
+    @property
+    def total_events_dispatched(self) -> int:
+        return sum(p.events_dispatched for p in self.phases)
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced."""
+
+    #: every analysis that ran, auxiliary dependencies included
+    analyses: Dict[str, Analysis]
+    #: the names the caller asked for, in request order
+    requested: Tuple[str, ...]
+    #: violation reports of the requested analyses that produce one
+    reports: Dict[str, ViolationReport]
+    stats: EngineStats
+    end_seq: int
+    #: the shared recording, when one was made or supplied
+    trace: Optional[Trace] = None
+    #: machine status for live runs, None for trace replays
+    status: Optional[str] = None
+
+    def analysis(self, name: str) -> Analysis:
+        return self.analyses[name]
+
+    def detector(self, name: str):
+        """The underlying checker (unwraps observer adapters)."""
+        return self.analyses[name].unwrap()
+
+    def report(self, name: str) -> ViolationReport:
+        report = self.analyses[name].result()
+        if report is None:
+            raise KeyError(f"analysis {name!r} produces no report")
+        return report
+
+
+class DetectorEngine:
+    """Multiplexes one execution to N analyses in single-pass phases.
+
+    Args:
+        program: the compiled program all analyses check.
+        detectors: registry names (or :class:`Analysis` instances) to
+            run; more can be added with :meth:`add` before the run.
+        svd_config: configuration handed to registry factories that
+            build SVD-family detectors.
+
+    An engine instance drives exactly one execution; build a fresh one
+    per run.
+    """
+
+    def __init__(self, program, detectors: Sequence[Union[str, Analysis]] = (),
+                 svd_config=None) -> None:
+        self.program = program
+        self.svd_config = svd_config
+        self._analyses: Dict[str, Analysis] = {}
+        self._requested: List[str] = []
+        self._used = False
+        for detector in detectors:
+            self.add(detector)
+
+    # -- registration -----------------------------------------------------------
+
+    def add(self, detector: Union[str, Analysis]) -> Analysis:
+        """Register a detector by registry name or as an instance; its
+        declared requirements are instantiated (once) automatically."""
+        analysis = self._ensure(detector)
+        if analysis.name not in self._requested:
+            self._requested.append(analysis.name)
+        return analysis
+
+    def _ensure(self, detector: Union[str, Analysis]) -> Analysis:
+        from repro.engine import registry
+        if isinstance(detector, str):
+            name = registry.canonical_name(detector)
+            existing = self._analyses.get(name)
+            if existing is not None:
+                return existing
+            analysis = registry.create(name, self.program,
+                                       svd_config=self.svd_config)
+        else:
+            analysis = detector
+            existing = self._analyses.get(analysis.name)
+            if existing is analysis:
+                return analysis
+            if existing is not None:
+                raise EngineError(
+                    f"two different analyses named {analysis.name!r}")
+        self._analyses[analysis.name] = analysis
+        for requirement in analysis.requires:
+            dependency = self._ensure(requirement)
+            analysis.resolve(dependency.name, dependency)
+        return analysis
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._requested)
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _phases(self) -> List[List[Analysis]]:
+        """Topological phase grouping: phase(a) = 1 + max(phase(deps))."""
+        order: Dict[str, int] = {}
+
+        def phase_of(analysis: Analysis, visiting: Tuple[str, ...]) -> int:
+            cached = order.get(analysis.name)
+            if cached is not None:
+                return cached
+            if analysis.name in visiting:
+                cycle = " -> ".join(visiting + (analysis.name,))
+                raise EngineError(f"dependency cycle: {cycle}")
+            if not analysis.requires:
+                depth = 0
+            else:
+                depth = 1 + max(
+                    phase_of(self._analyses[dep],
+                             visiting + (analysis.name,))
+                    for dep in analysis.requires)
+            order[analysis.name] = depth
+            return depth
+
+        for analysis in self._analyses.values():
+            phase_of(analysis, ())
+        phases: List[List[Analysis]] = [[] for _ in
+                                        range(max(order.values(),
+                                                  default=-1) + 1)]
+        for analysis in self._analyses.values():
+            phases[order[analysis.name]].append(analysis)
+        return phases
+
+    # -- execution --------------------------------------------------------------
+
+    def run_machine(self, machine, max_steps: Optional[int] = None,
+                    keep_trace: bool = False) -> EngineResult:
+        """Drive a live machine with phase 0 attached online.
+
+        The machine must not have started yet.  A recording is made only
+        when needed: later phases exist, some analysis wants the whole
+        trace, or the caller asks to ``keep_trace``.
+        """
+        phases = self._begin()
+        stats = EngineStats()
+        n_threads = len(machine.threads)
+        needs_trace = (keep_trace or len(phases) > 1
+                       or any(a.wants_trace
+                              for a in self._analyses.values()))
+        recorder = None
+        if needs_trace:
+            recorder = TraceRecorder(self.program, n_threads)
+            machine.add_observer(recorder)
+
+        for analysis in phases[0]:
+            analysis.start(n_threads)
+        dispatcher = _PhaseDispatcher(phases[0])
+        machine.add_observer(dispatcher)
+        status = machine.run(max_steps=max_steps)
+        end_seq = machine.seq
+        trace = recorder.trace() if recorder is not None else None
+        self._finish_phase(phases[0], dispatcher, stats, 0, end_seq, trace)
+
+        for index, analyses in enumerate(phases[1:], start=1):
+            assert trace is not None
+            self._run_phase(analyses, trace, stats, index, end_seq,
+                            n_threads)
+        return self._result(stats, end_seq, trace, status)
+
+    def run_trace(self, trace: Trace) -> EngineResult:
+        """Replay a recorded trace as the shared event stream."""
+        phases = self._begin()
+        stats = EngineStats()
+        end_seq = trace.end_seq
+        for index, analyses in enumerate(phases):
+            self._run_phase(analyses, trace, stats, index, end_seq,
+                            trace.n_threads)
+        return self._result(stats, end_seq, trace, None)
+
+    # -- internals --------------------------------------------------------------
+
+    def _begin(self) -> List[List[Analysis]]:
+        if self._used:
+            raise EngineError("a DetectorEngine drives one execution; "
+                              "build a fresh engine per run")
+        self._used = True
+        if not self._analyses:
+            raise EngineError("no analyses registered")
+        return self._phases()
+
+    def _run_phase(self, analyses: List[Analysis], trace: Trace,
+                   stats: EngineStats, index: int, end_seq: int,
+                   n_threads: int) -> None:
+        for analysis in analyses:
+            analysis.start(n_threads)
+        dispatcher = _PhaseDispatcher(analyses)
+        if dispatcher.any_subscribers:
+            on_event = dispatcher.on_event
+            for event in trace:
+                on_event(event)
+        self._finish_phase(analyses, dispatcher, stats, index, end_seq,
+                           trace)
+
+    def _finish_phase(self, analyses: List[Analysis],
+                      dispatcher: _PhaseDispatcher, stats: EngineStats,
+                      index: int, end_seq: int,
+                      trace: Optional[Trace]) -> None:
+        for analysis in analyses:
+            if analysis.wants_trace:
+                if trace is None:
+                    raise EngineError(
+                        f"{analysis.name} needs the full trace but no "
+                        f"recording was made")
+                analysis.set_trace(trace)
+            analysis.finish(end_seq)
+        stats.phases.append(PhaseStats(
+            index=index,
+            analyses=tuple(a.name for a in analyses),
+            events_read=dispatcher.events_read,
+            events_dispatched=dispatcher.events_dispatched,
+            skipped=(not dispatcher.any_subscribers
+                     and dispatcher.events_read == 0)))
+
+    def _result(self, stats: EngineStats, end_seq: int,
+                trace: Optional[Trace],
+                status: Optional[str]) -> EngineResult:
+        reports: Dict[str, ViolationReport] = {}
+        for name in self._requested:
+            report = self._analyses[name].result()
+            if report is not None:
+                reports[name] = report
+        return EngineResult(
+            analyses=dict(self._analyses),
+            requested=tuple(self._requested),
+            reports=reports,
+            stats=stats,
+            end_seq=end_seq,
+            trace=trace,
+            status=status)

@@ -1,0 +1,60 @@
+"""Shared per-event precomputation passes.
+
+Several detectors need the same cheap derived facts about an execution
+-- most prominently *which addresses are actually shared* (accessed by
+more than one thread).  Before the engine existed, each detector
+recomputed those facts in its own private pass over the trace; here they
+are ordinary registry analyses, computed once per engine run and
+consumed by any number of dependents via ``requires``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.engine.analysis import Analysis
+from repro.machine.events import MEMORY_KINDS, Event
+
+
+class SharedAddressIndex(Analysis):
+    """One-pass address index: accessors, access counts, shared set.
+
+    Registry name ``shared-index``.  Dependents (e.g. the stale-value
+    detector) read :attr:`shared_addresses` in their own ``start``,
+    after this pass has finished.
+    """
+
+    name = "shared-index"
+    interests = MEMORY_KINDS
+
+    def __init__(self, program=None) -> None:
+        self.program = program
+        self.accessors: Dict[int, Set[int]] = {}
+        self.access_counts: Dict[int, int] = {}
+        self.shared_addresses: Set[int] = set()
+
+    def start(self, n_threads: int) -> None:
+        self.accessors = {}
+        self.access_counts = {}
+        self.shared_addresses = set()
+
+    def on_event(self, event: Event) -> None:
+        addr = event.addr
+        accessors = self.accessors.get(addr)
+        if accessors is None:
+            accessors = self.accessors[addr] = set()
+        accessors.add(event.tid)
+        self.access_counts[addr] = self.access_counts.get(addr, 0) + 1
+
+    def finish(self, end_seq: int) -> None:
+        self.shared_addresses = {addr for addr, tids in self.accessors.items()
+                                 if len(tids) > 1}
+
+    def run(self, trace) -> Set[int]:
+        """Standalone convenience: index ``trace``, return the shared set."""
+        self.start(trace.n_threads)
+        for event in trace:
+            if event.kind in MEMORY_KINDS:
+                self.on_event(event)
+        self.finish(trace.end_seq)
+        return self.shared_addresses

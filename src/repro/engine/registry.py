@@ -1,0 +1,174 @@
+"""String-keyed detector registry.
+
+The single place a detector name is resolved to a runnable analysis.
+``runner``, ``campaign``, the fuzz oracle, the detector-matrix
+benchmark, and the ``repro run --detectors`` / ``repro analyze`` CLI all
+go through :func:`create`, so every layer accepts the same names (and
+aliases) and builds detectors the same way.
+
+Factories import lazily so this module stays cycle-free: detectors
+import :mod:`repro.engine.analysis`, and only a factory *call* imports a
+detector back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.analysis import Analysis, ObserverAnalysis
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """One registry entry."""
+
+    name: str
+    factory: Callable[..., Analysis]
+    description: str
+    aliases: Tuple[str, ...] = ()
+    #: auxiliary passes are resolvable but hidden from ``available()``
+    #: and excluded from the ``all`` expansion
+    public: bool = True
+
+
+_SPECS: Dict[str, DetectorSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(name: str, description: str, aliases: Tuple[str, ...] = (),
+             public: bool = True):
+    """Decorator registering ``factory(program, svd_config) -> Analysis``."""
+
+    def decorate(factory: Callable[..., Analysis]) -> Callable[..., Analysis]:
+        spec = DetectorSpec(name=name, factory=factory,
+                            description=description, aliases=aliases,
+                            public=public)
+        _SPECS[name] = spec
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return factory
+
+    return decorate
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an alias; raise for unknown names."""
+    name = _ALIASES.get(name, name)
+    if name not in _SPECS:
+        known = ", ".join(available())
+        raise KeyError(f"unknown detector {name!r} (choose from {known})")
+    return name
+
+
+def create(name: str, program, svd_config=None) -> Analysis:
+    """Build a fresh analysis instance for ``name``."""
+    spec = _SPECS[canonical_name(name)]
+    return spec.factory(program, svd_config)
+
+
+def available(public_only: bool = True) -> List[str]:
+    """Registered canonical names, sorted."""
+    return sorted(name for name, spec in _SPECS.items()
+                  if spec.public or not public_only)
+
+
+def describe(name: str) -> str:
+    return _SPECS[canonical_name(name)].description
+
+
+def parse_detector_list(spec: str) -> List[str]:
+    """Parse a CLI-style comma-separated detector list; ``all`` expands
+    to every public detector."""
+    names: List[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "all":
+            for name in available():
+                if name not in names:
+                    names.append(name)
+            continue
+        name = canonical_name(part)
+        if name not in names:
+            names.append(name)
+    if not names:
+        raise KeyError("empty detector list")
+    return names
+
+
+# -- built-in detectors ------------------------------------------------------
+
+
+@register("svd", "online serializability violation detector (paper §4.2)")
+def _svd(program, svd_config=None) -> Analysis:
+    from repro.core.online import OnlineSVD
+    return ObserverAnalysis("svd", OnlineSVD(program, svd_config))
+
+
+@register("precise", "online SVD with exact conflict-cycle detection "
+          "(paper §3.3 future work)", aliases=("svd-precise",))
+def _precise(program, svd_config=None) -> Analysis:
+    from repro.core.precise import PreciseSVD
+    return ObserverAnalysis("precise", PreciseSVD(program, svd_config))
+
+
+@register("frd", "frontier race detector: happens-before pass (paper §6.2)")
+def _frd(program, svd_config=None) -> Analysis:
+    from repro.detectors.frd import FrontierRaceDetector
+    return FrontierRaceDetector(program)
+
+
+@register("lockset", "Eraser-style lockset discipline checker (paper §8)")
+def _lockset(program, svd_config=None) -> Analysis:
+    from repro.detectors.lockset import LocksetDetector
+    return LocksetDetector(program)
+
+
+@register("atomizer", "Lipton-reduction atomicity checker (paper §8)")
+def _atomizer(program, svd_config=None) -> Analysis:
+    from repro.detectors.atomizer import AtomizerDetector
+    return AtomizerDetector(program)
+
+
+@register("stale", "stale-value detector (Burrows-Leino, paper §8)",
+          aliases=("stale-value",))
+def _stale(program, svd_config=None) -> Analysis:
+    from repro.detectors.stale import StaleValueDetector
+    return StaleValueDetector(program)
+
+
+@register("lockorder", "lock-order (potential deadlock) detector "
+          "(RacerX-style, paper §8)", aliases=("lock-order",))
+def _lockorder(program, svd_config=None) -> Analysis:
+    from repro.detectors.lockorder import LockOrderDetector
+    return LockOrderDetector(program)
+
+
+@register("hybrid", "lockset-filtered happens-before races (paper §8)")
+def _hybrid(program, svd_config=None) -> Analysis:
+    from repro.detectors.hybrid import HybridRaceDetector
+    return HybridRaceDetector(program)
+
+
+@register("offline", "offline three-pass SVD with control-dependence "
+          "merging (paper §4.1)", aliases=("svd-offline",))
+def _offline(program, svd_config=None) -> Analysis:
+    from repro.core.offline import OfflineSvdAnalysis
+    return OfflineSvdAnalysis(program, merge_control=True)
+
+
+@register("offline-nc", "offline SVD without control-dependence merging "
+          "(the §4.3 online restriction)")
+def _offline_nc(program, svd_config=None) -> Analysis:
+    from repro.core.offline import OfflineSvdAnalysis
+    return OfflineSvdAnalysis(program, merge_control=False,
+                              name="offline-nc")
+
+
+@register("shared-index", "shared-address precomputation pass",
+          public=False)
+def _shared_index(program, svd_config=None) -> Analysis:
+    from repro.engine.index import SharedAddressIndex
+    return SharedAddressIndex(program)

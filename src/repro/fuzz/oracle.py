@@ -1,12 +1,14 @@
 """Differential oracle: one program, one schedule, every SVD variant.
 
-Each probe runs a MiniSMP program once under a random schedule with the
-online detector attached while a recorder captures the trace, then
-re-checks the *identical* recorded events with every other checker:
+Each probe runs a MiniSMP program once through the
+:class:`repro.engine.DetectorEngine` with the online detector attached
+live and the trace kept, then re-checks the *identical* recorded events
+with every other checker in a second engine run over the recording:
 
 * the online algorithm replayed over the trace (must agree **exactly**
   with the live run -- the detector consumes only the event stream, so
-  any divergence is a determinism bug in the detector or recorder);
+  any divergence is a determinism bug in the detector, recorder or
+  engine dispatch);
 * the offline three-pass algorithm, with and without control-dependence
   merging (§4.1 vs the online §4.3 restriction);
 * the frontier race detector, whose reports are classified with
@@ -25,14 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
-from repro.core.offline import OfflineSVD
 from repro.core.online import OnlineSVD, SvdConfig
-from repro.detectors.frd import FrontierRaceDetector
+from repro.engine import DetectorEngine
 from repro.lang import compile_source
 from repro.machine.machine import Machine
 from repro.machine.scheduler import RandomScheduler
 from repro.metrics.classify import DetectorMetrics, classify_report
-from repro.trace.trace import Trace, TraceRecorder
+from repro.trace.trace import Trace
 
 #: the per-violation identity used for exact live-vs-replay comparison
 ViolationKey = Tuple[int, int, int, int, str, int, int, int]
@@ -49,17 +50,8 @@ def replay_online(program, trace: Trace,
     """Run the online detector over a recorded trace instead of a live
     machine.  The detector only ever sees the event stream, so this must
     reproduce a live run over the same events exactly."""
-    svd = OnlineSVD(program, config)
-    end_seq = trace.feed(svd)
-    svd.on_finish(_FinishedMachine(end_seq))
-    return svd
-
-
-class _FinishedMachine:
-    """The only thing ``OnlineSVD.on_finish`` reads from the machine."""
-
-    def __init__(self, seq: int) -> None:
-        self.seq = seq
+    engine = DetectorEngine(program, ["svd"], svd_config=config)
+    return engine.run_trace(trace).detector("svd")
 
 
 @dataclass
@@ -114,17 +106,24 @@ def run_differential(source: str, seed: int,
     """Execute one probe; see the module docstring for what is compared."""
     if program is None:
         program = compile_source(source)
-    live = OnlineSVD(program, config)
-    recorder = TraceRecorder(program, n_threads)
+    live_engine = DetectorEngine(program, ["svd"], svd_config=config)
     machine = Machine(program,
                       [(f"t{t}", ()) for t in range(n_threads)],
                       scheduler=RandomScheduler(seed=seed,
-                                                switch_prob=switch_prob),
-                      observers=[live, recorder])
-    status = machine.run(max_steps=max_steps)
-    trace = recorder.trace()
+                                                switch_prob=switch_prob))
+    live_result = live_engine.run_machine(machine, max_steps=max_steps,
+                                          keep_trace=True)
+    live: OnlineSVD = live_result.detector("svd")
+    status = live_result.status
+    trace = live_result.trace
+    assert trace is not None
 
-    replayed = replay_online(program, trace, config)
+    # one replay engine: the recording streams once per phase for every
+    # trace-side checker, instead of once per detector
+    replay = DetectorEngine(
+        program, ["svd", "offline", "offline-nc", "frd"],
+        svd_config=config).run_trace(trace)
+    replayed: OnlineSVD = replay.detector("svd")
     divergence = None
     live_keys = _violation_keys(live.report)
     replay_keys = _violation_keys(replayed.report)
@@ -133,9 +132,9 @@ def run_differential(source: str, seed: int,
                       f"replay {len(replay_keys)}; first difference: "
                       f"{_first_difference(live_keys, replay_keys)}")
 
-    offline = OfflineSVD(program, merge_control=True).run(trace)
-    offline_nc = OfflineSVD(program, merge_control=False).run(trace)
-    frd_report = FrontierRaceDetector(program).run(trace)
+    offline_report = replay.report("offline")
+    offline_nc_report = replay.report("offline-nc")
+    frd_report = replay.report("frd")
     frd_vs_svd = classify_report(frd_report, live.report.static_locs(),
                                  live.instructions)
 
@@ -145,13 +144,13 @@ def run_differential(source: str, seed: int,
         instructions=live.instructions,
         online_verdict=live.report.dynamic_count > 0,
         replay_verdict=replayed.report.dynamic_count > 0,
-        offline_verdict=offline.report.dynamic_count > 0,
-        offline_nc_verdict=offline_nc.report.dynamic_count > 0,
+        offline_verdict=offline_report.dynamic_count > 0,
+        offline_nc_verdict=offline_nc_report.dynamic_count > 0,
         frd_verdict=frd_report.dynamic_count > 0,
         replay_divergence=divergence,
         frd_vs_svd=frd_vs_svd,
         online_static_locs=live.report.static_locs(),
-        offline_static_locs=offline.report.static_locs(),
+        offline_static_locs=offline_report.static_locs(),
     )
 
 

@@ -42,9 +42,17 @@ class ConfigSpec:
     switch_prob: float = 0.3
     max_steps: Optional[int] = 400_000
     run_frd: bool = True
+    #: extra registry detector names run alongside SVD(+FRD); resolved
+    #: through :mod:`repro.engine.registry` like everywhere else
+    detectors: Tuple[str, ...] = ()
 
     def svd_config(self) -> SvdConfig:
         return SvdConfig(**self.svd)
+
+    def detector_names(self) -> List[str]:
+        """The full engine detector list this config runs."""
+        from repro.harness.runner import detector_names
+        return detector_names(self.run_frd, self.detectors)
 
 
 #: named detector-config ablations selectable from the CLI
@@ -160,6 +168,9 @@ class CampaignResult:
     cus_created: int
     apparent_false_negative: bool
     error: str = ""
+    #: classified metrics of any extra detectors the config requested
+    #: (slim and picklable, like ``svd``/``frd``)
+    extra_metrics: Dict[str, DetectorMetrics] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -175,7 +186,11 @@ def execute_task(task: CampaignTask) -> CampaignResult:
                               switch_prob=task.config.switch_prob,
                               max_steps=task.config.max_steps,
                               svd_config=task.config.svd_config(),
-                              run_frd=task.config.run_frd)
+                              run_frd=task.config.run_frd,
+                              detectors=task.config.detectors)
+        extra = {name: metrics
+                 for name, metrics in result.metrics.items()
+                 if name not in ("svd", "frd")}
         return CampaignResult(
             index=task.index,
             workload=task.workload.name,
@@ -191,6 +206,7 @@ def execute_task(task: CampaignTask) -> CampaignResult:
             posteriori_static_entries=result.posteriori_static_entries,
             cus_created=result.cus_created,
             apparent_false_negative=result.apparent_false_negative,
+            extra_metrics=extra,
         )
     except Exception:
         return failed_result(task, "error", traceback.format_exc())

@@ -1,25 +1,25 @@
-"""Run one workload under SVD (online) and FRD (offline over the trace).
+"""Run one workload under any set of registered detectors.
 
-Mirrors the paper's methodology (§6): both detectors observe *identical*
-executions -- SVD attaches online while a recorder captures the trace,
-and FRD then replays the recorded trace.  A seed plays the role of a
-sampled execution segment; different seeds give the paper's "multiple
-execution segments".
+Mirrors the paper's methodology (§6): every detector observes the
+*identical* execution.  The heavy lifting lives in
+:class:`repro.engine.DetectorEngine` -- SVD and the other online-capable
+analyses attach to the live machine, two-pass detectors get the shared
+recording replayed, and nothing is recorded at all when a single online
+phase suffices.  A seed plays the role of a sampled execution segment;
+different seeds give the paper's "multiple execution segments".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.online import OnlineSVD, SvdConfig
 from repro.core.posteriori import PosterioriLog
 from repro.core.report import ViolationReport
-from repro.detectors.frd import FrontierRaceDetector
-from repro.machine.machine import Machine
+from repro.engine import DetectorEngine, EngineResult
 from repro.machine.scheduler import RandomScheduler
-from repro.metrics.classify import DetectorMetrics, classify_report
-from repro.trace.trace import Trace, TraceRecorder
+from repro.metrics.classify import DetectorMetrics, classify_reports
 from repro.workloads.base import Workload, WorkloadOutcome
 
 
@@ -39,6 +39,12 @@ class RunResult:
     log: PosterioriLog
     cus_created: int
     bug_locs: Set[int] = field(default_factory=set)
+    #: every requested detector's report, keyed by registry name
+    reports: Dict[str, ViolationReport] = field(default_factory=dict)
+    #: classified metrics for every report in :attr:`reports`
+    metrics: Dict[str, DetectorMetrics] = field(default_factory=dict)
+    #: the full engine result (phase stats, analyses, optional trace)
+    engine: Optional[EngineResult] = None
 
     @property
     def posteriori_found_bug(self) -> bool:
@@ -65,45 +71,63 @@ class RunResult:
         return not (self.svd.found_bug or self.posteriori_found_bug)
 
 
+def detector_names(run_frd: bool = True,
+                   detectors: Sequence[str] = ()) -> List[str]:
+    """The runner's detector list: SVD always, FRD unless disabled, plus
+    any extra registry names, deduplicated in order."""
+    from repro.engine import canonical_name
+    names = ["svd"]
+    if run_frd:
+        names.append("frd")
+    for name in detectors:
+        name = canonical_name(name)
+        if name not in names:
+            names.append(name)
+    return names
+
+
 def run_workload(workload: Workload, seed: int = 0,
                  switch_prob: float = 0.3,
                  max_steps: Optional[int] = None,
                  svd_config: Optional[SvdConfig] = None,
-                 run_frd: bool = True) -> RunResult:
-    """Execute a workload once; attach SVD online and FRD over the trace."""
+                 run_frd: bool = True,
+                 detectors: Sequence[str] = (),
+                 keep_trace: bool = False) -> RunResult:
+    """Execute a workload once under the engine.
+
+    ``detectors`` adds registry names beyond the default SVD(+FRD) pair;
+    their reports and classified metrics land in
+    :attr:`RunResult.reports` / :attr:`RunResult.metrics`.
+    """
     program = workload.program
-    svd = OnlineSVD(program, svd_config)
-    observers = [svd]
-    recorder: Optional[TraceRecorder] = None
-    if run_frd:
-        recorder = TraceRecorder(program, len(workload.threads))
-        observers.append(recorder)
+    names = detector_names(run_frd, detectors)
+    engine = DetectorEngine(program, names, svd_config=svd_config)
     machine = workload.make_machine(
         RandomScheduler(seed=seed, switch_prob=switch_prob),
-        observers=observers)
-    status = machine.run(max_steps=max_steps)
+        observers=[])
+    result = engine.run_machine(machine, max_steps=max_steps,
+                                keep_trace=keep_trace)
     outcome = workload.validate(machine)
     bug_locs = workload.bug_locs()
+    svd: OnlineSVD = result.detector("svd")
     instructions = svd.instructions
 
-    svd_metrics = classify_report(svd.report, bug_locs, instructions)
-    frd_metrics = None
-    frd_report = None
-    if recorder is not None:
-        frd_report = FrontierRaceDetector(program).run(recorder.trace())
-        frd_metrics = classify_report(frd_report, bug_locs, instructions)
-
+    metrics = classify_reports(result.reports, bug_locs, instructions)
+    frd_report = result.reports.get("frd")
     return RunResult(
         workload=workload.name,
         seed=seed,
-        status=status,
+        status=result.status or "finished",
         instructions=instructions,
         outcome=outcome,
-        svd=svd_metrics,
-        frd=frd_metrics,
-        svd_report=svd.report,
+        svd=metrics["svd"],
+        frd=metrics.get("frd"),
+        svd_report=result.reports["svd"],
         frd_report=frd_report,
         log=svd.log,
         cus_created=svd.cus_created,
         bug_locs=bug_locs,
+        reports=dict(result.reports),
+        metrics=metrics,
+        engine=result,
     )

@@ -23,6 +23,19 @@ EV_OUTPUT = 9
 EV_WAIT = 10
 EV_NOTIFY = 11
 
+#: number of distinct event kinds (dense, 0-based -- usable as a
+#: dispatch-table size)
+N_KINDS = 12
+
+#: every event kind (what an analysis with ``interests = None`` sees)
+ALL_KINDS = frozenset(range(N_KINDS))
+
+#: the kinds shared-memory analyses care about
+MEMORY_KINDS = frozenset({EV_LOAD, EV_STORE})
+
+#: lock traffic: acquire, release, and wait (which atomically releases)
+SYNC_KINDS = frozenset({EV_ACQUIRE, EV_RELEASE, EV_WAIT})
+
 KIND_NAMES = {
     EV_LOAD: "LOAD",
     EV_STORE: "STORE",

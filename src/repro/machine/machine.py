@@ -99,7 +99,7 @@ class Machine:
             raise ValueError("machine needs at least one thread instance")
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
-        self.observers: List[MachineObserver] = list(observers)
+        self.observers = list(observers)
         self.record_schedule = record_schedule
         self.recorded_schedule: List[int] = []
 
@@ -135,16 +135,28 @@ class Machine:
 
     # -- observer plumbing ---------------------------------------------------
 
+    @property
+    def observers(self) -> List[MachineObserver]:
+        return self._observers
+
+    @observers.setter
+    def observers(self, observers: Sequence[MachineObserver]) -> None:
+        self._observers = list(observers)
+        #: bound ``on_event`` methods, cached so the per-event fan-out is
+        #: one list walk with no attribute lookups
+        self._event_sinks = [obs.on_event for obs in self._observers]
+
     def add_observer(self, observer: MachineObserver) -> None:
-        self.observers.append(observer)
+        self._observers.append(observer)
+        self._event_sinks.append(observer.on_event)
 
     def _emit(self, kind: int, thread: ThreadState, instr, addr: int = -1,
               value: int = 0, taken: bool = False, target: int = -1) -> None:
         event = Event(kind, self.seq, thread.tid, thread.pc, instr,
                       addr=addr, value=value, taken=taken, target=target)
         self.seq += 1
-        for observer in self.observers:
-            observer.on_event(event)
+        for sink in self._event_sinks:
+            sink(event)
 
     # -- execution ------------------------------------------------------------
 

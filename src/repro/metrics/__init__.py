@@ -8,6 +8,7 @@ static counts deduplicate by source statement (each distracts a
 programmer when false).
 """
 
-from repro.metrics.classify import DetectorMetrics, classify_report
+from repro.metrics.classify import (DetectorMetrics, classify_report,
+                                    classify_reports)
 
-__all__ = ["DetectorMetrics", "classify_report"]
+__all__ = ["DetectorMetrics", "classify_report", "classify_reports"]

@@ -51,6 +51,14 @@ class DetectorMetrics:
         self.instructions += other.instructions
 
 
+def classify_reports(reports: Dict[str, ViolationReport],
+                     bug_locs: Set[int],
+                     instructions: int = 0) -> Dict[str, DetectorMetrics]:
+    """Classify a whole engine run's reports, keyed like the input."""
+    return {name: classify_report(report, bug_locs, instructions)
+            for name, report in reports.items()}
+
+
 def classify_report(report: ViolationReport, bug_locs: Set[int],
                     instructions: int = 0) -> DetectorMetrics:
     """Split a report into true/false positives against ``bug_locs``."""

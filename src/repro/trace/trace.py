@@ -51,6 +51,13 @@ class Trace:
     def instruction_count(self) -> int:
         return len(self.events)
 
+    @property
+    def end_seq(self) -> int:
+        """The sequence number one past the last event -- what
+        ``machine.seq`` was when the recording stopped.  Analyses replayed
+        over the trace receive this as their end-of-stream position."""
+        return self.events[-1].seq + 1 if self.events else 0
+
     def accesses_by_address(self) -> Dict[int, List[Event]]:
         """Group memory accesses by word address, preserving order."""
         by_addr: Dict[int, List[Event]] = {}
@@ -73,14 +80,14 @@ class Trace:
 
     def feed(self, observer: MachineObserver) -> int:
         """Deliver every recorded event to ``observer`` in trace order,
-        as a live machine would have.  Returns the sequence number one
-        past the last event (what ``machine.seq`` was at that point), so
-        callers can synthesise the end-of-run callback."""
-        end_seq = 0
+        as a live machine would have.  Returns :attr:`end_seq` so callers
+        can synthesise the end-of-run callback.  To feed *several*
+        analyses in one pass, use :class:`repro.engine.DetectorEngine`
+        instead of calling this once per detector."""
+        on_event = observer.on_event
         for event in self.events:
-            observer.on_event(event)
-            end_seq = event.seq + 1
-        return end_seq
+            on_event(event)
+        return self.end_seq
 
     # -- serialization ---------------------------------------------------------
 
