@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.online import OnlineSVD, SvdConfig
 from repro.isa.program import Program
 from repro.machine.machine import Machine, MachineStatus
@@ -108,6 +109,17 @@ class BerController:
         return snapshots[0]
 
     def run(self, max_steps: Optional[int] = None) -> BerOutcome:
+        with obs.span("ber.run"):
+            outcome = self._run(max_steps)
+        if obs.metrics_enabled():
+            registry = obs.metrics()
+            registry.add("ber.runs")
+            registry.add("ber.rollbacks", outcome.rollbacks)
+            registry.add("ber.violations_seen", outcome.violations_seen)
+            registry.add("ber.wasted_steps", outcome.wasted_steps)
+        return outcome
+
+    def _run(self, max_steps: Optional[int] = None) -> BerOutcome:
         machine = self.machine
         snapshots: List[Dict] = [machine.checkpoint()]
         last_checkpoint_step = machine.steps

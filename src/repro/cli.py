@@ -10,14 +10,22 @@ Commands:
 * ``overhead`` -- measure the §7.3 detection overheads
 * ``campaign`` -- parallel (workload, seed, detector-config) sweep
 * ``fuzz``     -- differential fuzzing of the SVD detector family
+
+``run``, ``campaign`` and ``fuzz`` accept ``--obs`` (plus
+``--trace-out``/``--metrics-out``) to activate :mod:`repro.obs` for the
+command: a metrics summary and span timings at the end of the run, a
+canonical-JSON metrics snapshot, and a Chrome trace-event file that
+opens directly in Perfetto.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+import repro.obs as obs
 from repro.core import OnlineSVD
 from repro.engine import DetectorEngine, available, parse_detector_list
 from repro.harness import measure_overhead, render_table, run_workload
@@ -32,6 +40,41 @@ from repro.workloads import (WORKLOADS, apache_log, mysql_prepared,
 #: workload factories that accept ``fixed=``
 _FIXABLE = {"apache": apache_log, "mysql-prepared": mysql_prepared,
             "stringbuffer": stringbuffer, "queue-region": queue_region}
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--obs", action="store_true",
+                       help="collect metrics + spans and print a summary")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write spans (implies --obs); .jsonl gets "
+                       "one span per line, anything else gets Chrome "
+                       "trace-event JSON (opens in Perfetto)")
+    group.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics snapshot as canonical "
+                       "JSON (implies --obs)")
+
+
+def _obs_active(args) -> bool:
+    return bool(getattr(args, "obs", False) or args.trace_out
+                or args.metrics_out)
+
+
+def _obs_emit(args, snapshot, tracer) -> None:
+    """Write the requested artifacts and print the summary tables."""
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out)
+        else:
+            tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans)", file=sys.stderr)
+    print()
+    print(obs.render_summary(snapshot, tracer))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      "'all') multiplexed over one execution by the "
                      "engine; available: " + ", ".join(available()))
     run.add_argument("--max-steps", type=int, default=1_000_000)
+    _add_obs_flags(run)
 
     execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
     execute.add_argument("source", help="path to the MiniSMP source file")
@@ -121,7 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       "no-ctrl-deps, cut-at-wait)")
     camp.add_argument("--seeds", type=int, default=8,
                       help="seeded segments per (workload, config) cell")
-    camp.add_argument("--workers", type=int, default=1,
+    camp.add_argument("-j", "--workers", type=int, default=1,
                       help="worker processes (1 = serial in-process)")
     camp.add_argument("--master-seed", type=int, default=0)
     camp.add_argument("--switch-prob", type=float, default=0.3)
@@ -143,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       "reference columns")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-run progress lines")
+    _add_obs_flags(camp)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing of the SVD detector family")
@@ -163,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--save-corpus", default=None, metavar="DIR",
                       help="write up to 10 violating programs as a "
                       "seed corpus")
+    _add_obs_flags(fuzz)
     return parser
 
 
@@ -176,6 +222,15 @@ def _parse_threads(specs: Sequence[str]) -> List:
 
 
 def _cmd_run(args) -> int:
+    if not _obs_active(args):
+        return _run_workload_cmd(args)
+    with obs.session() as handle:
+        code = _run_workload_cmd(args)
+    _obs_emit(args, handle.registry.snapshot(), handle.tracer)
+    return code
+
+
+def _run_workload_cmd(args) -> int:
     if args.fixed:
         factory = _FIXABLE.get(args.workload)
         if factory is None:
@@ -215,6 +270,11 @@ def _cmd_run(args) -> int:
         print(f"status  : {result.status}, "
               f"{result.instructions} instructions, "
               f"{result.cus_created} CUs")
+        stats = result.stats
+        if stats is not None:
+            print(f"engine  : {stats.stream_passes} stream pass(es), "
+                  f"{stats.total_events_dispatched} events dispatched "
+                  f"to {len(result.reports)} detector(s)")
         print()
         print(result.svd_report.describe())
         if result.frd_report is not None:
@@ -451,7 +511,8 @@ def _cmd_campaign(args) -> int:
     spec = CampaignSpec(
         workloads=[WorkloadSpec(name=n) for n in names],
         configs=configs, seeds=args.seeds,
-        master_seed=args.master_seed, task_timeout=args.timeout)
+        master_seed=args.master_seed, task_timeout=args.timeout,
+        obs=_obs_active(args))
     total = len(names) * len(configs) * args.seeds
     done = [0]
 
@@ -466,8 +527,14 @@ def _cmd_campaign(args) -> int:
         print(f"[{done[0]}/{total}] {result.workload}/{result.config} "
               f"seed#{result.seed_index} -> {note}", file=sys.stderr)
 
-    report = run_campaign(spec, workers=args.workers, budget=args.budget,
-                          on_result=progress)
+    if spec.obs:
+        with obs.session() as handle:
+            report = run_campaign(spec, workers=args.workers,
+                                  budget=args.budget, on_result=progress)
+    else:
+        handle = None
+        report = run_campaign(spec, workers=args.workers,
+                              budget=args.budget, on_result=progress)
     print(report.render_metrics())
     if args.table2:
         print()
@@ -481,10 +548,26 @@ def _cmd_campaign(args) -> int:
         print(f"  {result.workload}/{result.config} seed#"
               f"{result.seed_index}: {result.status}: {first_line[0]}",
               file=sys.stderr)
+    if handle is not None:
+        # task snapshots (from the result channel) + the parent's own
+        # pool counters, merged into one campaign-wide view
+        merged = report.merged_obs()
+        snapshots = ([merged] if merged is not None else [])
+        snapshots.append(handle.registry.snapshot())
+        _obs_emit(args, obs.merge_snapshots(snapshots), handle.tracer)
     return 0
 
 
 def _cmd_fuzz(args) -> int:
+    if not _obs_active(args):
+        return _run_fuzz_cmd(args)
+    with obs.session() as handle:
+        code = _run_fuzz_cmd(args)
+    _obs_emit(args, handle.registry.snapshot(), handle.tracer)
+    return code
+
+
+def _run_fuzz_cmd(args) -> int:
     from repro.fuzz import (load_corpus, rediscovered, run_fuzz,
                             save_corpus)
     if args.budget is not None and args.budget <= 0:

@@ -56,6 +56,12 @@ class ViolationReport:
         self.program = program
         self.violations: List[Violation] = []
         self._dedup_keys: Set[Tuple] = set()
+        #: reports suppressed by :meth:`add_once` (an already-seen key)
+        self.dedup_rejected = 0
+        #: the :class:`repro.engine.EngineStats` of the run that produced
+        #: this report, attached by the engine so pass counts travel with
+        #: the report; None when the detector ran standalone
+        self.engine_stats = None
 
     def add(self, violation: Violation) -> None:
         self.violations.append(violation)
@@ -72,6 +78,7 @@ class ViolationReport:
         if key is None:
             key = violation.static_key()
         if key in self._dedup_keys:
+            self.dedup_rejected += 1
             return False
         self._dedup_keys.add(key)
         self.violations.append(violation)

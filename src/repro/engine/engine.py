@@ -29,7 +29,16 @@ analyses that want its kind, in registration order.
 :class:`EngineStats` records, per phase, how many events were read from
 the source and how many callbacks were dispatched -- the event-count
 probe tests and the throughput benchmark assert the single-pass
-guarantee through it.
+guarantee through it.  The finished stats also ride on every produced
+:class:`ViolationReport` (``report.engine_stats``), so pass counts are
+visible wherever a report travels.
+
+Observability.  When :mod:`repro.obs` is active the engine wraps the
+machine run and every phase in spans and publishes ``engine.*`` metrics
+(events read/dispatched, per-event-kind counts, per-analysis dispatch
+counts).  The per-event counting lives in a dispatcher subclass that is
+only selected while metrics are on; with observability off the hot loop
+is byte-for-byte the uninstrumented dispatch.
 """
 
 from __future__ import annotations
@@ -37,9 +46,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import repro.obs as obs
 from repro.core.report import ViolationReport
 from repro.engine.analysis import Analysis
-from repro.machine.events import MachineObserver, N_KINDS
+from repro.machine.events import KIND_NAMES, MachineObserver, N_KINDS
 from repro.trace.trace import Trace, TraceRecorder
 
 
@@ -72,6 +82,29 @@ class _PhaseDispatcher(MachineObserver):
             self.events_dispatched += len(callbacks)
             for callback in callbacks:
                 callback(event)
+
+
+class _CountingPhaseDispatcher(_PhaseDispatcher):
+    """Per-event-kind accounting, selected only while metrics are on."""
+
+    def __init__(self, analyses: Sequence[Analysis]) -> None:
+        super().__init__(analyses)
+        self.kind_counts = [0] * N_KINDS
+
+    def on_event(self, event) -> None:
+        self.events_read += 1
+        self.kind_counts[event.kind] += 1
+        callbacks = self.handlers[event.kind]
+        if callbacks:
+            self.events_dispatched += len(callbacks)
+            for callback in callbacks:
+                callback(event)
+
+
+def _make_dispatcher(analyses: Sequence[Analysis]) -> _PhaseDispatcher:
+    if obs.metrics_enabled():
+        return _CountingPhaseDispatcher(analyses)
+    return _PhaseDispatcher(analyses)
 
 
 @dataclass
@@ -251,12 +284,16 @@ class DetectorEngine:
 
         for analysis in phases[0]:
             analysis.start(n_threads)
-        dispatcher = _PhaseDispatcher(phases[0])
+        dispatcher = _make_dispatcher(phases[0])
         machine.add_observer(dispatcher)
-        status = machine.run(max_steps=max_steps)
-        end_seq = machine.seq
-        trace = recorder.trace() if recorder is not None else None
-        self._finish_phase(phases[0], dispatcher, stats, 0, end_seq, trace)
+        with obs.span("engine.phase", phase=0,
+                      analyses="+".join(a.name for a in phases[0])):
+            with obs.span("machine.run"):
+                status = machine.run(max_steps=max_steps)
+            end_seq = machine.seq
+            trace = recorder.trace() if recorder is not None else None
+            self._finish_phase(phases[0], dispatcher, stats, 0, end_seq,
+                               trace)
 
         for index, analyses in enumerate(phases[1:], start=1):
             assert trace is not None
@@ -288,15 +325,17 @@ class DetectorEngine:
     def _run_phase(self, analyses: List[Analysis], trace: Trace,
                    stats: EngineStats, index: int, end_seq: int,
                    n_threads: int) -> None:
-        for analysis in analyses:
-            analysis.start(n_threads)
-        dispatcher = _PhaseDispatcher(analyses)
-        if dispatcher.any_subscribers:
-            on_event = dispatcher.on_event
-            for event in trace:
-                on_event(event)
-        self._finish_phase(analyses, dispatcher, stats, index, end_seq,
-                           trace)
+        with obs.span("engine.phase", phase=index,
+                      analyses="+".join(a.name for a in analyses)):
+            for analysis in analyses:
+                analysis.start(n_threads)
+            dispatcher = _make_dispatcher(analyses)
+            if dispatcher.any_subscribers:
+                on_event = dispatcher.on_event
+                for event in trace:
+                    on_event(event)
+            self._finish_phase(analyses, dispatcher, stats, index, end_seq,
+                               trace)
 
     def _finish_phase(self, analyses: List[Analysis],
                       dispatcher: _PhaseDispatcher, stats: EngineStats,
@@ -309,7 +348,8 @@ class DetectorEngine:
                         f"{analysis.name} needs the full trace but no "
                         f"recording was made")
                 analysis.set_trace(trace)
-            analysis.finish(end_seq)
+            with obs.span("analysis.finish", analysis=analysis.name):
+                analysis.finish(end_seq)
         stats.phases.append(PhaseStats(
             index=index,
             analyses=tuple(a.name for a in analyses),
@@ -317,6 +357,28 @@ class DetectorEngine:
             events_dispatched=dispatcher.events_dispatched,
             skipped=(not dispatcher.any_subscribers
                      and dispatcher.events_read == 0)))
+        if isinstance(dispatcher, _CountingPhaseDispatcher):
+            self._record_phase_metrics(analyses, dispatcher)
+
+    @staticmethod
+    def _record_phase_metrics(analyses: List[Analysis],
+                              dispatcher: "_CountingPhaseDispatcher") -> None:
+        registry = obs.metrics()
+        registry.counter("engine.events.read").inc(dispatcher.events_read)
+        registry.counter("engine.events.dispatched").inc(
+            dispatcher.events_dispatched)
+        kind_counts = dispatcher.kind_counts
+        for kind, count in enumerate(kind_counts):
+            if count:
+                registry.counter(
+                    f"engine.events.kind.{KIND_NAMES[kind]}").inc(count)
+        for analysis in analyses:
+            kinds = (range(N_KINDS) if analysis.interests is None
+                     else analysis.interests)
+            fed = sum(kind_counts[kind] for kind in kinds)
+            if fed:
+                registry.counter(
+                    f"engine.analysis.{analysis.name}.events").inc(fed)
 
     def _result(self, stats: EngineStats, end_seq: int,
                 trace: Optional[Trace],
@@ -325,7 +387,12 @@ class DetectorEngine:
         for name in self._requested:
             report = self._analyses[name].result()
             if report is not None:
+                report.engine_stats = stats
                 reports[name] = report
+        if obs.metrics_enabled():
+            registry = obs.metrics()
+            registry.add("engine.runs")
+            registry.add("engine.stream_passes", stats.stream_passes)
         return EngineResult(
             analyses=dict(self._analyses),
             requested=tuple(self._requested),

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+import repro.obs as obs
 from repro.fuzz.genprog import GeneratedProgram, generate_program
 from repro.fuzz.minimize import minimize_program
 from repro.fuzz.oracle import run_differential
@@ -146,7 +147,7 @@ def run_fuzz(budget: Optional[float] = 30.0,
         raise ValueError("need a --budget or a program cap")
     stats = FuzzStats()
     findings: List[FuzzFinding] = []
-    started = time.monotonic()
+    started = time.perf_counter()
     batch = max(1, workers) * 4
     next_seed = master_seed
 
@@ -189,33 +190,52 @@ def run_fuzz(budget: Optional[float] = 30.0,
                     frd_only=probe["frd_only"],
                     detail=probe["replay_divergence"] or ""))
 
-    while True:
-        if budget is not None and time.monotonic() - started > budget:
-            break
-        if max_programs is not None and next_seed - master_seed >= max_programs:
-            break
-        count = batch
-        if max_programs is not None:
-            count = min(count, master_seed + max_programs - next_seed)
-        payloads = [{"program_seed": seed, "master_seed": master_seed,
-                     "probes": probes_per_program}
-                    for seed in range(next_seed, next_seed + count)]
-        next_seed += count
-        remaining = None
-        if budget is not None:
-            remaining = max(0.5, budget - (time.monotonic() - started))
-        outcomes = parallel_map(probe_program, payloads, workers=workers,
-                                budget=remaining)
-        for status, value in outcomes:
-            absorb(status, value)
-        if on_progress is not None:
-            on_progress(stats)
+    with obs.span("fuzz.session", master_seed=master_seed):
+        while True:
+            if budget is not None and time.perf_counter() - started > budget:
+                break
+            if (max_programs is not None
+                    and next_seed - master_seed >= max_programs):
+                break
+            count = batch
+            if max_programs is not None:
+                count = min(count, master_seed + max_programs - next_seed)
+            payloads = [{"program_seed": seed, "master_seed": master_seed,
+                         "probes": probes_per_program}
+                        for seed in range(next_seed, next_seed + count)]
+            next_seed += count
+            remaining = None
+            if budget is not None:
+                remaining = max(0.5,
+                                budget - (time.perf_counter() - started))
+            with obs.span("fuzz.batch", programs=count):
+                outcomes = parallel_map(probe_program, payloads,
+                                        workers=workers, budget=remaining)
+            for status, value in outcomes:
+                absorb(status, value)
+            if on_progress is not None:
+                on_progress(stats)
 
     if minimize:
-        _minimize_findings(findings)
+        with obs.span("fuzz.minimize"):
+            _minimize_findings(findings)
+    if obs.metrics_enabled():
+        registry = obs.metrics()
+        registry.add("fuzz.programs", stats.programs)
+        registry.add("fuzz.probes", stats.probes)
+        registry.add("fuzz.compile_failures", stats.compile_failures)
+        registry.add("fuzz.oracle.violations", stats.violations)
+        registry.add("fuzz.oracle.replay_divergences",
+                     stats.replay_divergences)
+        registry.add("fuzz.oracle.online_not_offline",
+                     stats.online_not_offline)
+        registry.add("fuzz.oracle.offline_not_online",
+                     stats.offline_not_online)
+        registry.add("fuzz.oracle.frd_vs_online", stats.frd_vs_online)
+        registry.add("fuzz.errors", stats.errors)
     return FuzzReport(master_seed=master_seed, stats=stats,
                       findings=findings,
-                      elapsed=time.monotonic() - started)
+                      elapsed=time.perf_counter() - started)
 
 
 def _minimize_findings(findings: List[FuzzFinding],

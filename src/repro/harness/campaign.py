@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+import json
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
+import repro.obs as obs
 from repro.core.online import SvdConfig
 from repro.harness.pool import Outcome, parallel_map
 from repro.harness.runner import run_workload
@@ -103,6 +105,9 @@ class CampaignSpec:
     master_seed: int = 0
     #: per-task wall-clock limit (parallel mode only)
     task_timeout: Optional[float] = None
+    #: collect a :mod:`repro.obs` metrics snapshot per task; snapshots
+    #: ride the result channel and merge deterministically
+    obs: bool = False
 
     def tasks(self) -> List["CampaignTask"]:
         """The deterministic task expansion of the matrix."""
@@ -116,7 +121,8 @@ class CampaignSpec:
                         config=config,
                         seed_index=seed_index,
                         seed=derive_seed(self.master_seed, workload.name,
-                                         config.name, seed_index)))
+                                         config.name, seed_index),
+                        obs=self.obs))
         return out
 
 
@@ -141,6 +147,8 @@ class CampaignTask:
     config: ConfigSpec
     seed_index: int
     seed: int
+    #: record this task's run under a fresh metrics registry
+    obs: bool = False
 
 
 @dataclass
@@ -171,6 +179,9 @@ class CampaignResult:
     #: classified metrics of any extra detectors the config requested
     #: (slim and picklable, like ``svd``/``frd``)
     extra_metrics: Dict[str, DetectorMetrics] = field(default_factory=dict)
+    #: this task's :mod:`repro.obs` registry snapshot (plain JSON-safe
+    #: dict, so it crosses the process boundary like everything else)
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -181,13 +192,17 @@ def execute_task(task: CampaignTask) -> CampaignResult:
     """Run one matrix cell; any failure becomes an ``error`` result so a
     broken workload never takes the campaign down with it."""
     try:
-        workload = task.workload.build()
-        result = run_workload(workload, seed=task.seed,
-                              switch_prob=task.config.switch_prob,
-                              max_steps=task.config.max_steps,
-                              svd_config=task.config.svd_config(),
-                              run_frd=task.config.run_frd,
-                              detectors=task.config.detectors)
+        if task.obs:
+            # a fresh registry per task: the snapshot rides the result
+            # channel and merges deterministically campaign-wide
+            with obs.metrics_scope() as registry, \
+                    obs.span("campaign.task", workload=task.workload.name,
+                             config=task.config.name, seed=task.seed_index):
+                result = _run_task(task)
+            snapshot = registry.snapshot()
+        else:
+            result = _run_task(task)
+            snapshot = None
         extra = {name: metrics
                  for name, metrics in result.metrics.items()
                  if name not in ("svd", "frd")}
@@ -207,9 +222,20 @@ def execute_task(task: CampaignTask) -> CampaignResult:
             cus_created=result.cus_created,
             apparent_false_negative=result.apparent_false_negative,
             extra_metrics=extra,
+            obs=snapshot,
         )
     except Exception:
         return failed_result(task, "error", traceback.format_exc())
+
+
+def _run_task(task: CampaignTask):
+    workload = task.workload.build()
+    return run_workload(workload, seed=task.seed,
+                        switch_prob=task.config.switch_prob,
+                        max_steps=task.config.max_steps,
+                        svd_config=task.config.svd_config(),
+                        run_frd=task.config.run_frd,
+                        detectors=task.config.detectors)
 
 
 def failed_result(task: CampaignTask, status: str,
@@ -289,6 +315,26 @@ class CampaignReport:
     def render_table2(self) -> str:
         return render_table2(self.table2_rows())
 
+    def merged_obs(self) -> Optional[Dict[str, Any]]:
+        """Campaign-wide metrics: every per-task snapshot merged in task
+        index order.  Counters sum, gauges max, histograms add
+        bucket-wise -- all commutative -- so the result is identical for
+        any worker count.  ``None`` when the campaign ran without obs."""
+        snapshots = [r.obs for r in sorted(self.results,
+                                           key=lambda r: r.index)
+                     if r.obs is not None]
+        if not snapshots:
+            return None
+        return obs.merge_snapshots(snapshots)
+
+    def obs_json(self) -> Optional[str]:
+        """The merged snapshot as canonical JSON (sorted keys) -- the
+        byte-identical-at-any-worker-count artifact."""
+        merged = self.merged_obs()
+        if merged is None:
+            return None
+        return json.dumps(merged, sort_keys=True, indent=2) + "\n"
+
 
 def _row_label(result: CampaignResult) -> str:
     return (result.workload if result.config == "default"
@@ -306,7 +352,7 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     completion order while the campaign is still running.
     """
     tasks = spec.tasks()
-    started = time.monotonic()
+    started = time.perf_counter()
     results: List[CampaignResult] = []
 
     def on_outcome(index: int, outcome: Outcome) -> None:
@@ -324,4 +370,4 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                  on_outcome=on_outcome)
     results.sort(key=lambda r: r.index)
     return CampaignReport(spec=spec, results=results,
-                          elapsed=time.monotonic() - started)
+                          elapsed=time.perf_counter() - started)

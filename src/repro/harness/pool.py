@@ -7,7 +7,12 @@ It differs from ``multiprocessing.Pool`` where the harness needs it to:
 
 * **crash isolation** -- a worker that raises, dies, or hangs past a
   per-task timeout yields an ``error``/``timeout`` outcome for *that
-  task only*; the pool replaces the worker and the run continues;
+  task only*; the pool replaces the worker and the run continues.  Each
+  worker's stderr is redirected to a scratch file, so when a worker dies
+  outright (segfault, ``os._exit``, OOM kill) its last words -- exit
+  code plus captured stderr tail -- land in the task's error outcome
+  instead of vanishing with the process, and a ``pool.worker_crash``
+  counter is recorded when :mod:`repro.obs` metrics are on;
 * **incremental streaming** -- outcomes are delivered to an
   ``on_outcome`` callback the moment they arrive, in completion order;
 * **budget cutoff** -- an optional wall-clock budget stops dispatching
@@ -24,12 +29,18 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing
-import queue as queue_module
+import os
+import tempfile
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
+
 Outcome = Tuple[str, Any]
+
+#: how much of a dead worker's captured stderr rides in the outcome
+_STDERR_TAIL_BYTES = 4096
 
 #: how often the parent wakes up to check deadlines and dead workers
 _POLL_SECONDS = 0.05
@@ -50,7 +61,16 @@ def runner_path(fn: Callable[[Any], Any]) -> str:
 
 
 def _worker_loop(runner_dotted: str, worker_id: int, task_queue,
-                 result_queue) -> None:  # pragma: no cover - child process
+                 result_queue,
+                 stderr_path: Optional[str] = None,
+                 ) -> None:  # pragma: no cover - child process
+    if stderr_path is not None:
+        # fd-level redirect so even hard crashes (abort, C extensions)
+        # leave their last words where the parent can recover them
+        fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                     0o600)
+        os.dup2(fd, 2)
+        os.close(fd)
     runner = resolve_runner(runner_dotted)
     while True:
         item = task_queue.get()
@@ -65,6 +85,21 @@ def _worker_loop(runner_dotted: str, worker_id: int, task_queue,
                               traceback.format_exc()))
         else:
             result_queue.put(("done", index, worker_id, result))
+
+
+def _read_tail(path: Optional[str],
+               limit: int = _STDERR_TAIL_BYTES) -> str:
+    """The last ``limit`` bytes of a worker's captured stderr, if any."""
+    if path is None:
+        return ""
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - limit))
+            return fh.read().decode("utf-8", "replace").strip()
+    except OSError:
+        return ""
 
 
 def _pick_context():
@@ -86,16 +121,17 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
     """
     total = len(payloads)
     outcomes: List[Optional[Outcome]] = [None] * total
-    started = time.monotonic()
+    started = time.perf_counter()
 
     def record(index: int, outcome: Outcome) -> None:
         outcomes[index] = outcome
+        obs.add(f"pool.tasks.{outcome[0]}")
         if on_outcome is not None:
             on_outcome(index, outcome)
 
     if workers <= 1 or total <= 1:
         for index, payload in enumerate(payloads):
-            if budget is not None and time.monotonic() - started > budget:
+            if budget is not None and time.perf_counter() - started > budget:
                 record(index, ("skipped", "budget exhausted"))
                 continue
             try:
@@ -106,22 +142,39 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
 
     ctx = _pick_context()
     task_queue = ctx.Queue()
-    result_queue = ctx.Queue()
+    # SimpleQueue writes synchronously in the calling thread (no feeder
+    # thread), so a worker that dies right after ``put`` -- e.g. via
+    # ``os._exit`` mid-task -- cannot lose its "start" message.  Losing
+    # it would leave the consumed task unattributable and hang the pool.
+    result_queue = ctx.SimpleQueue()
     dotted = runner_path(runner)
     next_worker_id = 0
     procs: Dict[int, Any] = {}
     running: Dict[int, Tuple[int, float]] = {}  # worker_id -> (task, t0)
+    stderr_paths: Dict[int, str] = {}
 
     def spawn_worker() -> None:
         nonlocal next_worker_id
         worker_id = next_worker_id
         next_worker_id += 1
+        fd, stderr_path = tempfile.mkstemp(prefix="repro-pool-stderr-",
+                                           suffix=f".{worker_id}.log")
+        os.close(fd)
+        stderr_paths[worker_id] = stderr_path
         proc = ctx.Process(target=_worker_loop,
                            args=(dotted, worker_id, task_queue,
-                                 result_queue),
+                                 result_queue, stderr_path),
                            daemon=True)
         proc.start()
         procs[worker_id] = proc
+
+    def crash_message(worker_id: int, proc) -> str:
+        exitcode = getattr(proc, "exitcode", None)
+        message = f"worker process died (exitcode {exitcode})"
+        tail = _read_tail(stderr_paths.get(worker_id))
+        if tail:
+            message += "\n--- captured worker stderr ---\n" + tail
+        return message
 
     # lazy feeding keeps at most ~2 tasks queued per worker so a budget
     # cutoff leaves undispatched work cleanly skippable
@@ -132,7 +185,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
 
     def feed() -> None:
         nonlocal next_task, dispatched, stop_dispatch
-        if budget is not None and time.monotonic() - started > budget:
+        if budget is not None and time.perf_counter() - started > budget:
             stop_dispatch = True
         if stop_dispatch:
             return
@@ -154,27 +207,37 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                         completed += 1
                         record(index, ("skipped", "budget exhausted"))
                 break
-            try:
-                kind, index, worker_id, payload = result_queue.get(
-                    timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                kind = None
-            if kind == "start":
-                running[worker_id] = (index, time.monotonic())
-            elif kind in ("done", "error"):
-                running.pop(worker_id, None)
-                completed += 1
-                record(index, ("ok", payload) if kind == "done"
-                       else ("error", payload))
+            # drain every delivered message before looking at worker
+            # health: puts are synchronous (SimpleQueue), so a worker
+            # observed dead has already delivered everything it sent,
+            # and draining first attributes its death to the right task
+            drained = False
+            while not result_queue.empty():
+                drained = True
+                kind, index, worker_id, payload = result_queue.get()
+                if kind == "start":
+                    running[worker_id] = (index, time.perf_counter())
+                elif kind in ("done", "error") and outcomes[index] is None:
+                    running.pop(worker_id, None)
+                    completed += 1
+                    record(index, ("ok", payload) if kind == "done"
+                           else ("error", payload))
+            if drained:
                 feed()
+                continue  # re-drain until quiescent before health checks
+            time.sleep(_POLL_SECONDS)
+            if not result_queue.empty():
+                continue  # messages arrived during the nap: those first
 
-            now = time.monotonic()
+            now = time.perf_counter()
             for worker_id, (index, t0) in list(running.items()):
                 proc = procs.get(worker_id)
                 timed_out = timeout is not None and now - t0 > timeout
-                died = proc is not None and not proc.is_alive()
+                died = proc is None or not proc.is_alive()
                 if not timed_out and not died:
                     continue
+                if died:
+                    obs.add("pool.worker_crash")
                 if proc is not None:
                     proc.terminate()
                     proc.join(timeout=5)
@@ -184,13 +247,14 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                     completed += 1
                     record(index, ("timeout",
                                    f"task exceeded {timeout}s") if timed_out
-                           else ("error", "worker process died"))
+                           else ("error", crash_message(worker_id, proc)))
                 spawn_worker()
                 feed()
             # a worker that died while idle (e.g. OOM-killed between
-            # tasks) is silently replaced
+            # tasks) loses no task; it is counted and replaced
             for worker_id, proc in list(procs.items()):
                 if worker_id not in running and not proc.is_alive():
+                    obs.add("pool.worker_crash")
                     procs.pop(worker_id)
                     spawn_worker()
             feed()
@@ -198,14 +262,20 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
         for proc in procs.values():
             if proc.is_alive():
                 task_queue.put(None)
-        deadline = time.monotonic() + 5
+        deadline = time.perf_counter() + 5
         for proc in procs.values():
-            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            proc.join(timeout=max(0.1, deadline - time.perf_counter()))
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5)
         task_queue.close()
-        result_queue.close()
+        if hasattr(result_queue, "close"):  # SimpleQueue, 3.9+
+            result_queue.close()
+        for stderr_path in stderr_paths.values():
+            try:
+                os.unlink(stderr_path)
+            except OSError:
+                pass
 
     return [o if o is not None else ("error", "lost task")
             for o in outcomes]

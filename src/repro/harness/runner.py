@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+import repro.obs as obs
 from repro.core.online import OnlineSVD, SvdConfig
 from repro.core.posteriori import PosterioriLog
 from repro.core.report import ViolationReport
@@ -45,6 +46,11 @@ class RunResult:
     metrics: Dict[str, DetectorMetrics] = field(default_factory=dict)
     #: the full engine result (phase stats, analyses, optional trace)
     engine: Optional[EngineResult] = None
+
+    @property
+    def stats(self):
+        """The engine's per-phase :class:`repro.engine.EngineStats`."""
+        return self.engine.stats if self.engine is not None else None
 
     @property
     def posteriori_found_bug(self) -> bool:
@@ -86,6 +92,27 @@ def detector_names(run_frd: bool = True,
     return names
 
 
+def _record_run_metrics(result: EngineResult, svd: OnlineSVD,
+                        instructions: int) -> None:
+    """Publish one run's deterministic quantities to the active registry."""
+    registry = obs.metrics()
+    registry.add("runner.runs")
+    registry.add("machine.events", result.end_seq)
+    registry.histogram("run.instructions").observe(instructions)
+    registry.add("svd.cus_created", svd.cus_created)
+    registry.add("svd.cus_merged", svd.cus_merged)
+    registry.add("svd.cus_closed", svd.cus_closed)
+    registry.add("svd.remote_messages", svd.remote_messages)
+    registry.add("svd.violation_checks", svd.violation_checks)
+    registry.gauge("svd.peak_tracked_blocks").set_max(
+        sum(d.peak_tracked_blocks for d in svd.threads.values()))
+    for name in sorted(result.reports):
+        report = result.reports[name]
+        registry.add(f"violations.{name}.dynamic", report.dynamic_count)
+        registry.add(f"violations.{name}.static", report.static_count)
+        registry.add(f"violations.{name}.deduped", report.dedup_rejected)
+
+
 def run_workload(workload: Workload, seed: int = 0,
                  switch_prob: float = 0.3,
                  max_steps: Optional[int] = None,
@@ -105,14 +132,17 @@ def run_workload(workload: Workload, seed: int = 0,
     machine = workload.make_machine(
         RandomScheduler(seed=seed, switch_prob=switch_prob),
         observers=[])
-    result = engine.run_machine(machine, max_steps=max_steps,
-                                keep_trace=keep_trace)
+    with obs.span("runner.run_workload", workload=workload.name, seed=seed):
+        result = engine.run_machine(machine, max_steps=max_steps,
+                                    keep_trace=keep_trace)
     outcome = workload.validate(machine)
     bug_locs = workload.bug_locs()
     svd: OnlineSVD = result.detector("svd")
     instructions = svd.instructions
 
     metrics = classify_reports(result.reports, bug_locs, instructions)
+    if obs.metrics_enabled():
+        _record_run_metrics(result, svd, instructions)
     frd_report = result.reports.get("frd")
     return RunResult(
         workload=workload.name,

@@ -1,0 +1,47 @@
+"""``repro.obs``: zero-dependency observability for every layer.
+
+Three pieces, all stdlib-only (see :doc:`docs/observability.md`):
+
+* :mod:`repro.obs.metrics` -- a process-local registry of counters,
+  gauges, and fixed-bucket histograms with deterministic snapshot and
+  merge semantics (campaign workers ship snapshots to the parent, which
+  merges them byte-identically at any worker count);
+* :mod:`repro.obs.tracing` -- span-based tracing exported as JSONL and
+  Chrome trace-event JSON (opens directly in Perfetto);
+* :mod:`repro.obs.runtime` -- the scoped on/off switchboard with no-op
+  stubs, so instrumentation sites cost nothing when disabled.
+
+Typical instrumentation::
+
+    import repro.obs as obs
+
+    with obs.span("engine.phase", phase=1):
+        ...
+    if obs.metrics_enabled():
+        obs.metrics().counter("engine.events.read").inc(n)
+
+and activation (the CLI's ``--obs`` flag)::
+
+    with obs.session() as handle:
+        run_workload(...)
+    print(obs.render_summary(handle.registry.snapshot(), handle.tracer))
+"""
+
+from repro.obs.metrics import (Counter, DEFAULT_BOUNDS, Gauge, Histogram,
+                               MetricsRegistry, NULL_REGISTRY, NullRegistry,
+                               merge_snapshots)
+from repro.obs.runtime import (SessionHandle, add, enabled, metrics,
+                               metrics_enabled, metrics_scope, session,
+                               span, tracer, tracing_enabled)
+from repro.obs.summary import (render_metrics_summary, render_span_summary,
+                               render_summary)
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter", "DEFAULT_BOUNDS", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_REGISTRY", "NULL_TRACER", "NullRegistry", "NullTracer",
+    "SessionHandle", "SpanRecord", "Tracer", "add", "enabled",
+    "merge_snapshots", "metrics", "metrics_enabled", "metrics_scope",
+    "render_metrics_summary", "render_span_summary", "render_summary",
+    "session", "span", "tracer", "tracing_enabled",
+]

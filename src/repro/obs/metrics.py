@@ -1,0 +1,273 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the *deterministic* half of the observability substrate
+(:mod:`repro.obs`): every quantity recorded here must be a function of
+the execution being measured -- event counts, CU merges, violations,
+rollbacks -- never of wall-clock time or scheduling luck.  That is what
+lets campaign workers serialize their registry snapshot back through
+the result channel and lets the campaign engine merge them into an
+aggregate that is byte-identical at any worker count (timing belongs in
+:mod:`repro.obs.tracing`, which stays process-local).
+
+Snapshots are plain JSON-safe dicts with sorted keys; :func:`merge_snapshots`
+combines any number of them deterministically: counters add, gauges take
+the maximum, histograms add bucket-wise (their fixed bucket boundaries
+must agree).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (values above the last bound
+#: land in the overflow bucket); decadic so merged histograms from any
+#: layer agree without coordination
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-written value; merge takes the maximum (peaks survive)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-boundary histogram of observed values.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything above the last edge.
+    Bounds are fixed at creation so snapshots merge bucket-wise.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, "
+                             "non-empty sequence")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments get-or-create by name, so call sites never coordinate
+    registration: ``registry.counter("engine.events").inc(n)``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        elif instrument.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{instrument.bounds}, requested {tuple(bounds)}")
+        return instrument
+
+    # -- convenience -------------------------------------------------------
+
+    def add(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe, deterministically key-ordered view of the state."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: _histogram_snapshot(self._histograms[name])
+                           for name in sorted(self._histograms)},
+        }
+
+
+def _histogram_snapshot(histogram: Histogram) -> Dict[str, Any]:
+    return {
+        "bounds": list(histogram.bounds),
+        "buckets": list(histogram.buckets),
+        "count": histogram.count,
+        "sum": histogram.sum,
+        "min": histogram.min,
+        "max": histogram.max,
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Deterministically combine registry snapshots.
+
+    Counters sum, gauges keep the maximum, histograms add bucket-wise.
+    The merge is commutative and associative, and output keys are
+    sorted, so the same multiset of snapshots always produces an
+    identical result -- the invariant campaign aggregation relies on.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "buckets": list(data["buckets"]),
+                    "count": data["count"],
+                    "sum": data["sum"],
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+                continue
+            if merged["bounds"] != list(data["bounds"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket boundaries "
+                    f"differ ({merged['bounds']} vs {list(data['bounds'])})")
+            merged["buckets"] = [a + b for a, b in
+                                 zip(merged["buckets"], data["buckets"])]
+            merged["count"] += data["count"]
+            merged["sum"] += data["sum"]
+            merged["min"] = _opt(min, merged["min"], data["min"])
+            merged["max"] = _opt(max, merged["max"], data["max"])
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name]
+                       for name in sorted(histograms)},
+    }
+
+
+def _opt(fn, a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return fn(a, b)
+
+
+# -- disabled-mode stubs -----------------------------------------------------
+#
+# The null instruments make every call site valid when observability is
+# off; hot paths should still branch on ``obs.metrics_enabled()`` so
+# disabled mode costs nothing per event.
+
+class NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry:
+    """No-op registry returned by :func:`repro.obs.metrics` when off."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> NullHistogram:
+        return NULL_HISTOGRAM
+
+    def add(self, name: str, n: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+NULL_REGISTRY = NullRegistry()

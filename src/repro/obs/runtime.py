@@ -1,0 +1,116 @@
+"""The process-global observability switchboard.
+
+Instrumented code never constructs registries or tracers; it asks this
+module for the currently active ones:
+
+* ``obs.metrics()`` -- the active :class:`MetricsRegistry`, or a no-op
+  :class:`NullRegistry` when metrics are off;
+* ``obs.span("engine.phase", phase=1)`` -- a context manager recording
+  into the active tracer, or a reusable no-op when tracing is off;
+* ``obs.metrics_enabled()`` / ``obs.tracing_enabled()`` -- cheap guards
+  hot paths branch on so disabled mode does no per-event work at all.
+
+Activation is scoped, never ambient: ``with obs.session(): ...`` pushes
+a fresh registry+tracer for the duration (the CLI's ``--obs`` does
+exactly this), and ``with obs.metrics_scope() as registry: ...`` swaps
+in a fresh registry *only*, leaving tracing untouched -- what campaign
+workers use so every task snapshots its own metrics while spans keep
+flowing to whatever tracer the process has (if any).  Scopes nest and
+restore their predecessor on exit, so the default state -- everything
+off, zero overhead -- always comes back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.metrics import (MetricsRegistry, NULL_REGISTRY, NullRegistry)
+from repro.obs.tracing import (NULL_SPAN, NULL_TRACER, NullTracer, Tracer,
+                               _NullSpan, _Span)
+
+_registry: Optional[MetricsRegistry] = None
+_tracer: Optional[Tracer] = None
+
+
+def metrics_enabled() -> bool:
+    return _registry is not None
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def enabled() -> bool:
+    """Is any observability active in this process?"""
+    return _registry is not None or _tracer is not None
+
+
+def metrics() -> Union[MetricsRegistry, NullRegistry]:
+    registry = _registry
+    return registry if registry is not None else NULL_REGISTRY
+
+
+def tracer() -> Union[Tracer, NullTracer]:
+    active = _tracer
+    return active if active is not None else NULL_TRACER
+
+
+def span(name: str, **attrs: Any) -> Union[_Span, _NullSpan]:
+    active = _tracer
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, **attrs)
+
+
+def add(name: str, n: int = 1) -> None:
+    """Increment a counter iff metrics are on (for rare-event sites)."""
+    registry = _registry
+    if registry is not None:
+        registry.add(name, n)
+
+
+class SessionHandle:
+    """What :func:`session` yields: the registry and tracer it activated
+    (still readable after the ``with`` block exits)."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, registry: Optional[MetricsRegistry],
+                 tracer: Optional[Tracer]) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+
+@contextmanager
+def session(metrics: bool = True,
+            tracing: bool = True) -> Iterator[SessionHandle]:
+    """Activate a fresh registry and/or tracer for the dynamic extent."""
+    global _registry, _tracer
+    handle = SessionHandle(MetricsRegistry() if metrics else None,
+                           Tracer() if tracing else None)
+    saved = (_registry, _tracer)
+    _registry = handle.registry
+    _tracer = handle.tracer
+    try:
+        yield handle
+    finally:
+        _registry, _tracer = saved
+
+
+@contextmanager
+def metrics_scope() -> Iterator[MetricsRegistry]:
+    """Swap in a fresh registry only; tracing state is left untouched.
+
+    Campaign/fuzz worker tasks run under this so each task's metrics
+    snapshot is isolated (and picklable back to the parent) no matter
+    what the surrounding process had active.
+    """
+    global _registry
+    registry = MetricsRegistry()
+    saved = _registry
+    _registry = registry
+    try:
+        yield registry
+    finally:
+        _registry = saved

@@ -1,0 +1,96 @@
+"""Human-readable end-of-run summaries for the observability substrate.
+
+Self-contained text rendering (``repro.obs`` sits below the harness, so
+it cannot borrow :func:`repro.harness.render.render_table`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tracing import Tracer
+
+
+def _aligned(headers: Sequence[str], rows: Sequence[Sequence[str]],
+             title: str) -> List[str]:
+    cells = [list(headers)] + [list(row) for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = [title,
+             "  " + " | ".join(h.ljust(w)
+                               for h, w in zip(headers, widths)),
+             "  " + "-+-".join("-" * w for w in widths)]
+    for row in cells[1:]:
+        lines.append("  " + " | ".join(c.ljust(w)
+                                       for c, w in zip(row, widths)))
+    return lines
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics_summary(snapshot: Dict[str, Any]) -> str:
+    """Render a registry snapshot as aligned text tables."""
+    sections: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.extend(_aligned(
+            ["counter", "value"],
+            [(name, _fmt(counters[name])) for name in sorted(counters)],
+            "metrics: counters"))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append("")
+        sections.extend(_aligned(
+            ["gauge", "value"],
+            [(name, _fmt(gauges[name])) for name in sorted(gauges)],
+            "metrics: gauges"))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            data = histograms[name]
+            count = data["count"]
+            mean = data["sum"] / count if count else 0.0
+            rows.append((name, _fmt(count), _fmt(mean),
+                         _fmt(data["min"] if data["min"] is not None else 0),
+                         _fmt(data["max"] if data["max"] is not None else 0)))
+        sections.append("")
+        sections.extend(_aligned(
+            ["histogram", "count", "mean", "min", "max"], rows,
+            "metrics: histograms"))
+    if not sections:
+        return "metrics: (empty)"
+    return "\n".join(sections)
+
+
+def render_span_summary(tracer: Tracer, limit: int = 20) -> str:
+    """Aggregate completed spans by name: count, total and mean time."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for record in tracer.spans:
+        count, total = totals.get(record.name, (0, 0.0))
+        totals[record.name] = (count + 1, total + record.duration)
+    if not totals:
+        return "spans: (none recorded)"
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    rows = [(name, str(count), f"{total * 1e3:.2f}",
+             f"{total / count * 1e3:.3f}")
+            for name, (count, total) in ranked[:limit]]
+    lines = _aligned(["span", "count", "total ms", "mean ms"], rows,
+                     f"spans: {len(tracer.spans)} recorded, "
+                     f"top {min(limit, len(ranked))} by total time")
+    return "\n".join(lines)
+
+
+def render_summary(snapshot: Optional[Dict[str, Any]] = None,
+                   tracer: Optional[Tracer] = None) -> str:
+    """The full end-of-run observability summary the CLI prints."""
+    parts = []
+    if snapshot is not None:
+        parts.append(render_metrics_summary(snapshot))
+    if tracer is not None:
+        parts.append(render_span_summary(tracer))
+    return "\n\n".join(parts) if parts else "observability: nothing recorded"

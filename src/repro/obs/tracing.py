@@ -1,0 +1,156 @@
+"""Span-based tracing with JSONL and Chrome trace-event export.
+
+A :class:`Tracer` records wall-clock spans (``with tracer.span("engine.phase",
+phase=1): ...``) on a monotonic clock.  Spans nest naturally through
+the context-manager protocol; each completed span remembers its nesting
+depth so exports reconstruct a well-formed begin/end structure.
+
+Two export formats:
+
+* **JSONL** -- one JSON object per completed span (name, start/duration
+  in microseconds, depth, attributes); trivially greppable/joinable.
+* **Chrome trace-event format** -- matched ``B``/``E`` duration event
+  pairs under a ``traceEvents`` key, so a run opens directly in Perfetto
+  or ``chrome://tracing``.
+
+Timing uses ``time.perf_counter()`` exclusively: monotonic and the
+highest-resolution clock Python offers, the same clock every harness
+timer uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+_US = 1_000_000.0
+
+
+class SpanRecord:
+    """One completed span (times in seconds relative to the tracer epoch)."""
+
+    __slots__ = ("name", "start", "end", "depth", "attrs")
+
+    def __init__(self, name: str, start: float, end: float, depth: int,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        self.depth = depth
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _Span:
+    """Context manager that records a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._depth = tracer._depth
+        tracer._depth += 1
+        self._start = time.perf_counter() - tracer.epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = time.perf_counter() - tracer.epoch
+        tracer._depth -= 1
+        tracer.spans.append(SpanRecord(self.name, self._start, end,
+                                       self._depth, self.attrs))
+
+
+class Tracer:
+    """Collects spans for one process; export after the run."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self._depth = 0
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs or None)
+
+    # -- export ------------------------------------------------------------
+
+    def jsonl_lines(self) -> List[str]:
+        lines = []
+        for span in self.spans:
+            record: Dict[str, Any] = {
+                "name": span.name,
+                "start_us": round(span.start * _US, 1),
+                "dur_us": round(span.duration * _US, 1),
+                "depth": span.depth,
+            }
+            if span.attrs:
+                record["attrs"] = span.attrs
+            lines.append(json.dumps(record, sort_keys=True))
+        return lines
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line + "\n")
+
+    def chrome_trace_events(self, pid: Optional[int] = None) -> List[Dict]:
+        """Matched B/E duration-event pairs, Chrome trace-event format."""
+        if pid is None:
+            pid = os.getpid()
+        keyed = []
+        for span in self.spans:
+            begin: Dict[str, Any] = {
+                "name": span.name, "cat": "repro", "ph": "B",
+                "ts": round(span.start * _US, 1), "pid": pid, "tid": 0,
+            }
+            if span.attrs:
+                begin["args"] = span.attrs
+            end = {"name": span.name, "cat": "repro", "ph": "E",
+                   "ts": round(span.end * _US, 1), "pid": pid, "tid": 0}
+            # sort keys order begins outer-first and ends inner-first at
+            # identical timestamps, keeping the B/E nesting well-formed
+            keyed.append(((begin["ts"], 1, span.depth), begin))
+            keyed.append(((end["ts"], 0, -span.depth), end))
+        keyed.sort(key=lambda pair: pair[0])
+        return [event for _key, event in keyed]
+
+    def write_chrome_trace(self, path: str, pid: Optional[int] = None) -> None:
+        payload = {"traceEvents": self.chrome_trace_events(pid=pid),
+                   "displayTimeUnit": "ms"}
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()

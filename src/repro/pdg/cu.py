@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import repro.obs as obs
 from repro.machine.events import EV_LOAD, EV_STORE, Event
 from repro.pdg.dpdg import CONTROL, TRUE_LOCAL, TRUE_SHARED, Arc, DynamicPdg
 
@@ -95,6 +96,7 @@ def reference_cu_partition(pdg: DynamicPdg, tid: int) -> CuPartition:
     remaining: List[Arc] = [a for a in thread_arcs
                             if a.kind in (TRUE_LOCAL, CONTROL)]
 
+    crossing_cut = 0
     for shared in shared_arcs:
         y, x = shared.src, shared.dst  # y: the read (later), x: the write
         # Definition 1 (as depicted in the paper's Figure 4): a crossing
@@ -109,11 +111,13 @@ def reference_cu_partition(pdg: DynamicPdg, tid: int) -> CuPartition:
         pre_cut = [v for v in vertices if v < y]
         uf = _components(pre_cut, [a for a in remaining if a.src < y])
         x_root = uf.find(x)
+        before = len(remaining)
         remaining = [
             arc for arc in remaining
             if not (arc.src >= y and arc.dst < y
                     and uf.find(arc.dst) == x_root)
         ]
+        crossing_cut += before - len(remaining)
         # Definition 2 step 3: remove the shared arc itself (it was never
         # in `remaining`, which holds only local/control arcs).
 
@@ -127,4 +131,10 @@ def reference_cu_partition(pdg: DynamicPdg, tid: int) -> CuPartition:
         partition.members.setdefault(cu_id, []).append(v)
     for seqs in partition.members.values():
         seqs.sort()
+    if obs.metrics_enabled():
+        registry = obs.metrics()
+        registry.add("pdg.partitions")
+        registry.add("pdg.shared_arcs", len(shared_arcs))
+        registry.add("pdg.crossing_arcs_cut", crossing_cut)
+        registry.add("pdg.cus", len(partition.members))
     return partition

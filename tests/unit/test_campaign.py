@@ -145,6 +145,35 @@ class TestCrashIsolation:
             assert result.status != ""  # always a result, never a raise
 
 
+class TestCampaignObs:
+    def test_tasks_carry_obs_flag(self):
+        assert all(not t.obs for t in small_spec().tasks())
+        assert all(t.obs for t in small_spec(obs=True).tasks())
+
+    def test_serial_collects_snapshots(self):
+        report = run_campaign(small_spec(seeds=2, obs=True), workers=1)
+        assert all(r.obs is not None for r in report.results)
+        merged = report.merged_obs()
+        assert merged["counters"]["runner.runs"] == 4
+
+    def test_obs_json_byte_identical_across_worker_counts(self):
+        serial = run_campaign(small_spec(obs=True), workers=1)
+        parallel = run_campaign(small_spec(obs=True), workers=2)
+        assert serial.obs_json() is not None
+        assert serial.obs_json() == parallel.obs_json()
+
+    def test_no_obs_means_no_snapshots(self):
+        report = run_campaign(small_spec(seeds=1), workers=1)
+        assert all(r.obs is None for r in report.results)
+        assert report.merged_obs() is None
+        assert report.obs_json() is None
+
+    def test_worker_scope_does_not_leak_into_parent(self):
+        import repro.obs as obs
+        run_campaign(small_spec(seeds=1, obs=True), workers=1)
+        assert not obs.metrics_enabled()
+
+
 class TestBudget:
     def test_budget_skips_rather_than_hangs(self):
         spec = small_spec(seeds=40)

@@ -138,6 +138,60 @@ class TestCampaignCmd:
                      "--configs", "nope"]) == 2
 
 
+class TestObsFlags:
+    def test_run_obs_summary(self, capsys):
+        assert main(["run", "stringbuffer", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics: counters" in out
+        assert "engine.runs" in out
+        assert "spans:" in out
+
+    def test_run_engine_line_without_obs(self, capsys):
+        assert main(["run", "stringbuffer"]) == 0
+        out = capsys.readouterr().out
+        assert "stream pass(es)" in out
+
+    def test_run_metrics_out(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "metrics.json"
+        assert main(["run", "stringbuffer",
+                     "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["runner.runs"] == 1
+
+    def test_run_trace_out_chrome(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "trace.json"
+        assert main(["run", "stringbuffer", "--trace-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+        assert begins and len(begins) == len(ends)
+
+    def test_run_trace_out_jsonl(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "spans.jsonl"
+        assert main(["run", "stringbuffer", "--trace-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines and all("name" in json.loads(line) for line in lines)
+
+    def test_campaign_obs_metrics_out(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "campaign.json"
+        assert main(["campaign", "--workloads", "stringbuffer",
+                     "--seeds", "2", "--max-steps", "30000", "--quiet",
+                     "-j", "2", "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["runner.runs"] == 2
+        assert snapshot["counters"]["pool.tasks.ok"] == 2
+
+    def test_fuzz_obs(self, capsys):
+        assert main(["fuzz", "--budget", "0", "--programs", "2",
+                     "--seeds", "1", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz.programs" in out
+
+
 class TestFuzzCmd:
     def test_program_capped_fuzz(self, capsys):
         assert main(["fuzz", "--budget", "0", "--programs", "6",

@@ -1,0 +1,56 @@
+"""Worker-death forensics: a worker that dies outright must surface its
+exit code and captured stderr in the task's error outcome, bump the
+``pool.worker_crash`` counter, and never take the run down with it."""
+
+import os
+
+import repro.obs as obs
+from repro.harness.pool import parallel_map
+
+CRASH_MARKER = "pool-crash-last-words"
+
+
+def crashing_task(payload):
+    """Pool task that writes last words to fd 2 and dies without
+    returning (``os._exit`` skips exception handling entirely, like a
+    segfault; fd-level write because that is what the pool captures --
+    and what an aborting C runtime would do)."""
+    if payload == "crash":
+        os.write(2, (CRASH_MARKER + "\n").encode())
+        os._exit(3)
+    return payload * 2
+
+
+class TestWorkerCrashCapture:
+    def test_crash_becomes_error_with_stderr_tail(self):
+        outcomes = parallel_map(crashing_task,
+                                ["a", "crash", "b"], workers=2)
+        by_status = {}
+        for status, value in outcomes:
+            by_status.setdefault(status, []).append(value)
+        assert sorted(by_status["ok"]) == ["aa", "bb"]
+        [message] = by_status["error"]
+        assert "worker process died" in message
+        assert "exitcode 3" in message
+        assert CRASH_MARKER in message
+
+    def test_crash_counter_recorded(self):
+        with obs.session(tracing=False) as handle:
+            parallel_map(crashing_task, ["crash", "a"], workers=2)
+        counters = handle.registry.snapshot()["counters"]
+        assert counters["pool.worker_crash"] >= 1
+        assert counters["pool.tasks.error"] == 1
+        assert counters["pool.tasks.ok"] == 1
+
+    def test_stderr_scratch_files_cleaned_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+        monkeypatch.setattr(tempfile, "tempdir", None)  # re-read TMPDIR
+        parallel_map(crashing_task, ["a", "crash"], workers=2)
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.startswith("repro-pool-stderr-")]
+        assert leftovers == []
+
+    def test_inline_mode_unaffected(self):
+        outcomes = parallel_map(crashing_task, ["a", "b"], workers=1)
+        assert [status for status, _ in outcomes] == ["ok", "ok"]
