@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.faults.runtime as faults
 import repro.obs as obs
 from repro.core.online import OnlineSVD, SvdConfig
 from repro.isa.program import Program
@@ -43,6 +44,9 @@ class BerOutcome:
     wasted_steps: int
     total_steps: int
     crashed: bool
+    #: a region burned through its rollback budget and the run degraded
+    #: to serial execution from the last checkpoint onwards
+    budget_exhausted: bool = False
 
     @property
     def overhead_fraction(self) -> float:
@@ -65,6 +69,11 @@ class BerController:
             resuming the concurrent schedule.
         max_rollbacks: safety valve against livelock on a persistently
             reported (false-positive) site.
+        region_rollback_budget: how many rollbacks any single region
+            (identified by its first reporting statement) may trigger
+            before the controller stops re-trying concurrency there and
+            degrades to serial execution for the rest of the run --
+            forward progress guaranteed at the cost of parallelism.
     """
 
     def __init__(self, program: Program,
@@ -73,7 +82,8 @@ class BerController:
                  svd_config: Optional[SvdConfig] = None,
                  checkpoint_interval: int = 2000,
                  recovery_window: int = 4000,
-                 max_rollbacks: int = 50) -> None:
+                 max_rollbacks: int = 50,
+                 region_rollback_budget: int = 8) -> None:
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
         self.program = program
@@ -83,9 +93,20 @@ class BerController:
         self.checkpoint_interval = checkpoint_interval
         self.recovery_window = recovery_window
         self.max_rollbacks = max_rollbacks
+        self.region_rollback_budget = region_rollback_budget
         self.rollbacks = 0
         self.violations_seen = 0
         self.wasted_steps = 0
+        self.budget_exhausted = False
+        #: rollbacks charged per region (first reporting statement; -1
+        #: for injected storm rollbacks, which have no statement)
+        self._region_rollbacks: Dict[int, int] = {}
+        #: permanently serial after a budget exhaustion
+        self._serial_forever = False
+        # fault injection: pending forced-rollback steps, cheapest-first
+        plan = faults.active()
+        self._storm_steps: List[int] = (plan.ber_storm_steps()
+                                        if plan is not None else [])
         self._svd = self._fresh_svd()
 
     def _fresh_svd(self) -> OnlineSVD:
@@ -119,11 +140,32 @@ class BerController:
             registry.add("ber.wasted_steps", outcome.wasted_steps)
         return outcome
 
+    def _charge_region(self, region: int) -> None:
+        """Charge one rollback against ``region``'s budget; exhaustion
+        flips the run to serial-forever (degrade, don't livelock)."""
+        count = self._region_rollbacks.get(region, 0) + 1
+        self._region_rollbacks[region] = count
+        if count >= self.region_rollback_budget and not self._serial_forever:
+            self._serial_forever = True
+            self.budget_exhausted = True
+            obs.add("ber.budget_exhausted")
+
     def _run(self, max_steps: Optional[int] = None) -> BerOutcome:
         machine = self.machine
         snapshots: List[Dict] = [machine.checkpoint()]
         last_checkpoint_step = machine.steps
         serial_until = -1
+
+        def rollback(snapshot: Dict) -> None:
+            nonlocal snapshots, serial_until, last_checkpoint_step
+            self.rollbacks += 1
+            self.wasted_steps += machine.steps - snapshot["steps"]
+            machine.restore(snapshot)
+            snapshots = [snapshot]
+            self._svd = self._fresh_svd()
+            self.scheduler.serial_mode = True
+            serial_until = machine.steps + self.recovery_window
+            last_checkpoint_step = machine.steps
 
         while machine.status == MachineStatus.RUNNING:
             if max_steps is not None and machine.steps >= max_steps:
@@ -132,25 +174,31 @@ class BerController:
             if not machine.step():
                 break
 
-            if machine.steps >= serial_until and self.scheduler.serial_mode:
+            if (machine.steps >= serial_until and self.scheduler.serial_mode
+                    and not self._serial_forever):
                 self.scheduler.serial_mode = False
 
+            # injected rollback storm: each pending entry at or below the
+            # current step forces one rollback (the rewind re-arms the
+            # next entry at the same step, so a count-k storm is k
+            # consecutive rollbacks of the same region)
+            if (self._storm_steps and machine.steps >= self._storm_steps[0]
+                    and self.rollbacks < self.max_rollbacks):
+                self._storm_steps.pop(0)
+                self._charge_region(-1)
+                rollback(snapshots[-1])
+                continue
+
             if self._svd.report.dynamic_count > 0:
-                self.violations_seen += self._svd.report.dynamic_count
+                report = self._svd.report
+                self.violations_seen += report.dynamic_count
                 if self.rollbacks >= self.max_rollbacks:
                     # give up on recovery; run on undetected (as a real
                     # deployment would after exhausting its rollback budget)
                     self._svd = self._fresh_svd()
                     continue
-                self.rollbacks += 1
-                snapshot = self._rollback_target(snapshots, self._svd.report)
-                self.wasted_steps += machine.steps - snapshot["steps"]
-                machine.restore(snapshot)
-                snapshots = [snapshot]
-                self._svd = self._fresh_svd()
-                self.scheduler.serial_mode = True
-                serial_until = machine.steps + self.recovery_window
-                last_checkpoint_step = machine.steps
+                self._charge_region(report.violations[0].loc)
+                rollback(self._rollback_target(snapshots, report))
                 continue
 
             if (machine.steps - last_checkpoint_step >= self.checkpoint_interval
@@ -167,4 +215,5 @@ class BerController:
             wasted_steps=self.wasted_steps,
             total_steps=machine.steps + self.wasted_steps,
             crashed=machine.crashed,
+            budget_exhausted=self.budget_exhausted,
         )

@@ -41,6 +41,25 @@ from repro.workloads import (WORKLOADS, apache_log, mysql_prepared,
 _FIXABLE = {"apache": apache_log, "mysql-prepared": mysql_prepared,
             "stringbuffer": stringbuffer, "queue-region": queue_region}
 
+# Exit codes, used consistently by run/campaign/fuzz/analyze:
+#   0 -- ran to completion, nothing reported
+#   1 -- ran to completion, detectors reported violations (or the fuzz
+#        oracle found a genuine bug)
+#   2 -- usage error: bad flags, unreadable or malformed input
+#   3 -- produced a result, but degraded: analyses quarantined, trace
+#        records salvaged/lost, or campaign runs failed/timed out.
+#        Degraded beats violations -- a partial report is suspect first.
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+
+
+def _exit_code(violations: bool, degraded: bool) -> int:
+    if degraded:
+        return EXIT_DEGRADED
+    return EXIT_VIOLATIONS if violations else EXIT_OK
+
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("observability")
@@ -98,6 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      "'all') multiplexed over one execution by the "
                      "engine; available: " + ", ".join(available()))
     run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.add_argument("--inject", default=None, metavar="PLAN",
+                     help="fault-plan JSON file (see docs/robustness.md); "
+                     "stream faults perturb the event stream, analysis "
+                     "faults exercise engine quarantine, trace faults "
+                     "round-trip the run through a corrupted trace file "
+                     "and the salvaging reader")
     _add_obs_flags(run)
 
     execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
@@ -129,6 +154,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--variable", default=None,
                          help="with --detector queries: variable history "
                          "to print")
+    analyze.add_argument("--salvage", action="store_true",
+                         help="recover what the framing checksums can "
+                         "vouch for from a damaged trace instead of "
+                         "failing on the first bad record")
 
     replay = sub.add_parser(
         "replay", help="replay a schedule recording with detectors")
@@ -177,6 +206,19 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--budget", type=float, default=None,
                       help="campaign wall-clock budget in seconds; "
                       "undispatched runs are marked skipped")
+    camp.add_argument("--journal", default=None, metavar="DIR",
+                      help="checkpoint every finished run to an atomic "
+                      "journal in DIR (resume later with --resume DIR)")
+    camp.add_argument("--resume", default=None, metavar="DIR",
+                      help="resume an interrupted campaign from its "
+                      "journal; already-journaled runs are skipped and "
+                      "the merged output is identical to an "
+                      "uninterrupted run")
+    camp.add_argument("--retries", type=int, default=0,
+                      help="re-dispatch a crashed/timed-out run up to N "
+                      "times before recording the failure")
+    camp.add_argument("--retry-backoff", type=float, default=0.0,
+                      help="seconds before retry k runs (scaled by k)")
     camp.add_argument("--no-frd", action="store_true",
                       help="skip the FRD comparison pass")
     camp.add_argument("--detectors", default=None, metavar="NAMES",
@@ -208,6 +250,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--save-corpus", default=None, metavar="DIR",
                       help="write up to 10 violating programs as a "
                       "seed corpus")
+    fuzz.add_argument("--faults", action="store_true",
+                      help="fault-matrix mode: probe each generated "
+                      "program's recorded trace under every single-fault "
+                      "plan and check the degradation oracle (no "
+                      "uncaught exceptions, quarantine isolates the "
+                      "targeted analysis)")
     _add_obs_flags(fuzz)
     return parser
 
@@ -222,50 +270,99 @@ def _parse_threads(specs: Sequence[str]) -> List:
 
 
 def _cmd_run(args) -> int:
+    plan = None
+    if args.inject:
+        from repro.faults import FaultPlan
+        try:
+            plan = FaultPlan.load(args.inject)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(plan.describe(), file=sys.stderr)
     if not _obs_active(args):
-        return _run_workload_cmd(args)
+        return _run_workload_cmd(args, plan)
     with obs.session() as handle:
-        code = _run_workload_cmd(args)
+        code = _run_workload_cmd(args, plan)
     _obs_emit(args, handle.registry.snapshot(), handle.tracer)
     return code
 
 
-def _run_workload_cmd(args) -> int:
+def _print_failures(failures) -> None:
+    for failure in failures:
+        print(f"DEGRADED: {failure.describe()}", file=sys.stderr)
+
+
+def _trace_round_trip(trace, program, plan) -> bool:
+    """Demonstrate the ``trace.*`` faults in ``plan``: save the recorded
+    trace, corrupt the file as planned, salvage-load it back.  Returns
+    True when records were skipped or lost (a degraded result)."""
+    import tempfile
+
+    from repro.faults.inject import corrupt_trace_file
+    from repro.trace import Trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-inject-") as tmp:
+        path = f"{tmp}/run.trace"
+        trace.save(path)
+        corrupt_trace_file(path, plan)
+        _salvaged, report = Trace.salvage_load(path, program)
+        print()
+        print(report.describe())
+        return not report.clean
+
+
+def _run_workload_cmd(args, plan=None) -> int:
+    import repro.faults.runtime as faults
+
     if args.fixed:
         factory = _FIXABLE.get(args.workload)
         if factory is None:
             print(f"workload {args.workload!r} has no patched variant",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         workload = factory(fixed=True)
     else:
         workload = WORKLOADS[args.workload]()
     print(f"workload: {workload.description}")
+    keep_trace = plan is not None and bool(plan.trace_faults())
 
     if args.detectors:
         try:
             names = parse_detector_list(args.detectors)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
-            return 2
-        engine = DetectorEngine(workload.program, names)
-        machine = workload.make_machine(
-            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
-        result = engine.run_machine(machine, max_steps=args.max_steps)
+            return EXIT_USAGE
+        with faults.install(plan):
+            engine = DetectorEngine(workload.program, names)
+            machine = workload.make_machine(
+                RandomScheduler(seed=args.seed,
+                                switch_prob=args.switch_prob))
+            result = engine.run_machine(machine, max_steps=args.max_steps,
+                                        keep_trace=keep_trace)
         print(f"outcome : {workload.validate(machine).detail}")
         print(f"status  : {result.status}, {result.end_seq} events, "
               f"{result.stats.stream_passes} stream pass(es) for "
               f"{len(result.requested)} detector(s)")
+        violations = False
         for name in result.requested:
             print()
-            print(result.report(name).describe())
-        return 0
+            report = result.report(name)
+            violations = violations or report.dynamic_count > 0
+            print(report.describe())
+        degraded = result.degraded
+        _print_failures(result.failures.values())
+        if keep_trace and result.trace is not None:
+            degraded = _trace_round_trip(result.trace, workload.program,
+                                         plan) or degraded
+        return _exit_code(violations, degraded)
 
     if args.detector in ("svd", "all"):
-        result = run_workload(workload, seed=args.seed,
-                              switch_prob=args.switch_prob,
-                              max_steps=args.max_steps,
-                              run_frd=args.detector == "all")
+        with faults.install(plan):
+            result = run_workload(workload, seed=args.seed,
+                                  switch_prob=args.switch_prob,
+                                  max_steps=args.max_steps,
+                                  run_frd=args.detector == "all",
+                                  keep_trace=keep_trace)
         print(f"outcome : {result.outcome.detail}")
         print(f"status  : {result.status}, "
               f"{result.instructions} instructions, "
@@ -282,16 +379,33 @@ def _run_workload_cmd(args) -> int:
             print(result.frd_report.describe())
         print()
         print(result.log.describe(limit=5))
-        return 0
+        violations = any(r.dynamic_count > 0
+                         for r in result.reports.values())
+        degraded = result.engine is not None and result.engine.degraded
+        if result.engine is not None:
+            _print_failures(result.engine.failures.values())
+        if (keep_trace and result.engine is not None
+                and result.engine.trace is not None):
+            degraded = _trace_round_trip(result.engine.trace,
+                                         workload.program, plan) or degraded
+        return _exit_code(violations, degraded)
 
     # any other single detector resolves through the same registry
-    engine = DetectorEngine(workload.program, [args.detector])
-    machine = workload.make_machine(
-        RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
-    result = engine.run_machine(machine, max_steps=args.max_steps)
+    with faults.install(plan):
+        engine = DetectorEngine(workload.program, [args.detector])
+        machine = workload.make_machine(
+            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
+        result = engine.run_machine(machine, max_steps=args.max_steps,
+                                    keep_trace=keep_trace)
     print(f"outcome : {workload.validate(machine).detail}")
-    print(result.report(result.requested[0]).describe())
-    return 0
+    report = result.report(result.requested[0])
+    print(report.describe())
+    degraded = result.degraded
+    _print_failures(result.failures.values())
+    if keep_trace and result.trace is not None:
+        degraded = _trace_round_trip(result.trace, workload.program,
+                                     plan) or degraded
+    return _exit_code(report.dynamic_count > 0, degraded)
 
 
 def _cmd_exec(args) -> int:
@@ -300,12 +414,12 @@ def _cmd_exec(args) -> int:
             source = fh.read()
     except OSError as exc:
         print(f"cannot read {args.source}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         program = compile_source(source)
     except LangError as exc:
         print(f"compile error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     threads = _parse_threads(args.thread)
     if not threads:
         threads = [(name, ()) for name, spec in program.threads.items()
@@ -313,7 +427,7 @@ def _cmd_exec(args) -> int:
         if not threads:
             print("no --thread given and every thread body takes "
                   "parameters", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     detector = OnlineSVD(program) if args.svd else None
     observers = [detector] if detector else []
     recorder = None
@@ -359,12 +473,12 @@ def _cmd_compile(args) -> int:
             source = fh.read()
     except OSError as exc:
         print(f"cannot read {args.source}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         program = compile_source(source)
     except LangError as exc:
         print(f"compile error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     if args.stats:
         rows = [(name, spec.entry, spec.frame_words, spec.reg_count)
                 for name, spec in program.threads.items()]
@@ -405,18 +519,29 @@ def _cmd_analyze(args) -> int:
             source = fh.read()
     except OSError as exc:
         print(f"cannot read {args.source}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         program = compile_source(source)
     except LangError as exc:
         print(f"compile error: {exc}", file=sys.stderr)
-        return 1
-    from repro.trace import Trace, TraceQuery
+        return EXIT_USAGE
+    from repro.trace import Trace, TraceLoadError, TraceQuery
+    degraded = False
     try:
-        trace = Trace.load(args.trace, program)
+        if args.salvage:
+            trace, salvage = Trace.salvage_load(args.trace, program)
+            print(salvage.describe())
+            degraded = not salvage.clean
+        else:
+            trace = Trace.load(args.trace, program)
+    except TraceLoadError as exc:
+        print(str(exc), file=sys.stderr)
+        print("hint: --salvage recovers the readable records from a "
+              "damaged trace", file=sys.stderr)
+        return EXIT_USAGE
     except OSError as exc:
         print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(f"loaded {len(trace)} events, {trace.n_threads} threads")
     if args.detector == "queries":
         query = TraceQuery(trace)
@@ -424,18 +549,22 @@ def _cmd_analyze(args) -> int:
         if args.variable:
             print()
             print(query.render_history(args.variable))
-        return 0
+        return _exit_code(False, degraded)
     try:
         names = parse_detector_list(args.detector)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     result = DetectorEngine(program, names).run_trace(trace)
+    violations = False
     for i, name in enumerate(result.requested):
         if i:
             print()
-        print(result.report(name).describe())
-    return 0
+        report = result.report(name)
+        violations = violations or report.dynamic_count > 0
+        print(report.describe())
+    _print_failures(result.failures.values())
+    return _exit_code(violations, degraded or result.degraded)
 
 
 def _cmd_replay(args) -> int:
@@ -444,18 +573,18 @@ def _cmd_replay(args) -> int:
             source = fh.read()
     except OSError as exc:
         print(f"cannot read {args.source}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         program = compile_source(source)
     except LangError as exc:
         print(f"compile error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     from repro.machine import Recording, replay_execution
     try:
         recording = Recording.load(args.recording)
     except OSError as exc:
         print(f"cannot read {args.recording}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     detector = OnlineSVD(program) if args.svd else None
     try:
         machine = replay_execution(
@@ -463,7 +592,7 @@ def _cmd_replay(args) -> int:
             observers=[detector] if detector else [])
     except ValueError as exc:
         print(f"replay failed: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     print(f"replayed {machine.steps} steps deterministically "
           f"(status {machine.status})")
     for crash in machine.crashes:
@@ -488,14 +617,14 @@ def _cmd_campaign(args) -> int:
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     configs = []
     for cname in args.configs.split(","):
         cname = cname.strip()
         if cname not in NAMED_CONFIGS:
             print(f"unknown config {cname!r} (choose from "
                   f"{', '.join(sorted(NAMED_CONFIGS))})", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         config = NAMED_CONFIGS[cname]()
         config.switch_prob = args.switch_prob
         config.max_steps = args.max_steps
@@ -506,12 +635,18 @@ def _cmd_campaign(args) -> int:
                     parse_detector_list(args.detectors))
             except KeyError as exc:
                 print(exc.args[0], file=sys.stderr)
-                return 2
+                return EXIT_USAGE
         configs.append(config)
+    if args.journal and args.resume:
+        print("--journal starts a fresh journal, --resume continues one; "
+              "give only the one you mean", file=sys.stderr)
+        return EXIT_USAGE
+    journal_dir = args.resume or args.journal
     spec = CampaignSpec(
         workloads=[WorkloadSpec(name=n) for n in names],
         configs=configs, seeds=args.seeds,
         master_seed=args.master_seed, task_timeout=args.timeout,
+        task_retries=args.retries, retry_backoff=args.retry_backoff,
         obs=_obs_active(args))
     total = len(names) * len(configs) * args.seeds
     done = [0]
@@ -527,14 +662,24 @@ def _cmd_campaign(args) -> int:
         print(f"[{done[0]}/{total}] {result.workload}/{result.config} "
               f"seed#{result.seed_index} -> {note}", file=sys.stderr)
 
-    if spec.obs:
-        with obs.session() as handle:
+    from repro.harness.journal import JournalError
+    try:
+        if spec.obs:
+            with obs.session() as handle:
+                report = run_campaign(spec, workers=args.workers,
+                                      budget=args.budget,
+                                      on_result=progress,
+                                      journal_dir=journal_dir,
+                                      resume=bool(args.resume))
+        else:
+            handle = None
             report = run_campaign(spec, workers=args.workers,
-                                  budget=args.budget, on_result=progress)
-    else:
-        handle = None
-        report = run_campaign(spec, workers=args.workers,
-                              budget=args.budget, on_result=progress)
+                                  budget=args.budget, on_result=progress,
+                                  journal_dir=journal_dir,
+                                  resume=bool(args.resume))
+    except JournalError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     print(report.render_metrics())
     if args.table2:
         print()
@@ -555,7 +700,9 @@ def _cmd_campaign(args) -> int:
         snapshots = ([merged] if merged is not None else [])
         snapshots.append(handle.registry.snapshot())
         _obs_emit(args, obs.merge_snapshots(snapshots), handle.tracer)
-    return 0
+    violations = any(r.ok and r.svd.dynamic_total > 0
+                     for r in report.results)
+    return _exit_code(violations, bool(failed))
 
 
 def _cmd_fuzz(args) -> int:
@@ -577,17 +724,18 @@ def _run_fuzz_cmd(args) -> int:
                           probes_per_program=args.seeds,
                           workers=args.workers,
                           master_seed=args.master_seed,
-                          minimize=args.minimize)
+                          minimize=args.minimize,
+                          fault_mode=args.faults)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(report.describe())
     if args.corpus:
         try:
             entries = load_corpus(args.corpus)
         except OSError as exc:
             print(f"cannot read corpus: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         hits = rediscovered(report, entries)
         print(f"corpus: rediscovered {len(hits)}/{len(entries)} entries")
         for entry in hits:
@@ -595,11 +743,18 @@ def _run_fuzz_cmd(args) -> int:
     if args.save_corpus:
         entries = save_corpus(args.save_corpus, report.findings)
         print(f"saved {len(entries)} corpus entries to {args.save_corpus}")
-    if report.stats.replay_divergences:
+    stats = report.stats
+    if stats.replay_divergences:
         print("FAIL: live and trace-replayed online SVD disagreed "
-              f"{report.stats.replay_divergences} time(s)", file=sys.stderr)
-        return 1
-    return 0
+              f"{stats.replay_divergences} time(s)", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    if stats.fault_crashes or stats.fault_isolation_breaks:
+        print(f"FAIL: fault oracle: {stats.fault_crashes} uncaught "
+              f"crash(es), {stats.fault_isolation_breaks} isolation "
+              f"break(s)", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    # worker errors mean probes were silently lost: a degraded session
+    return _exit_code(False, stats.errors > 0)
 
 
 _COMMANDS = {

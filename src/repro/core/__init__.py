@@ -27,7 +27,7 @@ from repro.core.hwmodel import HwCostParams, HwEstimate, estimate_hardware_cost
 from repro.core.timeline import render_cu_timeline
 from repro.core.offline import OfflineSVD, OfflineResult
 from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
-from repro.core.report import Violation, ViolationReport
+from repro.core.report import AnalysisFailure, Violation, ViolationReport
 
 __all__ = [
     "IDLE", "LOADED", "LOADED_SHARED", "STORED", "STORED_SHARED",

@@ -15,6 +15,38 @@ from repro.isa.program import Program
 
 
 @dataclass(frozen=True)
+class AnalysisFailure:
+    """One quarantined analysis: the structured record of an analysis
+    that raised mid-run and was isolated by the engine while the
+    remaining analyses completed the pass.
+
+    Attributes:
+        analysis: name of the analysis that raised.
+        phase: engine phase index it was running in.
+        stage: where it raised -- "start", "event", "finish" or "result".
+        event_index: events read in that phase when it raised (-1 when
+            the failure was outside event dispatch).
+        seq: program-trace position of the offending event (-1 likewise).
+        error: ``TypeName: message`` of the exception.
+        traceback_text: full traceback, for forensics.
+    """
+
+    analysis: str
+    phase: int
+    stage: str
+    event_index: int
+    seq: int
+    error: str
+    traceback_text: str = ""
+
+    def describe(self) -> str:
+        where = (f"event {self.event_index} (seq {self.seq})"
+                 if self.event_index >= 0 else self.stage)
+        return (f"analysis {self.analysis!r} quarantined in phase "
+                f"{self.phase} at {where}: {self.error}")
+
+
+@dataclass(frozen=True)
 class Violation:
     """One dynamic detector report.
 
@@ -62,6 +94,10 @@ class ViolationReport:
         #: this report, attached by the engine so pass counts travel with
         #: the report; None when the detector ran standalone
         self.engine_stats = None
+        #: :class:`AnalysisFailure` records of the run that produced this
+        #: report (all quarantined analyses, not just this detector),
+        #: attached by the engine; empty for a clean run
+        self.failures: List[AnalysisFailure] = []
 
     def add(self, violation: Violation) -> None:
         self.violations.append(violation)
@@ -97,6 +133,11 @@ class ViolationReport:
     @property
     def dynamic_count(self) -> int:
         return len(self.violations)
+
+    @property
+    def degraded(self) -> bool:
+        """Did the producing run quarantine any analysis?"""
+        return bool(self.failures)
 
     @property
     def static_keys(self) -> Set[Tuple[str, int]]:

@@ -43,12 +43,15 @@ is byte-for-byte the uninstrumented dispatch.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import repro.faults.runtime as faults
 import repro.obs as obs
-from repro.core.report import ViolationReport
+from repro.core.report import AnalysisFailure, ViolationReport
 from repro.engine.analysis import Analysis
+from repro.faults.inject import RaisingCallback
 from repro.machine.events import KIND_NAMES, MachineObserver, N_KINDS
 from repro.trace.trace import Trace, TraceRecorder
 
@@ -57,19 +60,50 @@ class EngineError(Exception):
     """Misconfigured engine: unknown detector, dependency cycle, reuse."""
 
 
-class _PhaseDispatcher(MachineObserver):
-    """Routes one phase's events through a per-kind callback table."""
+def _failure(analysis_name: str, phase: int, stage: str, event_index: int,
+             seq: int, exc: BaseException) -> AnalysisFailure:
+    return AnalysisFailure(
+        analysis=analysis_name, phase=phase, stage=stage,
+        event_index=event_index, seq=seq,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback_text=traceback.format_exc())
 
-    def __init__(self, analyses: Sequence[Analysis]) -> None:
+
+class _PhaseDispatcher(MachineObserver):
+    """Routes one phase's events through a per-kind callback table.
+
+    An analysis whose callback raises is *quarantined*: its callbacks
+    are dropped from the table, an :class:`AnalysisFailure` is recorded
+    in :attr:`failures`, and the event continues to the remaining
+    callbacks.  The hot loop pays nothing for this until an exception
+    actually occurs (one ``try`` around the dispatch loop; CPython 3.11
+    zero-cost exceptions).
+    """
+
+    def __init__(self, analyses: Sequence[Analysis],
+                 phase_index: int = 0) -> None:
         handlers: List[List] = [[] for _ in range(N_KINDS)]
+        owners: Dict[int, Analysis] = {}
+        plan = faults.active()
+        raise_faults = ({f.target: f for f in plan.analysis_faults()}
+                        if plan is not None else {})
         for analysis in analyses:
+            callback = analysis.on_event
+            fault = raise_faults.get(analysis.name)
+            if fault is not None:
+                callback = RaisingCallback(fault, callback)
+            owners[id(callback)] = analysis
             kinds = (range(N_KINDS) if analysis.interests is None
                      else analysis.interests)
             for kind in kinds:
-                handlers[kind].append(analysis.on_event)
+                handlers[kind].append(callback)
         self.handlers = handlers
+        self.phase_index = phase_index
         self.events_read = 0
         self.events_dispatched = 0
+        self._owners = owners
+        #: analysis name -> AnalysisFailure, in quarantine order
+        self.failures: Dict[str, AnalysisFailure] = {}
 
     @property
     def any_subscribers(self) -> bool:
@@ -80,15 +114,43 @@ class _PhaseDispatcher(MachineObserver):
         callbacks = self.handlers[event.kind]
         if callbacks:
             self.events_dispatched += len(callbacks)
-            for callback in callbacks:
+            try:
+                for callback in callbacks:
+                    callback(event)
+            except Exception as exc:
+                self._absorb(callbacks, callback, event, exc)
+
+    def _absorb(self, callbacks: List, failed, event,
+                exc: Exception) -> None:
+        """Quarantine the raising callback, then finish delivering the
+        event to the callbacks after it (equally guarded)."""
+        index = next(i for i, cb in enumerate(callbacks) if cb is failed)
+        self._quarantine(failed, event, exc)
+        for callback in callbacks[index + 1:]:
+            try:
                 callback(event)
+            except Exception as later_exc:
+                self._quarantine(callback, event, later_exc)
+
+    def _quarantine(self, callback, event, exc: Exception) -> None:
+        analysis = self._owners[id(callback)]
+        self.failures[analysis.name] = _failure(
+            analysis.name, self.phase_index, "event",
+            self.events_read - 1, event.seq, exc)
+        obs.add("engine.analysis_quarantined")
+        # rebuild the table as NEW list objects so any in-flight
+        # iteration over the old lists is unaffected
+        dead = id(callback)
+        self.handlers = [[cb for cb in lst if id(cb) != dead]
+                         for lst in self.handlers]
 
 
 class _CountingPhaseDispatcher(_PhaseDispatcher):
     """Per-event-kind accounting, selected only while metrics are on."""
 
-    def __init__(self, analyses: Sequence[Analysis]) -> None:
-        super().__init__(analyses)
+    def __init__(self, analyses: Sequence[Analysis],
+                 phase_index: int = 0) -> None:
+        super().__init__(analyses, phase_index)
         self.kind_counts = [0] * N_KINDS
 
     def on_event(self, event) -> None:
@@ -97,14 +159,18 @@ class _CountingPhaseDispatcher(_PhaseDispatcher):
         callbacks = self.handlers[event.kind]
         if callbacks:
             self.events_dispatched += len(callbacks)
-            for callback in callbacks:
-                callback(event)
+            try:
+                for callback in callbacks:
+                    callback(event)
+            except Exception as exc:
+                self._absorb(callbacks, callback, event, exc)
 
 
-def _make_dispatcher(analyses: Sequence[Analysis]) -> _PhaseDispatcher:
+def _make_dispatcher(analyses: Sequence[Analysis],
+                     phase_index: int = 0) -> _PhaseDispatcher:
     if obs.metrics_enabled():
-        return _CountingPhaseDispatcher(analyses)
-    return _PhaseDispatcher(analyses)
+        return _CountingPhaseDispatcher(analyses, phase_index)
+    return _PhaseDispatcher(analyses, phase_index)
 
 
 @dataclass
@@ -153,6 +219,14 @@ class EngineResult:
     trace: Optional[Trace] = None
     #: machine status for live runs, None for trace replays
     status: Optional[str] = None
+    #: analyses quarantined during the run (name -> failure record);
+    #: empty for a clean run
+    failures: Dict[str, AnalysisFailure] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Did any analysis get quarantined?"""
+        return bool(self.failures)
 
     def analysis(self, name: str) -> Analysis:
         return self.analyses[name]
@@ -189,6 +263,8 @@ class DetectorEngine:
         self._analyses: Dict[str, Analysis] = {}
         self._requested: List[str] = []
         self._used = False
+        #: quarantined analyses, accumulated across phases
+        self._failures: Dict[str, AnalysisFailure] = {}
         for detector in detectors:
             self.add(detector)
 
@@ -282,9 +358,8 @@ class DetectorEngine:
             recorder = TraceRecorder(self.program, n_threads)
             machine.add_observer(recorder)
 
-        for analysis in phases[0]:
-            analysis.start(n_threads)
-        dispatcher = _make_dispatcher(phases[0])
+        started = self._start_phase(phases[0], 0, n_threads)
+        dispatcher = _make_dispatcher(started, 0)
         machine.add_observer(dispatcher)
         with obs.span("engine.phase", phase=0,
                       analyses="+".join(a.name for a in phases[0])):
@@ -292,7 +367,7 @@ class DetectorEngine:
                 status = machine.run(max_steps=max_steps)
             end_seq = machine.seq
             trace = recorder.trace() if recorder is not None else None
-            self._finish_phase(phases[0], dispatcher, stats, 0, end_seq,
+            self._finish_phase(started, dispatcher, stats, 0, end_seq,
                                trace)
 
         for index, analyses in enumerate(phases[1:], start=1):
@@ -305,6 +380,12 @@ class DetectorEngine:
         """Replay a recorded trace as the shared event stream."""
         phases = self._begin()
         stats = EngineStats()
+        plan = faults.active()
+        if plan is not None and plan.stream_faults():
+            # transform once, so every phase replays the same faulted
+            # stream (a per-phase injector would re-roll per pass)
+            from repro.faults.inject import apply_to_trace
+            trace = apply_to_trace(trace, plan)
         end_seq = trace.end_seq
         for index, analyses in enumerate(phases):
             self._run_phase(analyses, trace, stats, index, end_seq,
@@ -322,34 +403,62 @@ class DetectorEngine:
             raise EngineError("no analyses registered")
         return self._phases()
 
+    def _start_phase(self, analyses: List[Analysis], index: int,
+                     n_threads: int) -> List[Analysis]:
+        """Start a phase's analyses; one that raises in ``start`` is
+        quarantined before it ever joins the dispatch table.  Returns
+        the survivors."""
+        started: List[Analysis] = []
+        for analysis in analyses:
+            try:
+                analysis.start(n_threads)
+            except Exception as exc:
+                self._failures[analysis.name] = _failure(
+                    analysis.name, index, "start", -1, -1, exc)
+                obs.add("engine.analysis_quarantined")
+            else:
+                started.append(analysis)
+        return started
+
     def _run_phase(self, analyses: List[Analysis], trace: Trace,
                    stats: EngineStats, index: int, end_seq: int,
                    n_threads: int) -> None:
         with obs.span("engine.phase", phase=index,
                       analyses="+".join(a.name for a in analyses)):
-            for analysis in analyses:
-                analysis.start(n_threads)
-            dispatcher = _make_dispatcher(analyses)
+            started = self._start_phase(analyses, index, n_threads)
+            dispatcher = _make_dispatcher(started, index)
             if dispatcher.any_subscribers:
                 on_event = dispatcher.on_event
                 for event in trace:
                     on_event(event)
-            self._finish_phase(analyses, dispatcher, stats, index, end_seq,
+            self._finish_phase(started, dispatcher, stats, index, end_seq,
                                trace)
 
     def _finish_phase(self, analyses: List[Analysis],
                       dispatcher: _PhaseDispatcher, stats: EngineStats,
                       index: int, end_seq: int,
                       trace: Optional[Trace]) -> None:
+        # analyses quarantined mid-dispatch are in an unknown internal
+        # state: record their failures and skip their finish()
+        self._failures.update(dispatcher.failures)
         for analysis in analyses:
-            if analysis.wants_trace:
-                if trace is None:
-                    raise EngineError(
-                        f"{analysis.name} needs the full trace but no "
-                        f"recording was made")
-                analysis.set_trace(trace)
-            with obs.span("analysis.finish", analysis=analysis.name):
-                analysis.finish(end_seq)
+            if analysis.name in self._failures:
+                continue
+            try:
+                if analysis.wants_trace:
+                    if trace is None:
+                        raise EngineError(
+                            f"{analysis.name} needs the full trace but no "
+                            f"recording was made")
+                    analysis.set_trace(trace)
+                with obs.span("analysis.finish", analysis=analysis.name):
+                    analysis.finish(end_seq)
+            except EngineError:
+                raise  # engine misconfiguration, not an analysis fault
+            except Exception as exc:
+                self._failures[analysis.name] = _failure(
+                    analysis.name, index, "finish", -1, -1, exc)
+                obs.add("engine.analysis_quarantined")
         stats.phases.append(PhaseStats(
             index=index,
             analyses=tuple(a.name for a in analyses),
@@ -385,10 +494,19 @@ class DetectorEngine:
                 status: Optional[str]) -> EngineResult:
         reports: Dict[str, ViolationReport] = {}
         for name in self._requested:
-            report = self._analyses[name].result()
+            try:
+                report = self._analyses[name].result()
+            except Exception as exc:
+                if name not in self._failures:
+                    self._failures[name] = _failure(
+                        name, -1, "result", -1, -1, exc)
+                continue
             if report is not None:
                 report.engine_stats = stats
                 reports[name] = report
+        failure_list = list(self._failures.values())
+        for report in reports.values():
+            report.failures = failure_list
         if obs.metrics_enabled():
             registry = obs.metrics()
             registry.add("engine.runs")
@@ -400,4 +518,5 @@ class DetectorEngine:
             stats=stats,
             end_seq=end_seq,
             trace=trace,
-            status=status)
+            status=status,
+            failures=dict(self._failures))

@@ -1,0 +1,198 @@
+"""Injectors: where a :class:`FaultPlan` actually touches the system.
+
+Four hook families, matching the plan's site families:
+
+* :class:`StreamInjector` -- wraps the machine's event fan-out
+  (``Machine._emit``), transforming the event stream in flight;
+  :func:`apply_to_trace` is the same transformation over an already
+  recorded :class:`repro.trace.Trace` (applied once, so a multi-phase
+  engine replay sees one consistently faulted stream, not a re-roll
+  per phase).
+* :class:`RaisingCallback` -- wraps one analysis's ``on_event`` so it
+  raises :class:`InjectedFault` at the Nth event dispatched to it; the
+  engine's quarantine path must absorb it.
+* :func:`corrupt_trace_file` -- scribbles over / truncates records of
+  a *saved* trace file, to exercise the salvaging reader.
+* :func:`apply_worker_fault` -- run inside a pool worker child just
+  before a task: crash (``os._exit``), hang (sleep past any timeout),
+  or slow (brief sleep).
+
+Everything here is deterministic: corruption bytes come from
+``plan.corruption_rng(position)``, never ambient randomness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Tuple
+
+from repro.faults.plan import Fault, FaultPlan, InjectedFault
+from repro.machine.events import Event
+
+__all__ = ["StreamInjector", "RaisingCallback", "apply_to_trace",
+           "corrupt_trace_file", "apply_worker_fault", "InjectedFault"]
+
+
+def _corrupted_copy(event: Event, plan: FaultPlan, position: int) -> Event:
+    """A mutated copy of ``event``: seeded scribble over value and (for
+    memory accesses) address -- the kinds of damage a lost DMA or torn
+    write would do to a trace record."""
+    rng = plan.corruption_rng(position)
+    addr = event.addr
+    if addr >= 0:
+        addr = rng.randrange(0, max(2 * addr + 2, 64))
+    value = event.value ^ rng.getrandbits(16)
+    return Event(event.kind, event.seq, event.tid, event.pc, event.instr,
+                 addr=addr, value=value, taken=event.taken,
+                 target=event.target)
+
+
+class StreamInjector:
+    """Transforms a live event stream according to the plan's
+    ``stream.*`` faults, addressed by emission ordinal (0-based count of
+    events emitted, which unlike ``event.seq`` never rewinds under BER
+    rollback)."""
+
+    __slots__ = ("_plan", "_by_ordinal", "_truncate_at", "_ordinal",
+                 "_dead")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._by_ordinal = {}
+        self._truncate_at = None
+        for fault in plan.stream_faults():
+            if fault.site == "stream.truncate":
+                if (self._truncate_at is None
+                        or fault.at < self._truncate_at):
+                    self._truncate_at = fault.at
+            else:
+                self._by_ordinal[fault.at] = fault
+        self._ordinal = 0
+        self._dead = False
+
+    def transform(self, event: Event) -> Tuple[Event, ...]:
+        """The (possibly empty) events observers should see in place of
+        ``event``."""
+        ordinal = self._ordinal
+        self._ordinal = ordinal + 1
+        if self._dead:
+            return ()
+        if self._truncate_at is not None and ordinal >= self._truncate_at:
+            self._dead = True
+            return ()
+        fault = self._by_ordinal.get(ordinal)
+        if fault is None:
+            return (event,)
+        if fault.site == "stream.drop":
+            return ()
+        if fault.site == "stream.dup":
+            return (event,) * (1 + max(1, fault.count))
+        # stream.corrupt
+        return (_corrupted_copy(event, self._plan, ordinal),)
+
+
+def apply_to_trace(trace, plan: FaultPlan):
+    """The :class:`StreamInjector` transformation over a recorded trace:
+    returns a new :class:`repro.trace.Trace` (same program / thread
+    count) with the plan's ``stream.*`` faults applied once."""
+    from repro.trace.trace import Trace
+
+    injector = StreamInjector(plan)
+    events: List[Event] = []
+    for event in trace:
+        events.extend(injector.transform(event))
+    return Trace(trace.program, events, trace.n_threads)
+
+
+class RaisingCallback:
+    """Wraps one analysis's ``on_event`` so the ``at``-th event
+    dispatched to it raises :class:`InjectedFault`.
+
+    One instance wraps one analysis; the engine installs the same
+    instance in every event-kind dispatch list the analysis subscribes
+    to, so the counter spans kinds exactly like the analysis's own view
+    of the stream.
+    """
+
+    __slots__ = ("fault", "inner", "dispatched")
+
+    def __init__(self, fault: Fault,
+                 inner: Callable[[Event], None]) -> None:
+        self.fault = fault
+        self.inner = inner
+        self.dispatched = 0
+
+    def __call__(self, event: Event) -> None:
+        n = self.dispatched
+        self.dispatched = n + 1
+        if n == self.fault.at:
+            raise InjectedFault(
+                f"injected analysis.raise in {self.fault.target!r} at "
+                f"dispatched event {n} (seq {event.seq})")
+        self.inner(event)
+
+
+# -- trace-file damage -------------------------------------------------------------
+
+
+def corrupt_trace_file(path: str, plan: FaultPlan) -> int:
+    """Apply the plan's ``trace.*`` faults to a saved trace file in
+    place; returns how many faults were applied.
+
+    Line-oriented, matching both trace format versions: line 0 is the
+    header, record ``i`` is line ``i + 1``.  ``trace.corrupt``
+    overwrites a seeded span of the record's payload bytes (which in v2
+    breaks the record checksum); ``trace.truncate`` cuts the file in
+    the middle of the record, leaving a torn final line.
+    """
+    faults = plan.trace_faults()
+    if not faults:
+        return 0
+    with open(path, "rb") as fh:
+        lines = fh.readlines()
+    applied = 0
+    truncated = False
+    for fault in sorted(faults, key=lambda f: f.at):
+        lineno = fault.at + 1  # skip the header line
+        if truncated or lineno >= len(lines):
+            continue
+        line = lines[lineno]
+        if fault.site == "trace.truncate":
+            lines[lineno] = line[:max(1, len(line) // 2)]
+            del lines[lineno + 1:]
+            truncated = True
+        else:  # trace.corrupt
+            rng = plan.corruption_rng(fault.at)
+            body = bytearray(line.rstrip(b"\n"))
+            if body:
+                start = rng.randrange(0, len(body))
+                span = min(len(body) - start, 1 + rng.randrange(0, 8))
+                for i in range(start, start + span):
+                    body[i] = 0x21 + rng.randrange(0, 64)  # printable junk
+            lines[lineno] = bytes(body) + b"\n"
+        applied += 1
+    with open(path, "wb") as fh:
+        fh.writelines(lines)
+    return applied
+
+
+# -- worker faults -----------------------------------------------------------------
+
+#: exit code a ``worker.crash`` fault dies with (distinctive, so crash
+#: forensics in the pool error outcome show where it came from)
+CRASH_EXIT_CODE = 23
+
+#: how long a ``worker.hang`` sleeps -- far past any sane task timeout
+HANG_SECONDS = 3600.0
+
+
+def apply_worker_fault(fault: Fault) -> None:
+    """Executed inside a pool worker child, before running the task the
+    fault addresses."""
+    if fault.site == "worker.crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif fault.site == "worker.hang":
+        time.sleep(HANG_SECONDS)
+    elif fault.site == "worker.slow":
+        time.sleep(0.1 * max(1, fault.count))

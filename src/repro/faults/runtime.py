@@ -1,0 +1,47 @@
+"""The process-global fault-injection switchboard.
+
+Mirrors :mod:`repro.obs.runtime`: hardened code never carries a plan
+around; it asks this module whether one is active.  Activation is
+scoped, never ambient -- ``with faults.install(plan): ...`` arms the
+plan for the dynamic extent and restores the predecessor (normally:
+nothing) on exit, so the default state -- no plan, a single ``is None``
+branch per hook site -- always comes back.
+
+Worker processes are the one exception to "never ambient": a pool
+parent cannot run a context manager inside its children, so it ships
+the relevant plan slice through the task payload and the child arms it
+around the task (see :func:`repro.faults.inject.apply_worker_fault`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan
+
+_active: Optional[FaultPlan] = None
+
+
+def enabled() -> bool:
+    """Is a fault plan armed in this process?"""
+    return _active is not None
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, or None.  Hook sites read this once per run (or
+    per construction), never per event."""
+    return _active
+
+
+@contextmanager
+def install(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Arm ``plan`` for the dynamic extent (None arms nothing, which
+    makes call sites uniform: ``with faults.install(maybe_plan): ...``)."""
+    global _active
+    saved = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = saved

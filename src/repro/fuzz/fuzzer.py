@@ -23,13 +23,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+import repro.faults.runtime as faults
 import repro.obs as obs
+from repro.engine import DetectorEngine
+from repro.faults import Fault, FaultPlan
 from repro.fuzz.genprog import GeneratedProgram, generate_program
 from repro.fuzz.minimize import minimize_program
-from repro.fuzz.oracle import run_differential
+from repro.fuzz.oracle import _violation_keys, run_differential
 from repro.harness.campaign import derive_seed
 from repro.harness.pool import parallel_map
 from repro.lang import LangError, compile_source
+from repro.machine.machine import Machine
+from repro.machine.scheduler import RandomScheduler
 
 #: default schedule randomness for fuzzing probes (high switch rate --
 #: the point is to stress interleavings, not realism)
@@ -65,6 +70,12 @@ class FuzzStats:
     offline_not_online: int = 0
     frd_vs_online: int = 0
     errors: int = 0
+    # fault-matrix mode (``repro fuzz --faults``)
+    fault_probes: int = 0
+    fault_crashes: int = 0
+    fault_isolation_breaks: int = 0
+    fault_quarantines: int = 0
+    fault_degraded: int = 0
 
 
 @dataclass
@@ -88,6 +99,17 @@ class FuzzReport:
             f"  compile failures              : {s.compile_failures}",
             f"  worker errors                 : {s.errors}",
         ]
+        if s.fault_probes:
+            lines += [
+                f"  single-fault probes           : {s.fault_probes}",
+                f"  uncaught fault crashes        : {s.fault_crashes}"
+                + ("  <-- BUG" if s.fault_crashes else ""),
+                f"  cross-analysis leaks          : "
+                f"{s.fault_isolation_breaks}"
+                + ("  <-- BUG" if s.fault_isolation_breaks else ""),
+                f"  quarantines observed          : {s.fault_quarantines}",
+                f"  degraded results              : {s.fault_degraded}",
+            ]
         return "\n".join(lines)
 
 
@@ -133,6 +155,87 @@ def probe_program(payload: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
+#: the single-fault matrix probed against every generated program in
+#: ``--faults`` mode, one plan per entry
+_FAULT_MATRIX_SITES = ("stream.drop", "stream.dup", "stream.corrupt",
+                       "stream.truncate")
+
+
+def probe_fault_matrix(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool task: the fault-injection oracle over one generated program.
+
+    Records one fault-free baseline trace, then re-analyzes it under
+    every single-fault plan (each stream fault at a derived position,
+    plus ``analysis.raise`` targeted at FRD) with ``svd`` and ``frd``
+    attached.  The oracle properties:
+
+    * **no uncaught exceptions** -- every fault must surface as a
+      degraded-but-structured result, never a crash;
+    * **isolation** -- a fault injected into FRD must leave the SVD
+      report byte-identical to the fault-free baseline, and must be
+      quarantined with a structured failure record.
+    """
+    program_seed = payload["program_seed"]
+    master_seed = payload["master_seed"]
+    generated = generate_program(program_seed)
+    source = generated.source
+    out: Dict[str, Any] = {"program_seed": program_seed,
+                           "fault_probes": [], "compile_failure": False}
+    try:
+        program = compile_source(source)
+    except LangError as exc:
+        out["compile_failure"] = True
+        out["detail"] = str(exc)
+        return out
+    schedule_seed = derive_seed(master_seed, "fault-fuzz",
+                                str(program_seed), 0)
+    live = DetectorEngine(program, ["svd"]).run_machine(
+        Machine(program, [(f"t{t}", ()) for t in range(2)],
+                scheduler=RandomScheduler(seed=schedule_seed,
+                                          switch_prob=SWITCH_PROB)),
+        max_steps=MAX_STEPS, keep_trace=True)
+    trace = live.trace
+    assert trace is not None
+    baseline = DetectorEngine(program, ["svd", "frd"]).run_trace(trace)
+    baseline_keys = _violation_keys(baseline.detector("svd").report)
+
+    plans = []
+    for i, site in enumerate(_FAULT_MATRIX_SITES):
+        at = derive_seed(master_seed, "fault-at",
+                         str(program_seed), i) % max(1, len(trace))
+        plans.append(FaultPlan([Fault(site, at=at)], seed=program_seed))
+    plans.append(FaultPlan([Fault("analysis.raise", at=0, target="frd")],
+                           seed=program_seed))
+
+    for plan in plans:
+        fault = plan.faults[0]
+        probe = {"label": f"{fault.site}@{fault.at}",
+                 "schedule_seed": schedule_seed, "crash": "",
+                 "isolation_break": "", "quarantined": False,
+                 "degraded": False}
+        try:
+            with faults.install(plan):
+                result = DetectorEngine(program,
+                                        ["svd", "frd"]).run_trace(trace)
+            probe["degraded"] = result.degraded
+            probe["quarantined"] = "frd" in result.failures
+            if fault.site == "analysis.raise":
+                keys = _violation_keys(result.detector("svd").report)
+                if keys != baseline_keys:
+                    probe["isolation_break"] = (
+                        f"svd saw {len(keys)} violations with frd "
+                        f"faulted, {len(baseline_keys)} without")
+                elif len(trace) and not probe["quarantined"]:
+                    probe["isolation_break"] = (
+                        "injected frd failure was not quarantined")
+        except Exception as exc:  # the oracle property is no-crash
+            probe["crash"] = f"{type(exc).__name__}: {exc}"
+        if probe["crash"] or probe["isolation_break"]:
+            probe["source"] = source
+        out["fault_probes"].append(probe)
+    return out
+
+
 def run_fuzz(budget: Optional[float] = 30.0,
              max_programs: Optional[int] = None,
              probes_per_program: int = 2,
@@ -141,8 +244,14 @@ def run_fuzz(budget: Optional[float] = 30.0,
              minimize: bool = False,
              max_findings: int = 200,
              on_progress: Optional[Callable[[FuzzStats], None]] = None,
+             fault_mode: bool = False,
              ) -> FuzzReport:
-    """Run a fuzzing session until the budget or program cap is hit."""
+    """Run a fuzzing session until the budget or program cap is hit.
+
+    With ``fault_mode``, each program is probed with
+    :func:`probe_fault_matrix` (the fault-injection oracle) instead of
+    the differential oracle.
+    """
     if budget is None and max_programs is None:
         raise ValueError("need a --budget or a program cap")
     stats = FuzzStats()
@@ -150,6 +259,26 @@ def run_fuzz(budget: Optional[float] = 30.0,
     started = time.perf_counter()
     batch = max(1, workers) * 4
     next_seed = master_seed
+
+    def absorb_faults(value: Dict[str, Any]) -> None:
+        for probe in value["fault_probes"]:
+            stats.fault_probes += 1
+            stats.fault_crashes += bool(probe["crash"])
+            stats.fault_isolation_breaks += bool(probe["isolation_break"])
+            stats.fault_quarantines += probe["quarantined"]
+            stats.fault_degraded += probe["degraded"]
+            detail = probe["crash"] or probe["isolation_break"]
+            if detail and len(findings) < max_findings:
+                findings.append(FuzzFinding(
+                    program_seed=value["program_seed"],
+                    schedule_seed=probe["schedule_seed"],
+                    source=probe.get("source", ""),
+                    kind=("fault-crash" if probe["crash"]
+                          else "fault-isolation"),
+                    online_verdict=False, offline_verdict=False,
+                    offline_nc_verdict=False, frd_verdict=False,
+                    frd_corroborated=0, frd_only=0,
+                    detail=f"{probe['label']}: {detail}"))
 
     def absorb(outcome_status: str, value: Any) -> None:
         if outcome_status == "skipped":
@@ -160,6 +289,9 @@ def run_fuzz(budget: Optional[float] = 30.0,
         stats.programs += 1
         if value["compile_failure"]:
             stats.compile_failures += 1
+            return
+        if "fault_probes" in value:
+            absorb_faults(value)
             return
         for probe in value["probes"]:
             stats.probes += 1
@@ -208,8 +340,9 @@ def run_fuzz(budget: Optional[float] = 30.0,
             if budget is not None:
                 remaining = max(0.5,
                                 budget - (time.perf_counter() - started))
+            runner = probe_fault_matrix if fault_mode else probe_program
             with obs.span("fuzz.batch", programs=count):
-                outcomes = parallel_map(probe_program, payloads,
+                outcomes = parallel_map(runner, payloads,
                                         workers=workers, budget=remaining)
             for status, value in outcomes:
                 absorb(status, value)
@@ -233,6 +366,13 @@ def run_fuzz(budget: Optional[float] = 30.0,
                      stats.offline_not_online)
         registry.add("fuzz.oracle.frd_vs_online", stats.frd_vs_online)
         registry.add("fuzz.errors", stats.errors)
+        if stats.fault_probes:
+            registry.add("fuzz.faults.probes", stats.fault_probes)
+            registry.add("fuzz.faults.crashes", stats.fault_crashes)
+            registry.add("fuzz.faults.isolation_breaks",
+                         stats.fault_isolation_breaks)
+            registry.add("fuzz.faults.quarantines",
+                         stats.fault_quarantines)
     return FuzzReport(master_seed=master_seed, stats=stats,
                       findings=findings,
                       elapsed=time.perf_counter() - started)

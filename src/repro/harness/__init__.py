@@ -8,6 +8,8 @@ from repro.harness.campaign import (CampaignReport, CampaignResult,
                                     CampaignSpec, ConfigSpec,
                                     WorkloadSpec, derive_seed,
                                     run_campaign)
+from repro.harness.journal import (CampaignJournal, JournalError,
+                                   spec_fingerprint)
 from repro.harness.pool import parallel_map
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.table1 import characterize, table1_rows
@@ -18,6 +20,9 @@ from repro.harness.render import render_table
 from repro.harness.sampling import Segment, SegmentSampler, evenly_spaced_windows
 
 __all__ = [
+    "CampaignJournal",
+    "JournalError",
+    "spec_fingerprint",
     "CampaignReport",
     "CampaignResult",
     "CampaignSpec",

@@ -108,6 +108,11 @@ class CampaignSpec:
     #: collect a :mod:`repro.obs` metrics snapshot per task; snapshots
     #: ride the result channel and merge deterministically
     obs: bool = False
+    #: re-run a task whose attempt ends in error/timeout up to this many
+    #: extra times (see :func:`repro.harness.pool.parallel_map`)
+    task_retries: int = 0
+    #: deterministic backoff factor between attempts, in seconds
+    retry_backoff: float = 0.0
 
     def tasks(self) -> List["CampaignTask"]:
         """The deterministic task expansion of the matrix."""
@@ -186,6 +191,56 @@ class CampaignResult:
     @property
     def ok(self) -> bool:
         return self.status not in ("error", "timeout", "skipped")
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe form; round-trips exactly through
+        :meth:`from_json` (what the resume journal persists -- exact
+        round-tripping is what keeps resumed aggregation byte-identical
+        to an uninterrupted run)."""
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "config": self.config,
+            "seed_index": self.seed_index,
+            "seed": self.seed,
+            "status": self.status,
+            "instructions": self.instructions,
+            "manifested": self.manifested,
+            "svd": self.svd.to_json(),
+            "frd": self.frd.to_json() if self.frd is not None else None,
+            "posteriori_found_bug": self.posteriori_found_bug,
+            "posteriori_static_entries": self.posteriori_static_entries,
+            "cus_created": self.cus_created,
+            "apparent_false_negative": self.apparent_false_negative,
+            "error": self.error,
+            "extra_metrics": {name: m.to_json() for name, m
+                              in sorted(self.extra_metrics.items())},
+            "obs": self.obs,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CampaignResult":
+        frd = data["frd"]
+        return cls(
+            index=data["index"],
+            workload=data["workload"],
+            config=data["config"],
+            seed_index=data["seed_index"],
+            seed=data["seed"],
+            status=data["status"],
+            instructions=data["instructions"],
+            manifested=data["manifested"],
+            svd=DetectorMetrics.from_json(data["svd"]),
+            frd=DetectorMetrics.from_json(frd) if frd is not None else None,
+            posteriori_found_bug=data["posteriori_found_bug"],
+            posteriori_static_entries=data["posteriori_static_entries"],
+            cus_created=data["cus_created"],
+            apparent_false_negative=data["apparent_false_negative"],
+            error=data["error"],
+            extra_metrics={name: DetectorMetrics.from_json(m)
+                           for name, m in data["extra_metrics"].items()},
+            obs=data["obs"],
+        )
 
 
 def execute_task(task: CampaignTask) -> CampaignResult:
@@ -344,30 +399,52 @@ def _row_label(result: CampaignResult) -> str:
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  budget: Optional[float] = None,
                  on_result: Optional[Callable[[CampaignResult], None]] = None,
+                 journal_dir: Optional[str] = None,
+                 resume: bool = False,
                  ) -> CampaignReport:
     """Execute the campaign matrix and aggregate.
 
     ``workers=1`` runs serially in-process; ``workers>1`` fans out via
     the crash-isolating pool.  ``on_result`` streams results back in
     completion order while the campaign is still running.
+
+    With ``journal_dir``, every final task outcome is checkpointed to
+    an atomically-flushed journal there; ``resume=True`` reloads an
+    existing journal (fingerprint-checked against ``spec``) and runs
+    only the not-yet-journaled tasks.  Seeds are position-derived and
+    aggregation sorts by task index, so an interrupted+resumed campaign
+    aggregates byte-identically to an uninterrupted one.
     """
     tasks = spec.tasks()
     started = time.perf_counter()
     results: List[CampaignResult] = []
 
-    def on_outcome(index: int, outcome: Outcome) -> None:
+    journal = None
+    pending = tasks
+    if journal_dir is not None:
+        from repro.harness.journal import CampaignJournal
+        journal = CampaignJournal.open(journal_dir, spec, resume=resume)
+        done = journal.completed_indices()
+        if done:
+            results.extend(journal.results)
+            pending = [t for t in tasks if t.index not in done]
+
+    def on_outcome(position: int, outcome: Outcome) -> None:
         status, value = outcome
         if status == "ok":
             result = value
         else:
-            result = failed_result(tasks[index], status, str(value))
+            result = failed_result(pending[position], status, str(value))
+        if journal is not None:
+            journal.record(result)
         results.append(result)
         if on_result is not None:
             on_result(result)
 
-    parallel_map(execute_task, tasks, workers=workers,
+    parallel_map(execute_task, pending, workers=workers,
                  timeout=spec.task_timeout, budget=budget,
-                 on_outcome=on_outcome)
+                 on_outcome=on_outcome, retries=spec.task_retries,
+                 retry_backoff=spec.retry_backoff)
     results.sort(key=lambda r: r.index)
     return CampaignReport(spec=spec, results=results,
                           elapsed=time.perf_counter() - started)

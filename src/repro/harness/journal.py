@@ -1,0 +1,135 @@
+"""Campaign checkpoint/resume journal.
+
+A campaign given ``--journal DIR`` records every *final* task outcome
+(``ok``/``error``/``timeout`` -- never budget ``skipped``, which must
+re-run on resume) in ``DIR/journal.jsonl``: a header line naming the
+spec fingerprint, then one :class:`CampaignResult` JSON object per
+line.  Every flush rewrites the whole file to a temp sibling, fsyncs,
+and ``os.replace``s it into place, so the journal on disk is *always* a
+complete, parseable prefix of the campaign -- a SIGKILL at any moment
+loses at most the in-flight tasks.
+
+Resume (``--resume DIR``) reloads the journal, verifies the fingerprint
+(the journal of a *different* matrix must not be silently merged), and
+the campaign runs only the tasks not yet journaled.  Because every
+task's seed is position-derived and aggregation sorts by task index,
+the merged report and metrics of an interrupted+resumed campaign are
+byte-identical to an uninterrupted run at any worker count.
+
+The fingerprint covers the task matrix identity (workloads, configs,
+seed count, master seed, obs flag) and deliberately not execution
+policy (timeouts, retries, worker count) -- rerunning with a longer
+timeout must be able to resume the same journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.campaign import CampaignResult, CampaignSpec
+
+JOURNAL_NAME = "journal.jsonl"
+_FORMAT = "repro-campaign-journal"
+_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Journal misuse: exists without --resume, or fingerprint mismatch."""
+
+
+def spec_fingerprint(spec: "CampaignSpec") -> str:
+    """SHA-256 over the canonical JSON of the spec's matrix identity."""
+    identity = {
+        "workloads": [{"name": w.name, "factory": w.factory,
+                       "kwargs": w.kwargs} for w in spec.workloads],
+        "configs": [asdict(c) for c in spec.configs],
+        "seeds": spec.seeds,
+        "master_seed": spec.master_seed,
+        "obs": spec.obs,
+    }
+    blob = json.dumps(identity, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class CampaignJournal:
+    """The on-disk record of a (possibly interrupted) campaign."""
+
+    def __init__(self, directory: str, fingerprint: str,
+                 results: List["CampaignResult"]) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, JOURNAL_NAME)
+        self.fingerprint = fingerprint
+        self.results: List["CampaignResult"] = list(results)
+
+    @classmethod
+    def open(cls, directory: str, spec: "CampaignSpec",
+             resume: bool = False) -> "CampaignJournal":
+        """Create (or, with ``resume``, reload) the journal for ``spec``
+        in ``directory``."""
+        from repro.harness.campaign import CampaignResult
+
+        fingerprint = spec_fingerprint(spec)
+        path = os.path.join(directory, JOURNAL_NAME)
+        if os.path.exists(path):
+            if not resume:
+                raise JournalError(
+                    f"{path}: journal already exists; resume it "
+                    f"(--resume) or pick a fresh directory")
+            with open(path, "rb") as fh:
+                lines = fh.read().splitlines()
+            if not lines:
+                raise JournalError(f"{path}: empty journal")
+            header = json.loads(lines[0].decode("utf-8"))
+            if header.get("format") != _FORMAT:
+                raise JournalError(f"{path}: not a campaign journal")
+            if header.get("fingerprint") != fingerprint:
+                raise JournalError(
+                    f"{path}: journal belongs to a different campaign "
+                    f"spec (fingerprint {header.get('fingerprint')!r} != "
+                    f"{fingerprint!r}); matrix, seeds, and master seed "
+                    f"must match to resume")
+            results = []
+            for line in lines[1:]:
+                try:
+                    results.append(
+                        CampaignResult.from_json(
+                            json.loads(line.decode("utf-8"))))
+                except (ValueError, KeyError):
+                    # a torn trailing line cannot happen under the
+                    # atomic-rewrite protocol, but tolerate one anyway:
+                    # losing the final record only means re-running it
+                    break
+            journal = cls(directory, fingerprint, results)
+            return journal
+        os.makedirs(directory, exist_ok=True)
+        journal = cls(directory, fingerprint, [])
+        journal._flush()
+        return journal
+
+    def completed_indices(self) -> Set[int]:
+        return {result.index for result in self.results}
+
+    def record(self, result: "CampaignResult") -> None:
+        """Journal one final task outcome (atomic on-disk flush)."""
+        if result.status == "skipped":
+            # a budget skip is not an outcome; it must re-run on resume
+            return
+        self.results.append(result)
+        self._flush()
+
+    def _flush(self) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps({"format": _FORMAT, "version": _VERSION,
+                                 "fingerprint": self.fingerprint}) + "\n")
+            for result in self.results:
+                fh.write(json.dumps(result.to_json(), sort_keys=True)
+                         + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)

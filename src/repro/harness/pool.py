@@ -16,7 +16,18 @@ It differs from ``multiprocessing.Pool`` where the harness needs it to:
 * **incremental streaming** -- outcomes are delivered to an
   ``on_outcome`` callback the moment they arrive, in completion order;
 * **budget cutoff** -- an optional wall-clock budget stops dispatching
-  new tasks; undispatched tasks come back as ``skipped``.
+  new tasks; undispatched tasks come back as ``skipped``;
+* **bounded retry** -- with ``retries=N``, a task whose attempt ends in
+  ``error`` or ``timeout`` is re-dispatched up to N more times after a
+  deterministic backoff (``retry_backoff * attempt`` seconds); only the
+  final attempt's outcome is recorded, and each re-dispatch bumps the
+  ``pool.task_retried`` counter;
+* **fault injection** -- when a :mod:`repro.faults` plan with
+  ``worker.*`` faults is armed, the task-index->fault map is shipped to
+  the worker children, which apply the fault (crash/hang/slow) on the
+  addressed task's *first* attempt -- so a retry demonstrably recovers.
+  Worker faults need real worker processes; the serial path ignores
+  them rather than crashing the caller.
 
 Outcomes are ``(status, value)`` pairs, indexed like the input payloads:
 ``("ok", result)``, ``("error", message)``, ``("timeout", message)`` or
@@ -35,7 +46,9 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.faults.runtime as faults
 import repro.obs as obs
+from repro.faults.inject import apply_worker_fault
 
 Outcome = Tuple[str, Any]
 
@@ -63,6 +76,7 @@ def runner_path(fn: Callable[[Any], Any]) -> str:
 def _worker_loop(runner_dotted: str, worker_id: int, task_queue,
                  result_queue,
                  stderr_path: Optional[str] = None,
+                 fault_map: Optional[Dict[int, Any]] = None,
                  ) -> None:  # pragma: no cover - child process
     if stderr_path is not None:
         # fd-level redirect so even hard crashes (abort, C extensions)
@@ -76,8 +90,12 @@ def _worker_loop(runner_dotted: str, worker_id: int, task_queue,
         item = task_queue.get()
         if item is None:
             break
-        index, payload = item
+        index, attempt, payload = item
         result_queue.put(("start", index, worker_id, None))
+        if fault_map and attempt == 0:
+            fault = fault_map.get(index)
+            if fault is not None:
+                apply_worker_fault(fault)
         try:
             result = runner(payload)
         except BaseException:
@@ -113,6 +131,8 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                  timeout: Optional[float] = None,
                  budget: Optional[float] = None,
                  on_outcome: Optional[Callable[[int, Outcome], None]] = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.0,
                  ) -> List[Outcome]:
     """Apply ``runner`` to every payload, one task per worker at a time.
 
@@ -134,10 +154,19 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
             if budget is not None and time.perf_counter() - started > budget:
                 record(index, ("skipped", "budget exhausted"))
                 continue
-            try:
-                record(index, ("ok", runner(payload)))
-            except BaseException:
-                record(index, ("error", traceback.format_exc()))
+            for attempt in range(retries + 1):
+                if attempt:
+                    obs.add("pool.task_retried")
+                    if retry_backoff > 0.0:
+                        time.sleep(retry_backoff * attempt)
+                try:
+                    result = runner(payload)
+                except BaseException:
+                    if attempt >= retries:
+                        record(index, ("error", traceback.format_exc()))
+                else:
+                    record(index, ("ok", result))
+                    break
         return [o for o in outcomes if o is not None]
 
     ctx = _pick_context()
@@ -148,6 +177,8 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
     # it would leave the consumed task unattributable and hang the pool.
     result_queue = ctx.SimpleQueue()
     dotted = runner_path(runner)
+    plan = faults.active()
+    fault_map = plan.worker_fault_map() if plan is not None else {}
     next_worker_id = 0
     procs: Dict[int, Any] = {}
     running: Dict[int, Tuple[int, float]] = {}  # worker_id -> (task, t0)
@@ -163,7 +194,8 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
         stderr_paths[worker_id] = stderr_path
         proc = ctx.Process(target=_worker_loop,
                            args=(dotted, worker_id, task_queue,
-                                 result_queue, stderr_path),
+                                 result_queue, stderr_path,
+                                 fault_map or None),
                            daemon=True)
         proc.start()
         procs[worker_id] = proc
@@ -182,6 +214,14 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
     dispatched = 0
     completed = 0
     stop_dispatch = False
+    #: current attempt number per task index (parent-side; a task is in
+    #: flight at most once at a time, so this is unambiguous)
+    attempt_of: Dict[int, int] = {}
+    #: failed tasks awaiting re-dispatch: (ready_time, index, attempt,
+    #: last_outcome); they leave ``dispatched`` while they wait so the
+    #: completed==dispatched quiescence test and the in-flight cap stay
+    #: truthful
+    pending_retries: List[Tuple[float, int, int, Outcome]] = []
 
     def feed() -> None:
         nonlocal next_task, dispatched, stop_dispatch
@@ -189,11 +229,34 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
             stop_dispatch = True
         if stop_dispatch:
             return
+        now = time.perf_counter()
+        while (pending_retries and pending_retries[0][0] <= now
+               and dispatched - completed < 2 * len(procs)):
+            _ready, index, attempt, _last = pending_retries.pop(0)
+            attempt_of[index] = attempt
+            obs.add("pool.task_retried")
+            task_queue.put((index, attempt, payloads[index]))
+            dispatched += 1
         while (next_task < total
                and dispatched - completed < 2 * len(procs)):
-            task_queue.put((next_task, payloads[next_task]))
+            attempt_of[next_task] = 0
+            task_queue.put((next_task, 0, payloads[next_task]))
             next_task += 1
             dispatched += 1
+
+    def settle(index: int, outcome: Outcome) -> None:
+        """Record a finished attempt's outcome -- or, when the task has
+        retry budget left and failed, schedule a re-dispatch instead."""
+        nonlocal completed, dispatched
+        attempt = attempt_of.get(index, 0)
+        if outcome[0] in ("error", "timeout") and attempt < retries:
+            dispatched -= 1
+            ready = time.perf_counter() + retry_backoff * (attempt + 1)
+            pending_retries.append((ready, index, attempt + 1, outcome))
+            pending_retries.sort()
+            return
+        completed += 1
+        record(index, outcome)
 
     for _ in range(min(workers, total)):
         spawn_worker()
@@ -202,6 +265,12 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
     try:
         while completed < total:
             if stop_dispatch and completed == dispatched:
+                # flush retry-pending tasks with their last real outcome
+                # (journaling a budget skip would wrongly persist it)
+                for _ready, index, _attempt, last in pending_retries:
+                    completed += 1
+                    record(index, last)
+                pending_retries.clear()
                 for index in range(total):
                     if outcomes[index] is None:
                         completed += 1
@@ -219,8 +288,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                     running[worker_id] = (index, time.perf_counter())
                 elif kind in ("done", "error") and outcomes[index] is None:
                     running.pop(worker_id, None)
-                    completed += 1
-                    record(index, ("ok", payload) if kind == "done"
+                    settle(index, ("ok", payload) if kind == "done"
                            else ("error", payload))
             if drained:
                 feed()
@@ -244,8 +312,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                 procs.pop(worker_id, None)
                 running.pop(worker_id, None)
                 if outcomes[index] is None:
-                    completed += 1
-                    record(index, ("timeout",
+                    settle(index, ("timeout",
                                    f"task exceeded {timeout}s") if timed_out
                            else ("error", crash_message(worker_id, proc)))
                 spawn_worker()

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.faults.runtime as faults
+from repro.faults.inject import StreamInjector
 from repro.isa.instructions import (
     Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Notify,
     NotifyAll, Output, Reg, Release, Store, Wait, evaluate_alu,
@@ -123,6 +125,13 @@ class Machine:
                 self.memory[frame_base + offset] = value
             self.threads.append(thread)
 
+        # fault injection: arm a stream injector iff the active plan has
+        # stream faults (None keeps _emit on a single is-None branch)
+        plan = faults.active()
+        self._injector = (StreamInjector(plan)
+                          if plan is not None and plan.stream_faults()
+                          else None)
+
         self.seq = 0
         self.steps = 0
         #: FIFO wait queues per lock address (condition variables)
@@ -155,6 +164,11 @@ class Machine:
         event = Event(kind, self.seq, thread.tid, thread.pc, instr,
                       addr=addr, value=value, taken=taken, target=target)
         self.seq += 1
+        if self._injector is not None:
+            for injected in self._injector.transform(event):
+                for sink in self._event_sinks:
+                    sink(injected)
+            return
         for sink in self._event_sinks:
             sink(event)
 

@@ -50,6 +50,26 @@ class DetectorMetrics:
         self.static_fp_locs |= other.static_fp_locs
         self.instructions += other.instructions
 
+    def to_json(self) -> Dict:
+        """JSON-safe form (loc sets as sorted lists); round-trips
+        exactly through :meth:`from_json` -- what the campaign resume
+        journal persists."""
+        return {"detector": self.detector,
+                "dynamic_tp": self.dynamic_tp,
+                "dynamic_fp": self.dynamic_fp,
+                "static_tp_locs": sorted(self.static_tp_locs),
+                "static_fp_locs": sorted(self.static_fp_locs),
+                "instructions": self.instructions}
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "DetectorMetrics":
+        return cls(detector=data["detector"],
+                   dynamic_tp=data["dynamic_tp"],
+                   dynamic_fp=data["dynamic_fp"],
+                   static_tp_locs=set(data["static_tp_locs"]),
+                   static_fp_locs=set(data["static_fp_locs"]),
+                   instructions=data["instructions"])
+
 
 def classify_reports(reports: Dict[str, ViolationReport],
                      bug_locs: Set[int],

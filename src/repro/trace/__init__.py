@@ -7,8 +7,9 @@ offline detectors (offline SVD, FRD, the precise serializability checker)
 and can be saved/loaded for post-mortem debugging sessions.
 """
 
-from repro.trace.trace import Trace, TraceRecorder, conflicting
+from repro.trace.trace import (SalvageReport, Trace, TraceLoadError,
+                               TraceRecorder, conflicting)
 from repro.trace.query import TraceQuery, VariableSummary
 
-__all__ = ["Trace", "TraceQuery", "TraceRecorder",
-           "VariableSummary", "conflicting"]
+__all__ = ["SalvageReport", "Trace", "TraceLoadError", "TraceQuery",
+           "TraceRecorder", "VariableSummary", "conflicting"]

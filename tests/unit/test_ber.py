@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ber import BerController, SwitchableScheduler
+from repro.ber import BerController, BerOutcome, SwitchableScheduler
 from repro.lang import compile_source
 from repro.machine import MachineStatus, RandomScheduler, SerialScheduler
 from tests.conftest import COUNTER_LOCKED, COUNTER_RACE
@@ -32,6 +32,65 @@ class TestSwitchableScheduler:
         sched.pick([0, 1], None)
         sched.restore(state)
         assert not sched.serial_mode
+
+    def test_restore_replays_the_inner_pick_stream(self):
+        """A rollback must rewind the delegate's randomness too: after
+        restore, the scheduler re-makes exactly the picks it made the
+        first time."""
+        sched = SwitchableScheduler(RandomScheduler(seed=7,
+                                                    switch_prob=0.9))
+        for _ in range(4):
+            sched.pick([0, 1, 2], 0)
+        state = sched.snapshot()
+        first = [sched.pick([0, 1, 2], 0) for _ in range(12)]
+        sched.restore(state)
+        assert [sched.pick([0, 1, 2], 0) for _ in range(12)] == first
+
+    def test_restore_reinstates_serial_mode(self):
+        sched = SwitchableScheduler(RandomScheduler(seed=1,
+                                                    switch_prob=1.0))
+        sched.serial_mode = True
+        state = sched.snapshot()
+        sched.serial_mode = False
+        sched.pick([0, 1], 0)
+        sched.restore(state)
+        assert sched.serial_mode
+        # serial mode sticks with the current thread
+        assert sched.pick([0, 1], 1) == 1
+
+    def test_snapshot_is_isolated_from_later_picks(self):
+        """The snapshot is a value, not a reference: picking after
+        snapshotting must not mutate the captured state."""
+        sched = SwitchableScheduler(RandomScheduler(seed=3,
+                                                    switch_prob=0.8))
+        state = sched.snapshot()
+        burned = [sched.pick([0, 1, 2], 0) for _ in range(20)]
+        sched.restore(state)
+        replay = [sched.pick([0, 1, 2], 0) for _ in range(20)]
+        assert replay == burned
+
+
+class TestBerOutcomeOverhead:
+    @staticmethod
+    def outcome(wasted, total):
+        return BerOutcome(status=MachineStatus.FINISHED, rollbacks=1,
+                          violations_seen=1, wasted_steps=wasted,
+                          total_steps=total, crashed=False)
+
+    def test_zero_steps_is_zero_overhead(self):
+        # a run that never stepped (e.g. immediate deadlock) must not
+        # divide by zero
+        assert self.outcome(0, 0).overhead_fraction == 0.0
+
+    def test_all_wasted(self):
+        # everything executed was rolled back: the whole run was waste
+        assert self.outcome(500, 500).overhead_fraction == 1.0
+
+    def test_no_rollbacks_no_overhead(self):
+        assert self.outcome(0, 1234).overhead_fraction == 0.0
+
+    def test_fraction_in_between(self):
+        assert self.outcome(250, 1000).overhead_fraction == 0.25
 
 
 class TestBerController:
