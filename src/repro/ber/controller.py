@@ -83,13 +83,15 @@ class BerController:
                  checkpoint_interval: int = 2000,
                  recovery_window: int = 4000,
                  max_rollbacks: int = 50,
-                 region_rollback_budget: int = 8) -> None:
+                 region_rollback_budget: int = 8,
+                 predecoded: bool = True) -> None:
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
         self.program = program
         self.svd_config = svd_config if svd_config is not None else SvdConfig()
         self.scheduler = SwitchableScheduler(scheduler)
-        self.machine = Machine(program, threads, scheduler=self.scheduler)
+        self.machine = Machine(program, threads, scheduler=self.scheduler,
+                               predecoded=predecoded)
         self.checkpoint_interval = checkpoint_interval
         self.recovery_window = recovery_window
         self.max_rollbacks = max_rollbacks

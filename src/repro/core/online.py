@@ -25,11 +25,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cu import Cu, merge_cus
 from repro.core.fsm import (
-    IDLE, WRITTEN_STATES, on_local_load, on_local_store, on_remote_access,
+    IDLE, STATE_NAMES, WRITTEN_STATES, on_local_load, on_local_store,
+    on_remote_access,
 )
 from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
 from repro.core.report import Violation, ViolationReport
-from repro.isa.instructions import Imm, Reg
+from repro.isa.instructions import Alu, Branch, Reg
 from repro.isa.program import Program
 from repro.machine.events import (
     EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
@@ -66,6 +67,19 @@ class SvdConfig:
     cut_at_wait: bool = False
 
 
+#: FSM transitions pre-tabulated by state number: the per-event if-chain
+#: in :mod:`repro.core.fsm` costs a function call on every memory access,
+#: so the hot path indexes these instead (fsm.py stays the readable spec
+#: and the property tests pin the tables to it).
+_LOAD_STATE = tuple(on_local_load(s) for s in sorted(STATE_NAMES))
+_STORE_STATE = tuple(on_local_store(s)[0] for s in sorted(STATE_NAMES))
+_REMOTE_STATE = tuple(on_remote_access(s) for s in sorted(STATE_NAMES))
+
+#: shared "no tracked dataflow" register value; never mutated (readers
+#: only feed it to ``_resolved``, which builds a fresh set)
+_NO_CUS: Set[Cu] = frozenset()
+
+
 class _Block:
     """Per-(thread, block) tracking record; exists only while non-Idle."""
 
@@ -90,6 +104,18 @@ class _ThreadSvd:
         self.manager = manager
         self.config = manager.config
         self.program = manager.program
+        # config is settled before the machine runs (detectors are built
+        # lazily at the first event); cache the per-access flags so the
+        # hot handlers skip the attribute chains
+        config = self.config
+        self._log_comms = config.log_communications
+        self._use_addr_deps = config.use_address_deps
+        self._use_ctrl_deps = config.use_control_deps
+        self._2pl_check = config.enable_2pl_check
+        self._check_all = config.check_all_blocks
+        self._reconv = manager._reconv
+        self._alu_ops = manager._alu_ops
+        self._last_writer = manager.last_writer  # dict, never replaced
         self.blocks: Dict[int, _Block] = {}
         self.regs: Dict[int, Set[Cu]] = {}
         self.ctrl_stack: List[Tuple[Set[Cu], int]] = []
@@ -111,12 +137,19 @@ class _ThreadSvd:
     # -- helpers -----------------------------------------------------------
 
     def _resolved(self, cus: Set[Cu]) -> Set[Cu]:
-        return {cu.resolve() for cu in cus if cu.resolve().active}
+        out: Set[Cu] = set()
+        for cu in cus:
+            cu = cu.resolve()
+            if cu.active:
+                out.add(cu)
+        return out
 
     def _reg_set(self, operand) -> Set[Cu]:
-        if isinstance(operand, Reg):
-            return self.regs.get(operand.index, set())
-        return set()
+        if type(operand) is Reg:
+            cus = self.regs.get(operand.index)
+            if cus is not None:
+                return cus
+        return _NO_CUS
 
     def _pop_reconverged(self, pc: int) -> None:
         while self.ctrl_stack and self.ctrl_stack[-1][1] == pc:
@@ -163,10 +196,24 @@ class _ThreadSvd:
 
     def on_load(self, event: Event, block: int) -> None:
         instr = event.instr
-        self._maybe_log_communication(event, block)
+        # (s, rw, lw) communication-triple logging (paper §2.3): a read
+        # that sees a remote write overwriting an earlier local write.
+        # The early-outs are inlined -- most loads have no foreign last
+        # writer and must not pay a call to find that out.
+        if self._log_comms:
+            remote = self._last_writer.get(block)
+            if remote is not None and remote[0] != self.tid:
+                local = self.local_writes.get(block)
+                if local is not None and local[0] < remote[1]:
+                    self.manager.log.add_entry(LogEntry(
+                        tid=self.tid, reader_seq=event.seq,
+                        reader_loc=event.loc, address=event.addr,
+                        remote_tid=remote[0], remote_seq=remote[1],
+                        remote_loc=remote[2], local_seq=local[0],
+                        local_loc=local[1]))
         entry = self.blocks.get(block)
         state = entry.state if entry is not None else IDLE
-        new_state, cut = on_local_load(state)
+        new_state, cut = _LOAD_STATE[state]
         if cut:
             self.deactivate(entry.cu, "stored-shared-load", event.seq)
             entry = None  # the block was reset to Idle by the cut
@@ -181,15 +228,20 @@ class _ThreadSvd:
     def on_store(self, event: Event, block: int) -> None:
         instr = event.instr
         data_set = self._resolved(self._reg_set(instr.src))
-        addr_set: Set[Cu] = set()
-        if self.config.use_address_deps:
+        addr_set: Set[Cu] = _NO_CUS
+        if self._use_addr_deps:
             addr_set = self._resolved(self._reg_set(instr.addr))
-        ctrl_set: Set[Cu] = set()
-        if self.config.use_control_deps:
+        ctrl_set: Set[Cu] = _NO_CUS
+        if self._use_ctrl_deps and self.ctrl_stack:
+            ctrl_set = set()
             for cus, _reconv in self.ctrl_stack:
                 ctrl_set |= self._resolved(cus)
-        if self.config.enable_2pl_check:
-            self._check_violations(data_set | addr_set | ctrl_set, event)
+        if self._2pl_check:
+            if addr_set or ctrl_set:
+                self._check_violations(data_set | addr_set | ctrl_set,
+                                       event)
+            elif data_set:
+                self._check_violations(data_set, event)
 
         merged = merge_cus(data_set, self.tid, event.seq)
         if not data_set:
@@ -207,23 +259,33 @@ class _ThreadSvd:
         entry = self.blocks.get(block)
         if entry is None:
             entry = self._track(block, merged)
-        state, _ = on_local_store(entry.state)
-        entry.state = state
+        entry.state = _STORE_STATE[entry.state]
         entry.cu = merged
         merged.add_write(block)
         self.local_writes[block] = (event.seq, event.loc)
         self.last_access_cu = merged
 
     def on_alu(self, event: Event) -> None:
-        instr = event.instr
-        result = self._resolved(self._reg_set(instr.src1))
-        result |= self._resolved(self._reg_set(instr.src2))
-        self.regs[instr.dest.index] = result
+        # the single hottest handler (ALU ops are ~half a typical event
+        # stream), so the no-dataflow case -- neither source register
+        # carries a tracked CU -- must not allocate or call anything
+        src1, src2, dest = self._alu_ops[event.pc]
+        regs = self.regs
+        cus1 = regs.get(src1) if src1 is not None else None
+        cus2 = regs.get(src2) if src2 is not None else None
+        if not cus1 and not cus2:
+            if dest in regs:
+                del regs[dest]  # equivalent to storing an empty set
+            return
+        result = self._resolved(cus1) if cus1 else set()
+        if cus2:
+            result |= self._resolved(cus2)
+        regs[dest] = result
 
     def on_branch(self, event: Event) -> None:
-        if not self.config.use_control_deps:
+        if not self._use_ctrl_deps:
             return
-        reconv = self.program.reconvergence_of_branch(event.pc)
+        reconv = self._reconv.get(event.pc)
         if reconv is None:
             return  # loop-type control flow is not inferred (Skipper)
         cus = self._resolved(self._reg_set(event.instr.cond))
@@ -239,7 +301,7 @@ class _ThreadSvd:
             entry.conflict_loc = event.loc
             entry.conflict_tid = event.tid
             entry.conflict_addr = event.addr
-        new_state, cut = on_remote_access(entry.state)
+        new_state, cut = _REMOTE_STATE[entry.state]
         if cut:
             self.deactivate(entry.cu, "remote-true-dep", event.seq)
         else:
@@ -265,10 +327,11 @@ class _ThreadSvd:
         emit same-event violations in identity-hash order, which differs
         from process to process and breaks replay determinism.
         """
-        for cu in sorted(cus, key=lambda c: c.uid):
+        ordered = cus if len(cus) < 2 else sorted(cus, key=lambda c: c.uid)
+        for cu in ordered:
             if not cu.active:
                 continue
-            blocks = cu.rs if not self.config.check_all_blocks else cu.rs | cu.ws
+            blocks = cu.rs if not self._check_all else cu.rs | cu.ws
             self.manager.violation_checks += len(blocks)
             for block in blocks:
                 if block in cu.reported_blocks:
@@ -284,22 +347,6 @@ class _ThreadSvd:
                     other_loc=entry.conflict_loc,
                     other_tid=entry.conflict_tid,
                     cu_birth_seq=cu.birth_seq))
-
-    def _maybe_log_communication(self, event: Event, block: int) -> None:
-        """Log a (s, rw, lw) triple when this read sees a remote write
-        that overwrote an earlier local write (paper §2.3)."""
-        if not self.config.log_communications:
-            return
-        remote = self.manager.last_writer.get(block)
-        if remote is None or remote[0] == self.tid:
-            return
-        local = self.local_writes.get(block)
-        if local is None or local[0] >= remote[1]:
-            return
-        self.manager.log.add_entry(LogEntry(
-            tid=self.tid, reader_seq=event.seq, reader_loc=event.loc,
-            address=event.addr, remote_tid=remote[0], remote_seq=remote[1],
-            remote_loc=remote[2], local_seq=local[0], local_loc=local[1]))
 
 
 class OnlineSVD(MachineObserver):
@@ -318,6 +365,24 @@ class OnlineSVD(MachineObserver):
             raise ValueError("block_size must be >= 1")
         self.report = ViolationReport("svd", program)
         self.log = PosterioriLog(program)
+        #: block size cached off the config (hot-path divisor)
+        self._block_size = self.config.block_size
+        #: per-pc Skipper reconvergence points, precomputed for every
+        #: Branch in the program (the probe is pure in pc)
+        self._reconv: Dict[int, Optional[int]] = {
+            pc: program.reconvergence_of_branch(pc)
+            for pc, instr in enumerate(program.code)
+            if isinstance(instr, Branch)}
+        #: per-pc ALU operand decode -- (src1 reg index or None, src2
+        #: reg index or None, dest index).  ALU ops are ~half a typical
+        #: event stream; tabulating the operand shapes once spares every
+        #: event the attribute walks and isinstance checks.
+        self._alu_ops: Dict[int, Tuple[Optional[int], Optional[int], int]] = {
+            pc: (instr.src1.index if isinstance(instr.src1, Reg) else None,
+                 instr.src2.index if isinstance(instr.src2, Reg) else None,
+                 instr.dest.index)
+            for pc, instr in enumerate(program.code)
+            if isinstance(instr, Alu)}
         self.threads: Dict[int, _ThreadSvd] = {}
         #: directory: block -> set of thread ids currently tracking it
         self.trackers: Dict[int, Set[int]] = {}
@@ -356,19 +421,31 @@ class OnlineSVD(MachineObserver):
     def on_event(self, event: Event) -> None:
         self.instructions += 1
         kind = event.kind
-        detector = self._thread(event.tid)
-        detector._pop_reconverged(event.pc)
-        if kind == EV_LOAD:
-            block = event.addr // self.config.block_size
+        # inlined _thread(): the per-event fast path must not pay a
+        # method call for an almost-always-hit dict probe
+        detector = self.threads.get(event.tid)
+        if detector is None:
+            detector = self._thread(event.tid)
+        # inlined _pop_reconverged: runs on every event, so the empty /
+        # no-match cases must not pay a method call
+        stack = detector.ctrl_stack
+        if stack:
+            pc = event.pc
+            while stack and stack[-1][1] == pc:
+                stack.pop()
+        # dispatch ordered by observed kind frequency: ALU ~half of a
+        # typical stream, then LOAD, STORE, BRANCH
+        if kind == EV_ALU:
+            detector.on_alu(event)
+        elif kind == EV_LOAD:
+            block = event.addr // self._block_size
             detector.on_load(event, block)
             self._deliver_remote(block, False, event)
         elif kind == EV_STORE:
-            block = event.addr // self.config.block_size
+            block = event.addr // self._block_size
             detector.on_store(event, block)
             self._deliver_remote(block, True, event)
             self.last_writer[block] = (event.tid, event.seq, event.loc)
-        elif kind == EV_ALU:
-            detector.on_alu(event)
         elif kind == EV_BRANCH:
             detector.on_branch(event)
         elif kind == EV_WAIT and self.config.cut_at_wait:
@@ -385,10 +462,22 @@ class OnlineSVD(MachineObserver):
         trackers = self.trackers.get(block)
         if not trackers:
             return
-        for tid in list(trackers):
+        threads = self.threads
+        if len(trackers) == 1:
+            # dominant case: one tracker.  Extract it before delivering
+            # (delivery may cut the CU and mutate the directory entry),
+            # skipping the per-memory-event snapshot copy entirely.
+            (tid,) = trackers
             if tid != event.tid:
                 self.remote_messages += 1
-                self.threads[tid].on_remote(block, is_write, event)
+                threads[tid].on_remote(block, is_write, event)
+            return
+        # several trackers: delivery can unregister interest mid-walk,
+        # so iterate a snapshot
+        for tid in tuple(trackers):
+            if tid != event.tid:
+                self.remote_messages += 1
+                threads[tid].on_remote(block, is_write, event)
 
     def finish(self, end_seq: int) -> None:
         """Close all still-open CUs at the end of the run."""

@@ -98,6 +98,13 @@ class _PhaseDispatcher(MachineObserver):
             for kind in kinds:
                 handlers[kind].append(callback)
         self.handlers = handlers
+        #: kind mask folded from the phase's analyses: the machine skips
+        #: Event construction for kinds outside it.  Fixed at attach
+        #: time -- quarantining an analysis later never shrinks it.
+        self.interests = (frozenset(kind for kind in range(N_KINDS)
+                                    if handlers[kind])
+                          if all(a.interests is not None for a in analyses)
+                          else None)
         self.phase_index = phase_index
         self.events_read = 0
         self.events_dispatched = 0

@@ -234,6 +234,47 @@ class Halt(Instruction):
     __slots__ = ()
 
 
+def _div(a: int, b: int) -> int:
+    """Truncating division; by-zero produces 0 rather than trapping, so
+    workloads can model defensive code without machine exceptions."""
+    if b == 0:
+        return 0
+    return int(a / b) if (a < 0) != (b < 0) else a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - b * (int(a / b) if (a < 0) != (b < 0) else a // b)
+
+
+#: op -> binary callable, each returning a plain int (comparisons and
+#: logicals produce 0/1, never bool, so register contents and trace
+#: serializations stay type-stable).  The pre-decoded interpreter bakes
+#: the resolved callable into each ALU step closure; the legacy
+#: interpreter reaches the same functions through :func:`evaluate_alu`.
+ALU_FUNCS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _div,
+    "%": _mod,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+assert set(ALU_FUNCS) == ALU_OPS
+
+
 def evaluate_alu(op: str, a: int, b: int) -> int:
     """Evaluate an ALU operation on two integer operands.
 
@@ -241,36 +282,7 @@ def evaluate_alu(op: str, a: int, b: int) -> int:
     workloads can model defensive code without machine support for
     exceptions.
     """
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        return 0 if b == 0 else int(a / b) if (a < 0) != (b < 0) else a // b
-    if op == "%":
-        return 0 if b == 0 else a - b * (int(a / b) if (a < 0) != (b < 0) else a // b)
-    if op == "==":
-        return int(a == b)
-    if op == "!=":
-        return int(a != b)
-    if op == "<":
-        return int(a < b)
-    if op == "<=":
-        return int(a <= b)
-    if op == ">":
-        return int(a > b)
-    if op == ">=":
-        return int(a >= b)
-    if op == "&&":
-        return int(bool(a) and bool(b))
-    if op == "||":
-        return int(bool(a) or bool(b))
-    if op == "&":
-        return a & b
-    if op == "|":
-        return a | b
-    if op == "^":
-        return a ^ b
-    raise ValueError(f"unknown ALU op: {op!r}")
+    fn = ALU_FUNCS.get(op)
+    if fn is None:
+        raise ValueError(f"unknown ALU op: {op!r}")
+    return fn(a, b)

@@ -13,13 +13,14 @@ identification, so *thread id* and *processor id* coincide throughout.
 """
 
 from repro.machine.events import (
-    EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
-    EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, Event,
-    KIND_NAMES, MachineObserver,
+    ALL_KINDS, EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP,
+    EV_LOAD, EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT,
+    MEMORY_KINDS, N_KINDS, SYNC_KINDS, Event, KIND_NAMES, MachineObserver,
 )
 from repro.machine.machine import (
     CrashRecord, Machine, MachineStatus, ThreadState,
 )
+from repro.machine.predecode import compile_table
 from repro.machine.recorder import (
     Recording, program_fingerprint, record_execution, replay_execution,
 )
@@ -29,11 +30,13 @@ from repro.machine.scheduler import (
 )
 
 __all__ = [
-    "EV_ACQUIRE", "EV_ALU", "EV_BRANCH", "EV_CRASH", "EV_HALT", "EV_JUMP",
-    "EV_LOAD", "EV_NOTIFY", "EV_OUTPUT", "EV_RELEASE", "EV_STORE",
-    "EV_WAIT",
+    "ALL_KINDS", "EV_ACQUIRE", "EV_ALU", "EV_BRANCH", "EV_CRASH",
+    "EV_HALT", "EV_JUMP", "EV_LOAD", "EV_NOTIFY", "EV_OUTPUT",
+    "EV_RELEASE", "EV_STORE", "EV_WAIT", "MEMORY_KINDS", "N_KINDS",
+    "SYNC_KINDS",
     "CrashRecord", "Event", "KIND_NAMES", "Machine", "MachineObserver",
     "MachineStatus", "RandomScheduler", "Recording", "ReplayScheduler",
     "RoundRobinScheduler", "Scheduler", "SerialScheduler", "ThreadState",
-    "program_fingerprint", "record_execution", "replay_execution",
+    "compile_table", "program_fingerprint", "record_execution",
+    "replay_execution",
 ]

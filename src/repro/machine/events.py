@@ -8,7 +8,7 @@ subsequences are the thread traces.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import FrozenSet, Optional
 
 EV_LOAD = 0
 EV_STORE = 1
@@ -107,7 +107,18 @@ class MachineObserver:
     Observers must not mutate machine state; they receive every event in
     global order via :meth:`on_event` and a completion callback via
     :meth:`on_finish`.
+
+    :attr:`interests` is the observer's *kind mask*: the set of event
+    kinds it wants delivered, or None for the full stream.  The machine
+    folds the masks of all attached observers into its emission tables,
+    so an event kind nobody subscribed to is never even constructed
+    (the global sequence number still advances, keeping traces, replay
+    and checkpoints identical to a fully observed run).  The mask is
+    read when the observer is attached -- it must not change afterwards.
     """
+
+    #: event kinds (``EV_*``) to receive, or None for the full stream
+    interests: Optional[FrozenSet[int]] = None
 
     def on_event(self, event: Event) -> None:  # pragma: no cover - interface
         raise NotImplementedError

@@ -1,9 +1,38 @@
-"""The deterministic multiprocessor interpreter."""
+"""The deterministic multiprocessor interpreter.
+
+Two step engines share one machine:
+
+* the **pre-decoded** engine (default): at construction,
+  :mod:`repro.machine.predecode` compiles ``program.code`` into a
+  per-pc table of specialized step closures -- operand registers,
+  immediates, bounds checks and event fields are baked in at compile
+  time, so the hot loop is ``table[pc](thread)`` with zero
+  ``type()``/``isinstance`` work per retired instruction;
+* the **legacy** engine (``Machine(..., predecoded=False)``): the
+  original 12-arm ``if/elif`` dispatch with per-access operand
+  decoding, kept byte-for-byte in behaviour as the differential
+  reference for the pre-decoded engine.
+
+Both engines drive the same *kind-masked* emission machinery
+(:meth:`Machine._emit` and the per-kind tables the closures inline):
+observers declare an interested-kind mask (``interests``), and an event
+kind nobody subscribed to is never constructed at all -- the global
+sequence number still advances, so traces, recorded schedules, replay
+and checkpoint/restore are identical to a fully observed run.  A kind
+with exactly one subscriber bypasses the fan-out loop entirely.
+
+The runnable set is maintained incrementally at the status-transition
+sites (block, wake, sleep, halt, crash) instead of being rebuilt by an
+O(threads) scan per step; the legacy engine keeps its original scan as
+the reference behaviour, but the transitions feed both.
+"""
 
 from __future__ import annotations
 
+from bisect import insort
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import repro.faults.runtime as faults
 from repro.faults.inject import StreamInjector
@@ -14,7 +43,7 @@ from repro.isa.instructions import (
 from repro.isa.program import Program
 from repro.machine.events import (
     EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
-    EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, Event,
+    EV_NOTIFY, EV_OUTPUT, EV_RELEASE, EV_STORE, EV_WAIT, N_KINDS, Event,
     MachineObserver,
 )
 from repro.machine.scheduler import RandomScheduler, Scheduler
@@ -76,6 +105,33 @@ class ThreadState:
         self.regs = list(regs)
 
 
+class _KindEmit:
+    """Per-event-kind emission state, shared by both step engines.
+
+    The pre-decoded step closures capture these objects at compile time,
+    so :meth:`Machine._rebuild_emit_state` must mutate them in place --
+    never replace them -- when the observer set changes mid-run (BER
+    swaps its SVD on every rollback).
+
+    Fields:
+        wanted: construct and deliver events of this kind at all.
+        solo:   the single subscriber's callback when exactly one
+                observer wants the kind (fan-out bypass), or the
+                injection wrapper when a fault plan is armed.
+        sinks:  the fan-out list when ``solo`` is None.
+        raw:    the real subscriber callbacks, unwrapped -- what the
+                injection path delivers transformed events to.
+    """
+
+    __slots__ = ("wanted", "solo", "sinks", "raw")
+
+    def __init__(self) -> None:
+        self.wanted = False
+        self.solo = None
+        self.sinks: Tuple = ()
+        self.raw: Tuple = ()
+
+
 class Machine:
     """Executes a compiled program on N virtual processors.
 
@@ -90,18 +146,22 @@ class Machine:
         record_schedule: when true, the processor-id choice of every step
             is recorded in :attr:`recorded_schedule` so the run can be
             replayed exactly with a :class:`ReplayScheduler`.
+        predecoded: select the pre-decoded threaded step engine (the
+            default) or the legacy if/elif interpreter, the differential
+            reference.  Both produce byte-identical event streams,
+            schedules and architectural state.
     """
 
     def __init__(self, program: Program,
                  threads: Sequence[Tuple[str, Sequence[int]]],
                  scheduler: Optional[Scheduler] = None,
                  observers: Sequence[MachineObserver] = (),
-                 record_schedule: bool = False) -> None:
+                 record_schedule: bool = False,
+                 predecoded: bool = True) -> None:
         if not threads:
             raise ValueError("machine needs at least one thread instance")
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
-        self.observers = list(observers)
         self.record_schedule = record_schedule
         self.recorded_schedule: List[int] = []
 
@@ -126,21 +186,39 @@ class Machine:
             self.threads.append(thread)
 
         # fault injection: arm a stream injector iff the active plan has
-        # stream faults (None keeps _emit on a single is-None branch)
+        # stream faults (None keeps emission on a single is-None branch)
         plan = faults.active()
         self._injector = (StreamInjector(plan)
                           if plan is not None and plan.stream_faults()
                           else None)
 
+        #: per-kind emission tables; created before the observers setter
+        #: runs (it fills them) and before predecode (closures capture
+        #: the entries)
+        self._emit_state: List[_KindEmit] = [_KindEmit()
+                                             for _ in range(N_KINDS)]
+        self.observers = list(observers)
+
         self.seq = 0
         self.steps = 0
         #: FIFO wait queues per lock address (condition variables)
-        self.wait_queues: Dict[int, List[int]] = {}
+        self.wait_queues: Dict[int, Deque[int]] = {}
         self.output: List[Tuple[int, int]] = []
         self.crashes: List[CrashRecord] = []
         self.status = MachineStatus.RUNNING
         self._current: Optional[int] = None
         self._finished_notified = False
+
+        #: sorted runnable thread ids, maintained incrementally at the
+        #: status-transition sites (memory is fully allocated by now, so
+        #: the pre-decode pass may bake its length)
+        self._runnable_ids: List[int] = [t.tid for t in self.threads]
+        self.predecoded = predecoded
+        if predecoded:
+            from repro.machine.predecode import compile_table
+            self._table = compile_table(self)
+            #: instance attribute shadows the legacy class method
+            self.step = self._predecoded_step
 
     # -- observer plumbing ---------------------------------------------------
 
@@ -151,26 +229,91 @@ class Machine:
     @observers.setter
     def observers(self, observers: Sequence[MachineObserver]) -> None:
         self._observers = list(observers)
-        #: bound ``on_event`` methods, cached so the per-event fan-out is
-        #: one list walk with no attribute lookups
-        self._event_sinks = [obs.on_event for obs in self._observers]
+        self._rebuild_emit_state()
 
     def add_observer(self, observer: MachineObserver) -> None:
         self._observers.append(observer)
-        self._event_sinks.append(observer.on_event)
+        self._rebuild_emit_state()
+
+    def _rebuild_emit_state(self) -> None:
+        """Fold the attached observers' kind masks into the per-kind
+        emission tables (in place: pre-decoded closures hold the
+        entries)."""
+        injector = self._injector
+        for kind, entry in enumerate(self._emit_state):
+            sinks = []
+            for observer in self._observers:
+                interests = getattr(observer, "interests", None)
+                if interests is None or kind in interests:
+                    sinks.append(observer.on_event)
+            entry.raw = tuple(sinks)
+            if injector is not None:
+                # every event must reach the injector so fault ordinals
+                # stay aligned with an uninjected run
+                entry.wanted = True
+                entry.solo = self._inject_and_deliver
+                entry.sinks = ()
+            else:
+                entry.wanted = bool(sinks)
+                entry.solo = sinks[0] if len(sinks) == 1 else None
+                entry.sinks = tuple(sinks)
 
     def _emit(self, kind: int, thread: ThreadState, instr, addr: int = -1,
               value: int = 0, taken: bool = False, target: int = -1) -> None:
-        event = Event(kind, self.seq, thread.tid, thread.pc, instr,
-                      addr=addr, value=value, taken=taken, target=target)
-        self.seq += 1
-        if self._injector is not None:
-            for injected in self._injector.transform(event):
-                for sink in self._event_sinks:
-                    sink(injected)
+        entry = self._emit_state[kind]
+        seq = self.seq
+        self.seq = seq + 1
+        if not entry.wanted:
             return
-        for sink in self._event_sinks:
-            sink(event)
+        event = Event(kind, seq, thread.tid, thread.pc, instr, addr, value,
+                      taken, target)
+        callback = entry.solo
+        if callback is not None:
+            callback(event)
+        else:
+            for callback in entry.sinks:
+                callback(event)
+
+    def _inject_and_deliver(self, event: Event) -> None:
+        sinks = self._emit_state[event.kind].raw
+        for injected in self._injector.transform(event):
+            for sink in sinks:
+                sink(injected)
+
+    # -- status transitions (shared by both step engines) ---------------------
+
+    def _block(self, thread: ThreadState, addr: int) -> None:
+        thread.status = BLOCKED
+        thread.blocked_on = addr
+        self._runnable_ids.remove(thread.tid)
+
+    def _halt(self, thread: ThreadState) -> None:
+        thread.status = HALTED
+        self._runnable_ids.remove(thread.tid)
+
+    def _wake_blocked(self, addr: int) -> None:
+        for other in self.threads:
+            if other.status == BLOCKED and other.blocked_on == addr:
+                other.status = RUNNABLE
+                other.blocked_on = None
+                insort(self._runnable_ids, other.tid)
+
+    def _wake_one_waiter(self, queue: Deque[int]) -> None:
+        woken = self.threads[queue.popleft()]
+        woken.status = RUNNABLE
+        woken.reacquiring = True
+        insort(self._runnable_ids, woken.tid)
+
+    def _sleep_on(self, thread: ThreadState, addr: int) -> None:
+        """Atomic release-and-sleep tail of a ``Wait``: enqueue, park,
+        then hand the lock to any blocked acquirer."""
+        queue = self.wait_queues.get(addr)
+        if queue is None:
+            queue = self.wait_queues[addr] = deque()
+        queue.append(thread.tid)
+        thread.status = WAITING
+        self._runnable_ids.remove(thread.tid)
+        self._wake_blocked(addr)
 
     # -- execution ------------------------------------------------------------
 
@@ -188,6 +331,7 @@ class Machine:
             reason=reason, step=self.steps))
         self._emit(EV_CRASH, thread, instr)
         thread.status = CRASHED
+        self._runnable_ids.remove(thread.tid)
 
     def _check_addr(self, thread: ThreadState, instr, addr: int) -> bool:
         if 0 <= addr < len(self.memory):
@@ -196,16 +340,41 @@ class Machine:
                     f"memory fault: address {addr} out of range")
         return False
 
+    def _finish_run(self) -> bool:
+        if any(t.status in (BLOCKED, WAITING) for t in self.threads):
+            self.status = MachineStatus.DEADLOCK
+        else:
+            self.status = MachineStatus.FINISHED
+        self._notify_finish()
+        return False
+
+    def _predecoded_step(self) -> bool:
+        """Retire (at most) one instruction through the pre-decoded
+        table; return False when stopped."""
+        runnable = self._runnable_ids
+        if not runnable:
+            return self._finish_run()
+        tid = self.scheduler.pick(runnable, self._current)
+        if tid not in runnable:
+            raise RuntimeError(f"scheduler picked non-runnable thread {tid}")
+        self._current = tid
+        thread = self.threads[tid]
+        if self._table[thread.pc](thread):
+            self.steps += 1
+        if self.record_schedule:
+            self.recorded_schedule.append(tid)
+        return True
+
     def step(self) -> bool:
-        """Retire (at most) one instruction; return False when stopped."""
+        """Retire (at most) one instruction; return False when stopped.
+
+        This class-level implementation is the legacy if/elif
+        interpreter -- the differential reference; a pre-decoded machine
+        shadows it with :meth:`_predecoded_step` at construction.
+        """
         runnable = self._runnable()
         if not runnable:
-            if any(t.status in (BLOCKED, WAITING) for t in self.threads):
-                self.status = MachineStatus.DEADLOCK
-            else:
-                self.status = MachineStatus.FINISHED
-            self._notify_finish()
-            return False
+            return self._finish_run()
 
         tid = self.scheduler.pick(runnable, self._current)
         if tid not in runnable:
@@ -254,18 +423,14 @@ class Machine:
                 self._emit(EV_ACQUIRE, thread, instr, addr=addr)
                 thread.pc += 1
             else:
-                thread.status = BLOCKED
-                thread.blocked_on = addr
+                self._block(thread, addr)
                 return self._post_step(tid, retired=False)
         elif cls is Release:
             addr = instr.addr.value
             self.memory[addr] = 0
             self._emit(EV_RELEASE, thread, instr, addr=addr)
             thread.pc += 1
-            for other in self.threads:
-                if other.status == BLOCKED and other.blocked_on == addr:
-                    other.status = RUNNABLE
-                    other.blocked_on = None
+            self._wake_blocked(addr)
         elif cls is Wait:
             addr = instr.addr.value
             if thread.reacquiring:
@@ -276,8 +441,7 @@ class Machine:
                     self._emit(EV_ACQUIRE, thread, instr, addr=addr)
                     thread.pc += 1
                 else:
-                    thread.status = BLOCKED
-                    thread.blocked_on = addr
+                    self._block(thread, addr)
                     return self._post_step(tid, retired=False)
             elif self.memory[addr] != tid + 1:
                 self._crash(thread, instr,
@@ -286,21 +450,15 @@ class Machine:
                 # atomically release and sleep
                 self.memory[addr] = 0
                 self._emit(EV_WAIT, thread, instr, addr=addr)
-                self.wait_queues.setdefault(addr, []).append(tid)
-                thread.status = WAITING
-                for other in self.threads:
-                    if other.status == BLOCKED and other.blocked_on == addr:
-                        other.status = RUNNABLE
-                        other.blocked_on = None
+                self._sleep_on(thread, addr)
         elif cls is Notify or cls is NotifyAll:
             addr = instr.addr.value
             self._emit(EV_NOTIFY, thread, instr, addr=addr)
-            queue = self.wait_queues.get(addr, [])
-            wake = len(queue) if cls is NotifyAll else min(1, len(queue))
-            for _ in range(wake):
-                woken = self.threads[queue.pop(0)]
-                woken.status = RUNNABLE
-                woken.reacquiring = True
+            queue = self.wait_queues.get(addr)
+            if queue:
+                wake = len(queue) if cls is NotifyAll else 1
+                for _ in range(wake):
+                    self._wake_one_waiter(queue)
             thread.pc += 1
         elif cls is Assert:
             value = self._value(thread, instr.cond)
@@ -317,7 +475,7 @@ class Machine:
             thread.pc += 1
         elif cls is Halt:
             self._emit(EV_HALT, thread, instr)
-            thread.status = HALTED
+            self._halt(thread)
         else:  # pragma: no cover - all ISA classes handled above
             raise TypeError(f"unknown instruction {instr!r}")
 
@@ -332,12 +490,45 @@ class Machine:
 
     def run(self, max_steps: Optional[int] = None) -> str:
         """Run until all threads finish, deadlock, or the step limit."""
+        if self.predecoded:
+            return self._run_predecoded(max_steps)
+        step = self.step
         while self.status == MachineStatus.RUNNING:
             if max_steps is not None and self.steps >= max_steps:
                 self.status = MachineStatus.STEP_LIMIT
                 self._notify_finish()
                 break
-            self.step()
+            step()
+        return self.status
+
+    def _run_predecoded(self, max_steps: Optional[int]) -> str:
+        """The pre-decoded hot loop: everything loop-invariant hoisted
+        into locals.  All referenced containers (runnable set, schedule
+        list, step table) are mutated in place machine-wide, so the
+        hoisted bindings stay live across blocking, crashes and
+        checkpoint/restore within the run."""
+        table = self._table
+        threads = self.threads
+        runnable = self._runnable_ids
+        pick = self.scheduler.pick
+        record = self.record_schedule
+        schedule = self.recorded_schedule
+        running = MachineStatus.RUNNING
+        while self.status == running:
+            if max_steps is not None and self.steps >= max_steps:
+                self.status = MachineStatus.STEP_LIMIT
+                self._notify_finish()
+                break
+            if not runnable:
+                self._finish_run()
+                break
+            tid = pick(runnable, self._current)
+            self._current = tid
+            thread = threads[tid]
+            if table[thread.pc](thread):
+                self.steps += 1
+            if record:
+                schedule.append(tid)
         return self.status
 
     def _notify_finish(self) -> None:
@@ -387,10 +578,11 @@ class Machine:
 
     def restore(self, snapshot: Dict) -> None:
         """Roll architectural state back to a prior :meth:`checkpoint`."""
-        self.memory = list(snapshot["memory"])
+        # in place: the pre-decoded step closures hold the memory list
+        self.memory[:] = snapshot["memory"]
         for thread, state in zip(self.threads, snapshot["threads"]):
             thread.restore(state)
-        self.wait_queues = {addr: list(q)
+        self.wait_queues = {addr: deque(q)
                             for addr, q in snapshot["wait_queues"].items()}
         self.seq = snapshot["seq"]
         self.steps = snapshot["steps"]
@@ -401,3 +593,5 @@ class Machine:
         self._current = snapshot["current"]
         self.status = snapshot["status"]
         self._finished_notified = False
+        self._runnable_ids[:] = [t.tid for t in self.threads
+                                 if t.status == RUNNABLE]

@@ -22,6 +22,10 @@ class Scheduler:
 
         Args:
             runnable: non-empty, sorted list of runnable processor ids.
+                This may be the machine's *live* runnable set (the
+                pre-decoded engine passes it without copying): a
+                scheduler must neither mutate it nor retain a reference
+                across calls.
             current: the processor stepped previously, or ``None`` at the
                 start of the run (it may no longer be runnable).
         """
@@ -51,12 +55,16 @@ class RandomScheduler(Scheduler):
         self.seed = seed
         self.switch_prob = switch_prob
         self._rng = random.Random(seed)
+        # bound methods hoisted off the per-pick path; setstate() mutates
+        # the Random object in place, so these stay valid across restore
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
 
     def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
         if (current is not None and current in runnable
-                and self._rng.random() >= self.switch_prob):
+                and self._random() >= self.switch_prob):
             return current
-        return runnable[self._rng.randrange(len(runnable))]
+        return runnable[self._randrange(len(runnable))]
 
     def snapshot(self):
         return self._rng.getstate()

@@ -1,0 +1,166 @@
+"""Unit tests for the pre-decoded engine and kind-masked emission."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import (
+    EV_ALU, EV_BRANCH, EV_LOAD, EV_STORE, Machine, MachineObserver,
+    MachineStatus, RandomScheduler, RoundRobinScheduler, SerialScheduler,
+    compile_table,
+)
+from tests.conftest import COUNTER_LOCKED, COUNTER_RACE
+
+
+class _Capture(MachineObserver):
+    def __init__(self, interests=None):
+        if interests is not None:
+            self.interests = frozenset(interests)
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append((event.kind, event.seq, event.tid, event.pc,
+                            event.addr, event.value))
+
+
+def _machine(source, threads, **kwargs):
+    program = compile_source(source)
+    kwargs.setdefault("scheduler", RandomScheduler(seed=2, switch_prob=0.3))
+    return Machine(program, threads, **kwargs)
+
+
+class TestPredecodedEngine:
+    def test_default_is_predecoded(self):
+        m = _machine("shared int x; thread t() { x = 1; }", [("t", ())])
+        assert m.predecoded
+        assert len(m._table) == len(m.program.code)
+
+    def test_table_covers_every_pc(self):
+        m = _machine(COUNTER_LOCKED, [("worker", (3,))], predecoded=False)
+        table = compile_table(m)
+        assert len(table) == len(m.program.code)
+        assert all(callable(fn) for fn in table)
+
+    def test_runs_to_completion(self):
+        m = _machine(COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        assert m.run(max_steps=100_000) == MachineStatus.FINISHED
+        assert m.read_global("counter") == 20
+
+    def test_memory_fault_register_address(self):
+        src = ("shared int a[4]; shared int n = 99;"
+               "thread t() { a[n] = 1; }")
+        m = _machine(src, [("t", ())])
+        m.run()
+        assert m.crashed
+        assert "memory fault: address" in m.crashes[0].reason
+
+    def test_assert_failure_crashes(self):
+        src = "shared int x; thread t() { assert(x == 1); }"
+        m = _machine(src, [("t", ())])
+        m.run()
+        assert m.crashed
+        assert m.crashes[0].reason.startswith("assertion failed")
+
+
+class TestKindMaskedEmission:
+    def test_seq_advances_with_no_observers(self):
+        """Events for unwanted kinds are never constructed, but the
+        global sequence number is identical to an observed run."""
+        observed = _machine(COUNTER_RACE, [("worker", (5,)), ("worker", (5,))],
+                            observers=[_Capture()])
+        observed.run(max_steps=100_000)
+        silent = _machine(COUNTER_RACE, [("worker", (5,)), ("worker", (5,))])
+        silent.run(max_steps=100_000)
+        assert silent.seq == observed.seq
+        assert silent.steps == observed.steps
+
+    def test_mask_filters_delivery(self):
+        masked = _Capture(interests=[EV_LOAD, EV_STORE])
+        full = _Capture()
+        m = _machine(COUNTER_RACE, [("worker", (5,)), ("worker", (5,))],
+                     observers=[masked, full])
+        m.run(max_steps=100_000)
+        assert masked.events  # it got something
+        assert all(kind in (EV_LOAD, EV_STORE)
+                   for kind, *_ in masked.events)
+        # the masked observer saw exactly the full observer's subset
+        expected = [e for e in full.events if e[0] in (EV_LOAD, EV_STORE)]
+        assert masked.events == expected
+
+    def test_unwanted_kind_not_constructed_but_seq_reserved(self):
+        """An ALU-only observer still sees the same seq numbers an
+        all-kinds observer would have attributed to ALU events."""
+        alu_only = _Capture(interests=[EV_ALU])
+        m1 = _machine(COUNTER_RACE, [("worker", (3,))],
+                      observers=[alu_only],
+                      scheduler=SerialScheduler())
+        m1.run(max_steps=100_000)
+        full = _Capture()
+        m2 = _machine(COUNTER_RACE, [("worker", (3,))], observers=[full],
+                      scheduler=SerialScheduler())
+        m2.run(max_steps=100_000)
+        assert alu_only.events == [e for e in full.events
+                                   if e[0] == EV_ALU]
+
+    def test_add_observer_mid_run_rebuilds_mask(self):
+        early = _Capture(interests=[EV_STORE])
+        m = _machine(COUNTER_RACE, [("worker", (8,))],
+                     observers=[early], scheduler=SerialScheduler())
+        for _ in range(10):
+            m.step()
+        late = _Capture()
+        m.add_observer(late)
+        m.run(max_steps=100_000)
+        assert late.events  # full stream from attach point onwards
+        kinds_seen = {kind for kind, *_ in late.events}
+        assert kinds_seen - {EV_STORE}  # not masked to the old set
+
+    def test_observers_swap_mid_run(self):
+        """BER replaces the observer list wholesale on rollback; the
+        in-place emission-table rebuild must redirect the pre-decoded
+        closures."""
+        first = _Capture()
+        m = _machine(COUNTER_RACE, [("worker", (8,))],
+                     observers=[first], scheduler=SerialScheduler())
+        for _ in range(10):
+            m.step()
+        second = _Capture()
+        m.observers = [second]
+        m.run(max_steps=100_000)
+        n_first = len(first.events)
+        assert n_first == 10
+        assert second.events
+        assert second.events[0][1] == 10  # seq continues, no overlap
+
+    def test_legacy_engine_masks_identically(self):
+        masked_legacy = _Capture(interests=[EV_BRANCH])
+        m1 = _machine(COUNTER_RACE, [("worker", (4,))],
+                      observers=[masked_legacy],
+                      scheduler=SerialScheduler(), predecoded=False)
+        m1.run(max_steps=100_000)
+        masked_pre = _Capture(interests=[EV_BRANCH])
+        m2 = _machine(COUNTER_RACE, [("worker", (4,))],
+                      observers=[masked_pre],
+                      scheduler=SerialScheduler(), predecoded=True)
+        m2.run(max_steps=100_000)
+        assert masked_legacy.events == masked_pre.events
+
+
+class TestIncrementalRunnableSet:
+    def test_matches_scan_through_blocking_run(self):
+        m = _machine(COUNTER_LOCKED, [("worker", (6,)), ("worker", (6,)),
+                                      ("worker", (6,))],
+                     scheduler=RoundRobinScheduler(quantum=3))
+        while m.status == MachineStatus.RUNNING:
+            assert m._runnable_ids == m._runnable()
+            m.step()
+        assert m._runnable_ids == []
+
+    def test_restore_rebuilds_runnable_set(self):
+        m = _machine(COUNTER_LOCKED, [("worker", (10,)), ("worker", (10,))])
+        snapshot = m.checkpoint()
+        m.run(max_steps=100_000)
+        assert m._runnable_ids == []
+        m.restore(snapshot)
+        assert m._runnable_ids == m._runnable()
+        assert m.run(max_steps=100_000) == MachineStatus.FINISHED
+        assert m.read_global("counter") == 20
