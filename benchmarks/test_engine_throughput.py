@@ -1,33 +1,53 @@
-"""Engine throughput: single-pass dispatch vs per-detector re-feed.
+"""Engine throughput: batched single-pass dispatch vs per-event re-feed.
 
-The point of :class:`repro.engine.DetectorEngine` is "record once,
-analyze many": N detectors over one recording should cost one stream
-pass per scheduled *phase*, not one (or more) per detector.  This smoke
-pins that claim two ways --
+The point of the batched columnar pipeline is "record once, analyze
+many, *and* walk the stream as columns": N detectors over one recording
+should cost one batched stream pass per scheduled *phase*, while the
+legacy strategy feeds each detector its own per-event engine.  This
+bench pins the claim three ways --
 
 * **deterministically**: the 4-detector set (svd, frd, lockset,
   atomizer) schedules into exactly 2 phases, so the engine reads the
-  stream twice, while feeding each detector its own private engine
-  costs 5 passes (atomizer's lockset prerequisite is re-run);
-* **empirically**: best-of-N wall clock of the two strategies over the
-  identical trace, written to ``benchmarks/out/BENCH_engine.json`` as
-  events/sec so CI history tracks the dispatch overhead.
+  stream twice, while per-detector engines cost 5 passes (atomizer's
+  lockset prerequisite is re-run);
+* **empirically**: paired wall clock of the two strategies over the
+  identical trace must clear the pinned floor
+  (``bench_gate.FLOORS["BENCH_engine.json"]["speedup"]``, 1.5x) -- a
+  hard assert, re-checked in CI via ``repro bench --check``;
+* **end to end**: a small ``repro campaign`` matrix (live machines, SVD
+  polling, batched delivery) is timed and recorded as events/sec so the
+  artefact tracks whole-pipeline throughput, not just replay dispatch.
+
+Measurement notes: the two strategies are interleaved in ABBA quads so
+both arms sample the same CPU state, the per-block speedup is the
+*median* of paired ratios (robust against one arm catching a frequency
+dip), and up to ``BLOCKS`` blocks run with an early exit once a block
+clears the floor with margin -- wall-clock noise can only make a fast
+build look slow, never a slow build look fast enough.
 """
 
 import json
 import os
+import statistics
 import time
 
 import pytest
 
 from repro.engine import DetectorEngine
+from repro.harness.bench_gate import FLOORS
+from repro.harness.campaign import (CampaignSpec, ConfigSpec,
+                                    WorkloadSpec, run_campaign)
 from repro.machine.scheduler import RandomScheduler
 from repro.workloads import apache_log
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 DETECTORS = ["svd", "frd", "lockset", "atomizer"]
-ROUNDS = 5
+#: ABBA quads per measurement block
+QUADS = 6
+#: measurement blocks (best block wins; early exit above the margin)
+BLOCKS = 3
+SPEEDUP_FLOOR = FLOORS["BENCH_engine.json"]["speedup"]
 
 
 @pytest.fixture(scope="module")
@@ -43,30 +63,63 @@ def recorded():
 
 
 def _single_pass(program, trace):
+    """One batched engine, all four detectors, one replay."""
     return [DetectorEngine(program, DETECTORS).run_trace(trace)]
 
 
 def _per_detector_refeed(program, trace):
-    return [DetectorEngine(program, [name]).run_trace(trace)
+    """The legacy strategy: each detector gets a private per-event
+    engine and the stream is re-fed from scratch for every one."""
+    return [DetectorEngine(program, [name], batched=False).run_trace(trace)
             for name in DETECTORS]
 
 
-def _best_of(fn, *args):
-    best, results = None, None
-    for _ in range(ROUNDS):
-        started = time.perf_counter()
-        out = fn(*args)
-        elapsed = time.perf_counter() - started
-        if best is None or elapsed < best:
-            best, results = elapsed, out
-    return best, results
+def _timed(fn, *args):
+    started = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - started, out
+
+
+def _measure_block(program, trace):
+    """One block of ABBA quads; returns (median speedup, best single
+    seconds, best refeed seconds)."""
+    ratios, singles, refeeds = [], [], []
+    for _ in range(QUADS):
+        s1, _ = _timed(_single_pass, program, trace)
+        r1, _ = _timed(_per_detector_refeed, program, trace)
+        r2, _ = _timed(_per_detector_refeed, program, trace)
+        s2, _ = _timed(_single_pass, program, trace)
+        singles += [s1, s2]
+        refeeds += [r1, r2]
+        ratios.append(min(r1, r2) / min(s1, s2))
+    return statistics.median(ratios), min(singles), min(refeeds)
+
+
+def _campaign_throughput():
+    """Time a small end-to-end campaign (live machines + batched
+    delivery); returns (events, seconds, events/sec, ok runs)."""
+    spec = CampaignSpec(
+        workloads=[WorkloadSpec(name="stringbuffer"),
+                   WorkloadSpec(name="apache")],
+        configs=[ConfigSpec(name="bench", max_steps=60_000)],
+        seeds=2)
+    started = time.perf_counter()
+    report = run_campaign(spec)
+    seconds = time.perf_counter() - started
+    events = sum(r.instructions for r in report.results if r.ok)
+    assert events > 0, "campaign produced no completed runs"
+    return events, seconds, len([r for r in report.results if r.ok])
 
 
 def test_single_pass_beats_refeed(recorded, emit_result):
     program, trace = recorded
-    single_s, single = _best_of(_single_pass, program, trace)
-    refeed_s, refeed = _best_of(_per_detector_refeed, program, trace)
+    # warm every per-run cache (decoded program, trace columns/windows)
+    # so the first timed round does not pay one-time costs
+    _single_pass(program, trace)
+    _per_detector_refeed(program, trace)
 
+    single = _single_pass(program, trace)
+    refeed = _per_detector_refeed(program, trace)
     single_passes = sum(r.stats.stream_passes for r in single)
     refeed_passes = sum(r.stats.stream_passes for r in refeed)
     # the deterministic half of the claim: 2 scheduled phases vs
@@ -81,12 +134,23 @@ def test_single_pass_beats_refeed(recorded, emit_result):
         assert (single[0].report(name).dynamic_count
                 == refeed_reports[name].dynamic_count), name
 
+    speedup, single_s, refeed_s = _measure_block(program, trace)
+    blocks = 1
+    while speedup < SPEEDUP_FLOOR * 1.03 and blocks < BLOCKS:
+        block_speedup, block_single, block_refeed = _measure_block(
+            program, trace)
+        speedup = max(speedup, block_speedup)
+        single_s = min(single_s, block_single)
+        refeed_s = min(refeed_s, block_refeed)
+        blocks += 1
+
     events = len(trace)
-    speedup = refeed_s / single_s
+    campaign_events, campaign_s, campaign_ok = _campaign_throughput()
     record = {
         "events": events,
         "detectors": DETECTORS,
-        "rounds": ROUNDS,
+        "quads": QUADS,
+        "blocks": blocks,
         "single_pass": {
             "seconds": round(single_s, 6),
             "stream_passes": single_passes,
@@ -97,7 +161,14 @@ def test_single_pass_beats_refeed(recorded, emit_result):
             "stream_passes": refeed_passes,
             "events_per_sec": round(events * refeed_passes / refeed_s),
         },
+        "campaign": {
+            "events": campaign_events,
+            "ok_runs": campaign_ok,
+            "seconds": round(campaign_s, 6),
+            "events_per_sec": round(campaign_events / campaign_s),
+        },
         "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
     }
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(os.path.join(OUT_DIR, "BENCH_engine.json"), "w") as fh:
@@ -105,6 +176,6 @@ def test_single_pass_beats_refeed(recorded, emit_result):
         fh.write("\n")
 
     emit_result("engine_throughput", json.dumps(record, indent=2))
-    # soft floor against CI noise; locally the 5-vs-2 pass gap lands
-    # well above 1x
-    assert speedup > 0.7, record
+    # the pinned claim: batched single-pass dispatch beats per-event
+    # re-feed by the gate floor (also enforced on the artefact in CI)
+    assert speedup >= SPEEDUP_FLOOR, record

@@ -90,8 +90,12 @@ class BerController:
         self.program = program
         self.svd_config = svd_config if svd_config is not None else SvdConfig()
         self.scheduler = SwitchableScheduler(scheduler)
+        # batch_events=False: the controller polls the SVD report after
+        # every single step to decide rollbacks, so its view of the
+        # detector must stay synchronous with execution -- batched
+        # delivery would defer violations to the next flush boundary
         self.machine = Machine(program, threads, scheduler=self.scheduler,
-                               predecoded=predecoded)
+                               predecoded=predecoded, batch_events=False)
         self.checkpoint_interval = checkpoint_interval
         self.recovery_window = recovery_window
         self.max_rollbacks = max_rollbacks

@@ -10,6 +10,7 @@ Commands:
 * ``overhead`` -- measure the §7.3 detection overheads
 * ``campaign`` -- parallel (workload, seed, detector-config) sweep
 * ``fuzz``     -- differential fuzzing of the SVD detector family
+* ``bench``    -- gate benchmark artefacts against pinned perf floors
 
 ``run``, ``campaign`` and ``fuzz`` accept ``--obs`` (plus
 ``--trace-out``/``--metrics-out``) to activate :mod:`repro.obs` for the
@@ -27,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import repro.obs as obs
 from repro.core import OnlineSVD
+from repro.harness import bench_gate
 from repro.engine import DetectorEngine, available, parse_detector_list
 from repro.harness import measure_overhead, render_table, run_workload
 from repro.harness.table1 import render_table1, table1_rows
@@ -257,6 +259,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       "uncaught exceptions, quarantine isolates the "
                       "targeted analysis)")
     _add_obs_flags(fuzz)
+
+    bench = sub.add_parser(
+        "bench", help="gate recorded benchmark artefacts against "
+        "pinned performance floors")
+    bench.add_argument("--check", required=True, metavar="FILE",
+                       help="benchmark artefact to gate (e.g. "
+                       "benchmarks/out/BENCH_engine.json)")
+    bench.add_argument("--floor", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="extra floor: dotted key into the artefact "
+                       "and its minimum value (e.g. speedup=1.5); "
+                       "repeatable, overrides the built-in table")
+    bench.add_argument("--no-builtin", action="store_true",
+                       help="ignore the built-in floor table and gate "
+                       "only the --floor specs")
     return parser
 
 
@@ -757,6 +774,24 @@ def _run_fuzz_cmd(args) -> int:
     return _exit_code(False, stats.errors > 0)
 
 
+def _cmd_bench(args) -> int:
+    """Gate a benchmark artefact against its pinned floors."""
+    extra = {}
+    try:
+        for spec in args.floor:
+            key, value = bench_gate.parse_floor(spec)
+            extra[key] = value
+        checks = bench_gate.check_file(
+            args.check, extra_floors=extra,
+            use_builtin=not args.no_builtin)
+    except bench_gate.FloorSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    for check in checks:
+        print(f"{args.check}: {check.render()}")
+    return EXIT_OK if all(c.ok for c in checks) else EXIT_VIOLATIONS
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "analyze": _cmd_analyze,
@@ -768,6 +803,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
+    "bench": _cmd_bench,
 }
 
 

@@ -30,7 +30,7 @@ from repro.core.fsm import (
 )
 from repro.core.posteriori import CuLogRecord, LogEntry, PosterioriLog
 from repro.core.report import Violation, ViolationReport
-from repro.isa.instructions import Alu, Branch, Reg
+from repro.isa.instructions import Alu, Branch, Load, Reg, Store
 from repro.isa.program import Program
 from repro.machine.events import (
     EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
@@ -115,6 +115,7 @@ class _ThreadSvd:
         self._check_all = config.check_all_blocks
         self._reconv = manager._reconv
         self._alu_ops = manager._alu_ops
+        self._branch_cond = manager._branch_cond
         self._last_writer = manager.last_writer  # dict, never replaced
         self.blocks: Dict[int, _Block] = {}
         self.regs: Dict[int, Set[Cu]] = {}
@@ -137,6 +138,11 @@ class _ThreadSvd:
     # -- helpers -----------------------------------------------------------
 
     def _resolved(self, cus: Set[Cu]) -> Set[Cu]:
+        if len(cus) == 1:
+            # dominant case: registers almost always carry one CU
+            (cu,) = cus
+            cu = cu.resolve()
+            return {cu} if cu.active else set()
         out: Set[Cu] = set()
         for cu in cus:
             cu = cu.resolve()
@@ -144,9 +150,11 @@ class _ThreadSvd:
                 out.add(cu)
         return out
 
-    def _reg_set(self, operand) -> Set[Cu]:
-        if type(operand) is Reg:
-            cus = self.regs.get(operand.index)
+    def _reg_cus(self, index: Optional[int]) -> Set[Cu]:
+        """Tracked CUs of register ``index`` (None for an immediate
+        operand, which carries no dataflow)."""
+        if index is not None:
+            cus = self.regs.get(index)
             if cus is not None:
                 return cus
         return _NO_CUS
@@ -194,8 +202,8 @@ class _ThreadSvd:
 
     # -- event handlers ------------------------------------------------------
 
-    def on_load(self, event: Event, block: int) -> None:
-        instr = event.instr
+    def on_load(self, seq: int, loc: int, addr: int, block: int,
+                dest: int) -> None:
         # (s, rw, lw) communication-triple logging (paper §2.3): a read
         # that sees a remote write overwriting an earlier local write.
         # The early-outs are inlined -- most loads have no foreign last
@@ -206,8 +214,8 @@ class _ThreadSvd:
                 local = self.local_writes.get(block)
                 if local is not None and local[0] < remote[1]:
                     self.manager.log.add_entry(LogEntry(
-                        tid=self.tid, reader_seq=event.seq,
-                        reader_loc=event.loc, address=event.addr,
+                        tid=self.tid, reader_seq=seq,
+                        reader_loc=loc, address=addr,
                         remote_tid=remote[0], remote_seq=remote[1],
                         remote_loc=remote[2], local_seq=local[0],
                         local_loc=local[1]))
@@ -215,22 +223,23 @@ class _ThreadSvd:
         state = entry.state if entry is not None else IDLE
         new_state, cut = _LOAD_STATE[state]
         if cut:
-            self.deactivate(entry.cu, "stored-shared-load", event.seq)
+            self.deactivate(entry.cu, "stored-shared-load", seq)
             entry = None  # the block was reset to Idle by the cut
         if entry is None:
-            entry = self._track(block, self._new_cu(event.seq))
+            entry = self._track(block, self._new_cu(seq))
         entry.state = new_state
         cu = entry.cu.resolve()
         cu.add_read(block)
-        self.regs[instr.dest.index] = {cu}
+        self.regs[dest] = {cu}
         self.last_access_cu = cu
 
-    def on_store(self, event: Event, block: int) -> None:
-        instr = event.instr
-        data_set = self._resolved(self._reg_set(instr.src))
+    def on_store(self, seq: int, loc: int, block: int,
+                 src_reg: Optional[int],
+                 addr_reg: Optional[int]) -> None:
+        data_set = self._resolved(self._reg_cus(src_reg))
         addr_set: Set[Cu] = _NO_CUS
         if self._use_addr_deps:
-            addr_set = self._resolved(self._reg_set(instr.addr))
+            addr_set = self._resolved(self._reg_cus(addr_reg))
         ctrl_set: Set[Cu] = _NO_CUS
         if self._use_ctrl_deps and self.ctrl_stack:
             ctrl_set = set()
@@ -239,11 +248,11 @@ class _ThreadSvd:
         if self._2pl_check:
             if addr_set or ctrl_set:
                 self._check_violations(data_set | addr_set | ctrl_set,
-                                       event)
+                                       seq, loc)
             elif data_set:
-                self._check_violations(data_set, event)
+                self._check_violations(data_set, seq, loc)
 
-        merged = merge_cus(data_set, self.tid, event.seq)
+        merged = merge_cus(data_set, self.tid, seq)
         if not data_set:
             self.cus_created += 1
             self.manager.cus_created += 1
@@ -262,14 +271,14 @@ class _ThreadSvd:
         entry.state = _STORE_STATE[entry.state]
         entry.cu = merged
         merged.add_write(block)
-        self.local_writes[block] = (event.seq, event.loc)
+        self.local_writes[block] = (seq, loc)
         self.last_access_cu = merged
 
-    def on_alu(self, event: Event) -> None:
+    def on_alu(self, pc: int) -> None:
         # the single hottest handler (ALU ops are ~half a typical event
         # stream), so the no-dataflow case -- neither source register
         # carries a tracked CU -- must not allocate or call anything
-        src1, src2, dest = self._alu_ops[event.pc]
+        src1, src2, dest = self._alu_ops[pc]
         regs = self.regs
         cus1 = regs.get(src1) if src1 is not None else None
         cus2 = regs.get(src2) if src2 is not None else None
@@ -282,34 +291,35 @@ class _ThreadSvd:
             result |= self._resolved(cus2)
         regs[dest] = result
 
-    def on_branch(self, event: Event) -> None:
+    def on_branch(self, pc: int) -> None:
         if not self._use_ctrl_deps:
             return
-        reconv = self._reconv.get(event.pc)
+        reconv = self._reconv.get(pc)
         if reconv is None:
             return  # loop-type control flow is not inferred (Skipper)
-        cus = self._resolved(self._reg_set(event.instr.cond))
+        cus = self._resolved(self._reg_cus(self._branch_cond[pc]))
         self.ctrl_stack.append((cus, reconv))
 
-    def on_remote(self, block: int, is_write: bool, event: Event) -> None:
+    def on_remote(self, block: int, is_write: bool, seq: int, loc: int,
+                  tid: int, addr: int) -> None:
         entry = self.blocks.get(block)
         if entry is None:
             return
         if is_write or entry.state in WRITTEN_STATES:
             entry.conflict = True
-            entry.conflict_seq = event.seq
-            entry.conflict_loc = event.loc
-            entry.conflict_tid = event.tid
-            entry.conflict_addr = event.addr
+            entry.conflict_seq = seq
+            entry.conflict_loc = loc
+            entry.conflict_tid = tid
+            entry.conflict_addr = addr
         new_state, cut = _REMOTE_STATE[entry.state]
         if cut:
-            self.deactivate(entry.cu, "remote-true-dep", event.seq)
+            self.deactivate(entry.cu, "remote-true-dep", seq)
         else:
             entry.state = new_state
 
-    def on_thread_end(self, event: Event) -> None:
+    def on_thread_end(self, seq: int) -> None:
         for cu in list(self.live_cus.values()):
-            self.deactivate(cu, "thread-end", event.seq)
+            self.deactivate(cu, "thread-end", seq)
         self.ctrl_stack.clear()
         self.regs.clear()
         # deactivation empties `blocks`; sweep any stragglers so the
@@ -320,7 +330,7 @@ class _ThreadSvd:
 
     # -- checks and logging ------------------------------------------------------
 
-    def _check_violations(self, cus: Set[Cu], event: Event) -> None:
+    def _check_violations(self, cus: Set[Cu], seq: int, loc: int) -> None:
         """Strict-2PL check at a store (Figure 7, line 18).
 
         CUs are visited in creation order: iterating the raw set would
@@ -341,8 +351,8 @@ class _ThreadSvd:
                     continue
                 cu.reported_blocks.add(block)
                 self.manager.report.add(Violation(
-                    detector="svd", seq=event.seq, tid=self.tid,
-                    loc=event.loc, address=entry.conflict_addr,
+                    detector="svd", seq=seq, tid=self.tid,
+                    loc=loc, address=entry.conflict_addr,
                     kind="serializability-violation",
                     other_loc=entry.conflict_loc,
                     other_tid=entry.conflict_tid,
@@ -383,6 +393,23 @@ class OnlineSVD(MachineObserver):
                  instr.dest.index)
             for pc, instr in enumerate(program.code)
             if isinstance(instr, Alu)}
+        #: per-pc operand decode for the remaining handler kinds, so the
+        #: hot path (and the columnar batch loop) never touches an
+        #: instruction object: Load dest register, Store (src reg or
+        #: None, addr reg or None), Branch condition register
+        self._load_dest: Dict[int, int] = {
+            pc: instr.dest.index
+            for pc, instr in enumerate(program.code)
+            if isinstance(instr, Load)}
+        self._store_ops: Dict[int, Tuple[Optional[int], Optional[int]]] = {
+            pc: (instr.src.index if isinstance(instr.src, Reg) else None,
+                 instr.addr.index if isinstance(instr.addr, Reg) else None)
+            for pc, instr in enumerate(program.code)
+            if isinstance(instr, Store)}
+        self._branch_cond: Dict[int, int] = {
+            pc: instr.cond.index
+            for pc, instr in enumerate(program.code)
+            if isinstance(instr, Branch)}
         self.threads: Dict[int, _ThreadSvd] = {}
         #: directory: block -> set of thread ids currently tracking it
         self.trackers: Dict[int, Set[int]] = {}
@@ -436,29 +463,159 @@ class OnlineSVD(MachineObserver):
         # dispatch ordered by observed kind frequency: ALU ~half of a
         # typical stream, then LOAD, STORE, BRANCH
         if kind == EV_ALU:
-            detector.on_alu(event)
+            detector.on_alu(event.pc)
         elif kind == EV_LOAD:
-            block = event.addr // self._block_size
-            detector.on_load(event, block)
-            self._deliver_remote(block, False, event)
+            addr = event.addr
+            block = addr // self._block_size
+            detector.on_load(event.seq, event.loc, addr, block,
+                             self._load_dest[event.pc])
+            self._deliver_remote(block, False, event.seq, event.loc,
+                                 event.tid, addr)
         elif kind == EV_STORE:
-            block = event.addr // self._block_size
-            detector.on_store(event, block)
-            self._deliver_remote(block, True, event)
+            addr = event.addr
+            block = addr // self._block_size
+            src_reg, addr_reg = self._store_ops[event.pc]
+            detector.on_store(event.seq, event.loc, block, src_reg,
+                              addr_reg)
+            self._deliver_remote(block, True, event.seq, event.loc,
+                                 event.tid, addr)
             self.last_writer[block] = (event.tid, event.seq, event.loc)
         elif kind == EV_BRANCH:
-            detector.on_branch(event)
+            detector.on_branch(event.pc)
         elif kind == EV_WAIT and self.config.cut_at_wait:
             for cu in list(detector.live_cus.values()):
                 detector.deactivate(cu, "wait", event.seq)
         elif kind in (EV_HALT, EV_CRASH):
-            detector.on_thread_end(event)
+            detector.on_thread_end(event.seq)
         # JUMP / ACQUIRE / RELEASE / OUTPUT: synchronization and control
         # transfer carry no dataflow for SVD (it ignores how
         # synchronization is done); the reconvergence pop above is all
         # that matters.
 
-    def _deliver_remote(self, block: int, is_write: bool, event: Event) -> None:
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path: the same routing as :meth:`on_event`,
+        one tight loop per window with every per-event attribute access
+        replaced by a column read (events are never materialized).
+
+        Two loop-level tricks on top of the scalar handlers: the
+        columns are walked with one ``zip`` instead of per-column
+        subscripts, and the per-thread detector (plus its never-
+        reassigned ``ctrl_stack``/``regs`` objects) is re-fetched only
+        when the tid actually changes -- scheduler quanta make runs of
+        the same thread the common case.  The ALU handler, roughly half
+        of a typical stream, is additionally inlined."""
+        count = batch.count
+        if not count:
+            return
+        self.instructions += count
+        threads_get = self.threads.get
+        block_size = self._block_size
+        load_dest = self._load_dest
+        store_ops = self._store_ops
+        last_writer = self.last_writer
+        deliver = self._deliver_remote
+        trackers_get = self.trackers.get
+        log_add = self.log.add_entry
+        load_state = _LOAD_STATE
+        cut_at_wait = self.config.cut_at_wait
+        alu = EV_ALU
+        load = EV_LOAD
+        store = EV_STORE
+        branch = EV_BRANCH
+        wait = EV_WAIT
+        halt = EV_HALT
+        crash = EV_CRASH
+        last_tid = -1
+        detector = stack = regs = alu_ops = None
+        for kind, seq, tid, pc, loc, addr in zip(
+                batch.kinds, batch.seqs, batch.tids, batch.pcs,
+                batch.locs, batch.addrs):
+            if tid != last_tid:
+                detector = threads_get(tid)
+                if detector is None:
+                    detector = self._thread(tid)
+                last_tid = tid
+                stack = detector.ctrl_stack
+                regs = detector.regs
+                alu_ops = detector._alu_ops
+                blocks = detector.blocks
+                local_writes = detector.local_writes
+                log_comms = detector._log_comms
+            if stack:
+                while stack and stack[-1][1] == pc:
+                    stack.pop()
+            if kind == alu:
+                # inlined _ThreadSvd.on_alu
+                src1, src2, dest = alu_ops[pc]
+                cus1 = regs.get(src1) if src1 is not None else None
+                cus2 = regs.get(src2) if src2 is not None else None
+                if not cus1 and not cus2:
+                    if dest in regs:
+                        del regs[dest]
+                else:
+                    result = detector._resolved(cus1) if cus1 else set()
+                    if cus2:
+                        result |= detector._resolved(cus2)
+                    regs[dest] = result
+            elif kind == load:
+                block = addr // block_size
+                # inlined _ThreadSvd.on_load (second-hottest handler)
+                if log_comms:
+                    remote = last_writer.get(block)
+                    if remote is not None and remote[0] != tid:
+                        local = local_writes.get(block)
+                        if local is not None and local[0] < remote[1]:
+                            log_add(LogEntry(
+                                tid=tid, reader_seq=seq,
+                                reader_loc=loc, address=addr,
+                                remote_tid=remote[0],
+                                remote_seq=remote[1],
+                                remote_loc=remote[2],
+                                local_seq=local[0],
+                                local_loc=local[1]))
+                entry = blocks.get(block)
+                state = entry.state if entry is not None else IDLE
+                new_state, cut = load_state[state]
+                if cut:
+                    detector.deactivate(entry.cu, "stored-shared-load",
+                                        seq)
+                    entry = None  # the block was reset by the cut
+                if entry is None:
+                    entry = detector._track(block,
+                                            detector._new_cu(seq))
+                entry.state = new_state
+                cu = entry.cu.resolve()
+                cu.add_read(block)
+                regs[load_dest[pc]] = {cu}
+                detector.last_access_cu = cu
+                # inlined _deliver_remote early-out: the accessor
+                # tracks its own block, so the dominant case is a
+                # single tracker -- the accessing thread itself -- and
+                # must not pay the call
+                trackers = trackers_get(block)
+                if trackers is not None and (
+                        len(trackers) != 1 or tid not in trackers):
+                    deliver(block, False, seq, loc, tid, addr)
+            elif kind == store:
+                block = addr // block_size
+                src_reg, addr_reg = store_ops[pc]
+                detector.on_store(seq, loc, block, src_reg, addr_reg)
+                trackers = trackers_get(block)
+                if trackers is not None and (
+                        len(trackers) != 1 or tid not in trackers):
+                    deliver(block, True, seq, loc, tid, addr)
+                last_writer[block] = (tid, seq, loc)
+            elif kind == branch:
+                detector.on_branch(pc)
+            elif kind == wait:
+                if cut_at_wait:
+                    for cu in list(detector.live_cus.values()):
+                        detector.deactivate(cu, "wait", seq)
+            elif kind == halt or kind == crash:
+                detector.on_thread_end(seq)
+
+    def _deliver_remote(self, block: int, is_write: bool, seq: int,
+                        loc: int, source_tid: int, addr: int) -> None:
         trackers = self.trackers.get(block)
         if not trackers:
             return
@@ -468,23 +625,23 @@ class OnlineSVD(MachineObserver):
             # (delivery may cut the CU and mutate the directory entry),
             # skipping the per-memory-event snapshot copy entirely.
             (tid,) = trackers
-            if tid != event.tid:
+            if tid != source_tid:
                 self.remote_messages += 1
-                threads[tid].on_remote(block, is_write, event)
+                threads[tid].on_remote(block, is_write, seq, loc,
+                                       source_tid, addr)
             return
         # several trackers: delivery can unregister interest mid-walk,
         # so iterate a snapshot
         for tid in tuple(trackers):
-            if tid != event.tid:
+            if tid != source_tid:
                 self.remote_messages += 1
-                threads[tid].on_remote(block, is_write, event)
+                threads[tid].on_remote(block, is_write, seq, loc,
+                                       source_tid, addr)
 
     def finish(self, end_seq: int) -> None:
         """Close all still-open CUs at the end of the run."""
-        final = Event(EV_HALT, end_seq, -1, -1, None)
         for detector in self.threads.values():
-            final.tid = detector.tid
-            detector.on_thread_end(final)
+            detector.on_thread_end(end_seq)
 
     def on_finish(self, machine) -> None:
         self.finish(machine.seq)

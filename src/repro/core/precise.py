@@ -49,6 +49,11 @@ class PreciseSVD(OnlineSVD):
     :attr:`report` (detector name ``svd-precise``).
     """
 
+    #: opt out of the inherited columnar fast path: this class hooks
+    #: per-event routing (``on_event``), which the base consume_batch
+    #: loop would silently bypass
+    consume_batch = None
+
     def __init__(self, program: Program,
                  config: Optional[SvdConfig] = None) -> None:
         config = config if config is not None else SvdConfig()

@@ -127,6 +127,65 @@ class AtomizerDetector(Analysis):
             else:
                 state.phase = POST_COMMIT
 
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path: identical routing to :meth:`on_event`,
+        with an explicit kind filter up front (the shared window also
+        carries kinds outside this detector's interests)."""
+        blocks = self._blocks
+        exposed = self._exposed
+        load = EV_LOAD
+        store = EV_STORE
+        acquire = EV_ACQUIRE
+        release = EV_RELEASE
+        wait = EV_WAIT
+        for kind, seq, tid, loc, addr in zip(
+                batch.kinds, batch.seqs, batch.tids, batch.locs,
+                batch.addrs):
+            if kind == load or kind == store:
+                is_access = True
+            elif (kind == acquire or kind == release
+                    or kind == wait):
+                is_access = False
+            else:
+                continue  # alien kind in the shared window
+            state = blocks.get(tid)
+            if state is None:
+                state = blocks[tid] = _BlockState()
+            if is_access:
+                if state.depth == 0:
+                    continue
+                if addr in exposed:
+                    # non-mover inside an atomic block
+                    if state.phase == POST_COMMIT:
+                        if not state.reported:
+                            state.reported = True
+                            self.report.add(Violation(
+                                detector="atomizer", seq=seq,
+                                tid=tid, loc=loc, address=addr,
+                                kind="atomicity-violation",
+                                other_loc=state.entry_loc))
+                    else:
+                        state.phase = POST_COMMIT
+            elif kind == acquire:
+                if state.depth == 0:
+                    state.depth = 1
+                    state.phase = PRE_COMMIT
+                    state.entry_loc = loc
+                    state.reported = False
+                else:
+                    state.depth += 1
+                    if state.phase == POST_COMMIT and not state.reported:
+                        state.reported = True
+                        self.report.add(Violation(
+                            detector="atomizer", seq=seq,
+                            tid=tid, loc=loc, address=addr,
+                            kind="atomicity-violation",
+                            other_loc=state.entry_loc))
+            else:
+                if state.depth > 0:
+                    state.depth -= 1
+                    state.phase = POST_COMMIT  # left mover: commit
+
     def run(self, trace: Trace) -> ViolationReport:
         """Standalone two-pass run: private exposure pass, then check."""
         self.start(trace.n_threads)

@@ -114,6 +114,10 @@ class FrontierRaceDetector(Analysis):
         self._lock_clocks: Dict[int, VectorClock] = {}
         self._last_write: Dict[int, Tuple[int, VectorClock, int, int]] = {}
         self._reads: Dict[int, List[Tuple[int, VectorClock, int, int]]] = {}
+        # per-thread frozen copy of the clock, valid until the next sync
+        # op mutates it; recorded access tuples share the snapshot, which
+        # is safe because nothing ever mutates a recorded clock
+        self._snapshots: List[Optional[VectorClock]] = []
 
     def start(self, n_threads: int) -> None:
         self.report = ViolationReport("frd", self.program)
@@ -123,17 +127,24 @@ class FrontierRaceDetector(Analysis):
         self._lock_clocks = {}
         self._last_write = {}
         self._reads = {}
+        self._snapshots = [None] * n_threads
 
-    def _race(self, prev: Tuple[int, VectorClock, int, int],
-              event: Event) -> None:
+    def _race(self, prev: Tuple[int, VectorClock, int, int], tid: int,
+              seq: int, loc: int, addr: int) -> None:
         prev_tid, prev_vc, _prev_seq, prev_loc = prev
-        if prev_tid == event.tid:
+        if prev_tid == tid:
             return
-        if not prev_vc.happens_before(self._clocks[event.tid]):
+        if not prev_vc.happens_before(self._clocks[tid]):
             self.report.add(Violation(
-                detector="frd", seq=event.seq, tid=event.tid,
-                loc=event.loc, address=event.addr, kind="data-race",
+                detector="frd", seq=seq, tid=tid,
+                loc=loc, address=addr, kind="data-race",
                 other_loc=prev_loc, other_tid=prev_tid))
+
+    def _snapshot(self, tid: int) -> VectorClock:
+        vc = self._snapshots[tid]
+        if vc is None:
+            vc = self._snapshots[tid] = self._clocks[tid].copy()
+        return vc
 
     def on_event(self, event: Event) -> None:
         tid = event.tid
@@ -142,27 +153,85 @@ class FrontierRaceDetector(Analysis):
             held = self._lock_clocks.get(event.addr)
             if held is not None:
                 clocks[tid].join(held)
+                self._snapshots[tid] = None
         elif event.kind in (EV_RELEASE, EV_WAIT):
             # a Wait atomically releases the lock, so it carries the
             # same happens-before edge as a Release; the wake-up side
             # re-acquires and joins the lock clock via its ACQUIRE
-            self._lock_clocks[event.addr] = clocks[tid].copy()
+            self._lock_clocks[event.addr] = self._snapshot(tid)
             clocks[tid].tick(tid)
+            self._snapshots[tid] = None
         elif event.kind == EV_LOAD:
             prev = self._last_write.get(event.addr)
             if prev is not None:
-                self._race(prev, event)
+                self._race(prev, tid, event.seq, event.loc, event.addr)
             self._reads.setdefault(event.addr, []).append(
-                (tid, clocks[tid].copy(), event.seq, event.loc))
+                (tid, self._snapshot(tid), event.seq, event.loc))
         elif event.kind == EV_STORE:
             prev = self._last_write.get(event.addr)
             if prev is not None:
-                self._race(prev, event)
+                self._race(prev, tid, event.seq, event.loc, event.addr)
             for read in self._reads.get(event.addr, ()):
-                self._race(read, event)
+                self._race(read, tid, event.seq, event.loc, event.addr)
             self._reads[event.addr] = []
             self._last_write[event.addr] = (
-                tid, clocks[tid].copy(), event.seq, event.loc)
+                tid, self._snapshot(tid), event.seq, event.loc)
+
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path: :meth:`on_event` unrolled over a shared
+        mixed-kind window (kinds outside :attr:`interests` fall through
+        the dispatch chain untouched)."""
+        clocks = self._clocks
+        lock_clocks = self._lock_clocks
+        last_write = self._last_write
+        reads = self._reads
+        snapshots = self._snapshots
+        race = self._race
+        load = EV_LOAD
+        store = EV_STORE
+        acquire = EV_ACQUIRE
+        release = EV_RELEASE
+        wait = EV_WAIT
+        for kind, seq, tid, loc, addr in zip(
+                batch.kinds, batch.seqs, batch.tids, batch.locs,
+                batch.addrs):
+            if kind == load:
+                prev = last_write.get(addr)
+                # the prev[0] != tid guard is _race's first early-out,
+                # hoisted so same-thread re-accesses skip the call
+                if prev is not None and prev[0] != tid:
+                    race(prev, tid, seq, loc, addr)
+                lst = reads.get(addr)
+                if lst is None:
+                    lst = reads[addr] = []
+                vc = snapshots[tid]
+                if vc is None:
+                    vc = snapshots[tid] = clocks[tid].copy()
+                lst.append((tid, vc, seq, loc))
+            elif kind == store:
+                prev = last_write.get(addr)
+                if prev is not None and prev[0] != tid:
+                    race(prev, tid, seq, loc, addr)
+                for read in reads.get(addr, ()):
+                    if read[0] != tid:
+                        race(read, tid, seq, loc, addr)
+                reads[addr] = []
+                vc = snapshots[tid]
+                if vc is None:
+                    vc = snapshots[tid] = clocks[tid].copy()
+                last_write[addr] = (tid, vc, seq, loc)
+            elif kind == acquire:
+                held = lock_clocks.get(addr)
+                if held is not None:
+                    clocks[tid].join(held)
+                    snapshots[tid] = None
+            elif kind == release or kind == wait:
+                vc = snapshots[tid]
+                if vc is None:
+                    vc = clocks[tid].copy()
+                lock_clocks[addr] = vc
+                clocks[tid].tick(tid)
+                snapshots[tid] = None
 
     def run(self, trace: Trace) -> ViolationReport:
         """Standalone one-shot: stream ``trace`` and return the report."""

@@ -93,6 +93,63 @@ class LocksetDetector(Analysis):
                           kind="lockset-empty"),
                 key=("lockset-empty", event.addr))
 
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path over a shared mixed-kind window: the sync
+        kinds and the Eraser FSM inline; every other kind skips."""
+        held_by = self._held
+        addr_states = self._addrs
+        load = EV_LOAD
+        store = EV_STORE
+        acquire = EV_ACQUIRE
+        release = EV_RELEASE
+        wait = EV_WAIT
+        # per-thread-run cache: scheduler quanta make same-tid runs the
+        # common case, so the held-set lookup moves off the access path
+        last_tid = -1
+        held: Set[int] = set()
+        for kind, seq, tid, loc, addr in zip(
+                batch.kinds, batch.seqs, batch.tids, batch.locs,
+                batch.addrs):
+            if tid != last_tid:
+                held = held_by.get(tid)
+                if held is None:
+                    held = held_by[tid] = set()
+                last_tid = tid
+            if kind == load:
+                is_write = False
+            elif kind == store:
+                is_write = True
+            elif kind == acquire:
+                held.add(addr)
+                continue
+            elif kind == release or kind == wait:
+                held.discard(addr)
+                continue
+            else:
+                continue  # alien kind in the shared window
+            entry = addr_states.get(addr)
+            if entry is None:
+                entry = addr_states[addr] = _AddrState()
+            if entry.state == VIRGIN:
+                entry.state = EXCLUSIVE
+                entry.owner = tid
+                continue
+            if entry.state == EXCLUSIVE:
+                if tid == entry.owner:
+                    continue
+                entry.state = SHARED_MODIFIED if is_write else SHARED
+                entry.candidates = set(held)
+            else:
+                if is_write:
+                    entry.state = SHARED_MODIFIED
+                entry.candidates &= held
+            if entry.state == SHARED_MODIFIED and not entry.candidates:
+                self.report.add_once(
+                    Violation(detector="lockset", seq=seq, tid=tid,
+                              loc=loc, address=addr,
+                              kind="lockset-empty"),
+                    key=("lockset-empty", addr))
+
     def run(self, trace: Trace) -> ViolationReport:
         """Standalone one-shot: stream ``trace`` and return the report."""
         self.start(trace.n_threads)

@@ -23,7 +23,12 @@ class VectorClock:
             self.clocks = [0] * width
 
     def copy(self) -> "VectorClock":
-        return VectorClock(len(self.clocks), self.clocks)
+        # bypass __init__: copy() is the hottest VC operation (one per
+        # tracked access in the happens-before detectors) and needs no
+        # width validation or zero-fill
+        clone = VectorClock.__new__(VectorClock)
+        clone.clocks = self.clocks[:]
+        return clone
 
     def tick(self, tid: int) -> None:
         self.clocks[tid] += 1
@@ -36,8 +41,11 @@ class VectorClock:
 
     def happens_before(self, other: "VectorClock") -> bool:
         """True iff self ≤ other componentwise and self != other."""
-        le = all(a <= b for a, b in zip(self.clocks, other.clocks))
-        return le and self.clocks != other.clocks
+        mine, theirs = self.clocks, other.clocks
+        for a, b in zip(mine, theirs):
+            if a > b:
+                return False
+        return mine != theirs
 
     def ordered_with(self, other: "VectorClock") -> bool:
         return (self.happens_before(other) or other.happens_before(self)

@@ -49,6 +49,15 @@ class Analysis:
     #: True for batch algorithms that consume a whole recorded trace;
     #: the engine calls :meth:`set_trace` before :meth:`finish`
     wants_trace: bool = False
+    #: optional fast path: a callable taking one
+    #: :class:`repro.machine.batch.EventBatch` (mixed-kind, global
+    #: order -- the consumer dispatches on ``batch.kinds`` and ignores
+    #: alien kinds).  None means per-event only: the dispatcher then
+    #: synthesizes :meth:`on_event` calls from each batch, preserving
+    #: exact seq order and fault ordinals.  Declaring it is a contract
+    #: that consuming a batch is observationally identical to receiving
+    #: its events one at a time.
+    consume_batch = None
 
     def resolve(self, name: str, dependency: "Analysis") -> None:
         """Receive a required analysis instance (state still unread)."""
@@ -91,6 +100,9 @@ class ObserverAnalysis(Analysis):
         self.name = name
         self.observer = observer
         self.on_event = observer.on_event  # direct dispatch, no hop
+        consume = getattr(observer, "consume_batch", None)
+        if callable(consume):
+            self.consume_batch = consume  # batched fast path, same hop
 
     def finish(self, end_seq: int) -> None:
         finish = getattr(self.observer, "finish", None)

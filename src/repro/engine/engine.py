@@ -52,6 +52,7 @@ import repro.obs as obs
 from repro.core.report import AnalysisFailure, ViolationReport
 from repro.engine.analysis import Analysis
 from repro.faults.inject import RaisingCallback
+from repro.machine.batch import DEFAULT_BATCH_SIZE, EventBatch
 from repro.machine.events import KIND_NAMES, MachineObserver, N_KINDS
 from repro.trace.trace import Trace, TraceRecorder
 
@@ -81,8 +82,11 @@ class _PhaseDispatcher(MachineObserver):
     """
 
     def __init__(self, analyses: Sequence[Analysis],
-                 phase_index: int = 0) -> None:
+                 phase_index: int = 0, batched: bool = True,
+                 program=None) -> None:
         handlers: List[List] = [[] for _ in range(N_KINDS)]
+        synth_handlers: List[List] = [[] for _ in range(N_KINDS)]
+        batch_handlers: List[Tuple] = []
         owners: Dict[int, Analysis] = {}
         plan = faults.active()
         raise_faults = ({f.target: f for f in plan.analysis_faults()}
@@ -97,7 +101,28 @@ class _PhaseDispatcher(MachineObserver):
                      else analysis.interests)
             for kind in kinds:
                 handlers[kind].append(callback)
+            # fault-targeted analyses stay on the per-event path: the
+            # RaisingCallback's per-call ordinal and the failure's
+            # event_index/seq must match an unbatched run exactly
+            if (batched and fault is None
+                    and callable(getattr(analysis, "consume_batch", None))):
+                batch_handlers.append(
+                    (analysis, analysis.consume_batch,
+                     None if analysis.interests is None
+                     else tuple(analysis.interests)))
+            else:
+                for kind in kinds:
+                    synth_handlers[kind].append(callback)
         self.handlers = handlers
+        self._synth_handlers = synth_handlers
+        self._batch_handlers = batch_handlers
+        self._program = program
+        self.batches_consumed = 0
+        if not batch_handlers:
+            # disarm batched delivery entirely (the machine's batching
+            # gate tests this attribute): with no batch-path analysis
+            # there is nothing to gain over plain per-event dispatch
+            self.consume_batch = None
         #: kind mask folded from the phase's analyses: the machine skips
         #: Event construction for kinds outside it.  Fixed at attach
         #: time -- quarantining an analysis later never shrinks it.
@@ -127,6 +152,51 @@ class _PhaseDispatcher(MachineObserver):
             except Exception as exc:
                 self._absorb(callbacks, callback, event, exc)
 
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Batched delivery: per-event-only analyses first (synthesized
+        :meth:`on_event` calls in exact seq order -- their view is
+        indistinguishable from an unbatched run, including quarantine
+        indices and fault ordinals), then one call per batch-path
+        analysis with the shared mixed-kind window."""
+        self.batches_consumed += 1
+        count = batch.count
+        if any(self._synth_handlers):
+            for event in batch.to_events(self._program):
+                self.events_read += 1
+                # re-read the table each event: a mid-batch quarantine
+                # replaces it, and the dead callback must not see the
+                # rest of the window
+                callbacks = self._synth_handlers[event.kind]
+                if callbacks:
+                    self.events_dispatched += len(callbacks)
+                    try:
+                        for callback in callbacks:
+                            callback(event)
+                    except Exception as exc:
+                        self._absorb(callbacks, callback, event, exc)
+        else:
+            self.events_read += count
+        base = self.events_read - count
+        kind_counts = None
+        for analysis, consume, kinds in self._batch_handlers:
+            if kinds is None:
+                fed = count
+            else:
+                if kind_counts is None:
+                    kind_counts = batch.kind_counts()
+                fed = 0
+                for kind in kinds:
+                    fed += kind_counts[kind]
+                if not fed:
+                    # per-event dispatch would not have called this
+                    # analysis for any event in the window
+                    continue
+            self.events_dispatched += fed
+            try:
+                consume(batch)
+            except Exception as exc:
+                self._quarantine_batch(analysis, base, batch, exc)
+
     def _absorb(self, callbacks: List, failed, event,
                 exc: Exception) -> None:
         """Quarantine the raising callback, then finish delivering the
@@ -145,9 +215,27 @@ class _PhaseDispatcher(MachineObserver):
             analysis.name, self.phase_index, "event",
             self.events_read - 1, event.seq, exc)
         obs.add("engine.analysis_quarantined")
-        # rebuild the table as NEW list objects so any in-flight
+        # rebuild the tables as NEW list objects so any in-flight
         # iteration over the old lists is unaffected
         dead = id(callback)
+        self.handlers = [[cb for cb in lst if id(cb) != dead]
+                         for lst in self.handlers]
+        self._synth_handlers = [[cb for cb in lst if id(cb) != dead]
+                                for lst in self._synth_handlers]
+
+    def _quarantine_batch(self, analysis: Analysis, base: int,
+                          batch: EventBatch, exc: Exception) -> None:
+        """Quarantine a batch-path analysis: the failure is anchored at
+        the first event of the window it was consuming (somewhere past
+        that point is where it actually raised)."""
+        seq = batch.seqs[0] if batch.count else -1
+        self.failures[analysis.name] = _failure(
+            analysis.name, self.phase_index, "batch", base, seq, exc)
+        obs.add("engine.analysis_quarantined")
+        self._batch_handlers = [entry for entry in self._batch_handlers
+                                if entry[0] is not analysis]
+        dead = next((cb_id for cb_id, owner in self._owners.items()
+                     if owner is analysis), -1)
         self.handlers = [[cb for cb in lst if id(cb) != dead]
                          for lst in self.handlers]
 
@@ -156,9 +244,11 @@ class _CountingPhaseDispatcher(_PhaseDispatcher):
     """Per-event-kind accounting, selected only while metrics are on."""
 
     def __init__(self, analyses: Sequence[Analysis],
-                 phase_index: int = 0) -> None:
-        super().__init__(analyses, phase_index)
+                 phase_index: int = 0, batched: bool = True,
+                 program=None) -> None:
+        super().__init__(analyses, phase_index, batched, program)
         self.kind_counts = [0] * N_KINDS
+        self.batch_kind_counts = [0] * N_KINDS
 
     def on_event(self, event) -> None:
         self.events_read += 1
@@ -172,12 +262,23 @@ class _CountingPhaseDispatcher(_PhaseDispatcher):
             except Exception as exc:
                 self._absorb(callbacks, callback, event, exc)
 
+    def consume_batch(self, batch: EventBatch) -> None:
+        kc = self.kind_counts
+        bc = self.batch_kind_counts
+        for kind, count in enumerate(batch.kind_counts()):
+            if count:
+                kc[kind] += count
+                bc[kind] += count
+        _PhaseDispatcher.consume_batch(self, batch)
+
 
 def _make_dispatcher(analyses: Sequence[Analysis],
-                     phase_index: int = 0) -> _PhaseDispatcher:
+                     phase_index: int = 0, batched: bool = True,
+                     program=None) -> _PhaseDispatcher:
     if obs.metrics_enabled():
-        return _CountingPhaseDispatcher(analyses, phase_index)
-    return _PhaseDispatcher(analyses, phase_index)
+        return _CountingPhaseDispatcher(analyses, phase_index, batched,
+                                        program)
+    return _PhaseDispatcher(analyses, phase_index, batched, program)
 
 
 @dataclass
@@ -264,9 +365,16 @@ class DetectorEngine:
     """
 
     def __init__(self, program, detectors: Sequence[Union[str, Analysis]] = (),
-                 svd_config=None) -> None:
+                 svd_config=None, batched: bool = True,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.program = program
         self.svd_config = svd_config
+        #: feed columnar EventBatch windows to analyses that declare
+        #: ``consume_batch`` (per-event delivery is synthesized for the
+        #: rest); False forces pure per-event dispatch everywhere --
+        #: the differential reference
+        self._batched = batched
+        self._batch_size = batch_size
         self._analyses: Dict[str, Analysis] = {}
         self._requested: List[str] = []
         self._used = False
@@ -366,7 +474,8 @@ class DetectorEngine:
             machine.add_observer(recorder)
 
         started = self._start_phase(phases[0], 0, n_threads)
-        dispatcher = _make_dispatcher(started, 0)
+        dispatcher = _make_dispatcher(started, 0, self._batched,
+                                      self.program)
         machine.add_observer(dispatcher)
         with obs.span("engine.phase", phase=0,
                       analyses="+".join(a.name for a in phases[0])):
@@ -433,11 +542,17 @@ class DetectorEngine:
         with obs.span("engine.phase", phase=index,
                       analyses="+".join(a.name for a in analyses)):
             started = self._start_phase(analyses, index, n_threads)
-            dispatcher = _make_dispatcher(started, index)
+            dispatcher = _make_dispatcher(started, index, self._batched,
+                                          self.program)
             if dispatcher.any_subscribers:
-                on_event = dispatcher.on_event
-                for event in trace:
-                    on_event(event)
+                if dispatcher._batch_handlers:
+                    consume = dispatcher.consume_batch
+                    for batch in trace.batches(self._batch_size):
+                        consume(batch)
+                else:
+                    on_event = dispatcher.on_event
+                    for event in trace:
+                        on_event(event)
             self._finish_phase(started, dispatcher, stats, index, end_seq,
                                trace)
 
@@ -488,6 +603,17 @@ class DetectorEngine:
             if count:
                 registry.counter(
                     f"engine.events.kind.{KIND_NAMES[kind]}").inc(count)
+        if dispatcher.batches_consumed:
+            registry.counter("engine.batch_flushed").inc(
+                dispatcher.batches_consumed)
+            batch_kind_counts = dispatcher.batch_kind_counts
+            registry.counter("engine.batch_events").inc(
+                sum(batch_kind_counts))
+            for kind, count in enumerate(batch_kind_counts):
+                if count:
+                    registry.counter(
+                        f"engine.batch_events.kind.{KIND_NAMES[kind]}"
+                    ).inc(count)
         for analysis in analyses:
             kinds = (range(N_KINDS) if analysis.interests is None
                      else analysis.interests)

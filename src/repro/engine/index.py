@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Set
 
 from repro.engine.analysis import Analysis
-from repro.machine.events import MEMORY_KINDS, Event
+from repro.machine.events import EV_LOAD, EV_STORE, MEMORY_KINDS, Event
 
 
 class SharedAddressIndex(Analysis):
@@ -45,6 +45,22 @@ class SharedAddressIndex(Analysis):
             accessors = self.accessors[addr] = set()
         accessors.add(event.tid)
         self.access_counts[addr] = self.access_counts.get(addr, 0) + 1
+
+    def consume_batch(self, batch) -> None:
+        """Columnar fast path: index the window's memory accesses (the
+        shared window carries other kinds too; they are skipped)."""
+        accessors_by_addr = self.accessors
+        counts = self.access_counts
+        load = EV_LOAD
+        store = EV_STORE
+        for kind, tid, addr in zip(batch.kinds, batch.tids, batch.addrs):
+            if kind != load and kind != store:
+                continue
+            accessors = accessors_by_addr.get(addr)
+            if accessors is None:
+                accessors = accessors_by_addr[addr] = set()
+            accessors.add(tid)
+            counts[addr] = counts.get(addr, 0) + 1
 
     def finish(self, end_seq: int) -> None:
         self.shared_addresses = {addr for addr, tids in self.accessors.items()

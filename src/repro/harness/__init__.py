@@ -4,6 +4,9 @@ plus the parallel campaign engine that fans seed sweeps across a
 process pool.
 """
 
+from repro.harness.bench_gate import (FLOORS, FloorCheck, FloorSpecError,
+                                      check_file, check_record,
+                                      parse_floor)
 from repro.harness.campaign import (CampaignReport, CampaignResult,
                                     CampaignSpec, ConfigSpec,
                                     WorkloadSpec, derive_seed,
@@ -20,6 +23,12 @@ from repro.harness.render import render_table
 from repro.harness.sampling import Segment, SegmentSampler, evenly_spaced_windows
 
 __all__ = [
+    "FLOORS",
+    "FloorCheck",
+    "FloorSpecError",
+    "check_file",
+    "check_record",
+    "parse_floor",
     "CampaignJournal",
     "JournalError",
     "spec_fingerprint",

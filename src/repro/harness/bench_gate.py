@@ -1,0 +1,118 @@
+"""Benchmark floor gate: assert recorded bench artefacts stay fast.
+
+The benchmark suite writes machine-readable records under
+``benchmarks/out/`` (``BENCH_engine.json`` and friends).  This module
+is the one place that knows which numbers in those artefacts are
+*floors* -- values that must not regress below a pinned threshold --
+so the same table drives the in-bench assertion and the
+``repro bench --check`` CI gate.
+
+A floor key addresses into the JSON record with dots
+(``single_pass.events_per_sec``); the gated value must be a number
+``>=`` the floor.  Callers can override or extend the built-in table
+with ``KEY=VALUE`` specs parsed by :func:`parse_floor`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+#: pinned floors per artefact basename.  ``speedup`` is the headline
+#: claim of the batched dispatch pipeline: one single-pass engine run
+#: with the full 4-detector set must beat feeding each detector its own
+#: per-event engine by at least 1.5x.
+FLOORS: Dict[str, Dict[str, float]] = {
+    "BENCH_engine.json": {
+        "speedup": 1.5,
+    },
+}
+
+
+class FloorSpecError(ValueError):
+    """A malformed ``KEY=VALUE`` floor spec or unreadable artefact."""
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """Outcome of gating one key of one artefact."""
+
+    key: str
+    floor: float
+    value: float
+    ok: bool
+
+    def render(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        return (f"{verdict}: {self.key} = {self.value:g} "
+                f"(floor {self.floor:g})")
+
+
+def parse_floor(spec: str) -> Tuple[str, float]:
+    """Parse one ``KEY=VALUE`` floor spec (``speedup=1.5``)."""
+    key, sep, raw = spec.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise FloorSpecError(f"floor spec must be KEY=VALUE: {spec!r}")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise FloorSpecError(
+            f"floor value must be a number: {spec!r}") from None
+    return key, value
+
+
+def lookup(record: Mapping, key: str) -> float:
+    """Resolve a dotted ``key`` inside a decoded JSON ``record``."""
+    node = record
+    for part in key.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            raise FloorSpecError(f"record has no key {key!r}")
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        raise FloorSpecError(f"key {key!r} is not a number: {node!r}")
+    return float(node)
+
+
+def check_record(record: Mapping,
+                 floors: Mapping[str, float]) -> List[FloorCheck]:
+    """Gate ``record`` against ``floors``; one result per key."""
+    checks = []
+    for key in sorted(floors):
+        floor = floors[key]
+        value = lookup(record, key)
+        checks.append(FloorCheck(key=key, floor=floor, value=value,
+                                 ok=value >= floor))
+    return checks
+
+
+def check_file(path: str,
+               extra_floors: Mapping[str, float] = (),
+               use_builtin: bool = True) -> List[FloorCheck]:
+    """Gate the artefact at ``path``.
+
+    Floors are the built-in table entry for the file's basename (when
+    ``use_builtin``) overlaid with ``extra_floors``.  An artefact with
+    no applicable floors is a spec error -- a gate that checks nothing
+    must not pass silently.
+    """
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except OSError as exc:
+        raise FloorSpecError(f"cannot read artefact: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise FloorSpecError(f"artefact is not JSON: {exc}") from None
+    floors: Dict[str, float] = {}
+    if use_builtin:
+        floors.update(FLOORS.get(os.path.basename(path), {}))
+    floors.update(extra_floors)
+    if not floors:
+        raise FloorSpecError(
+            f"no floors apply to {os.path.basename(path)!r}; "
+            "pass --floor KEY=VALUE")
+    if not isinstance(record, Mapping):
+        raise FloorSpecError("artefact root must be a JSON object")
+    return check_record(record, floors)

@@ -115,6 +115,21 @@ class MachineObserver:
     (the global sequence number still advances, keeping traces, replay
     and checkpoints identical to a fully observed run).  The mask is
     read when the observer is attached -- it must not change afterwards.
+
+    Batched delivery: an observer may additionally define
+    ``consume_batch(batch)`` taking a
+    :class:`repro.machine.batch.EventBatch`.  When *every* attached
+    observer defines it (and no stream-fault injector is armed), the
+    machine stages rows instead of constructing Events and flushes
+    columnar batches at buffer-full, checkpoint/restore, observer-set
+    changes, and end of run.  Batches are shared between observers and
+    are *mixed-kind*: a consumer must dispatch on ``batch.kinds`` and
+    ignore kinds outside its interests.  Rows appear in global order,
+    so walking a batch front to back replays exactly the stream
+    :meth:`on_event` would have seen.  Observers defining
+    ``consume_batch`` must still define :meth:`on_event` -- per-event
+    delivery remains in effect whenever any co-attached observer is
+    per-event-only, or a fault plan is active.
     """
 
     #: event kinds (``EV_*``) to receive, or None for the full stream

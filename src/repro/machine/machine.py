@@ -36,6 +36,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import repro.faults.runtime as faults
 from repro.faults.inject import StreamInjector
+from repro.machine.batch import DEFAULT_BATCH_SIZE, EventBatch
 from repro.isa.instructions import (
     Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Notify,
     NotifyAll, Output, Reg, Release, Store, Wait, evaluate_alu,
@@ -121,15 +122,21 @@ class _KindEmit:
         sinks:  the fan-out list when ``solo`` is None.
         raw:    the real subscriber callbacks, unwrapped -- what the
                 injection path delivers transformed events to.
+        batch:  the machine's shared staging-row list when batched
+                emission is active and some observer wants this kind,
+                else None.  Batched kinds have ``wanted`` False: the
+                step closures append a flat row tuple instead of
+                constructing an Event.
     """
 
-    __slots__ = ("wanted", "solo", "sinks", "raw")
+    __slots__ = ("wanted", "solo", "sinks", "raw", "batch")
 
     def __init__(self) -> None:
         self.wanted = False
         self.solo = None
         self.sinks: Tuple = ()
         self.raw: Tuple = ()
+        self.batch = None
 
 
 class Machine:
@@ -150,6 +157,18 @@ class Machine:
             default) or the legacy if/elif interpreter, the differential
             reference.  Both produce byte-identical event streams,
             schedules and architectural state.
+        batch_events: allow batched (columnar) event emission.  Batched
+            emission engages only when every attached observer exposes a
+            callable ``consume_batch`` and no stream-fault injector is
+            armed; otherwise emission stays per-event.  Observers see
+            the identical stream either way, but delivery is deferred
+            to flush boundaries (buffer full, checkpoint/restore,
+            observer change, end of run, or an explicit
+            :meth:`flush_events`) -- a consumer that reads detector
+            state *between individual steps* (the BER controller) must
+            pass False.
+        batch_size: capacity of the staging buffer before an automatic
+            flush.
     """
 
     def __init__(self, program: Program,
@@ -157,7 +176,9 @@ class Machine:
                  scheduler: Optional[Scheduler] = None,
                  observers: Sequence[MachineObserver] = (),
                  record_schedule: bool = False,
-                 predecoded: bool = True) -> None:
+                 predecoded: bool = True,
+                 batch_events: bool = True,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         if not threads:
             raise ValueError("machine needs at least one thread instance")
         self.program = program
@@ -191,6 +212,19 @@ class Machine:
         self._injector = (StreamInjector(plan)
                           if plan is not None and plan.stream_faults()
                           else None)
+
+        #: batched emission staging: one row tuple per event, flushed as
+        #: an EventBatch.  The list object is stable for the machine's
+        #: lifetime (pre-decoded closures capture it through the
+        #: _KindEmit entries; flushes clear it in place).
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._batch_events = batch_events
+        self._batch_capacity = batch_size
+        self._batch_rows: List[Tuple] = []
+        #: consume_batch callables of the attached observers while
+        #: batching is engaged (rebuilt with the emission tables)
+        self._batch_sinks: Tuple = ()
 
         #: per-kind emission tables; created before the observers setter
         #: runs (it fills them) and before predecode (closures capture
@@ -238,11 +272,28 @@ class Machine:
     def _rebuild_emit_state(self) -> None:
         """Fold the attached observers' kind masks into the per-kind
         emission tables (in place: pre-decoded closures hold the
-        entries)."""
+        entries).
+
+        Batched emission engages iff it was enabled at construction,
+        no stream-fault injector is armed, and *every* attached observer
+        exposes a callable ``consume_batch`` (all-or-nothing: one
+        per-event-only observer keeps the whole machine per-event, so
+        all observers always agree on delivery timing)."""
+        if self._batch_rows:
+            # pending rows belong to the outgoing observer set
+            self.flush_events()
         injector = self._injector
+        observers = self._observers
+        batching = (self._batch_events and injector is None
+                    and bool(observers)
+                    and all(callable(getattr(o, "consume_batch", None))
+                            for o in observers))
+        self._batch_sinks = (tuple(o.consume_batch for o in observers)
+                             if batching else ())
+        rows = self._batch_rows
         for kind, entry in enumerate(self._emit_state):
             sinks = []
-            for observer in self._observers:
+            for observer in observers:
                 interests = getattr(observer, "interests", None)
                 if interests is None or kind in interests:
                     sinks.append(observer.on_event)
@@ -253,26 +304,56 @@ class Machine:
                 entry.wanted = True
                 entry.solo = self._inject_and_deliver
                 entry.sinks = ()
+                entry.batch = None
+            elif batching:
+                # kind masking carries over: a kind nobody subscribed
+                # to is not even staged (seq still advances)
+                entry.wanted = False
+                entry.solo = None
+                entry.sinks = ()
+                entry.batch = rows if sinks else None
             else:
                 entry.wanted = bool(sinks)
                 entry.solo = sinks[0] if len(sinks) == 1 else None
                 entry.sinks = tuple(sinks)
+                entry.batch = None
+
+    def flush_events(self) -> None:
+        """Deliver all staged rows as one :class:`EventBatch` to every
+        observer's ``consume_batch``.  No-op when the buffer is empty
+        (always, outside batched emission).  Automatic flush points:
+        buffer full, :meth:`checkpoint`, :meth:`restore`, observer-set
+        changes, and end of run; callers driving :meth:`step` manually
+        flush here before reading observer state."""
+        rows = self._batch_rows
+        if not rows:
+            return
+        batch = EventBatch.from_rows(rows)
+        del rows[:]
+        for sink in self._batch_sinks:
+            sink(batch)
 
     def _emit(self, kind: int, thread: ThreadState, instr, addr: int = -1,
               value: int = 0, taken: bool = False, target: int = -1) -> None:
         entry = self._emit_state[kind]
         seq = self.seq
         self.seq = seq + 1
-        if not entry.wanted:
-            return
-        event = Event(kind, seq, thread.tid, thread.pc, instr, addr, value,
-                      taken, target)
-        callback = entry.solo
-        if callback is not None:
-            callback(event)
-        else:
-            for callback in entry.sinks:
+        if entry.wanted:
+            event = Event(kind, seq, thread.tid, thread.pc, instr, addr,
+                          value, taken, target)
+            callback = entry.solo
+            if callback is not None:
                 callback(event)
+            else:
+                for callback in entry.sinks:
+                    callback(event)
+        elif entry.batch is not None:
+            rows = entry.batch
+            rows.append((kind, seq, thread.tid, thread.pc,
+                         instr.loc if instr is not None else -1,
+                         addr, value, taken, target))
+            if len(rows) >= self._batch_capacity:
+                self.flush_events()
 
     def _inject_and_deliver(self, event: Event) -> None:
         sinks = self._emit_state[event.kind].raw
@@ -535,6 +616,8 @@ class Machine:
         if self._finished_notified:
             return
         self._finished_notified = True
+        if self._batch_rows:
+            self.flush_events()
         for observer in self.observers:
             observer.on_finish(self)
 
@@ -560,7 +643,12 @@ class Machine:
     # -- checkpoint / rollback (BER substrate) -----------------------------------
 
     def checkpoint(self) -> Dict:
-        """Capture a restorable snapshot of the full architectural state."""
+        """Capture a restorable snapshot of the full architectural state.
+
+        Staged batch rows are flushed first, so observers are current as
+        of the snapshot point -- a checkpoint is a batch boundary."""
+        if self._batch_rows:
+            self.flush_events()
         return {
             "memory": list(self.memory),
             "threads": [t.snapshot() for t in self.threads],
@@ -578,6 +666,11 @@ class Machine:
 
     def restore(self, snapshot: Dict) -> None:
         """Roll architectural state back to a prior :meth:`checkpoint`."""
+        # deliver post-checkpoint events first: per-event observers have
+        # already seen them, so batched observers must too before the
+        # rollback (observers cannot unsee events either way)
+        if self._batch_rows:
+            self.flush_events()
         # in place: the pre-decoded step closures hold the memory list
         self.memory[:] = snapshot["memory"]
         for thread, state in zip(self.threads, snapshot["threads"]):

@@ -78,6 +78,9 @@ def _fault_msg(addr: int) -> str:
 
 def _make_alu(m, instr: Alu, pc: int) -> StepFn:
     entry = m._emit_state[EV_ALU]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     fn = ALU_FUNCS[instr.op]
     dest = instr.dest.index
     next_pc = pc + 1
@@ -101,6 +104,12 @@ def _make_alu(m, instr: Alu, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_ALU, seq, thread.tid, pc, loc, -1,
+                             result, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
     elif imm1:
@@ -122,6 +131,12 @@ def _make_alu(m, instr: Alu, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_ALU, seq, thread.tid, pc, loc, -1,
+                             result, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
     elif imm2:
@@ -143,6 +158,12 @@ def _make_alu(m, instr: Alu, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_ALU, seq, thread.tid, pc, loc, -1,
+                             result, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
     else:
@@ -164,6 +185,12 @@ def _make_alu(m, instr: Alu, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_ALU, seq, thread.tid, pc, loc, -1,
+                             result, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
 
@@ -175,6 +202,9 @@ def _make_alu(m, instr: Alu, pc: int) -> StepFn:
 
 def _make_load(m, instr: Load, pc: int) -> StepFn:
     entry = m._emit_state[EV_LOAD]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     memory = m.memory
     dest = instr.dest.index
     next_pc = pc + 1
@@ -199,6 +229,12 @@ def _make_load(m, instr: Load, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_LOAD, seq, thread.tid, pc, loc, addr,
+                             value, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
     else:
@@ -224,6 +260,12 @@ def _make_load(m, instr: Load, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_LOAD, seq, thread.tid, pc, loc, addr,
+                             value, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
 
@@ -232,6 +274,9 @@ def _make_load(m, instr: Load, pc: int) -> StepFn:
 
 def _make_store(m, instr: Store, pc: int) -> StepFn:
     entry = m._emit_state[EV_STORE]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     memory = m.memory
     next_pc = pc + 1
     imm_src = isinstance(instr.src, Imm)
@@ -256,6 +301,12 @@ def _make_store(m, instr: Store, pc: int) -> StepFn:
                     else:
                         for callback in entry.sinks:
                             callback(event)
+                elif entry.batch is not None:
+                    rows = entry.batch
+                    rows.append((EV_STORE, seq, thread.tid, pc, loc,
+                                 addr, value, False, -1))
+                    if len(rows) >= cap:
+                        flush()
                 thread.pc = next_pc
                 return True
         else:
@@ -275,6 +326,12 @@ def _make_store(m, instr: Store, pc: int) -> StepFn:
                     else:
                         for callback in entry.sinks:
                             callback(event)
+                elif entry.batch is not None:
+                    rows = entry.batch
+                    rows.append((EV_STORE, seq, thread.tid, pc, loc,
+                                 addr, value, False, -1))
+                    if len(rows) >= cap:
+                        flush()
                 thread.pc = next_pc
                 return True
     else:
@@ -300,6 +357,12 @@ def _make_store(m, instr: Store, pc: int) -> StepFn:
                     else:
                         for callback in entry.sinks:
                             callback(event)
+                elif entry.batch is not None:
+                    rows = entry.batch
+                    rows.append((EV_STORE, seq, thread.tid, pc, loc,
+                                 addr, imm_value, False, -1))
+                    if len(rows) >= cap:
+                        flush()
                 thread.pc = next_pc
                 return True
         else:
@@ -324,6 +387,12 @@ def _make_store(m, instr: Store, pc: int) -> StepFn:
                     else:
                         for callback in entry.sinks:
                             callback(event)
+                elif entry.batch is not None:
+                    rows = entry.batch
+                    rows.append((EV_STORE, seq, thread.tid, pc, loc,
+                                 addr, value, False, -1))
+                    if len(rows) >= cap:
+                        flush()
                 thread.pc = next_pc
                 return True
 
@@ -347,6 +416,9 @@ def _make_always_fault(m, instr, addr: int) -> StepFn:
 
 def _make_branch(m, instr: Branch, pc: int) -> StepFn:
     entry = m._emit_state[EV_BRANCH]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     cond = instr.cond.index
     target = instr.target
     next_pc = pc + 1
@@ -365,6 +437,12 @@ def _make_branch(m, instr: Branch, pc: int) -> StepFn:
             else:
                 for callback in entry.sinks:
                     callback(event)
+        elif entry.batch is not None:
+            rows = entry.batch
+            rows.append((EV_BRANCH, seq, thread.tid, pc, loc, -1,
+                         value, taken, target))
+            if len(rows) >= cap:
+                flush()
         thread.pc = target if taken else next_pc
         return True
 
@@ -373,6 +451,9 @@ def _make_branch(m, instr: Branch, pc: int) -> StepFn:
 
 def _make_jump(m, instr: Jump, pc: int) -> StepFn:
     entry = m._emit_state[EV_JUMP]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     target = instr.target
 
     def step(thread):
@@ -387,6 +468,12 @@ def _make_jump(m, instr: Jump, pc: int) -> StepFn:
             else:
                 for callback in entry.sinks:
                     callback(event)
+        elif entry.batch is not None:
+            rows = entry.batch
+            rows.append((EV_JUMP, seq, thread.tid, pc, loc, -1, 0,
+                         True, target))
+            if len(rows) >= cap:
+                flush()
         thread.pc = target
         return True
 
@@ -398,6 +485,9 @@ def _make_jump(m, instr: Jump, pc: int) -> StepFn:
 
 def _make_acquire(m, instr: Acquire, pc: int) -> StepFn:
     entry = m._emit_state[EV_ACQUIRE]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     memory = m.memory
     addr = instr.addr.value
     next_pc = pc + 1
@@ -416,6 +506,12 @@ def _make_acquire(m, instr: Acquire, pc: int) -> StepFn:
                 else:
                     for callback in entry.sinks:
                         callback(event)
+            elif entry.batch is not None:
+                rows = entry.batch
+                rows.append((EV_ACQUIRE, seq, thread.tid, pc, loc,
+                             addr, 0, False, -1))
+                if len(rows) >= cap:
+                    flush()
             thread.pc = next_pc
             return True
         m._block(thread, addr)
@@ -426,6 +522,9 @@ def _make_acquire(m, instr: Acquire, pc: int) -> StepFn:
 
 def _make_release(m, instr: Release, pc: int) -> StepFn:
     entry = m._emit_state[EV_RELEASE]
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     memory = m.memory
     addr = instr.addr.value
     next_pc = pc + 1
@@ -442,6 +541,12 @@ def _make_release(m, instr: Release, pc: int) -> StepFn:
             else:
                 for callback in entry.sinks:
                     callback(event)
+        elif entry.batch is not None:
+            rows = entry.batch
+            rows.append((EV_RELEASE, seq, thread.tid, pc, loc, addr, 0,
+                         False, -1))
+            if len(rows) >= cap:
+                flush()
         thread.pc = next_pc
         m._wake_blocked(addr)
         return True
@@ -451,6 +556,9 @@ def _make_release(m, instr: Release, pc: int) -> StepFn:
 
 def _make_wait(m, instr: Wait, pc: int) -> StepFn:
     entry = m._emit_state[EV_ACQUIRE]  # the re-acquire emission
+    loc = instr.loc
+    cap = m._batch_capacity
+    flush = m.flush_events
     memory = m.memory
     addr = instr.addr.value
     next_pc = pc + 1
@@ -472,6 +580,12 @@ def _make_wait(m, instr: Wait, pc: int) -> StepFn:
                     else:
                         for callback in entry.sinks:
                             callback(event)
+                elif entry.batch is not None:
+                    rows = entry.batch
+                    rows.append((EV_ACQUIRE, seq, tid, pc, loc, addr,
+                                 0, False, -1))
+                    if len(rows) >= cap:
+                        flush()
                 thread.pc = next_pc
                 return True
             m._block(thread, addr)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
+from repro.machine.batch import DEFAULT_BATCH_SIZE, EventBatch
 from repro.machine.events import (
     EV_ACQUIRE, EV_ALU, EV_BRANCH, EV_CRASH, EV_HALT, EV_JUMP, EV_LOAD,
     EV_OUTPUT, EV_RELEASE, EV_STORE, N_KINDS, Event, MachineObserver,
@@ -129,6 +130,10 @@ class Trace:
         self.program = program
         self.events: List[Event] = list(events)
         self.n_threads = n_threads
+        #: lazily built columnar form shared by every batched replay of
+        #: this trace (the trace is immutable, so build it once)
+        self._columns: Optional[Tuple] = None
+        self._batch_cache: Dict[int, List[EventBatch]] = {}
 
     def __len__(self) -> int:
         return len(self.events)
@@ -189,6 +194,40 @@ class Trace:
         for event in self.events:
             on_event(event)
         return self.end_seq
+
+    def batches(self,
+                batch_size: int = DEFAULT_BATCH_SIZE) -> List[EventBatch]:
+        """The trace sliced into columnar :class:`EventBatch` windows.
+
+        Column arrays are built once per trace and shared; the window
+        list for each ``batch_size`` is cached too, and each window's
+        ``to_events`` answer is the corresponding slice of
+        :attr:`events` (no re-materialization).  Replaying the batches
+        front to back is event-for-event equivalent to :meth:`feed`.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        cached = self._batch_cache.get(batch_size)
+        if cached is not None:
+            return cached
+        columns = self._columns
+        if columns is None:
+            events = self.events
+            if events:
+                columns = tuple(zip(*((e.kind, e.seq, e.tid, e.pc, e.loc,
+                                       e.addr, e.value, e.taken, e.target)
+                                      for e in events)))
+            else:
+                columns = ((),) * 9
+            self._columns = columns
+        n = len(self.events)
+        batches = [
+            EventBatch(tuple(col[start:start + batch_size]
+                             for col in columns),
+                       events=self.events[start:start + batch_size])
+            for start in range(0, n, batch_size)]
+        self._batch_cache[batch_size] = batches
+        return batches
 
     # -- serialization ---------------------------------------------------------
 
@@ -316,6 +355,19 @@ class TraceRecorder(MachineObserver):
         if self._end_seq is not None and event.seq >= self._end_seq:
             return
         self.events.append(event)
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Batched recording: materialize the window once (shared with
+        any other consumer of the same batch) and append the events
+        that fall inside the recording window."""
+        events = batch.to_events(self._program)
+        start, end = self._start_seq, self._end_seq
+        if start == 0 and end is None:
+            self.events.extend(events)
+            return
+        self.events.extend(
+            e for e in events
+            if e.seq >= start and (end is None or e.seq < end))
 
     def trace(self) -> Trace:
         return Trace(self._program, self.events, self._n_threads)

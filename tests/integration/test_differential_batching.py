@@ -1,0 +1,267 @@
+"""Differential test: batched columnar dispatch vs per-event dispatch.
+
+The batched pipeline (``Machine(batch_events=True)`` staging columnar
+windows + ``DetectorEngine(batched=True)`` feeding ``consume_batch``,
+both the defaults) must be observationally indistinguishable from the
+pure per-event reference (``batch_events=False`` / ``batched=False``):
+byte-identical event streams, recorded schedules, machine output, crash
+records, final memory, detector reports, and engine failure records --
+including under armed stream-fault plans (which auto-disable machine
+batching so injection ordinals stay per-emission), under
+``analysis.raise`` plans (fault-targeted analyses are pinned to the
+synthesized per-event path so their failure index/seq match), and
+across a checkpoint/restore rollback cycle (checkpoint and restore are
+flush boundaries).  Every program in the fuzz corpus and every workload
+model runs under both arms and the full observable fingerprint is
+compared as serialized JSON.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.engine import DetectorEngine
+from repro.faults import Fault, FaultPlan
+from repro.faults import runtime as fault_runtime
+from repro.fuzz.corpus import entry_source, load_corpus
+from repro.lang import compile_source
+from repro.machine import Machine, MachineObserver, RandomScheduler
+from repro.workloads import WORKLOADS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+WORKLOAD_MAX_STEPS = 30_000
+
+
+class _Capture(MachineObserver):
+    """Records every observable event field, on either delivery path.
+
+    Implements both the per-event hook and the batched hook so the
+    machine's all-observers batching gate stays open in the batched arm;
+    the recorded tuples are identical either way.
+    """
+
+    def __init__(self):
+        self.events = []
+        self.finishes = 0
+        self.batch_calls = 0
+
+    def on_event(self, event):
+        self.events.append((event.kind, event.seq, event.tid, event.pc,
+                            event.loc, event.addr, event.value,
+                            bool(event.taken), event.target))
+
+    def consume_batch(self, batch):
+        self.batch_calls += 1
+        append = self.events.append
+        kinds = batch.kinds
+        seqs = batch.seqs
+        tids = batch.tids
+        pcs = batch.pcs
+        locs = batch.locs
+        addrs = batch.addrs
+        values = batch.values
+        takens = batch.takens
+        targets = batch.targets
+        for i in range(batch.count):
+            append((kinds[i], seqs[i], tids[i], pcs[i], locs[i], addrs[i],
+                    values[i], bool(takens[i]), targets[i]))
+
+    def on_finish(self, machine):
+        self.finishes += 1
+
+
+class _PerEventCapture(_Capture):
+    """The reference arm's capture: per-event delivery only."""
+
+    consume_batch = None
+
+
+def _report_fingerprint(report):
+    return [dataclasses.asdict(v) for v in report.violations]
+
+
+def _failure_fingerprint(failure):
+    # everything except traceback_text: the frames necessarily name the
+    # dispatch function that raised (on_event vs the synth loop inside
+    # consume_batch), so the text differs even when the failure is
+    # semantically byte-identical
+    return {
+        "analysis": failure.analysis,
+        "phase": failure.phase,
+        "stage": failure.stage,
+        "event_index": failure.event_index,
+        "seq": failure.seq,
+        "error": failure.error,
+    }
+
+
+def _fingerprint(program, threads, scheduler, batched, max_steps,
+                 plan=None, detectors=("svd", "frd"), batch_size=None):
+    """One execution with detectors attached, serialized end to end."""
+    capture = _Capture() if batched else _PerEventCapture()
+    machine_kwargs = dict(scheduler=scheduler, observers=[capture],
+                          record_schedule=True, batch_events=batched)
+    engine_kwargs = dict(batched=batched)
+    if batch_size is not None:
+        machine_kwargs["batch_size"] = batch_size
+        engine_kwargs["batch_size"] = batch_size
+    if plan is not None:
+        with fault_runtime.install(plan):
+            # the machine must be built while the plan is active for the
+            # stream injector to arm
+            machine = Machine(program, threads, **machine_kwargs)
+            engine = DetectorEngine(program, list(detectors),
+                                    **engine_kwargs)
+            result = engine.run_machine(machine, max_steps=max_steps)
+    else:
+        machine = Machine(program, threads, **machine_kwargs)
+        engine = DetectorEngine(program, list(detectors), **engine_kwargs)
+        result = engine.run_machine(machine, max_steps=max_steps)
+    return json.dumps({
+        "status": machine.status,
+        "seq": machine.seq,
+        "steps": machine.steps,
+        "memory": machine.memory,
+        "output": machine.output,
+        "crashes": [dataclasses.asdict(c) for c in machine.crashes],
+        "schedule": machine.recorded_schedule,
+        "events": capture.events,
+        "end_seq": result.end_seq,
+        "degraded": result.degraded,
+        "failures": {name: _failure_fingerprint(f)
+                     for name, f in result.failures.items()},
+        "reports": {name: _report_fingerprint(result.report(name))
+                    for name in detectors if name in result.reports},
+    }, sort_keys=True)
+
+
+def _assert_identical(program, threads, seed, switch_prob, max_steps,
+                      plan=None, detectors=("svd", "frd"),
+                      batch_size=None):
+    reference = _fingerprint(
+        program, threads,
+        RandomScheduler(seed=seed, switch_prob=switch_prob),
+        batched=False, max_steps=max_steps, plan=plan,
+        detectors=detectors, batch_size=batch_size)
+    batched = _fingerprint(
+        program, threads,
+        RandomScheduler(seed=seed, switch_prob=switch_prob),
+        batched=True, max_steps=max_steps, plan=plan,
+        detectors=detectors, batch_size=batch_size)
+    assert reference == batched
+
+
+def _corpus_entries():
+    return load_corpus(CORPUS_DIR)
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize(
+        "entry", _corpus_entries(), ids=lambda e: e.file)
+    def test_corpus_entry_identical(self, entry):
+        program = compile_source(entry_source(CORPUS_DIR, entry))
+        threads = [("t0", ()), ("t1", ())]
+        _assert_identical(program, threads, entry.schedule_seed,
+                          entry.switch_prob, entry.max_steps)
+
+    def test_corpus_entry_identical_under_stream_faults(self):
+        """An armed stream injector disables machine-side batching, so
+        drop/dup/corrupt ordinals count per emission in both arms."""
+        entry = _corpus_entries()[0]
+        program = compile_source(entry_source(CORPUS_DIR, entry))
+        threads = [("t0", ()), ("t1", ())]
+        plan = FaultPlan([Fault("stream.drop", at=40),
+                          Fault("stream.dup", at=90, count=2),
+                          Fault("stream.corrupt", at=150)], seed=7)
+        _assert_identical(program, threads, entry.schedule_seed,
+                          entry.switch_prob, entry.max_steps, plan=plan)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 64, 1024])
+    def test_corpus_entry_identical_across_batch_sizes(self, batch_size):
+        """The window size is an implementation detail: any capacity
+        produces the reference fingerprint."""
+        entry = _corpus_entries()[0]
+        program = compile_source(entry_source(CORPUS_DIR, entry))
+        threads = [("t0", ()), ("t1", ())]
+        _assert_identical(program, threads, entry.schedule_seed,
+                          entry.switch_prob, entry.max_steps,
+                          batch_size=batch_size)
+
+
+class TestBatchingEngages:
+    def test_batched_arm_actually_batches(self):
+        """Guard against a vacuous differential: the batched arm must
+        really deliver through consume_batch, not silently fall back."""
+        workload = WORKLOADS["apache"]()
+        capture = _Capture()
+        machine = Machine(workload.program, workload.threads,
+                          scheduler=RandomScheduler(seed=1,
+                                                    switch_prob=0.3),
+                          observers=[capture], batch_events=True)
+        machine.run(max_steps=WORKLOAD_MAX_STEPS)
+        assert capture.batch_calls >= 1
+        assert capture.events  # and the windows carried the stream
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_workload_identical(self, name):
+        workload = WORKLOADS[name]()
+        _assert_identical(workload.program, workload.threads, seed=1234,
+                          switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS)
+
+    def test_four_detector_phase_replay_identical(self):
+        """A multi-phase run (atomizer replays the recording in phase 1)
+        must batch the replay identically too."""
+        workload = WORKLOADS["apache"]()
+        _assert_identical(workload.program, workload.threads, seed=77,
+                          switch_prob=0.4, max_steps=WORKLOAD_MAX_STEPS,
+                          detectors=("svd", "frd", "lockset", "atomizer"))
+
+
+class TestFailureDifferential:
+    def test_analysis_raise_failures_identical(self):
+        """An ``analysis.raise`` quarantine must produce the same
+        failure record -- stage, event index, seq, error -- in both
+        arms: fault-targeted analyses are pinned to the synthesized
+        per-event path precisely so their ordinals cannot drift."""
+        workload = WORKLOADS["apache"]()
+        for at in (0, 10, 500):
+            plan = FaultPlan([Fault("analysis.raise", at=at,
+                                    target="frd")])
+            _assert_identical(workload.program, workload.threads,
+                              seed=3, switch_prob=0.4,
+                              max_steps=WORKLOAD_MAX_STEPS, plan=plan)
+
+
+class TestCheckpointRestoreDifferential:
+    def _run_with_rollback(self, batched):
+        workload = WORKLOADS["apache"]()
+        capture = _Capture() if batched else _PerEventCapture()
+        machine = Machine(workload.program, workload.threads,
+                          scheduler=RandomScheduler(seed=5,
+                                                    switch_prob=0.4),
+                          observers=[capture], record_schedule=True,
+                          batch_events=batched)
+        machine.run(max_steps=400)
+        snapshot = machine.checkpoint()
+        machine.run(max_steps=800)  # overshoot, then roll back
+        machine.restore(snapshot)
+        machine.run(max_steps=WORKLOAD_MAX_STEPS)
+        return json.dumps({
+            "status": machine.status,
+            "memory": machine.memory,
+            "output": machine.output,
+            "schedule": machine.recorded_schedule,
+            "events": capture.events,
+        }, sort_keys=True)
+
+    def test_rollback_cycle_identical(self):
+        """checkpoint() and restore() are flush boundaries: a batched
+        observer sees the overshot (rolled-back) events exactly as a
+        per-event observer already did."""
+        assert (self._run_with_rollback(False)
+                == self._run_with_rollback(True))

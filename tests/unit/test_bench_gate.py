@@ -1,0 +1,133 @@
+"""The benchmark floor gate: spec parsing, dotted lookup, artefact
+checks, and the ``repro bench`` CLI wrapper around them."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import bench_gate
+from repro.harness.bench_gate import (FLOORS, FloorSpecError, check_file,
+                                      check_record, lookup, parse_floor)
+
+
+@pytest.fixture
+def artefact(tmp_path):
+    """A plausible BENCH_engine.json with a passing speedup."""
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(json.dumps({
+        "events": 38484,
+        "speedup": 1.61,
+        "single_pass": {"seconds": 0.07, "events_per_sec": 1_100_000},
+        "per_detector_refeed": {"seconds": 0.11},
+    }))
+    return str(path)
+
+
+class TestParseFloor:
+    def test_simple(self):
+        assert parse_floor("speedup=1.5") == ("speedup", 1.5)
+
+    def test_dotted_key_and_spaces(self):
+        assert parse_floor(" single_pass.events_per_sec =2e5 ") == (
+            "single_pass.events_per_sec", 200_000.0)
+
+    @pytest.mark.parametrize("spec", ["bogus", "=1.5", "speedup=fast"])
+    def test_malformed(self, spec):
+        with pytest.raises(FloorSpecError):
+            parse_floor(spec)
+
+
+class TestLookup:
+    def test_top_level_and_nested(self):
+        record = {"speedup": 1.6, "single_pass": {"seconds": 0.07}}
+        assert lookup(record, "speedup") == 1.6
+        assert lookup(record, "single_pass.seconds") == 0.07
+
+    def test_missing_key(self):
+        with pytest.raises(FloorSpecError):
+            lookup({"speedup": 1.6}, "single_pass.seconds")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(FloorSpecError):
+            lookup({"detectors": ["svd"]}, "detectors")
+        with pytest.raises(FloorSpecError):
+            lookup({"ok": True}, "ok")  # bools are not gate values
+
+
+class TestCheckRecord:
+    def test_pass_and_fail(self):
+        record = {"speedup": 1.6}
+        (ok,) = check_record(record, {"speedup": 1.5})
+        assert ok.ok and ok.value == 1.6 and ok.floor == 1.5
+        (bad,) = check_record(record, {"speedup": 1.7})
+        assert not bad.ok
+        assert "FAIL" in bad.render()
+
+    def test_floor_met_exactly_passes(self):
+        (check,) = check_record({"speedup": 1.5}, {"speedup": 1.5})
+        assert check.ok
+
+
+class TestCheckFile:
+    def test_builtin_floor_applies_by_basename(self, artefact):
+        checks = check_file(artefact)
+        assert [c.key for c in checks] == sorted(
+            FLOORS["BENCH_engine.json"])
+        assert all(c.ok for c in checks)
+
+    def test_extra_floor_overrides_builtin(self, artefact):
+        checks = check_file(artefact, extra_floors={"speedup": 2.0})
+        assert not any(c.ok for c in checks if c.key == "speedup")
+
+    def test_unknown_artefact_without_floors_is_error(self, tmp_path):
+        path = tmp_path / "BENCH_other.json"
+        path.write_text("{}")
+        with pytest.raises(FloorSpecError):
+            check_file(str(path))
+
+    def test_unreadable_and_malformed(self, tmp_path):
+        with pytest.raises(FloorSpecError):
+            check_file(str(tmp_path / "missing.json"))
+        bad = tmp_path / "BENCH_engine.json"
+        bad.write_text("not json")
+        with pytest.raises(FloorSpecError):
+            check_file(str(bad))
+
+    def test_non_object_root(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(FloorSpecError):
+            check_file(str(path))
+
+
+class TestBenchCommand:
+    def test_pass_exits_zero(self, artefact, capsys):
+        assert main(["bench", "--check", artefact]) == 0
+        out = capsys.readouterr().out
+        assert "ok: speedup = 1.61 (floor 1.5)" in out
+
+    def test_floor_breach_exits_one(self, artefact, capsys):
+        assert main(["bench", "--check", artefact,
+                     "--floor", "speedup=9"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["bench", "--check",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_floor_spec_is_usage_error(self, artefact, capsys):
+        assert main(["bench", "--check", artefact,
+                     "--floor", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_builtin_requires_explicit_floor(self, artefact, capsys):
+        assert main(["bench", "--check", artefact, "--no-builtin"]) == 2
+        assert main(["bench", "--check", artefact, "--no-builtin",
+                     "--floor", "single_pass.events_per_sec=1e5"]) == 0
+
+    def test_builtin_table_pins_engine_speedup(self):
+        # the headline claim of the batched pipeline stays pinned here
+        assert FLOORS["BENCH_engine.json"]["speedup"] == 1.5
+        assert bench_gate.FLOORS is FLOORS

@@ -3,8 +3,10 @@
 The acceptance probe lives here: a 4-detector comparison (SVD, FRD,
 lockset, Atomizer) over one recorded trace must perform exactly one pass
 of the event stream per engine-scheduled phase -- verified both through
-:class:`repro.engine.EngineStats` and through an external
-trace-iteration counter the engine cannot see.
+:class:`repro.engine.EngineStats` (events *delivered* per phase) and
+through external counters the engine cannot see (trace iteration and
+batch-window requests).  Batch-path analyses must additionally never
+receive a synthesized per-event call.
 """
 
 import pytest
@@ -92,15 +94,24 @@ class TestScheduling:
         assert stats.phases[1].events_read == result.end_seq
 
     def test_external_event_count_probe(self):
-        """Count stream reads with a probe the engine cannot see: a
-        Trace subclass whose __iter__ is instrumented."""
+        """Count stream materializations with probes the engine cannot
+        see: a Trace subclass instrumenting both the per-event iterator
+        and the batched window accessor.  A batched replay must request
+        the windows once per streamed phase and never fall back to the
+        per-event iterator; every phase still *delivers* the full
+        stream (events_read == end_seq)."""
 
         class ProbedTrace(Trace):
             iterations = 0
+            batch_requests = 0
 
             def __iter__(self):
                 ProbedTrace.iterations += 1
                 return super().__iter__()
+
+            def batches(self, *args, **kwargs):
+                ProbedTrace.batch_requests += 1
+                return super().batches(*args, **kwargs)
 
         program, machine = _race_machine()
         live = DetectorEngine(program, ["svd"])
@@ -110,8 +121,65 @@ class TestScheduling:
         engine = DetectorEngine(program,
                                 ["svd", "frd", "lockset", "atomizer"])
         result = engine.run_trace(probed)
-        assert ProbedTrace.iterations == 2  # one pass per phase, no more
+        assert ProbedTrace.iterations == 0   # no per-event pass at all
+        assert ProbedTrace.batch_requests == 2  # one per phase, no more
         assert result.stats.stream_passes == 2
+        # events-delivered: each phase saw the whole stream exactly once
+        for phase in result.stats.phases:
+            assert phase.events_read == result.end_seq
+
+        # the differential reference (batched=False) is the old shape:
+        # one per-event iteration per phase, no batch requests
+        reference = ProbedTrace(program, list(trace.events),
+                                trace.n_threads)
+        DetectorEngine(program, ["svd", "frd", "lockset", "atomizer"],
+                       batched=False).run_trace(reference)
+        assert ProbedTrace.iterations == 2
+        assert ProbedTrace.batch_requests == 2  # unchanged
+
+    def test_batch_path_analysis_never_sees_per_event_call(self):
+        """An analysis on the batched fast path must receive the stream
+        exclusively through consume_batch -- zero synthesized on_event
+        calls -- while a per-event-only analysis in the same phase gets
+        every event synthesized, in exact seq order."""
+
+        class BatchOnlyProbe(Analysis):
+            name = "batch-only-probe"
+            interests = None
+
+            def __init__(self):
+                self.per_event_calls = 0
+                self.batches = 0
+                self.events_delivered = 0
+
+            def on_event(self, event):
+                self.per_event_calls += 1
+
+            def consume_batch(self, batch):
+                self.batches += 1
+                self.events_delivered += batch.count
+
+        class PerEventProbe(Analysis):
+            name = "per-event-probe"
+            interests = None
+            consume_batch = None  # opts out of the batch path
+
+            def __init__(self):
+                self.seqs = []
+
+            def on_event(self, event):
+                self.seqs.append(event.seq)
+
+        program, machine = _race_machine()
+        batch_probe = BatchOnlyProbe()
+        event_probe = PerEventProbe()
+        result = DetectorEngine(
+            program, ["svd", batch_probe, event_probe]).run_machine(machine)
+        assert batch_probe.per_event_calls == 0
+        assert batch_probe.batches >= 1
+        assert batch_probe.events_delivered == result.end_seq
+        # the synthesized stream is complete and in seq order
+        assert event_probe.seqs == list(range(result.end_seq))
 
     def test_dependencies_instantiated_once(self):
         program, machine = _race_machine()

@@ -32,7 +32,9 @@ class TestControlStack:
                " x = x + 1; i = i + 1; } }")
         program = compile_source(src)
         svd = OnlineSVD(program)
-        machine = Machine(program, [("t", ())], scheduler=SerialScheduler())
+        # per-event delivery, or the peak probe below is vacuous
+        machine = Machine(program, [("t", ())], scheduler=SerialScheduler(),
+                          batch_events=False)
         machine.add_observer(svd)
         # track peak control-stack depth during the run
         peak = 0
@@ -46,7 +48,10 @@ class TestControlStack:
                "thread t() { if (x) { if (y) { z = 1; } } }")
         program = compile_source(src)
         svd = OnlineSVD(program)
-        machine = Machine(program, [("t", ())], scheduler=SerialScheduler())
+        # this test polls detector state after every single step, so
+        # batched (deferred) event delivery must stay off
+        machine = Machine(program, [("t", ())], scheduler=SerialScheduler(),
+                          batch_events=False)
         machine.add_observer(svd)
         peak = 0
         while machine.step():
@@ -85,9 +90,10 @@ class TestDirectory:
                " x = x + 1; i = i + 1; } }")
         program = compile_source(src)
         svd = OnlineSVD(program)
+        # per-step polling of the directory needs per-event delivery
         machine = Machine(program, [("t", (5,)), ("t", (5,))],
                           scheduler=RandomScheduler(seed=1, switch_prob=0.5),
-                          observers=[svd])
+                          observers=[svd], batch_events=False)
         # mid-run, some thread must register interest in x's block
         saw_interest = False
         x_addr = program.address_of("x")
