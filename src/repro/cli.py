@@ -76,6 +76,18 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                        "JSON (implies --obs)")
 
 
+def _add_consistency_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("memory model")
+    group.add_argument("--consistency", default="strict",
+                       choices=["strict", "tso"],
+                       help="memory model the live machines execute "
+                       "under (default: strict; see docs/consistency.md)")
+    group.add_argument("--model-seed", type=int, default=None,
+                       metavar="N",
+                       help="TSO store-buffer seed (default: the "
+                       "schedule seed, so one number reproduces a run)")
+
+
 def _obs_active(args) -> bool:
     return bool(getattr(args, "obs", False) or args.trace_out
                 or args.metrics_out)
@@ -125,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      "faults exercise engine quarantine, trace faults "
                      "round-trip the run through a corrupted trace file "
                      "and the salvaging reader")
+    _add_consistency_flags(run)
     _add_obs_flags(run)
 
     execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
@@ -231,6 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       "reference columns")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-run progress lines")
+    _add_consistency_flags(camp)
     _add_obs_flags(camp)
 
     fuzz = sub.add_parser(
@@ -258,6 +272,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       "plan and check the degradation oracle (no "
                       "uncaught exceptions, quarantine isolates the "
                       "targeted analysis)")
+    fuzz.add_argument("--directed", action="store_true",
+                      help="conflict-directed violation hunt on the "
+                      "transactional workloads: profile conflict sites, "
+                      "then compare directed vs uniformly random "
+                      "schedule search at equal probe budgets")
+    fuzz.add_argument("--probes", type=int, default=120,
+                      help="probes per (workload, arm) in --directed "
+                      "mode (default: 120)")
+    fuzz.add_argument("--consistency", default="tso",
+                      choices=["strict", "tso"],
+                      help="memory model for --directed probes "
+                      "(default: tso)")
     _add_obs_flags(fuzz)
 
     bench = sub.add_parser(
@@ -330,7 +356,10 @@ def _trace_round_trip(trace, program, plan) -> bool:
 
 def _run_workload_cmd(args, plan=None) -> int:
     import repro.faults.runtime as faults
+    from repro.machine import resolve_model
 
+    model_seed = (args.model_seed if args.model_seed is not None
+                  else args.seed)
     if args.fixed:
         factory = _FIXABLE.get(args.workload)
         if factory is None:
@@ -353,7 +382,8 @@ def _run_workload_cmd(args, plan=None) -> int:
             engine = DetectorEngine(workload.program, names)
             machine = workload.make_machine(
                 RandomScheduler(seed=args.seed,
-                                switch_prob=args.switch_prob))
+                                switch_prob=args.switch_prob),
+                memmodel=resolve_model(args.consistency, model_seed))
             result = engine.run_machine(machine, max_steps=args.max_steps,
                                         keep_trace=keep_trace)
         print(f"outcome : {workload.validate(machine).detail}")
@@ -379,7 +409,9 @@ def _run_workload_cmd(args, plan=None) -> int:
                                   switch_prob=args.switch_prob,
                                   max_steps=args.max_steps,
                                   run_frd=args.detector == "all",
-                                  keep_trace=keep_trace)
+                                  keep_trace=keep_trace,
+                                  consistency=args.consistency,
+                                  model_seed=model_seed)
         print(f"outcome : {result.outcome.detail}")
         print(f"status  : {result.status}, "
               f"{result.instructions} instructions, "
@@ -411,7 +443,8 @@ def _run_workload_cmd(args, plan=None) -> int:
     with faults.install(plan):
         engine = DetectorEngine(workload.program, [args.detector])
         machine = workload.make_machine(
-            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob))
+            RandomScheduler(seed=args.seed, switch_prob=args.switch_prob),
+            memmodel=resolve_model(args.consistency, model_seed))
         result = engine.run_machine(machine, max_steps=args.max_steps,
                                     keep_trace=keep_trace)
     print(f"outcome : {workload.validate(machine).detail}")
@@ -646,6 +679,8 @@ def _cmd_campaign(args) -> int:
         config.switch_prob = args.switch_prob
         config.max_steps = args.max_steps
         config.run_frd = not args.no_frd
+        config.consistency = args.consistency
+        config.model_seed = args.model_seed
         if args.detectors:
             try:
                 config.detectors = tuple(
@@ -736,6 +771,8 @@ def _run_fuzz_cmd(args) -> int:
                             save_corpus)
     if args.budget is not None and args.budget <= 0:
         args.budget = None
+    if args.directed:
+        return _run_directed_hunt(args)
     try:
         report = run_fuzz(budget=args.budget, max_programs=args.programs,
                           probes_per_program=args.seeds,
@@ -772,6 +809,42 @@ def _run_fuzz_cmd(args) -> int:
         return EXIT_VIOLATIONS
     # worker errors mean probes were silently lost: a degraded session
     return _exit_code(False, stats.errors > 0)
+
+
+def _run_directed_hunt(args) -> int:
+    """``fuzz --directed``: conflict-directed vs random violation hunt
+    over the transactional workloads at equal probe budgets."""
+    from repro.fuzz.directed import compare_hunts, describe_comparison
+    from repro.workloads import TXN_WORKLOADS
+
+    if args.probes <= 0:
+        print("--probes must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    workloads = [factory() for factory in TXN_WORKLOADS.values()]
+    pairs = compare_hunts(workloads, args.probes,
+                          master_seed=args.master_seed,
+                          consistency=args.consistency,
+                          budget=args.budget)
+    print(f"conflict-directed hunt: {len(workloads)} workloads x "
+          f"{args.probes} probes/arm, consistency={args.consistency}, "
+          f"master seed {args.master_seed}")
+    print()
+    print(describe_comparison(pairs))
+    elapsed = sum(d.elapsed + r.elapsed for d, r in pairs)
+    directed_hits = sum(d.violations for d, _ in pairs)
+    random_hits = sum(r.violations for _, r in pairs)
+    print()
+    print(f"total: directed {directed_hits}, random {random_hits} "
+          f"manifested violations in {elapsed:.1f}s")
+    for directed, _rand in pairs:
+        for hit in directed.hits[:1]:
+            print(f"  replay {directed.workload}: schedule seed "
+                  f"{hit.schedule_seed}, model seed {hit.model_seed} "
+                  f"-> {hit.detail}")
+    # the hunt *measures* violation yield; finding seeded violations in
+    # the buggy transactional workloads is the expected outcome, so the
+    # exit code only distinguishes "ran" from "could not run"
+    return EXIT_OK
 
 
 def _cmd_bench(args) -> int:

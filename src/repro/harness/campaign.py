@@ -47,6 +47,11 @@ class ConfigSpec:
     #: extra registry detector names run alongside SVD(+FRD); resolved
     #: through :mod:`repro.engine.registry` like everywhere else
     detectors: Tuple[str, ...] = ()
+    #: memory model the live machines execute under ("strict"/"tso")
+    consistency: str = "strict"
+    #: TSO store-buffer seed; None derives it from each task's schedule
+    #: seed, so one number still reproduces any cell exactly
+    model_seed: Optional[int] = None
 
     def svd_config(self) -> SvdConfig:
         return SvdConfig(**self.svd)
@@ -285,12 +290,17 @@ def execute_task(task: CampaignTask) -> CampaignResult:
 
 def _run_task(task: CampaignTask):
     workload = task.workload.build()
+    config = task.config
+    model_seed = (config.model_seed if config.model_seed is not None
+                  else task.seed)
     return run_workload(workload, seed=task.seed,
-                        switch_prob=task.config.switch_prob,
-                        max_steps=task.config.max_steps,
-                        svd_config=task.config.svd_config(),
-                        run_frd=task.config.run_frd,
-                        detectors=task.config.detectors)
+                        switch_prob=config.switch_prob,
+                        max_steps=config.max_steps,
+                        svd_config=config.svd_config(),
+                        run_frd=config.run_frd,
+                        detectors=config.detectors,
+                        consistency=config.consistency,
+                        model_seed=model_seed)
 
 
 def failed_result(task: CampaignTask, status: str,

@@ -19,6 +19,7 @@ from repro.core.online import OnlineSVD, SvdConfig
 from repro.core.posteriori import PosterioriLog
 from repro.core.report import ViolationReport
 from repro.engine import DetectorEngine, EngineResult
+from repro.machine.memmodel import resolve_model
 from repro.machine.scheduler import RandomScheduler
 from repro.metrics.classify import DetectorMetrics, classify_reports
 from repro.workloads.base import Workload, WorkloadOutcome
@@ -119,19 +120,28 @@ def run_workload(workload: Workload, seed: int = 0,
                  svd_config: Optional[SvdConfig] = None,
                  run_frd: bool = True,
                  detectors: Sequence[str] = (),
-                 keep_trace: bool = False) -> RunResult:
+                 keep_trace: bool = False,
+                 consistency: str = "strict",
+                 model_seed: int = 0) -> RunResult:
     """Execute a workload once under the engine.
 
     ``detectors`` adds registry names beyond the default SVD(+FRD) pair;
     their reports and classified metrics land in
     :attr:`RunResult.reports` / :attr:`RunResult.metrics`.
+
+    ``consistency`` selects the memory model the live machine executes
+    under ("strict" or "tso", see :mod:`repro.machine.memmodel`);
+    ``model_seed`` seeds the TSO store-buffer capacities.  Detectors are
+    model-agnostic: they observe whatever event stream the machine's
+    visibility order produces.
     """
     program = workload.program
     names = detector_names(run_frd, detectors)
     engine = DetectorEngine(program, names, svd_config=svd_config)
     machine = workload.make_machine(
         RandomScheduler(seed=seed, switch_prob=switch_prob),
-        observers=[])
+        observers=[],
+        memmodel=resolve_model(consistency, model_seed))
     with obs.span("runner.run_workload", workload=workload.name, seed=seed):
         result = engine.run_machine(machine, max_steps=max_steps,
                                     keep_trace=keep_trace)

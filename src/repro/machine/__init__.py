@@ -20,6 +20,9 @@ from repro.machine.events import (
 from repro.machine.machine import (
     CrashRecord, Machine, MachineStatus, ThreadState,
 )
+from repro.machine.memmodel import (
+    MODELS, MemoryModel, StrictModel, TSOModel, resolve_model,
+)
 from repro.machine.predecode import compile_table
 from repro.machine.recorder import (
     Recording, program_fingerprint, record_execution, replay_execution,
@@ -34,9 +37,10 @@ __all__ = [
     "EV_HALT", "EV_JUMP", "EV_LOAD", "EV_NOTIFY", "EV_OUTPUT",
     "EV_RELEASE", "EV_STORE", "EV_WAIT", "MEMORY_KINDS", "N_KINDS",
     "SYNC_KINDS",
-    "CrashRecord", "Event", "KIND_NAMES", "Machine", "MachineObserver",
-    "MachineStatus", "RandomScheduler", "Recording", "ReplayScheduler",
-    "RoundRobinScheduler", "Scheduler", "SerialScheduler", "ThreadState",
+    "CrashRecord", "Event", "KIND_NAMES", "MODELS", "Machine",
+    "MachineObserver", "MachineStatus", "MemoryModel", "RandomScheduler",
+    "Recording", "ReplayScheduler", "RoundRobinScheduler", "Scheduler",
+    "SerialScheduler", "StrictModel", "TSOModel", "ThreadState",
     "compile_table", "program_fingerprint", "record_execution",
-    "replay_execution",
+    "replay_execution", "resolve_model",
 ]

@@ -37,6 +37,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import repro.faults.runtime as faults
 from repro.faults.inject import StreamInjector
 from repro.machine.batch import DEFAULT_BATCH_SIZE, EventBatch
+from repro.machine.memmodel import MemoryModel, StrictModel, resolve_model
 from repro.isa.instructions import (
     Acquire, Alu, Assert, Branch, Halt, Imm, Jump, Load, Notify,
     NotifyAll, Output, Reg, Release, Store, Wait, evaluate_alu,
@@ -169,6 +170,16 @@ class Machine:
             pass False.
         batch_size: capacity of the staging buffer before an automatic
             flush.
+        memmodel: the memory consistency model (see
+            :mod:`repro.machine.memmodel`): a :class:`MemoryModel`
+            instance, a registry name (``"strict"``/``"tso"``), or None
+            for the default :class:`StrictModel`.  Under a model with
+            store buffers (TSO) the machine exposes one *virtual drain
+            processor* per thread -- id ``n_threads + tid``, runnable
+            exactly while that thread's buffer is non-empty -- whose
+            step drains the oldest buffered store to shared memory and
+            emits its STORE event; schedulers pick drain ids like any
+            other processor and replay stays exact.
     """
 
     def __init__(self, program: Program,
@@ -178,7 +189,8 @@ class Machine:
                  record_schedule: bool = False,
                  predecoded: bool = True,
                  batch_events: bool = True,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 memmodel: "MemoryModel | str | None" = None) -> None:
         if not threads:
             raise ValueError("machine needs at least one thread instance")
         self.program = program
@@ -205,6 +217,18 @@ class Machine:
             for offset, value in zip(spec.param_offsets, args):
                 self.memory[frame_base + offset] = value
             self.threads.append(thread)
+
+        # memory consistency model: bound after memory is fully
+        # allocated (frames included) and before pre-decode, so model
+        # and closures capture the same list
+        if memmodel is None:
+            memmodel = StrictModel()
+        elif isinstance(memmodel, str):
+            memmodel = resolve_model(memmodel)
+        self.memmodel: MemoryModel = memmodel
+        memmodel.attach(self)
+        #: virtual drain processor ids start here (one per thread)
+        self._drain_base = len(self.threads)
 
         # fault injection: arm a stream injector iff the active plan has
         # stream faults (None keeps emission on a single is-None branch)
@@ -253,6 +277,12 @@ class Machine:
             self._table = compile_table(self)
             #: instance attribute shadows the legacy class method
             self.step = self._predecoded_step
+
+        # schedulers that inspect machine state (the conflict-directed
+        # fuzzing scheduler) bind here; plain schedulers have no hook
+        bind = getattr(self.scheduler, "bind", None)
+        if bind is not None:
+            bind(self)
 
     # -- observer plumbing ---------------------------------------------------
 
@@ -361,6 +391,67 @@ class Machine:
             for sink in sinks:
                 sink(injected)
 
+    def _emit_at(self, kind: int, tid: int, pc: int, instr,
+                 addr: int = -1, value: int = 0) -> None:
+        """Emit an event attributed to an explicit (tid, pc) issue site.
+
+        Drained stores go through here: the executing thread has long
+        moved past the pc that issued the buffered store, so
+        :meth:`_emit`'s ``thread.pc`` would mis-attribute the event.
+        Delivery (kind mask, solo/fan-out, batch staging) is otherwise
+        identical to :meth:`_emit`.
+        """
+        entry = self._emit_state[kind]
+        seq = self.seq
+        self.seq = seq + 1
+        if entry.wanted:
+            event = Event(kind, seq, tid, pc, instr, addr, value)
+            callback = entry.solo
+            if callback is not None:
+                callback(event)
+            else:
+                for callback in entry.sinks:
+                    callback(event)
+        elif entry.batch is not None:
+            rows = entry.batch
+            rows.append((kind, seq, tid, pc,
+                         instr.loc if instr is not None else -1,
+                         addr, value, False, -1))
+            if len(rows) >= self._batch_capacity:
+                self.flush_events()
+
+    # -- store-buffer drains (memory-model machinery) --------------------------
+
+    def _store_buffered(self, tid: int) -> None:
+        """Bookkeeping after the model buffered (rather than published)
+        a store: make the thread's drain processor runnable, and
+        force-drain the oldest entry when the buffer overflowed its
+        deterministic capacity."""
+        model = self.memmodel
+        pending = model.pending(tid)
+        if pending == 1:
+            insort(self._runnable_ids, self._drain_base + tid)
+        if pending > model.capacity(tid):
+            self._drain_commit(tid)
+
+    def _drain_commit(self, tid: int) -> None:
+        """Make thread ``tid``'s oldest buffered store globally visible
+        and emit its STORE event; retire the drain processor from the
+        runnable set when the buffer empties."""
+        model = self.memmodel
+        addr, value, pc, instr = model.drain_one(tid)
+        self._emit_at(EV_STORE, tid, pc, instr, addr, value)
+        if not model.pending(tid):
+            self._runnable_ids.remove(self._drain_base + tid)
+
+    def _fence(self, thread: ThreadState) -> None:
+        """Drain every buffered store of ``thread`` (lock operations
+        are fencing RMWs, like x86 LOCK-prefixed instructions)."""
+        tid = thread.tid
+        model = self.memmodel
+        while model.pending(tid):
+            self._drain_commit(tid)
+
     # -- status transitions (shared by both step engines) ---------------------
 
     def _block(self, thread: ThreadState, addr: int) -> None:
@@ -399,7 +490,14 @@ class Machine:
     # -- execution ------------------------------------------------------------
 
     def _runnable(self) -> List[int]:
-        return [t.tid for t in self.threads if t.status == RUNNABLE]
+        runnable = [t.tid for t in self.threads if t.status == RUNNABLE]
+        model = self.memmodel
+        if not model.never_pending:
+            # drain ids are all > thread ids, so the list stays sorted
+            base = self._drain_base
+            runnable.extend(base + t.tid for t in self.threads
+                            if model.pending(t.tid))
+        return runnable
 
     def _value(self, thread: ThreadState, operand) -> int:
         if isinstance(operand, Imm):
@@ -439,6 +537,9 @@ class Machine:
         if tid not in runnable:
             raise RuntimeError(f"scheduler picked non-runnable thread {tid}")
         self._current = tid
+        if tid >= self._drain_base:
+            self._drain_commit(tid - self._drain_base)
+            return self._post_step(tid)
         thread = self.threads[tid]
         if self._table[thread.pc](thread):
             self.steps += 1
@@ -461,6 +562,10 @@ class Machine:
         if tid not in runnable:
             raise RuntimeError(f"scheduler picked non-runnable thread {tid}")
         self._current = tid
+        if tid >= self._drain_base:
+            # a virtual drain processor: commit one buffered store
+            self._drain_commit(tid - self._drain_base)
+            return self._post_step(tid)
         thread = self.threads[tid]
         instr = self.program.code[thread.pc]
         cls = type(instr)
@@ -476,7 +581,7 @@ class Machine:
             addr = self._value(thread, instr.addr)
             if not self._check_addr(thread, instr, addr):
                 return self._post_step(tid)
-            value = self.memory[addr]
+            value = self.memmodel.load(tid, addr)
             thread.regs[instr.dest.index] = value
             self._emit(EV_LOAD, thread, instr, addr=addr, value=value)
             thread.pc += 1
@@ -485,8 +590,10 @@ class Machine:
             if not self._check_addr(thread, instr, addr):
                 return self._post_step(tid)
             value = self._value(thread, instr.src)
-            self.memory[addr] = value
-            self._emit(EV_STORE, thread, instr, addr=addr, value=value)
+            if self.memmodel.store(tid, addr, value, thread.pc, instr):
+                self._emit(EV_STORE, thread, instr, addr=addr, value=value)
+            else:
+                self._store_buffered(tid)
             thread.pc += 1
         elif cls is Branch:
             cond = thread.regs[instr.cond.index]
@@ -499,8 +606,10 @@ class Machine:
             thread.pc = instr.target
         elif cls is Acquire:
             addr = instr.addr.value
-            if self.memory[addr] == 0:
-                self.memory[addr] = tid + 1
+            model = self.memmodel
+            if not model.never_pending:
+                self._fence(thread)  # lock ops are fencing RMWs
+            if model.try_acquire(tid, addr):
                 self._emit(EV_ACQUIRE, thread, instr, addr=addr)
                 thread.pc += 1
             else:
@@ -508,28 +617,33 @@ class Machine:
                 return self._post_step(tid, retired=False)
         elif cls is Release:
             addr = instr.addr.value
-            self.memory[addr] = 0
+            model = self.memmodel
+            if not model.never_pending:
+                self._fence(thread)
+            model.release(tid, addr)
             self._emit(EV_RELEASE, thread, instr, addr=addr)
             thread.pc += 1
             self._wake_blocked(addr)
         elif cls is Wait:
             addr = instr.addr.value
+            model = self.memmodel
+            if not model.never_pending:
+                self._fence(thread)
             if thread.reacquiring:
                 # woken: re-acquire the lock before continuing
-                if self.memory[addr] == 0:
-                    self.memory[addr] = tid + 1
+                if model.try_acquire(tid, addr):
                     thread.reacquiring = False
                     self._emit(EV_ACQUIRE, thread, instr, addr=addr)
                     thread.pc += 1
                 else:
                     self._block(thread, addr)
                     return self._post_step(tid, retired=False)
-            elif self.memory[addr] != tid + 1:
+            elif model.peek(addr) != tid + 1:
                 self._crash(thread, instr,
                             "wait on a lock the thread does not hold")
             else:
                 # atomically release and sleep
-                self.memory[addr] = 0
+                model.release(tid, addr)
                 self._emit(EV_WAIT, thread, instr, addr=addr)
                 self._sleep_on(thread, addr)
         elif cls is Notify or cls is NotifyAll:
@@ -595,6 +709,7 @@ class Machine:
         record = self.record_schedule
         schedule = self.recorded_schedule
         running = MachineStatus.RUNNING
+        drain_base = self._drain_base
         while self.status == running:
             if max_steps is not None and self.steps >= max_steps:
                 self.status = MachineStatus.STEP_LIMIT
@@ -605,6 +720,12 @@ class Machine:
                 break
             tid = pick(runnable, self._current)
             self._current = tid
+            if tid >= drain_base:
+                self._drain_commit(tid - drain_base)
+                self.steps += 1
+                if record:
+                    schedule.append(tid)
+                continue
             thread = threads[tid]
             if table[thread.pc](thread):
                 self.steps += 1
@@ -662,6 +783,7 @@ class Machine:
             "scheduler": self.scheduler.snapshot(),
             "current": self._current,
             "status": self.status,
+            "memmodel": self.memmodel.snapshot(),
         }
 
     def restore(self, snapshot: Dict) -> None:
@@ -686,5 +808,11 @@ class Machine:
         self._current = snapshot["current"]
         self.status = snapshot["status"]
         self._finished_notified = False
+        model = self.memmodel
+        model.restore(snapshot.get("memmodel"))
         self._runnable_ids[:] = [t.tid for t in self.threads
                                  if t.status == RUNNABLE]
+        if not model.never_pending:
+            base = self._drain_base
+            self._runnable_ids.extend(base + t.tid for t in self.threads
+                                      if model.pending(t.tid))

@@ -1,0 +1,308 @@
+"""Pluggable memory consistency models.
+
+Every memory access the interpreter stack performs -- data loads and
+stores, the lock-word read-modify-writes behind Acquire/Release/Wait,
+and the fences implied by synchronization -- goes through a
+:class:`MemoryModel`.  The model owns *visibility*: which value a load
+observes, and when a store becomes part of the globally ordered event
+stream (the trace's total order "≺").
+
+Two models ship:
+
+* :class:`StrictModel` (the default) is the paper's strictly coherent
+  machine: a store is globally visible the instant it retires, a load
+  reads the single shared copy.  It is byte-identical to the
+  pre-refactor interpreter -- the pre-decoded engine even keeps its
+  original direct-``memory[addr]`` closures, because under strict
+  consistency the model's answer *is* the shared array (see
+  :meth:`MemoryModel.inline_strict`).
+
+* :class:`TSOModel` adds x86-style total-store-order relaxation:
+  per-thread FIFO store buffers.  A store retires into its thread's
+  buffer (no event yet); it becomes globally visible -- and its STORE
+  event enters the trace -- only when the buffer entry *drains* to
+  shared memory.  A thread's own loads snoop its buffer newest-first
+  (read-your-writes), but other threads cannot see buffered stores,
+  which is exactly the store-buffering relaxation (Dekker/SB litmus:
+  both threads can read the stale value) that strict interleaving can
+  never produce.  Lock operations are fencing read-modify-writes: the
+  thread's buffer fully drains before an Acquire/Release/Wait proceeds,
+  like x86 ``LOCK``-prefixed instructions.
+
+Determinism: drains are *schedulable steps*.  The machine exposes one
+virtual drain processor per thread (id ``n_threads + tid``, runnable
+exactly while that thread's buffer is non-empty); the scheduler picks
+drain ids like any other processor, the pick is recorded in the
+schedule, and :class:`~repro.machine.scheduler.ReplayScheduler` replays
+it exactly.  On top of scheduler-driven drains, each buffer has a
+deterministic, seed-derived capacity: a store that would overflow the
+capacity force-drains the oldest entry within the same step.  Same
+program + same schedule seed + same model seed therefore always yields
+the identical trace, which keeps record/replay, checkpoint/restore and
+the differential oracles exact under TSO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: a buffered store awaiting global visibility:
+#: (addr, value, pc, instr) -- pc/instr are what the drained STORE
+#: event reports, so the trace attributes the store to its issue site
+BufferedStore = Tuple[int, int, int, object]
+
+
+class MemoryModel:
+    """Interface between the interpreter engines and memory visibility.
+
+    One model instance binds to one machine (:meth:`attach`); the
+    machine calls these hooks from both step engines:
+
+    * :meth:`load` / :meth:`store` -- data accesses.  ``store`` returns
+      True when the store is globally visible immediately (the machine
+      emits the STORE event inline) and False when it was buffered (the
+      event is emitted later, at drain time, via :meth:`drain_one`).
+    * :meth:`try_acquire` / :meth:`release` -- the lock-word RMWs.  The
+      machine fences (drains the calling thread's buffer) first when
+      :meth:`pending` says there is anything to drain.
+    * :meth:`pending` / :meth:`drain_one` -- the drain machinery behind
+      both the virtual drain processors and fences.
+    * :meth:`peek` -- the globally visible value at an address, used by
+      inspection paths (lock-ownership checks, ``read_global``).
+    * :meth:`snapshot` / :meth:`restore` -- checkpoint/rollback of the
+      model's own state (the BER substrate).
+
+    ``never_pending`` is a class-level fast-path flag: when True the
+    machine skips all drain bookkeeping (no virtual drain processors,
+    no fences), which is what keeps :class:`StrictModel` zero-overhead.
+    """
+
+    #: registry name ("strict", "tso"); also what recordings persist
+    name: str = "?"
+    #: True when stores can never be buffered (strict coherence); the
+    #: machine compiles all drain machinery out of the hot paths
+    never_pending: bool = True
+    #: True when the pre-decoded compiler may use its inlined
+    #: direct-memory closures (only sound when every access is
+    #: immediately globally visible)
+    inline_strict: bool = True
+
+    def attach(self, machine) -> None:
+        """Bind to ``machine`` (memory is fully allocated by now).  A
+        model instance is single-machine: build a fresh model per run."""
+        raise NotImplementedError
+
+    # -- data accesses -------------------------------------------------------
+
+    def load(self, tid: int, addr: int) -> int:
+        """The value thread ``tid`` observes at ``addr``."""
+        raise NotImplementedError
+
+    def store(self, tid: int, addr: int, value: int, pc: int,
+              instr) -> bool:
+        """Retire a store; True = globally visible now (emit inline)."""
+        raise NotImplementedError
+
+    # -- lock-word read-modify-writes ---------------------------------------
+
+    def try_acquire(self, tid: int, addr: int) -> bool:
+        """Atomic test-and-set of the lock word at ``addr``."""
+        raise NotImplementedError
+
+    def release(self, tid: int, addr: int) -> None:
+        """Atomic clear of the lock word at ``addr``."""
+        raise NotImplementedError
+
+    def peek(self, addr: int) -> int:
+        """The globally visible value at ``addr`` (no buffer snooping)."""
+        raise NotImplementedError
+
+    # -- drain machinery -----------------------------------------------------
+
+    def pending(self, tid: int) -> int:
+        """Buffered (not yet globally visible) stores of thread ``tid``."""
+        return 0
+
+    def capacity(self, tid: int) -> int:
+        """Buffer capacity of thread ``tid``; overflow force-drains."""
+        return 0
+
+    def drain_one(self, tid: int) -> BufferedStore:
+        """Apply thread ``tid``'s oldest buffered store to shared memory
+        and return it for event emission."""
+        raise NotImplementedError("model has no store buffers")
+
+    # -- checkpoint / rollback ----------------------------------------------
+
+    def snapshot(self):
+        return None
+
+    def restore(self, state) -> None:
+        if state is not None:  # pragma: no cover - defensive
+            raise ValueError("stateless model cannot restore state")
+
+
+class StrictModel(MemoryModel):
+    """Strict coherence: the paper's machine, unchanged.
+
+    Every access goes straight to the single shared copy; there is
+    nothing to drain, nothing to fence, and no model state to
+    checkpoint.  The pre-decoded compiler keeps its original
+    direct-memory closures (``inline_strict``), so the refactor costs
+    the hot path nothing.
+    """
+
+    name = "strict"
+    never_pending = True
+    inline_strict = True
+
+    def __init__(self) -> None:
+        self._memory: Optional[List[int]] = None
+
+    def attach(self, machine) -> None:
+        if self._memory is not None:
+            raise ValueError("memory model already attached to a machine")
+        self._memory = machine.memory
+
+    def load(self, tid: int, addr: int) -> int:
+        return self._memory[addr]
+
+    def store(self, tid: int, addr: int, value: int, pc: int,
+              instr) -> bool:
+        self._memory[addr] = value
+        return True
+
+    def try_acquire(self, tid: int, addr: int) -> bool:
+        memory = self._memory
+        if memory[addr] == 0:
+            memory[addr] = tid + 1
+            return True
+        return False
+
+    def release(self, tid: int, addr: int) -> None:
+        self._memory[addr] = 0
+
+    def peek(self, addr: int) -> int:
+        return self._memory[addr]
+
+
+def _derive_capacity(seed: int, tid: int, lo: int, hi: int) -> int:
+    """Deterministic per-thread buffer capacity in ``[lo, hi]``.
+
+    A splitmix-style integer hash of (seed, tid): no RNG object, so the
+    capacity is a pure function of the model seed -- what makes "same
+    seed, same schedule, same trace" hold across processes.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + tid * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 27
+    return lo + (x % (hi - lo + 1))
+
+
+class TSOModel(MemoryModel):
+    """Total store order via deterministic per-thread store buffers.
+
+    Args:
+        seed: derives each thread's buffer capacity (and is recorded in
+            replayable artefacts so a finding reproduces exactly).
+        capacity_min / capacity_max: the inclusive range per-thread
+            capacities are drawn from.  A store that would exceed the
+            thread's capacity force-drains the oldest entry within the
+            same machine step, bounding staleness deterministically.
+    """
+
+    name = "tso"
+    never_pending = False
+    inline_strict = False
+
+    def __init__(self, seed: int = 0, capacity_min: int = 2,
+                 capacity_max: int = 8) -> None:
+        if capacity_min < 1 or capacity_max < capacity_min:
+            raise ValueError("need 1 <= capacity_min <= capacity_max")
+        self.seed = seed
+        self.capacity_min = capacity_min
+        self.capacity_max = capacity_max
+        self._memory: Optional[List[int]] = None
+        self._buffers: List[List[BufferedStore]] = []
+        self._capacities: List[int] = []
+
+    def attach(self, machine) -> None:
+        if self._memory is not None:
+            raise ValueError("memory model already attached to a machine")
+        self._memory = machine.memory
+        n = len(machine.threads)
+        self._buffers = [[] for _ in range(n)]
+        self._capacities = [
+            _derive_capacity(self.seed, tid, self.capacity_min,
+                             self.capacity_max)
+            for tid in range(n)]
+
+    def load(self, tid: int, addr: int) -> int:
+        # read-your-writes: newest matching buffered store wins
+        for entry in reversed(self._buffers[tid]):
+            if entry[0] == addr:
+                return entry[1]
+        return self._memory[addr]
+
+    def store(self, tid: int, addr: int, value: int, pc: int,
+              instr) -> bool:
+        self._buffers[tid].append((addr, value, pc, instr))
+        return False
+
+    def try_acquire(self, tid: int, addr: int) -> bool:
+        # the machine fenced (drained) before calling: the lock word is
+        # globally coherent here, like an x86 LOCK-prefixed RMW
+        memory = self._memory
+        if memory[addr] == 0:
+            memory[addr] = tid + 1
+            return True
+        return False
+
+    def release(self, tid: int, addr: int) -> None:
+        self._memory[addr] = 0
+
+    def peek(self, addr: int) -> int:
+        return self._memory[addr]
+
+    def pending(self, tid: int) -> int:
+        return len(self._buffers[tid])
+
+    def capacity(self, tid: int) -> int:
+        return self._capacities[tid]
+
+    def drain_one(self, tid: int) -> BufferedStore:
+        entry = self._buffers[tid].pop(0)
+        self._memory[entry[0]] = entry[1]
+        return entry
+
+    def snapshot(self):
+        return [list(buffer) for buffer in self._buffers]
+
+    def restore(self, state) -> None:
+        for buffer, saved in zip(self._buffers, state):
+            buffer[:] = saved
+
+
+#: registry of model factories; a factory takes the model seed
+MODELS: Dict[str, type] = {
+    "strict": StrictModel,
+    "tso": TSOModel,
+}
+
+
+def resolve_model(consistency: Optional[str],
+                  model_seed: int = 0) -> MemoryModel:
+    """Build a fresh model instance from a CLI-style name.
+
+    ``None`` and ``"strict"`` give :class:`StrictModel` (the seed is
+    meaningless under strict coherence and ignored); ``"tso"`` gives a
+    :class:`TSOModel` seeded with ``model_seed``.
+    """
+    if consistency is None or consistency == "strict":
+        return StrictModel()
+    if consistency == "tso":
+        return TSOModel(seed=model_seed)
+    raise ValueError(
+        f"unknown consistency model {consistency!r} "
+        f"(choose from {', '.join(sorted(MODELS))})")

@@ -58,11 +58,25 @@ StepFn = Callable[[object], bool]
 
 
 def compile_table(m) -> List[StepFn]:
-    """Compile ``m.program.code`` into the per-pc step-closure table."""
+    """Compile ``m.program.code`` into the per-pc step-closure table.
+
+    The maker set is chosen per memory model: under a model with
+    ``inline_strict`` (strict coherence) the memory-touching closures
+    inline direct ``memory[addr]`` accesses -- the original, floor-gated
+    fast path.  Any other model swaps in the ``_MODEL_MAKERS`` variants
+    for Load/Store/Acquire/Release/Wait, which route visibility through
+    the model and fence/buffer via the machine's shared drain helpers --
+    the same object code the legacy interpreter runs, keeping the two
+    engines byte-identical under every model.
+    """
+    makers = _MAKERS
+    if not m.memmodel.inline_strict:
+        makers = dict(_MAKERS)
+        makers.update(_MODEL_MAKERS)
     table: List[StepFn] = []
     for pc, instr in enumerate(m.program.code):
         cls = type(instr)
-        maker = _MAKERS.get(cls)
+        maker = makers.get(cls)
         if maker is None:
             raise TypeError(f"unknown instruction {instr!r}")
         table.append(maker(m, instr, pc))
@@ -701,4 +715,153 @@ _MAKERS = {
     Assert: _make_assert,
     Output: _make_output,
     Halt: _make_halt,
+}
+
+
+# -- model-routed variants (non-inline_strict memory models) -------------------
+#
+# These mirror the legacy interpreter arms line for line: visibility
+# goes through the machine's memory model, stores may buffer instead of
+# publishing, and lock operations fence first.  Emission routes through
+# ``m._emit`` -- the exact code path the legacy engine takes -- so
+# byte-identity between the two engines holds under TSO by construction
+# rather than by duplicated inlining.  Relaxed modes have no perf floor;
+# only the strict makers above are BENCH_interp-gated.
+
+
+def _make_load_model(m, instr: Load, pc: int) -> StepFn:
+    load = m.memmodel.load
+    dest = instr.dest.index
+    next_pc = pc + 1
+
+    if isinstance(instr.addr, Imm):
+        addr = instr.addr.value
+        if not 0 <= addr < len(m.memory):
+            return _make_always_fault(m, instr, addr)
+
+        def step(thread):
+            value = load(thread.tid, addr)
+            thread.regs[dest] = value
+            m._emit(EV_LOAD, thread, instr, addr=addr, value=value)
+            thread.pc = next_pc
+            return True
+    else:
+        addr_reg = instr.addr.index
+        memlen = len(m.memory)
+
+        def step(thread):
+            addr = thread.regs[addr_reg]
+            if not 0 <= addr < memlen:
+                m._crash(thread, instr, _fault_msg(addr))
+                return True
+            value = load(thread.tid, addr)
+            thread.regs[dest] = value
+            m._emit(EV_LOAD, thread, instr, addr=addr, value=value)
+            thread.pc = next_pc
+            return True
+
+    return step
+
+
+def _make_store_model(m, instr: Store, pc: int) -> StepFn:
+    store = m.memmodel.store
+    memlen = len(m.memory)
+    next_pc = pc + 1
+    imm_addr = isinstance(instr.addr, Imm)
+    if imm_addr and not 0 <= instr.addr.value < memlen:
+        return _make_always_fault(m, instr, instr.addr.value)
+    addr_reg = None if imm_addr else instr.addr.index
+    fixed_addr = instr.addr.value if imm_addr else -1
+    imm_src = isinstance(instr.src, Imm)
+    src_reg = None if imm_src else instr.src.index
+    fixed_value = instr.src.value if imm_src else 0
+
+    def step(thread):
+        tid = thread.tid
+        if addr_reg is None:
+            addr = fixed_addr
+        else:
+            addr = thread.regs[addr_reg]
+            if not 0 <= addr < memlen:
+                m._crash(thread, instr, _fault_msg(addr))
+                return True
+        value = fixed_value if src_reg is None else thread.regs[src_reg]
+        if store(tid, addr, value, thread.pc, instr):
+            m._emit(EV_STORE, thread, instr, addr=addr, value=value)
+        else:
+            m._store_buffered(tid)
+        thread.pc = next_pc
+        return True
+
+    return step
+
+
+def _make_acquire_model(m, instr: Acquire, pc: int) -> StepFn:
+    model = m.memmodel
+    addr = instr.addr.value
+    next_pc = pc + 1
+
+    def step(thread):
+        m._fence(thread)  # lock ops are fencing RMWs
+        if model.try_acquire(thread.tid, addr):
+            m._emit(EV_ACQUIRE, thread, instr, addr=addr)
+            thread.pc = next_pc
+            return True
+        m._block(thread, addr)
+        return False
+
+    return step
+
+
+def _make_release_model(m, instr: Release, pc: int) -> StepFn:
+    model = m.memmodel
+    addr = instr.addr.value
+    next_pc = pc + 1
+
+    def step(thread):
+        m._fence(thread)
+        model.release(thread.tid, addr)
+        m._emit(EV_RELEASE, thread, instr, addr=addr)
+        thread.pc = next_pc
+        m._wake_blocked(addr)
+        return True
+
+    return step
+
+
+def _make_wait_model(m, instr: Wait, pc: int) -> StepFn:
+    model = m.memmodel
+    addr = instr.addr.value
+    next_pc = pc + 1
+
+    def step(thread):
+        tid = thread.tid
+        m._fence(thread)
+        if thread.reacquiring:
+            # woken: re-acquire the lock before continuing
+            if model.try_acquire(tid, addr):
+                thread.reacquiring = False
+                m._emit(EV_ACQUIRE, thread, instr, addr=addr)
+                thread.pc = next_pc
+                return True
+            m._block(thread, addr)
+            return False
+        if model.peek(addr) != tid + 1:
+            m._crash(thread, instr, "wait on a lock the thread does not hold")
+            return True
+        # atomically release and sleep
+        model.release(tid, addr)
+        m._emit(EV_WAIT, thread, instr, addr=addr)
+        m._sleep_on(thread, addr)
+        return True
+
+    return step
+
+
+_MODEL_MAKERS = {
+    Load: _make_load_model,
+    Store: _make_store_model,
+    Acquire: _make_acquire_model,
+    Release: _make_release_model,
+    Wait: _make_wait_model,
 }

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
 from repro.machine.machine import Machine, MachineStatus
+from repro.machine.memmodel import resolve_model
 from repro.machine.scheduler import ReplayScheduler, Scheduler
 
 
@@ -56,13 +57,22 @@ def program_fingerprint(program: Program) -> str:
 
 @dataclass
 class Recording:
-    """A replayable execution: program identity + threads + schedule."""
+    """A replayable execution: program identity + threads + schedule.
+
+    ``consistency``/``model_seed`` pin the memory model the run executed
+    under: a TSO schedule contains virtual drain-processor picks that
+    only make sense against the same model (and the same seed-derived
+    buffer capacities), so replay rebuilds the model from these fields.
+    Pre-existing artefacts without the fields load as strict.
+    """
 
     fingerprint: str
     threads: List[Tuple[str, Tuple[int, ...]]]
     schedule: List[int]
     status: str
     steps: int
+    consistency: str = "strict"
+    model_seed: int = 0
 
     def save(self, path: str) -> None:
         """Persist with the schedule run-length encoded: schedulers give
@@ -75,6 +85,8 @@ class Recording:
                 "schedule_rle": _rle_encode(self.schedule),
                 "status": self.status,
                 "steps": self.steps,
+                "consistency": self.consistency,
+                "model_seed": self.model_seed,
             }, fh)
 
     @classmethod
@@ -91,6 +103,8 @@ class Recording:
             schedule=schedule,
             status=data["status"],
             steps=data["steps"],
+            consistency=data.get("consistency", "strict"),
+            model_seed=data.get("model_seed", 0),
         )
 
 
@@ -98,11 +112,14 @@ def record_execution(program: Program,
                      threads: Sequence[Tuple[str, Sequence[int]]],
                      scheduler: Scheduler,
                      max_steps: Optional[int] = None,
-                     observers: Sequence = ()) -> Tuple[Machine, Recording]:
+                     observers: Sequence = (),
+                     consistency: str = "strict",
+                     model_seed: int = 0) -> Tuple[Machine, Recording]:
     """Run once with schedule recording on; return the machine and the
     replayable recording."""
     machine = Machine(program, threads, scheduler=scheduler,
-                      observers=list(observers), record_schedule=True)
+                      observers=list(observers), record_schedule=True,
+                      memmodel=resolve_model(consistency, model_seed))
     status = machine.run(max_steps=max_steps)
     recording = Recording(
         fingerprint=program_fingerprint(program),
@@ -110,6 +127,8 @@ def record_execution(program: Program,
         schedule=list(machine.recorded_schedule),
         status=status,
         steps=machine.steps,
+        consistency=consistency,
+        model_seed=model_seed,
     )
     return machine, recording
 
@@ -130,7 +149,9 @@ def replay_execution(program: Program, recording: Recording,
             "from a different build of the program")
     machine = Machine(program, recording.threads,
                       scheduler=ReplayScheduler(recording.schedule),
-                      observers=list(observers))
+                      observers=list(observers),
+                      memmodel=resolve_model(recording.consistency,
+                                             recording.model_seed))
     machine.run(max_steps=recording.steps + len(recording.schedule) + 1)
     if strict and machine.steps != recording.steps:
         raise ValueError(

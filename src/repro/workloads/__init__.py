@@ -24,6 +24,8 @@ from repro.workloads.mysql import mysql_prepared, mysql_tablelock
 from repro.workloads.pgsql import pgsql_oltp
 from repro.workloads.queue_region import queue_region
 from repro.workloads.stringbuffer import stringbuffer
+from repro.workloads.txn import (TXN_WORKLOADS, txn_bank, txn_cart,
+                                 txn_session)
 
 #: name -> zero-argument default factory, for harness enumeration
 WORKLOADS = {
@@ -38,9 +40,13 @@ WORKLOADS = {
     "rwlock-db": rwlock_db,
     "double-checked-init": double_checked_init,
     "spsc-ring": spsc_ring,
+    "txn-bank": txn_bank,
+    "txn-cart": txn_cart,
+    "txn-session": txn_session,
 }
 
 __all__ = [
+    "TXN_WORKLOADS",
     "WORKLOADS",
     "Workload",
     "WorkloadOutcome",
@@ -56,4 +62,7 @@ __all__ = [
     "pgsql_oltp",
     "queue_region",
     "stringbuffer",
+    "txn_bank",
+    "txn_cart",
+    "txn_session",
 ]

@@ -1,0 +1,246 @@
+"""Transactional workloads for the consistency-model layer.
+
+Three mini server programs -- a bank, a shopping cart and a session
+store -- whose critical sections are *software transactions*: a
+``// begin txn`` flag-protocol entry, a read-modify-write region and a
+``// commit txn`` flag drop.  The entry protocol is the store-buffering
+(Dekker) idiom: publish your own intent flag, then test the peer's.
+
+Under strict (sequentially consistent) memory this protocol is a
+correct mutual exclusion: the two flag stores and loads are totally
+ordered, so at least one thread observes the other's intent and backs
+off -- every schedule conserves the workload invariant.  Under TSO the
+intent stores sit in the threads' store buffers while both entry loads
+read stale zeros from shared memory; both threads enter the region,
+interleave their read-modify-writes and lose an update.  That is
+exactly the serializability violation class Nagar & Jagannathan show
+arises *specifically under weak consistency* -- unreachable here under
+``--consistency strict`` for any schedule, reachable (and replayable)
+under ``--consistency tso``.
+
+Each region also asserts read-your-writes (a thread re-reading its own
+committed value must see it), which TSO store buffers satisfy by
+snooping -- the assertion holds under both models and pins that the
+buffer forwarding path works.
+
+``fixed=True`` swaps the flag protocol for a real lock: lock operations
+are fencing RMWs under every model, so the fixed variants stay correct
+under TSO as well -- the differential pair for fuzzing experiments.
+
+Validators measure manifested lost updates directly: committed
+transaction counts are tracked in per-thread slots (single-writer, race
+free) and compared against the shared structure the transactions
+mutate.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload, WorkloadOutcome
+
+_FLAG_ENTER = """        // begin txn: publish intent, then test the peer (SB/Dekker entry)
+        flag[me] = 1;
+        if (flag[other] == 0) {{
+{body}
+        }}
+        // commit txn: drop the intent flag
+        flag[me] = 0;"""
+
+_LOCK_ENTER = """        // begin txn: lock entry (fencing RMW, correct under TSO too)
+        acquire(txn);
+{body}
+        release(txn);"""
+
+
+def _wrap(fixed: bool, body: str) -> str:
+    template = _LOCK_ENTER if fixed else _FLAG_ENTER
+    return template.format(body=body)
+
+
+_BANK_SRC = """
+shared int balance[1] = {initial};
+shared int flag[2] = 0;
+shared int commits[2] = 0;
+{lock_decl}
+
+thread teller(int me, int rounds) {{
+    int other = 1 - me;
+    int r = 0;
+    while (r < rounds) {{
+{region}
+        r = r + 1;
+    }}
+}}
+"""
+
+_BANK_BODY = """            // read-modify-write the shared balance
+            int b = balance[0];
+            balance[0] = b + 1;
+            int c = commits[me];
+            commits[me] = c + 1;
+            // read-your-writes: a teller always sees its own commit
+            int rb = commits[me];
+            assert(rb == c + 1);"""
+
+
+def txn_bank(rounds: int = 8, initial: int = 100,
+             fixed: bool = False) -> Workload:
+    """Mini bank: two tellers deposit into one account inside flag-
+    protocol transactions; invariant: balance grew by exactly the number
+    of committed deposits."""
+    source = _BANK_SRC.format(
+        initial=initial,
+        lock_decl="lock txn;" if fixed else "",
+        region=_wrap(fixed, _BANK_BODY))
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        committed = (machine.read_global("commits", 0)
+                     + machine.read_global("commits", 1))
+        balance = machine.read_global("balance", 0)
+        lost = committed - (balance - initial)
+        return WorkloadOutcome(
+            errors=max(0, lost) + len(machine.crashes),
+            detail=(f"balance {balance}, {committed} committed deposits "
+                    f"({max(0, lost)} lost)"))
+
+    variant = "locked" if fixed else "flag protocol"
+    return Workload(
+        name="txn-bank",
+        description=(f"mini bank, 2 tellers x {rounds} deposit txns "
+                     f"({variant})"),
+        source=source,
+        threads=[("teller", (0, rounds)), ("teller", (1, rounds))],
+        buggy=not fixed,
+        bug_substrings=("balance[0]", "flag["),
+        validator=validate)
+
+
+_CART_SRC = """
+shared int items[{cap}] = 0;
+shared int count[1] = 0;
+shared int flag[2] = 0;
+shared int commits[2] = 0;
+{lock_decl}
+
+thread clerk(int me, int rounds) {{
+    int other = 1 - me;
+    int r = 0;
+    while (r < rounds) {{
+{region}
+        r = r + 1;
+    }}
+}}
+"""
+
+_CART_BODY = """            // append one item at the current cart length
+            int n = count[0];
+            items[n] = me * 100 + r + 1;
+            count[0] = n + 1;
+            int c = commits[me];
+            commits[me] = c + 1;
+            // read-your-writes: the clerk sees the item it just added
+            int rb = items[n];
+            assert(rb == me * 100 + r + 1);"""
+
+
+def txn_cart(rounds: int = 6, fixed: bool = False) -> Workload:
+    """Shopping cart: two clerks append items inside flag-protocol
+    transactions; invariant: cart length equals committed adds (a lost
+    update overwrites a slot and drops an item)."""
+    cap = 2 * rounds + 2
+    source = _CART_SRC.format(
+        cap=cap,
+        lock_decl="lock txn;" if fixed else "",
+        region=_wrap(fixed, _CART_BODY))
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        committed = (machine.read_global("commits", 0)
+                     + machine.read_global("commits", 1))
+        count = machine.read_global("count", 0)
+        lost = committed - count
+        return WorkloadOutcome(
+            errors=max(0, lost) + len(machine.crashes),
+            detail=(f"cart holds {count} of {committed} committed items "
+                    f"({max(0, lost)} lost)"))
+
+    variant = "locked" if fixed else "flag protocol"
+    return Workload(
+        name="txn-cart",
+        description=(f"shopping cart, 2 clerks x {rounds} add-item txns "
+                     f"({variant})"),
+        source=source,
+        threads=[("clerk", (0, rounds)), ("clerk", (1, rounds))],
+        buggy=not fixed,
+        bug_substrings=("count[0]", "items[", "flag["),
+        validator=validate)
+
+
+_SESSION_SRC = """
+shared int owner[{cap}] = 0;
+shared int data[{cap}] = 0;
+shared int next[1] = 0;
+shared int flag[2] = 0;
+shared int commits[2] = 0;
+{lock_decl}
+
+thread worker(int me, int rounds) {{
+    int other = 1 - me;
+    int r = 0;
+    while (r < rounds) {{
+{region}
+        r = r + 1;
+    }}
+}}
+"""
+
+_SESSION_BODY = """            // allocate the next session slot and fill it
+            int s = next[0];
+            owner[s] = me + 1;
+            data[s] = me * 1000 + r + 1;
+            next[0] = s + 1;
+            int c = commits[me];
+            commits[me] = c + 1;
+            // read-your-writes: the worker reads back its own session
+            int rb = data[s];
+            assert(rb == me * 1000 + r + 1);"""
+
+
+def txn_session(rounds: int = 5, fixed: bool = False) -> Workload:
+    """Session store: two workers allocate and fill session slots inside
+    flag-protocol transactions; invariant: every committed login owns a
+    distinct slot (a lost update makes two logins collide on one)."""
+    cap = 2 * rounds + 2
+    source = _SESSION_SRC.format(
+        cap=cap,
+        lock_decl="lock txn;" if fixed else "",
+        region=_wrap(fixed, _SESSION_BODY))
+
+    def validate(machine: Machine) -> WorkloadOutcome:
+        committed = (machine.read_global("commits", 0)
+                     + machine.read_global("commits", 1))
+        occupied = sum(1 for s in range(cap)
+                       if machine.read_global("owner", s) != 0)
+        lost = committed - occupied
+        return WorkloadOutcome(
+            errors=max(0, lost) + len(machine.crashes),
+            detail=(f"{occupied} session slots for {committed} committed "
+                    f"logins ({max(0, lost)} collided)"))
+
+    variant = "locked" if fixed else "flag protocol"
+    return Workload(
+        name="txn-session",
+        description=(f"session store, 2 workers x {rounds} login txns "
+                     f"({variant})"),
+        source=source,
+        threads=[("worker", (0, rounds)), ("worker", (1, rounds))],
+        buggy=not fixed,
+        bug_substrings=("next[0]", "owner[", "flag["),
+        validator=validate)
+
+
+#: the transactional trio, for harness/experiment enumeration
+TXN_WORKLOADS = {
+    "txn-bank": txn_bank,
+    "txn-cart": txn_cart,
+    "txn-session": txn_session,
+}

@@ -27,7 +27,8 @@ from repro.faults import Fault, FaultPlan
 from repro.faults import runtime as fault_runtime
 from repro.fuzz.corpus import entry_source, load_corpus
 from repro.lang import compile_source
-from repro.machine import Machine, MachineObserver, RandomScheduler
+from repro.machine import (Machine, MachineObserver, RandomScheduler,
+                           resolve_model)
 from repro.workloads import WORKLOADS
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
@@ -99,11 +100,14 @@ def _failure_fingerprint(failure):
 
 
 def _fingerprint(program, threads, scheduler, batched, max_steps,
-                 plan=None, detectors=("svd", "frd"), batch_size=None):
+                 plan=None, detectors=("svd", "frd"), batch_size=None,
+                 consistency=None, model_seed=0):
     """One execution with detectors attached, serialized end to end."""
     capture = _Capture() if batched else _PerEventCapture()
     machine_kwargs = dict(scheduler=scheduler, observers=[capture],
                           record_schedule=True, batch_events=batched)
+    if consistency is not None:
+        machine_kwargs["memmodel"] = resolve_model(consistency, model_seed)
     engine_kwargs = dict(batched=batched)
     if batch_size is not None:
         machine_kwargs["batch_size"] = batch_size
@@ -140,17 +144,19 @@ def _fingerprint(program, threads, scheduler, batched, max_steps,
 
 def _assert_identical(program, threads, seed, switch_prob, max_steps,
                       plan=None, detectors=("svd", "frd"),
-                      batch_size=None):
+                      batch_size=None, consistency=None, model_seed=0):
     reference = _fingerprint(
         program, threads,
         RandomScheduler(seed=seed, switch_prob=switch_prob),
         batched=False, max_steps=max_steps, plan=plan,
-        detectors=detectors, batch_size=batch_size)
+        detectors=detectors, batch_size=batch_size,
+        consistency=consistency, model_seed=model_seed)
     batched = _fingerprint(
         program, threads,
         RandomScheduler(seed=seed, switch_prob=switch_prob),
         batched=True, max_steps=max_steps, plan=plan,
-        detectors=detectors, batch_size=batch_size)
+        detectors=detectors, batch_size=batch_size,
+        consistency=consistency, model_seed=model_seed)
     assert reference == batched
 
 
@@ -212,6 +218,25 @@ class TestWorkloadDifferential:
         workload = WORKLOADS[name]()
         _assert_identical(workload.program, workload.threads, seed=1234,
                           switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_workload_identical_strict_explicit(self, name):
+        """Explicit ``--consistency strict`` sweeps the same batched vs
+        per-event identity as the default path."""
+        workload = WORKLOADS[name]()
+        _assert_identical(workload.program, workload.threads, seed=1234,
+                          switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS,
+                          consistency="strict")
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_workload_identical_tso(self, name):
+        """Drain-time stores are emitted through the same batch staging
+        as every other event: batched and per-event arms stay
+        byte-identical under TSO too."""
+        workload = WORKLOADS[name]()
+        _assert_identical(workload.program, workload.threads, seed=7,
+                          switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS,
+                          consistency="tso", model_seed=7)
 
     def test_four_detector_phase_replay_identical(self):
         """A multi-phase run (atomizer replays the recording in phase 1)

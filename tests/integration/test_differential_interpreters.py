@@ -21,7 +21,8 @@ from repro.faults import Fault, FaultPlan
 from repro.faults import runtime as fault_runtime
 from repro.fuzz.corpus import entry_source, load_corpus
 from repro.lang import compile_source
-from repro.machine import Machine, MachineObserver, RandomScheduler
+from repro.machine import (Machine, MachineObserver, RandomScheduler,
+                           resolve_model)
 from repro.workloads import WORKLOADS
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
@@ -50,23 +51,23 @@ def _report_fingerprint(report):
 
 
 def _fingerprint(program, threads, scheduler, predecoded, max_steps,
-                 plan=None):
+                 plan=None, consistency=None, model_seed=0):
     """Run one execution with SVD+FRD attached and serialize everything
     the run observably produced."""
     capture = _CaptureObserver()
+    machine_kwargs = dict(scheduler=scheduler, observers=[capture],
+                          record_schedule=True, predecoded=predecoded)
+    if consistency is not None:
+        machine_kwargs["memmodel"] = resolve_model(consistency, model_seed)
     if plan is not None:
         with fault_runtime.install(plan):
             # the machine must be built while the plan is active for the
             # stream injector to arm
-            machine = Machine(program, threads, scheduler=scheduler,
-                              observers=[capture], record_schedule=True,
-                              predecoded=predecoded)
+            machine = Machine(program, threads, **machine_kwargs)
             engine = DetectorEngine(program, ["svd", "frd"])
             result = engine.run_machine(machine, max_steps=max_steps)
     else:
-        machine = Machine(program, threads, scheduler=scheduler,
-                          observers=[capture], record_schedule=True,
-                          predecoded=predecoded)
+        machine = Machine(program, threads, **machine_kwargs)
         engine = DetectorEngine(program, ["svd", "frd"])
         result = engine.run_machine(machine, max_steps=max_steps)
     return json.dumps({
@@ -85,15 +86,17 @@ def _fingerprint(program, threads, scheduler, predecoded, max_steps,
 
 
 def _assert_identical(program, threads, seed, switch_prob, max_steps,
-                      plan=None):
+                      plan=None, consistency=None, model_seed=0):
     legacy = _fingerprint(
         program, threads, RandomScheduler(seed=seed,
                                           switch_prob=switch_prob),
-        predecoded=False, max_steps=max_steps, plan=plan)
+        predecoded=False, max_steps=max_steps, plan=plan,
+        consistency=consistency, model_seed=model_seed)
     predecoded = _fingerprint(
         program, threads, RandomScheduler(seed=seed,
                                           switch_prob=switch_prob),
-        predecoded=True, max_steps=max_steps, plan=plan)
+        predecoded=True, max_steps=max_steps, plan=plan,
+        consistency=consistency, model_seed=model_seed)
     assert legacy == predecoded
 
 
@@ -130,6 +133,54 @@ class TestWorkloadDifferential:
         workload = WORKLOADS[name]()
         _assert_identical(workload.program, workload.threads, seed=1234,
                           switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS)
+
+
+class TestConsistencyDifferential:
+    """The memory-model layer preserves both identities: an explicit
+    ``--consistency strict`` machine is byte-identical to the default,
+    and legacy vs pre-decoded stay byte-identical under TSO (the
+    model-routed closures mirror the legacy arms emission-for-emission,
+    including drain-time stores)."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_explicit_strict_matches_default(self, name):
+        workload = WORKLOADS[name]()
+        scheduler_args = dict(seed=1234, switch_prob=0.3)
+        default = _fingerprint(
+            workload.program, workload.threads,
+            RandomScheduler(**scheduler_args), predecoded=True,
+            max_steps=WORKLOAD_MAX_STEPS)
+        explicit = _fingerprint(
+            workload.program, workload.threads,
+            RandomScheduler(**scheduler_args), predecoded=True,
+            max_steps=WORKLOAD_MAX_STEPS, consistency="strict")
+        assert default == explicit
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_workload_identical_strict_explicit(self, name):
+        workload = WORKLOADS[name]()
+        _assert_identical(workload.program, workload.threads, seed=1234,
+                          switch_prob=0.3, max_steps=WORKLOAD_MAX_STEPS,
+                          consistency="strict")
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+    def test_workload_identical_tso(self, name):
+        workload = WORKLOADS[name]()
+        for seed in (7, 1234):
+            _assert_identical(workload.program, workload.threads,
+                              seed=seed, switch_prob=0.3,
+                              max_steps=WORKLOAD_MAX_STEPS,
+                              consistency="tso", model_seed=seed)
+
+    @pytest.mark.parametrize(
+        "entry", _corpus_entries(), ids=lambda e: e.file)
+    def test_corpus_entry_identical_tso(self, entry):
+        program = compile_source(entry_source(CORPUS_DIR, entry))
+        threads = [("t0", ()), ("t1", ())]
+        _assert_identical(program, threads, entry.schedule_seed,
+                          entry.switch_prob, entry.max_steps,
+                          consistency="tso",
+                          model_seed=entry.schedule_seed)
 
 
 class TestCheckpointRestoreDifferential:

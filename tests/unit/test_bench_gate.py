@@ -20,6 +20,7 @@ def artefact(tmp_path):
         "speedup": 1.61,
         "single_pass": {"seconds": 0.07, "events_per_sec": 1_100_000},
         "per_detector_refeed": {"seconds": 0.11},
+        "campaign": {"events_per_sec": 200_000},
     }))
     return str(path)
 

@@ -1,0 +1,296 @@
+"""Unit tests for the memory consistency-model layer.
+
+Covers the :mod:`repro.machine.memmodel` registry and model contracts,
+the TSO store-buffer semantics as observed through a live machine
+(store-buffering litmus, FIFO message passing, read-your-writes
+forwarding, fencing lock operations), the virtual drain processors'
+scheduling contract, and checkpoint/restore of pending buffers.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import (Machine, MachineStatus, RandomScheduler,
+                           ReplayScheduler, SerialScheduler, StrictModel,
+                           TSOModel, record_execution, replay_execution,
+                           resolve_model)
+from repro.machine.memmodel import MODELS, _derive_capacity
+
+
+class TestRegistry:
+    def test_resolve_default_is_strict(self):
+        assert isinstance(resolve_model(None), StrictModel)
+        assert isinstance(resolve_model("strict"), StrictModel)
+
+    def test_resolve_tso_carries_seed(self):
+        model = resolve_model("tso", 41)
+        assert isinstance(model, TSOModel)
+        assert model.seed == 41
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_model("release-acquire")
+
+    def test_registry_names(self):
+        assert set(MODELS) == {"strict", "tso"}
+
+    def test_model_flags(self):
+        assert StrictModel.never_pending and StrictModel.inline_strict
+        assert not TSOModel.never_pending
+        assert not TSOModel.inline_strict
+
+
+class TestCapacityDerivation:
+    def test_deterministic(self):
+        assert (_derive_capacity(7, 3, 2, 8)
+                == _derive_capacity(7, 3, 2, 8))
+
+    def test_in_range(self):
+        for seed in range(20):
+            for tid in range(4):
+                cap = _derive_capacity(seed, tid, 2, 8)
+                assert 2 <= cap <= 8
+
+    def test_varies_with_seed_and_tid(self):
+        caps = {_derive_capacity(seed, tid, 2, 8)
+                for seed in range(16) for tid in range(4)}
+        assert len(caps) > 1
+
+
+class TestAttachContract:
+    def test_double_attach_rejected(self):
+        source = "shared int x[1] = 0;\nthread t() { x[0] = 1; }\n"
+        program = compile_source(source)
+        model = TSOModel(seed=1)
+        Machine(program, [("t", ())], memmodel=model)
+        with pytest.raises(ValueError):
+            Machine(program, [("t", ())], memmodel=model)
+
+    def test_string_model_resolved_by_machine(self):
+        source = "shared int x[1] = 0;\nthread t() { x[0] = 1; }\n"
+        program = compile_source(source)
+        machine = Machine(program, [("t", ())], memmodel="tso")
+        assert isinstance(machine.memmodel, TSOModel)
+
+
+_SB_LITMUS = """
+shared int x[1] = 0;
+shared int y[1] = 0;
+shared int r[2] = 0;
+
+thread t0() {
+    x[0] = 1;
+    int a = y[0];
+    r[0] = a;
+}
+
+thread t1() {
+    y[0] = 1;
+    int b = x[0];
+    r[1] = b;
+}
+"""
+
+_MP_LITMUS = """
+shared int data[1] = 0;
+shared int ready[1] = 0;
+shared int got[1] = 0;
+shared int val[1] = 0;
+
+thread producer() {
+    data[0] = 42;
+    ready[0] = 1;
+}
+
+thread consumer() {
+    int f = ready[0];
+    got[0] = f;
+    int d = data[0];
+    val[0] = d;
+}
+"""
+
+_RYW = """
+shared int x[1] = 0;
+shared int seen[1] = 0;
+
+thread t() {
+    x[0] = 5;
+    int a = x[0];
+    seen[0] = a;
+}
+"""
+
+_LOCKED_COUNTER = """
+shared int n[1] = 0;
+lock m;
+
+thread inc(int rounds) {
+    int r = 0;
+    while (r < rounds) {
+        acquire(m);
+        int v = n[0];
+        n[0] = v + 1;
+        release(m);
+        r = r + 1;
+    }
+}
+"""
+
+
+def _run_litmus(source, threads, scheduler, memmodel):
+    machine = Machine(compile_source(source), threads,
+                      scheduler=scheduler, memmodel=memmodel)
+    status = machine.run(max_steps=100_000)
+    assert status == "finished"
+    return machine
+
+
+class TestStoreBufferingLitmus:
+    """The canonical SB (Dekker) litmus: r0 == r1 == 0 is forbidden
+    under strict/SC and allowed under TSO."""
+
+    def _both_zero(self, seed, memmodel):
+        machine = _run_litmus(
+            _SB_LITMUS, [("t0", ()), ("t1", ())],
+            RandomScheduler(seed=seed, switch_prob=0.5), memmodel)
+        return (machine.read_global("r", 0) == 0
+                and machine.read_global("r", 1) == 0)
+
+    def test_strict_never_both_zero(self):
+        assert not any(self._both_zero(seed, StrictModel())
+                       for seed in range(100))
+
+    def test_tso_reaches_both_zero(self):
+        assert any(self._both_zero(seed, TSOModel(seed=seed))
+                   for seed in range(100))
+
+
+class TestMessagePassing:
+    """TSO buffers are FIFO: a consumer that observed ``ready`` must
+    also observe the ``data`` store that preceded it."""
+
+    def test_no_reordered_publication(self):
+        for seed in range(100):
+            machine = _run_litmus(
+                _MP_LITMUS, [("producer", ()), ("consumer", ())],
+                RandomScheduler(seed=seed, switch_prob=0.5),
+                TSOModel(seed=seed))
+            if machine.read_global("got", 0) == 1:
+                assert machine.read_global("val", 0) == 42
+
+
+class TestReadYourWrites:
+    def test_load_snoops_own_buffer(self):
+        """Under a serial schedule the drain processor never runs before
+        the thread's own load, so the value must come from the buffer."""
+        machine = _run_litmus(_RYW, [("t", ())], SerialScheduler(),
+                              TSOModel(seed=3))
+        assert machine.read_global("seen", 0) == 5
+        assert machine.read_global("x", 0) == 5  # drained by run end
+
+
+class TestLockFencing:
+    def test_locked_counter_exact_under_tso(self):
+        """Lock operations are fencing RMWs: the locked counter loses no
+        increments under TSO for any seed."""
+        for seed in range(30):
+            machine = _run_litmus(
+                _LOCKED_COUNTER,
+                [("inc", (5,)), ("inc", (5,))],
+                RandomScheduler(seed=seed, switch_prob=0.5),
+                TSOModel(seed=seed))
+            assert machine.read_global("n", 0) == 10
+
+
+class TestDrainScheduling:
+    def test_strict_runnable_has_no_drain_ids(self):
+        program = compile_source(_SB_LITMUS)
+        machine = Machine(program, [("t0", ()), ("t1", ())])
+        machine.run(max_steps=10)
+        assert all(tid < machine._drain_base
+                   for tid in machine._runnable_ids)
+
+    def test_drain_steps_recorded_and_replayed(self):
+        """Drain picks land in the recorded schedule as ids >= the drain
+        base, and replaying the schedule with the same model seed
+        reproduces the run exactly."""
+        program = compile_source(_SB_LITMUS)
+        threads = [("t0", ()), ("t1", ())]
+        machine = Machine(program, threads,
+                          scheduler=RandomScheduler(seed=11,
+                                                    switch_prob=0.5),
+                          record_schedule=True, memmodel=TSOModel(seed=11))
+        machine.run(max_steps=100_000)
+        schedule = machine.recorded_schedule
+        assert any(tid >= machine._drain_base for tid in schedule)
+
+        replayed = Machine(program, threads,
+                           scheduler=ReplayScheduler(schedule),
+                           memmodel=TSOModel(seed=11))
+        replayed.run(max_steps=100_000)
+        assert replayed.memory == machine.memory
+        assert replayed.steps == machine.steps
+        assert replayed.seq == machine.seq
+
+    def test_recording_round_trips_model(self, tmp_path):
+        """``Recording`` persists consistency + model seed, so a saved
+        TSO run replays from disk without out-of-band state."""
+        program = compile_source(_SB_LITMUS)
+        threads = [("t0", ()), ("t1", ())]
+        machine, recording = record_execution(
+            program, threads,
+            RandomScheduler(seed=11, switch_prob=0.5),
+            max_steps=100_000, consistency="tso", model_seed=11)
+        path = tmp_path / "run.recording"
+        recording.save(str(path))
+        from repro.machine import Recording
+        loaded = Recording.load(str(path))
+        assert loaded.consistency == "tso"
+        assert loaded.model_seed == 11
+        replayed = replay_execution(program, loaded)
+        assert replayed.memory == machine.memory
+        assert replayed.output == machine.output
+
+
+class TestCheckpointRestore:
+    def test_pending_buffers_survive_rollback(self):
+        """Checkpoint mid-run with non-empty store buffers, overshoot,
+        restore, and finish: the final state matches an uninterrupted
+        run of the same seeds."""
+        program = compile_source(_SB_LITMUS)
+        threads = [("t0", ()), ("t1", ())]
+
+        def final_state(rollback):
+            machine = Machine(program, threads,
+                              scheduler=RandomScheduler(seed=4,
+                                                        switch_prob=0.5),
+                              record_schedule=True,
+                              memmodel=TSOModel(seed=4))
+            if rollback:
+                machine.run(max_steps=3)
+                # a step-limited run parks the status; clear it so the
+                # checkpoint (and the post-restore run) resume
+                machine.status = MachineStatus.RUNNING
+                snapshot = machine.checkpoint()
+                machine.run(max_steps=8)
+                machine.restore(snapshot)
+            machine.run(max_steps=100_000)
+            return (machine.memory, machine.steps,
+                    machine.recorded_schedule)
+
+        assert final_state(False) == final_state(True)
+
+    def test_snapshot_isolated_from_live_buffers(self):
+        model = TSOModel(seed=9)
+        program = compile_source(_SB_LITMUS)
+        machine = Machine(program, [("t0", ()), ("t1", ())],
+                          scheduler=SerialScheduler(), memmodel=model)
+        machine.run(max_steps=1)  # t0's first store is now buffered
+        machine.status = MachineStatus.RUNNING
+        snap = model.snapshot()
+        assert model.pending(0) == 1
+        machine.run(max_steps=100_000)
+        assert model.pending(0) == 0
+        model.restore(snap)
+        assert model.pending(0) == 1
