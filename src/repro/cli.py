@@ -11,6 +11,8 @@ Commands:
 * ``campaign`` -- parallel (workload, seed, detector-config) sweep
 * ``fuzz``     -- differential fuzzing of the SVD detector family
 * ``bench``    -- gate benchmark artefacts against pinned perf floors
+               (and, with ``--gate``, against their recorded trend)
+* ``db``       -- query the persistent results database
 
 ``run``, ``campaign`` and ``fuzz`` accept ``--obs`` (plus
 ``--trace-out``/``--metrics-out``) to activate :mod:`repro.obs` for the
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time as _time
 from typing import List, Optional, Sequence
 
 import repro.obs as obs
@@ -88,16 +91,35 @@ def _add_consistency_flags(parser: argparse.ArgumentParser) -> None:
                        "schedule seed, so one number reproduces a run)")
 
 
+def _add_db_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="append this run to the persistent results "
+                        "database at PATH (SQLite; created if missing -- "
+                        "see docs/observability.md)")
+
+
+#: default results-database path for ``repro db`` queries
+DEFAULT_DB = "results.db"
+
+
 def _obs_active(args) -> bool:
     return bool(getattr(args, "obs", False) or args.trace_out
                 or args.metrics_out)
 
 
+def _status_of(code: int) -> str:
+    """Map an exit code to the status vocabulary the db stores."""
+    return {EXIT_OK: "ok", EXIT_VIOLATIONS: "violations",
+            EXIT_DEGRADED: "degraded"}.get(code, "error")
+
+
 def _obs_emit(args, snapshot, tracer) -> None:
     """Write the requested artifacts and print the summary tables."""
     if args.metrics_out:
-        with open(args.metrics_out, "w") as fh:
-            fh.write(json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+        # atomic: a crash mid-write must not leave a truncated snapshot
+        obs.atomic_write_text(
+            args.metrics_out,
+            json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.trace_out:
         if args.trace_out.endswith(".jsonl"):
@@ -139,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      "and the salvaging reader")
     _add_consistency_flags(run)
     _add_obs_flags(run)
+    _add_db_flag(run)
 
     execute = sub.add_parser("exec", help="compile and run a MiniSMP file")
     execute.add_argument("source", help="path to the MiniSMP source file")
@@ -244,8 +267,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       "reference columns")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-run progress lines")
+    camp.add_argument("--progress", action="store_true",
+                      help="render a live heartbeat status line "
+                      "(tasks, events/sec, violations, worker "
+                      "liveness) instead of per-run lines")
+    camp.add_argument("--heartbeat-out", default=None, metavar="PATH",
+                      help="append the heartbeat telemetry stream as "
+                      "JSONL to PATH (one record per beat; "
+                      "tail -f friendly)")
+    camp.add_argument("--heartbeat-interval", type=float, default=1.0,
+                      metavar="SECONDS",
+                      help="seconds between heartbeat records "
+                      "(default: 1.0)")
     _add_consistency_flags(camp)
     _add_obs_flags(camp)
+    _add_db_flag(camp)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing of the SVD detector family")
@@ -285,6 +321,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="memory model for --directed probes "
                       "(default: tso)")
     _add_obs_flags(fuzz)
+    _add_db_flag(fuzz)
 
     bench = sub.add_parser(
         "bench", help="gate recorded benchmark artefacts against "
@@ -300,6 +337,79 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-builtin", action="store_true",
                        help="ignore the built-in floor table and gate "
                        "only the --floor specs")
+    bench.add_argument("--gate", action="store_true",
+                       help="also gate against the recorded trend: fail "
+                       "if a floored value regressed more than "
+                       "--tolerance below the median of its recent "
+                       "history in --db (requires --db)")
+    bench.add_argument("--trend-window", type=int, default=5,
+                       metavar="N",
+                       help="number of recent recorded runs the trend "
+                       "median is taken over (default: 5)")
+    bench.add_argument("--tolerance", type=float, default=0.10,
+                       metavar="F",
+                       help="allowed fractional regression below the "
+                       "trend median (default: 0.10)")
+    bench.add_argument("--no-record", action="store_true",
+                       help="with --db: gate against history but do not "
+                       "append this artefact to the database")
+    _add_db_flag(bench)
+
+    db = sub.add_parser(
+        "db", help="query the persistent results database")
+    dbsub = db.add_subparsers(dest="db_command", required=True)
+
+    def _db_path_flag(p):
+        p.add_argument("--db", default=DEFAULT_DB, metavar="PATH",
+                       help=f"results database path "
+                       f"(default: {DEFAULT_DB})")
+
+    rec = dbsub.add_parser(
+        "record", help="record a benchmark artefact into the database")
+    rec.add_argument("artefact", help="benchmark artefact JSON file")
+    rec.add_argument("--kind", default="bench", metavar="KIND",
+                     help="run kind to record under (default: bench)")
+    rec.add_argument("--label", default=None, metavar="NAME",
+                     help="run label (default: artefact basename)")
+    _db_path_flag(rec)
+
+    lst = dbsub.add_parser("list", help="list recorded runs")
+    lst.add_argument("--kind", default=None,
+                     help="only runs of this kind")
+    lst.add_argument("--label", default=None,
+                     help="only runs with this label")
+    lst.add_argument("--limit", type=int, default=20,
+                     help="show only the newest N runs (default: 20)")
+    _db_path_flag(lst)
+
+    show = dbsub.add_parser("show", help="show one recorded run")
+    show.add_argument("run_id", nargs="?", type=int, default=None,
+                      help="run id (default: the latest run)")
+    show.add_argument("--field", default=None,
+                      choices=["obs", "payload", "config", "heartbeat"],
+                      help="print just this stored JSON document "
+                      "(canonical indented JSON) instead of the "
+                      "full record")
+    _db_path_flag(show)
+
+    trend = dbsub.add_parser(
+        "trend", help="render the recorded trajectory of one metric")
+    trend.add_argument("label", help="run label (e.g. BENCH_engine.json)")
+    trend.add_argument("key", help="dotted key into the recorded "
+                       "payload (e.g. speedup)")
+    trend.add_argument("--kind", default="bench",
+                       help="run kind (default: bench)")
+    trend.add_argument("--fingerprint", default=None,
+                       help="only runs with this config fingerprint")
+    trend.add_argument("--limit", type=int, default=None,
+                       help="use only the newest N runs")
+    _db_path_flag(trend)
+
+    exp = dbsub.add_parser(
+        "export", help="export the database as deterministic JSONL")
+    exp.add_argument("out", help="output path (one canonical JSON "
+                     "record per line)")
+    _db_path_flag(exp)
     return parser
 
 
@@ -322,12 +432,51 @@ def _cmd_run(args) -> int:
             print(f"cannot load fault plan: {exc}", file=sys.stderr)
             return EXIT_USAGE
         print(plan.describe(), file=sys.stderr)
+    db_info = {} if args.db else None
+    snapshot = None
+    start = _time.perf_counter()
     if not _obs_active(args):
-        return _run_workload_cmd(args, plan)
-    with obs.session() as handle:
-        code = _run_workload_cmd(args, plan)
-    _obs_emit(args, handle.registry.snapshot(), handle.tracer)
+        code = _run_workload_cmd(args, plan, db_info)
+    else:
+        with obs.session() as handle:
+            code = _run_workload_cmd(args, plan, db_info)
+        snapshot = handle.registry.snapshot()
+        _obs_emit(args, snapshot, handle.tracer)
+    if db_info is not None and code != EXIT_USAGE:
+        _db_record_run(args, code, db_info, snapshot,
+                       elapsed=_time.perf_counter() - start)
     return code
+
+
+def _db_record_run(args, code, db_info, snapshot, elapsed) -> None:
+    """Append one ``repro run`` outcome to the results database."""
+    from repro import resultsdb
+    config = {
+        "command": "run",
+        "workload": args.workload,
+        "fixed": bool(args.fixed),
+        "detector": args.detector,
+        "detectors": args.detectors,
+        "switch_prob": args.switch_prob,
+        "max_steps": args.max_steps,
+        "consistency": args.consistency,
+        "inject": bool(args.inject),
+    }
+    run_id = resultsdb.write_run(
+        args.db, "run", args.workload, config,
+        status=_status_of(code),
+        violations=db_info.get("violations", 0),
+        events=db_info.get("events", 0),
+        elapsed=elapsed,
+        schedule_seed=args.seed,
+        model_seed=(args.model_seed if args.model_seed is not None
+                    else args.seed),
+        detectors=db_info.get("detectors", ()),
+        consistency=args.consistency,
+        obs=snapshot,
+        violation_fingerprints=resultsdb.violation_report_fingerprints(
+            db_info.get("reports", {})))
+    print(f"recorded run {run_id} in {args.db}", file=sys.stderr)
 
 
 def _print_failures(failures) -> None:
@@ -354,9 +503,20 @@ def _trace_round_trip(trace, program, plan) -> bool:
         return not report.clean
 
 
-def _run_workload_cmd(args, plan=None) -> int:
+def _run_workload_cmd(args, plan=None, db_info=None) -> int:
     import repro.faults.runtime as faults
     from repro.machine import resolve_model
+
+    def note(events, reports) -> None:
+        # collect what the results database wants from whichever
+        # branch ran: event count, detector set, and the report map
+        # the violation fingerprints derive from
+        if db_info is not None:
+            db_info["events"] = events
+            db_info["detectors"] = sorted(reports)
+            db_info["reports"] = reports
+            db_info["violations"] = sum(
+                getattr(r, "dynamic_count", 0) for r in reports.values())
 
     model_seed = (args.model_seed if args.model_seed is not None
                   else args.seed)
@@ -390,10 +550,12 @@ def _run_workload_cmd(args, plan=None) -> int:
         print(f"status  : {result.status}, {result.end_seq} events, "
               f"{result.stats.stream_passes} stream pass(es) for "
               f"{len(result.requested)} detector(s)")
+        reports = {name: result.report(name) for name in result.requested}
+        note(result.end_seq, reports)
         violations = False
         for name in result.requested:
             print()
-            report = result.report(name)
+            report = reports[name]
             violations = violations or report.dynamic_count > 0
             print(report.describe())
         degraded = result.degraded
@@ -428,6 +590,7 @@ def _run_workload_cmd(args, plan=None) -> int:
             print(result.frd_report.describe())
         print()
         print(result.log.describe(limit=5))
+        note(result.instructions, result.reports)
         violations = any(r.dynamic_count > 0
                          for r in result.reports.values())
         degraded = result.engine is not None and result.engine.degraded
@@ -449,6 +612,7 @@ def _run_workload_cmd(args, plan=None) -> int:
                                     keep_trace=keep_trace)
     print(f"outcome : {workload.validate(machine).detail}")
     report = result.report(result.requested[0])
+    note(result.end_seq, {result.requested[0]: report})
     print(report.describe())
     degraded = result.degraded
     _print_failures(result.failures.values())
@@ -694,18 +858,30 @@ def _cmd_campaign(args) -> int:
               "give only the one you mean", file=sys.stderr)
         return EXIT_USAGE
     journal_dir = args.resume or args.journal
+    # --db wants the merged obs snapshot in the record, so recording a
+    # campaign implies collecting task metrics even without --obs
+    obs_on = _obs_active(args) or bool(args.db)
     spec = CampaignSpec(
         workloads=[WorkloadSpec(name=n) for n in names],
         configs=configs, seeds=args.seeds,
         master_seed=args.master_seed, task_timeout=args.timeout,
         task_retries=args.retries, retry_backoff=args.retry_backoff,
-        obs=_obs_active(args))
+        obs=obs_on)
     total = len(names) * len(configs) * args.seeds
     done = [0]
+    heartbeat = None
+    if args.progress or args.heartbeat_out or args.db:
+        from repro.harness import CampaignHeartbeat
+        heartbeat = CampaignHeartbeat(
+            total, path=args.heartbeat_out,
+            interval=args.heartbeat_interval,
+            render=args.progress, stream=sys.stderr)
 
     def progress(result) -> None:
         done[0] += 1
-        if args.quiet:
+        # --progress replaces the per-run lines with the live
+        # heartbeat status line; mixing both garbles the terminal
+        if args.quiet or args.progress:
             return
         note = result.status
         if result.ok:
@@ -722,13 +898,15 @@ def _cmd_campaign(args) -> int:
                                       budget=args.budget,
                                       on_result=progress,
                                       journal_dir=journal_dir,
-                                      resume=bool(args.resume))
+                                      resume=bool(args.resume),
+                                      heartbeat=heartbeat)
         else:
             handle = None
             report = run_campaign(spec, workers=args.workers,
                                   budget=args.budget, on_result=progress,
                                   journal_dir=journal_dir,
-                                  resume=bool(args.resume))
+                                  resume=bool(args.resume),
+                                  heartbeat=heartbeat)
     except JournalError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
@@ -745,34 +923,101 @@ def _cmd_campaign(args) -> int:
         print(f"  {result.workload}/{result.config} seed#"
               f"{result.seed_index}: {result.status}: {first_line[0]}",
               file=sys.stderr)
+    final_snapshot = None
     if handle is not None:
         # task snapshots (from the result channel) + the parent's own
-        # pool counters, merged into one campaign-wide view
+        # pool counters, merged into one campaign-wide view; computed
+        # once so the --metrics-out file and the db record are
+        # byte-identical
         merged = report.merged_obs()
         snapshots = ([merged] if merged is not None else [])
         snapshots.append(handle.registry.snapshot())
-        _obs_emit(args, obs.merge_snapshots(snapshots), handle.tracer)
+        final_snapshot = obs.merge_snapshots(snapshots)
+        if _obs_active(args):
+            _obs_emit(args, final_snapshot, handle.tracer)
     violations = any(r.ok and r.svd.dynamic_total > 0
                      for r in report.results)
-    return _exit_code(violations, bool(failed))
-
-
-def _cmd_fuzz(args) -> int:
-    if not _obs_active(args):
-        return _run_fuzz_cmd(args)
-    with obs.session() as handle:
-        code = _run_fuzz_cmd(args)
-    _obs_emit(args, handle.registry.snapshot(), handle.tracer)
+    code = _exit_code(violations, bool(failed))
+    if args.db:
+        from repro import resultsdb
+        config = {
+            "command": "campaign",
+            "workloads": sorted(names),
+            "configs": sorted(c.name for c in configs),
+            "seeds": args.seeds,
+            "switch_prob": args.switch_prob,
+            "max_steps": args.max_steps,
+            "frd": not args.no_frd,
+            "detectors": args.detectors,
+            "consistency": args.consistency,
+        }
+        summary = heartbeat.summary() if heartbeat is not None else None
+        run_id = resultsdb.write_run(
+            args.db, "campaign", "campaign", config,
+            status=_status_of(code),
+            violations=sum(r.svd.dynamic_total
+                           for r in report.results if r.ok),
+            events=sum(r.instructions for r in report.results if r.ok),
+            elapsed=report.elapsed,
+            master_seed=args.master_seed,
+            detectors=(parse_detector_list(args.detectors)
+                       if args.detectors else ()),
+            consistency=args.consistency,
+            payload={"runs": len(report.results),
+                     "failed": len(failed),
+                     "workers": args.workers},
+            obs=final_snapshot,
+            heartbeat=summary)
+        print(f"recorded campaign {run_id} in {args.db}", file=sys.stderr)
     return code
 
 
-def _run_fuzz_cmd(args) -> int:
+def _cmd_fuzz(args) -> int:
+    db_info = {} if args.db else None
+    snapshot = None
+    start = _time.perf_counter()
+    if not _obs_active(args):
+        code = _run_fuzz_cmd(args, db_info)
+    else:
+        with obs.session() as handle:
+            code = _run_fuzz_cmd(args, db_info)
+        snapshot = handle.registry.snapshot()
+        _obs_emit(args, snapshot, handle.tracer)
+    if db_info is not None and code != EXIT_USAGE:
+        from repro import resultsdb
+        config = {
+            "command": "fuzz",
+            "budget": args.budget,
+            "programs": args.programs,
+            "seeds": args.seeds,
+            "minimize": bool(args.minimize),
+            "faults": bool(args.faults),
+            "directed": bool(args.directed),
+            "probes": args.probes,
+            "consistency": args.consistency,
+        }
+        run_id = resultsdb.write_run(
+            args.db, "fuzz",
+            "directed" if args.directed else "fuzz", config,
+            status=_status_of(code),
+            violations=db_info.get("violations", 0),
+            events=db_info.get("events", 0),
+            elapsed=_time.perf_counter() - start,
+            master_seed=args.master_seed,
+            consistency=args.consistency,
+            payload=db_info.get("payload"),
+            obs=snapshot)
+        print(f"recorded fuzz {run_id} in {args.db}", file=sys.stderr)
+    return code
+
+
+def _run_fuzz_cmd(args, db_info=None) -> int:
     from repro.fuzz import (load_corpus, rediscovered, run_fuzz,
                             save_corpus)
     if args.budget is not None and args.budget <= 0:
         args.budget = None
     if args.directed:
-        return _run_directed_hunt(args)
+        return _run_directed_hunt(args, db_info)
     try:
         report = run_fuzz(budget=args.budget, max_programs=args.programs,
                           probes_per_program=args.seeds,
@@ -784,6 +1029,13 @@ def _run_fuzz_cmd(args) -> int:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
     print(report.describe())
+    if db_info is not None:
+        import dataclasses
+        db_info["violations"] = report.stats.violations
+        db_info["events"] = report.stats.probes
+        db_info["payload"] = {"stats": dataclasses.asdict(report.stats),
+                              "findings": len(report.findings),
+                              "elapsed": report.elapsed}
     if args.corpus:
         try:
             entries = load_corpus(args.corpus)
@@ -811,7 +1063,7 @@ def _run_fuzz_cmd(args) -> int:
     return _exit_code(False, stats.errors > 0)
 
 
-def _run_directed_hunt(args) -> int:
+def _run_directed_hunt(args, db_info=None) -> int:
     """``fuzz --directed``: conflict-directed vs random violation hunt
     over the transactional workloads at equal probe budgets."""
     from repro.fuzz.directed import compare_hunts, describe_comparison
@@ -841,6 +1093,15 @@ def _run_directed_hunt(args) -> int:
             print(f"  replay {directed.workload}: schedule seed "
                   f"{hit.schedule_seed}, model seed {hit.model_seed} "
                   f"-> {hit.detail}")
+    if db_info is not None:
+        db_info["violations"] = directed_hits + random_hits
+        db_info["events"] = sum(d.probes + r.probes for d, r in pairs)
+        db_info["payload"] = {
+            "arms": [{"workload": arm.workload, "mode": arm.mode,
+                      "probes": arm.probes, "violations": arm.violations,
+                      "elapsed": arm.elapsed}
+                     for pair in pairs for arm in pair],
+            "elapsed": elapsed}
     # the hunt *measures* violation yield; finding seeded violations in
     # the buggy transactional workloads is the expected outcome, so the
     # exit code only distinguishes "ran" from "could not run"
@@ -848,21 +1109,134 @@ def _run_directed_hunt(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    """Gate a benchmark artefact against its pinned floors."""
+    """Gate a benchmark artefact against its pinned floors and,
+    with ``--gate``, against its recorded trend."""
+    import os
+    if args.gate and not args.db:
+        print("--gate compares against recorded history; pass --db PATH",
+              file=sys.stderr)
+        return EXIT_USAGE
+    basename = os.path.basename(args.check)
     extra = {}
     try:
         for spec in args.floor:
             key, value = bench_gate.parse_floor(spec)
             extra[key] = value
-        checks = bench_gate.check_file(
-            args.check, extra_floors=extra,
-            use_builtin=not args.no_builtin)
+        record = bench_gate.load_artefact(args.check)
+        floors = bench_gate.floors_for(basename, extra_floors=extra,
+                                       use_builtin=not args.no_builtin)
+        checks = bench_gate.check_record(record, floors)
     except bench_gate.FloorSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     for check in checks:
         print(f"{args.check}: {check.render()}")
-    return EXIT_OK if all(c.ok for c in checks) else EXIT_VIOLATIONS
+    ok = all(c.ok for c in checks)
+
+    if not args.db:
+        return EXIT_OK if ok else EXIT_VIOLATIONS
+
+    from repro import resultsdb
+    # the fingerprint groups every recording of the same artefact, so
+    # the trend compares like with like across commits
+    config = {"artefact": basename}
+    with resultsdb.open_db(args.db) as db:
+        if args.gate:
+            trends = resultsdb.trend_check(
+                db, basename, record, sorted(floors),
+                fingerprint=resultsdb.config_fingerprint(config),
+                window=args.trend_window, tolerance=args.tolerance)
+            for trend in trends:
+                print(f"{args.check}: {trend.render()}")
+            ok = ok and all(t.ok for t in trends)
+        if not args.no_record:
+            run_id = db.write_run(
+                "bench", basename, config,
+                status="ok" if ok else "violations",
+                payload=record)
+            print(f"recorded bench {run_id} in {args.db}",
+                  file=sys.stderr)
+    return EXIT_OK if ok else EXIT_VIOLATIONS
+
+
+def _cmd_db(args) -> int:
+    """``repro db``: query the persistent results database."""
+    import os
+    from repro import resultsdb
+    cmd = args.db_command
+    if cmd == "record":
+        try:
+            record = bench_gate.load_artefact(args.artefact)
+        except bench_gate.FloorSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        label = args.label or os.path.basename(args.artefact)
+        try:
+            run_id = resultsdb.write_run(
+                args.db, args.kind, label, {"artefact": label},
+                payload=record)
+        except resultsdb.ResultsDBError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"recorded {args.kind} {run_id} in {args.db}")
+        return EXIT_OK
+
+    if not os.path.exists(args.db):
+        print(f"error: no results database at {args.db}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        with resultsdb.open_db(args.db) as db:
+            if cmd == "list":
+                records = db.list_runs(kind=args.kind, label=args.label,
+                                       limit=args.limit)
+                if not records:
+                    print("(no matching runs)")
+                    return EXIT_OK
+                header = (f"{'id':>4}  {'recorded':<25} {'kind':<9} "
+                          f"{'label':<24} {'fingerprint':<16} "
+                          f"{'status':<10} {'viol':>5} {'events':>9}")
+                print(header)
+                print("-" * len(header))
+                for rec in records:
+                    print(f"{rec.run_id:>4}  {rec.recorded_at:<25} "
+                          f"{rec.kind:<9} {rec.label:<24} "
+                          f"{rec.fingerprint:<16} {rec.status:<10} "
+                          f"{rec.violations:>5} {rec.events:>9}")
+                return EXIT_OK
+            if cmd == "show":
+                rec = (db.get(args.run_id) if args.run_id is not None
+                       else db.latest())
+                if args.field:
+                    doc = getattr(rec, args.field)
+                    if doc is None:
+                        print(f"error: run {rec.run_id} has no "
+                              f"{args.field}", file=sys.stderr)
+                        return EXIT_USAGE
+                    # byte-identical to the --metrics-out file format
+                    sys.stdout.write(
+                        json.dumps(doc, sort_keys=True, indent=2) + "\n")
+                    return EXIT_OK
+                print(json.dumps(rec.to_json(), sort_keys=True, indent=2))
+                return EXIT_OK
+            if cmd == "trend":
+                points = db.trend_values(args.label, args.key,
+                                         kind=args.kind,
+                                         fingerprint=args.fingerprint,
+                                         limit=args.limit)
+                if not points:
+                    print(f"(no recorded values of {args.key!r} for "
+                          f"{args.label!r})")
+                    return EXIT_OK
+                print(resultsdb.render_trend_table(points, args.key))
+                return EXIT_OK
+            if cmd == "export":
+                count = db.export_jsonl(args.out)
+                print(f"exported {count} records to {args.out}")
+                return EXIT_OK
+    except resultsdb.ResultsDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    raise AssertionError(f"unhandled db command {cmd!r}")
 
 
 _COMMANDS = {
@@ -877,6 +1251,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "db": _cmd_db,
 }
 
 

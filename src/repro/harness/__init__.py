@@ -11,9 +11,10 @@ from repro.harness.campaign import (CampaignReport, CampaignResult,
                                     CampaignSpec, ConfigSpec,
                                     WorkloadSpec, derive_seed,
                                     run_campaign)
+from repro.harness.heartbeat import CampaignHeartbeat
 from repro.harness.journal import (CampaignJournal, JournalError,
                                    spec_fingerprint)
-from repro.harness.pool import parallel_map
+from repro.harness.pool import PoolStatus, WorkerStatus, parallel_map
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.table1 import characterize, table1_rows
 from repro.harness.table2 import Table2Row, table2_rows, render_table2
@@ -29,8 +30,11 @@ __all__ = [
     "check_file",
     "check_record",
     "parse_floor",
+    "CampaignHeartbeat",
     "CampaignJournal",
     "JournalError",
+    "PoolStatus",
+    "WorkerStatus",
     "spec_fingerprint",
     "CampaignReport",
     "CampaignResult",

@@ -101,16 +101,10 @@ def check_record(record: Mapping,
     return checks
 
 
-def check_file(path: str,
-               extra_floors: Mapping[str, float] = (),
-               use_builtin: bool = True) -> List[FloorCheck]:
-    """Gate the artefact at ``path``.
-
-    Floors are the built-in table entry for the file's basename (when
-    ``use_builtin``) overlaid with ``extra_floors``.  An artefact with
-    no applicable floors is a spec error -- a gate that checks nothing
-    must not pass silently.
-    """
+def load_artefact(path: str) -> Mapping:
+    """Load a benchmark artefact as a JSON object; anything else --
+    unreadable, non-JSON, or a non-object root -- is a
+    :class:`FloorSpecError`."""
     try:
         with open(path) as fh:
             record = json.load(fh)
@@ -118,14 +112,33 @@ def check_file(path: str,
         raise FloorSpecError(f"cannot read artefact: {exc}") from None
     except json.JSONDecodeError as exc:
         raise FloorSpecError(f"artefact is not JSON: {exc}") from None
+    if not isinstance(record, Mapping):
+        raise FloorSpecError("artefact root must be a JSON object")
+    return record
+
+
+def floors_for(basename: str,
+               extra_floors: Mapping[str, float] = (),
+               use_builtin: bool = True) -> Dict[str, float]:
+    """The floor table that applies to one artefact basename: the
+    built-in entry (when ``use_builtin``) overlaid with
+    ``extra_floors``.  Empty is a spec error -- a gate that checks
+    nothing must not pass silently."""
     floors: Dict[str, float] = {}
     if use_builtin:
-        floors.update(FLOORS.get(os.path.basename(path), {}))
+        floors.update(FLOORS.get(basename, {}))
     floors.update(extra_floors)
     if not floors:
         raise FloorSpecError(
-            f"no floors apply to {os.path.basename(path)!r}; "
-            "pass --floor KEY=VALUE")
-    if not isinstance(record, Mapping):
-        raise FloorSpecError("artefact root must be a JSON object")
+            f"no floors apply to {basename!r}; pass --floor KEY=VALUE")
+    return floors
+
+
+def check_file(path: str,
+               extra_floors: Mapping[str, float] = (),
+               use_builtin: bool = True) -> List[FloorCheck]:
+    """Gate the artefact at ``path`` against :func:`floors_for` its
+    basename."""
+    record = load_artefact(path)
+    floors = floors_for(os.path.basename(path), extra_floors, use_builtin)
     return check_record(record, floors)

@@ -23,7 +23,11 @@ import json
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.heartbeat import CampaignHeartbeat
 
 import repro.obs as obs
 from repro.core.online import SvdConfig
@@ -411,6 +415,7 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                  on_result: Optional[Callable[[CampaignResult], None]] = None,
                  journal_dir: Optional[str] = None,
                  resume: bool = False,
+                 heartbeat: Optional["CampaignHeartbeat"] = None,
                  ) -> CampaignReport:
     """Execute the campaign matrix and aggregate.
 
@@ -424,6 +429,11 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     only the not-yet-journaled tasks.  Seeds are position-derived and
     aggregation sorts by task index, so an interrupted+resumed campaign
     aggregates byte-identically to an uninterrupted one.
+
+    ``heartbeat`` (a :class:`repro.harness.heartbeat.CampaignHeartbeat`)
+    receives every finished result and the pool's liveness snapshots,
+    and emits the live telemetry stream; its final record is forced
+    before this function returns.
     """
     tasks = spec.tasks()
     started = time.perf_counter()
@@ -448,13 +458,20 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         if journal is not None:
             journal.record(result)
         results.append(result)
+        if heartbeat is not None:
+            heartbeat.task_done(result)
         if on_result is not None:
             on_result(result)
 
-    parallel_map(execute_task, pending, workers=workers,
-                 timeout=spec.task_timeout, budget=budget,
-                 on_outcome=on_outcome, retries=spec.task_retries,
-                 retry_backoff=spec.retry_backoff)
+    monitor = heartbeat.pool_update if heartbeat is not None else None
+    try:
+        parallel_map(execute_task, pending, workers=workers,
+                     timeout=spec.task_timeout, budget=budget,
+                     on_outcome=on_outcome, retries=spec.task_retries,
+                     retry_backoff=spec.retry_backoff, monitor=monitor)
+    finally:
+        if heartbeat is not None:
+            heartbeat.finish()
     results.sort(key=lambda r: r.index)
     return CampaignReport(spec=spec, results=results,
                           elapsed=time.perf_counter() - started)

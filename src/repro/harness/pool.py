@@ -44,6 +44,7 @@ import os
 import tempfile
 import time
 import traceback
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro.faults.runtime as faults
@@ -51,6 +52,33 @@ import repro.obs as obs
 from repro.faults.inject import apply_worker_fault
 
 Outcome = Tuple[str, Any]
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """Liveness of one worker at a sampling instant."""
+
+    worker_id: int
+    alive: bool
+    #: index of the task the worker is executing, or None when idle
+    task_index: Optional[int] = None
+    #: seconds the worker has spent on that task so far
+    busy_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PoolStatus:
+    """A point-in-time snapshot of pool progress, handed to the
+    ``monitor`` callback of :func:`parallel_map`.  Everything here is
+    observational -- the snapshot is built from the parent's own
+    bookkeeping, so sampling it costs no worker communication."""
+
+    dispatched: int
+    completed: int
+    total: int
+    worker_crashes: int
+    task_retries: int
+    workers: Tuple[WorkerStatus, ...] = field(default_factory=tuple)
 
 #: how much of a dead worker's captured stderr rides in the outcome
 _STDERR_TAIL_BYTES = 4096
@@ -133,15 +161,21 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                  on_outcome: Optional[Callable[[int, Outcome], None]] = None,
                  retries: int = 0,
                  retry_backoff: float = 0.0,
+                 monitor: Optional[Callable[[PoolStatus], None]] = None,
                  ) -> List[Outcome]:
     """Apply ``runner`` to every payload, one task per worker at a time.
 
     ``runner`` must be an importable module-level callable.  See the
-    module docstring for outcome semantics.
+    module docstring for outcome semantics.  ``monitor``, when given,
+    is called with a :class:`PoolStatus` snapshot on every scheduling
+    beat (each poll-loop turn in parallel mode, around every task in
+    serial mode); rate limiting is the consumer's job.
     """
     total = len(payloads)
     outcomes: List[Optional[Outcome]] = [None] * total
     started = time.perf_counter()
+    crash_count = 0
+    retry_count = 0
 
     def record(index: int, outcome: Outcome) -> None:
         outcomes[index] = outcome
@@ -154,8 +188,15 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
             if budget is not None and time.perf_counter() - started > budget:
                 record(index, ("skipped", "budget exhausted"))
                 continue
+            task_started = time.perf_counter()
+            if monitor is not None:
+                monitor(PoolStatus(
+                    dispatched=index + 1, completed=index, total=total,
+                    worker_crashes=0, task_retries=retry_count,
+                    workers=(WorkerStatus(0, True, index, 0.0),)))
             for attempt in range(retries + 1):
                 if attempt:
+                    retry_count += 1
                     obs.add("pool.task_retried")
                     if retry_backoff > 0.0:
                         time.sleep(retry_backoff * attempt)
@@ -167,6 +208,13 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                 else:
                     record(index, ("ok", result))
                     break
+            if monitor is not None:
+                monitor(PoolStatus(
+                    dispatched=index + 1, completed=index + 1, total=total,
+                    worker_crashes=0, task_retries=retry_count,
+                    workers=(WorkerStatus(
+                        0, True, None,
+                        time.perf_counter() - task_started),)))
         return [o for o in outcomes if o is not None]
 
     ctx = _pick_context()
@@ -223,8 +271,24 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
     #: truthful
     pending_retries: List[Tuple[float, int, int, Outcome]] = []
 
+    def sample_status() -> None:
+        if monitor is None:
+            return
+        now = time.perf_counter()
+        statuses = []
+        for worker_id, proc in sorted(procs.items()):
+            busy = running.get(worker_id)
+            statuses.append(WorkerStatus(
+                worker_id=worker_id, alive=proc.is_alive(),
+                task_index=busy[0] if busy else None,
+                busy_seconds=(now - busy[1]) if busy else 0.0))
+        monitor(PoolStatus(dispatched=dispatched, completed=completed,
+                           total=total, worker_crashes=crash_count,
+                           task_retries=retry_count,
+                           workers=tuple(statuses)))
+
     def feed() -> None:
-        nonlocal next_task, dispatched, stop_dispatch
+        nonlocal next_task, dispatched, stop_dispatch, retry_count
         if budget is not None and time.perf_counter() - started > budget:
             stop_dispatch = True
         if stop_dispatch:
@@ -234,6 +298,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                and dispatched - completed < 2 * len(procs)):
             _ready, index, attempt, _last = pending_retries.pop(0)
             attempt_of[index] = attempt
+            retry_count += 1
             obs.add("pool.task_retried")
             task_queue.put((index, attempt, payloads[index]))
             dispatched += 1
@@ -264,6 +329,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
 
     try:
         while completed < total:
+            sample_status()
             if stop_dispatch and completed == dispatched:
                 # flush retry-pending tasks with their last real outcome
                 # (journaling a budget skip would wrongly persist it)
@@ -305,6 +371,7 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                 if not timed_out and not died:
                     continue
                 if died:
+                    crash_count += 1
                     obs.add("pool.worker_crash")
                 if proc is not None:
                     proc.terminate()
@@ -321,10 +388,14 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
             # tasks) loses no task; it is counted and replaced
             for worker_id, proc in list(procs.items()):
                 if worker_id not in running and not proc.is_alive():
+                    crash_count += 1
                     obs.add("pool.worker_crash")
                     procs.pop(worker_id)
                     spawn_worker()
             feed()
+        # one closing snapshot so consumers see the final counts even
+        # when the last task finished between sampling beats
+        sample_status()
     finally:
         for proc in procs.values():
             if proc.is_alive():

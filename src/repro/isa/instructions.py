@@ -234,18 +234,59 @@ class Halt(Instruction):
     __slots__ = ()
 
 
+#: Machine integers are 64-bit two's complement, like the C server
+#: programs the paper targets.  Every value-producing ALU op wraps its
+#: result, so register/memory contents and trace serializations stay
+#: bounded no matter what a (possibly fuzzer-generated) program does —
+#: without the wrap, a self-multiplying loop grows a register by
+#: thousands of digits per iteration and a single execution becomes
+#: intractable.
+INT_BITS = 64
+_UWRAP = 1 << INT_BITS
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+
+def _rewrap(v: int) -> int:
+    """Slow path: reduce an out-of-range result into two's complement."""
+    v &= _UWRAP - 1
+    return v - _UWRAP if v > INT_MAX else v
+
+
+def _add(a: int, b: int) -> int:
+    v = a + b
+    return v if INT_MIN <= v <= INT_MAX else _rewrap(v)
+
+
+def _sub(a: int, b: int) -> int:
+    v = a - b
+    return v if INT_MIN <= v <= INT_MAX else _rewrap(v)
+
+
+def _mul(a: int, b: int) -> int:
+    v = a * b
+    return v if INT_MIN <= v <= INT_MAX else _rewrap(v)
+
+
 def _div(a: int, b: int) -> int:
     """Truncating division; by-zero produces 0 rather than trapping, so
-    workloads can model defensive code without machine exceptions."""
+    workloads can model defensive code without machine exceptions.
+    Pure integer arithmetic: routing the mixed-sign case through float
+    division silently rounds once operands outgrow 2**53.  The one
+    overflowing case, INT_MIN / -1, wraps like the other ops."""
     if b == 0:
         return 0
-    return int(a / b) if (a < 0) != (b < 0) else a // b
+    q, r = divmod(a, b)
+    if r and (a < 0) != (b < 0):
+        q += 1
+    return q if INT_MIN <= q <= INT_MAX else _rewrap(q)
 
 
 def _mod(a: int, b: int) -> int:
     if b == 0:
         return 0
-    return a - b * (int(a / b) if (a < 0) != (b < 0) else a // b)
+    r = a % b
+    return r - b if r and (a < 0) != (b < 0) else r
 
 
 #: op -> binary callable, each returning a plain int (comparisons and
@@ -254,9 +295,9 @@ def _mod(a: int, b: int) -> int:
 #: the resolved callable into each ALU step closure; the legacy
 #: interpreter reaches the same functions through :func:`evaluate_alu`.
 ALU_FUNCS = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
+    "+": _add,
+    "-": _sub,
+    "*": _mul,
     "/": _div,
     "%": _mod,
     "==": lambda a, b: int(a == b),

@@ -27,9 +27,11 @@ and activation (the CLI's ``--obs`` flag)::
     print(obs.render_summary(handle.registry.snapshot(), handle.tracer))
 """
 
+from repro.obs.io import atomic_write_text
 from repro.obs.metrics import (Counter, DEFAULT_BOUNDS, Gauge, Histogram,
                                MetricsRegistry, NULL_REGISTRY, NullRegistry,
-                               merge_snapshots)
+                               estimate_percentile, merge_snapshots,
+                               snapshot_percentile)
 from repro.obs.runtime import (SessionHandle, add, enabled, metrics,
                                metrics_enabled, metrics_scope, session,
                                span, tracer, tracing_enabled)
@@ -40,8 +42,9 @@ from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, Tracer
 __all__ = [
     "Counter", "DEFAULT_BOUNDS", "Gauge", "Histogram", "MetricsRegistry",
     "NULL_REGISTRY", "NULL_TRACER", "NullRegistry", "NullTracer",
-    "SessionHandle", "SpanRecord", "Tracer", "add", "enabled",
-    "merge_snapshots", "metrics", "metrics_enabled", "metrics_scope",
-    "render_metrics_summary", "render_span_summary", "render_summary",
-    "session", "span", "tracer", "tracing_enabled",
+    "SessionHandle", "SpanRecord", "Tracer", "add", "atomic_write_text",
+    "enabled", "estimate_percentile", "merge_snapshots", "metrics",
+    "metrics_enabled", "metrics_scope", "render_metrics_summary",
+    "render_span_summary", "render_summary", "session",
+    "snapshot_percentile", "span", "tracer", "tracing_enabled",
 ]

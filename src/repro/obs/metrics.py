@@ -17,7 +17,8 @@ must agree).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 #: default histogram bucket upper bounds (values above the last bound
 #: land in the overflow bucket); decadic so merged histograms from any
@@ -91,6 +92,55 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (``q`` in [0, 1]) from the
+        bucket counts -- see :func:`estimate_percentile`."""
+        return estimate_percentile(self.bounds, self.buckets, self.count,
+                                   self.min, self.max, q)
+
+
+def estimate_percentile(bounds: Sequence[float], buckets: Sequence[int],
+                        count: int, lo: Optional[float],
+                        hi: Optional[float], q: float) -> float:
+    """Percentile estimate from fixed-boundary bucket counts.
+
+    Linear interpolation inside the bucket holding the target rank
+    (the standard Prometheus-style estimate): the bucket's range is
+    ``(previous bound, bound]``, with the first bucket floored at the
+    observed minimum and the overflow bucket capped at the observed
+    maximum.  The estimate is clamped to ``[min, max]`` so degenerate
+    single-bucket histograms stay truthful.  Returns 0.0 for an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile must be in [0, 1], got {q!r}")
+    if count <= 0:
+        return 0.0
+    lo = 0.0 if lo is None else lo
+    hi = bounds[-1] if hi is None else hi
+    target = q * count
+    cumulative = 0
+    for i, in_bucket in enumerate(buckets):
+        if cumulative + in_bucket < target or in_bucket == 0:
+            cumulative += in_bucket
+            continue
+        lower = lo if i == 0 else max(lo, bounds[i - 1])
+        upper = hi if i >= len(bounds) else min(hi, bounds[i])
+        if upper <= lower:
+            estimate = upper
+        else:
+            fraction = (target - cumulative) / in_bucket
+            estimate = lower + (upper - lower) * fraction
+        return min(max(estimate, lo), hi)
+    return hi
+
+
+def snapshot_percentile(data: Mapping[str, Any], q: float) -> float:
+    """:func:`estimate_percentile` over one histogram entry of a
+    registry *snapshot* dict (the merged, JSON-safe form)."""
+    return estimate_percentile(data["bounds"], data["buckets"],
+                               data["count"], data["min"], data["max"], q)
 
 
 class MetricsRegistry:

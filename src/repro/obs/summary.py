@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import snapshot_percentile
 from repro.obs.tracing import Tracer
 
 
@@ -56,12 +57,14 @@ def render_metrics_summary(snapshot: Dict[str, Any]) -> str:
             count = data["count"]
             mean = data["sum"] / count if count else 0.0
             rows.append((name, _fmt(count), _fmt(mean),
+                         _fmt(snapshot_percentile(data, 0.50)),
+                         _fmt(snapshot_percentile(data, 0.95)),
                          _fmt(data["min"] if data["min"] is not None else 0),
                          _fmt(data["max"] if data["max"] is not None else 0)))
         sections.append("")
         sections.extend(_aligned(
-            ["histogram", "count", "mean", "min", "max"], rows,
-            "metrics: histograms"))
+            ["histogram", "count", "mean", "p50", "p95", "min", "max"],
+            rows, "metrics: histograms"))
     if not sections:
         return "metrics: (empty)"
     return "\n".join(sections)

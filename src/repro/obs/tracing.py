@@ -25,6 +25,8 @@ import os
 import time
 from typing import Any, Dict, List, Optional, TextIO
 
+from repro.obs.io import atomic_write_text
+
 _US = 1_000_000.0
 
 
@@ -100,9 +102,9 @@ class Tracer:
         return lines
 
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as fh:
-            for line in self.jsonl_lines():
-                fh.write(line + "\n")
+        # atomic: a crash mid-export must not leave a truncated stream
+        atomic_write_text(
+            path, "".join(line + "\n" for line in self.jsonl_lines()))
 
     def chrome_trace_events(self, pid: Optional[int] = None) -> List[Dict]:
         """Matched B/E duration-event pairs, Chrome trace-event format."""
@@ -128,9 +130,7 @@ class Tracer:
     def write_chrome_trace(self, path: str, pid: Optional[int] = None) -> None:
         payload = {"traceEvents": self.chrome_trace_events(pid=pid),
                    "displayTimeUnit": "ms"}
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
-            fh.write("\n")
+        atomic_write_text(path, json.dumps(payload) + "\n")
 
 
 class _NullSpan:

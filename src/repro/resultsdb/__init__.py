@@ -1,0 +1,26 @@
+"""``repro.resultsdb``: the persistent results/benchmark database.
+
+A SQLite-backed (plus deterministic JSONL export) store that records
+every run, campaign, fuzz hunt, and benchmark artefact with a config
+fingerprint, seeds, detector set, consistency mode, merged obs
+snapshot, violation fingerprints, and ``BENCH_*.json`` payloads -- all
+through the single :func:`write_run` entry point.  On top of it sit
+the ``repro db`` CLI subcommands and the ``repro bench --gate`` trend
+regression checks.  See ``docs/observability.md``.
+"""
+
+from repro.resultsdb.db import (ResultsDB, ResultsDBError, RunRecord,
+                                RUN_KINDS, config_fingerprint,
+                                detect_git_commit, iter_jsonl, open_db,
+                                violation_report_fingerprints, write_run)
+from repro.resultsdb.trend import (DEFAULT_TOLERANCE, DEFAULT_WINDOW,
+                                   MIN_HISTORY, TrendCheck,
+                                   render_trend_table, trend_check)
+
+__all__ = [
+    "DEFAULT_TOLERANCE", "DEFAULT_WINDOW", "MIN_HISTORY", "RUN_KINDS",
+    "ResultsDB", "ResultsDBError", "RunRecord", "TrendCheck",
+    "config_fingerprint", "detect_git_commit", "iter_jsonl", "open_db",
+    "render_trend_table", "trend_check", "violation_report_fingerprints",
+    "write_run",
+]

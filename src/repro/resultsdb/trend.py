@@ -1,0 +1,121 @@
+"""Trend gating: compare a benchmark artefact against its own history.
+
+The static floor table in :mod:`repro.harness.bench_gate` catches
+catastrophic regressions, but a floor pinned at "half the reference
+box" happily waves through a 1.9x slowdown.  Trend gating closes that
+gap: for every gated key, the current value is compared against the
+**median of the last N recorded runs** with the same config
+fingerprint, and fails when it drops more than a tolerance band below
+that median.  The median (not the mean) makes one anomalous historical
+run harmless; the tolerance band absorbs machine noise; the
+fingerprint match ensures apples-to-apples.
+
+A key with insufficient history *passes* with an explanatory verdict:
+a freshly seeded database must not fail CI, it must start accumulating
+the history that will protect the next change.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.resultsdb.db import ResultsDB
+
+#: how many most-recent historical runs feed the median
+DEFAULT_WINDOW = 5
+
+#: fraction below the historical median that still passes
+DEFAULT_TOLERANCE = 0.10
+
+#: historical points required before the trend gate can fire
+MIN_HISTORY = 2
+
+
+@dataclass(frozen=True)
+class TrendCheck:
+    """Outcome of trend-gating one key of one artefact."""
+
+    key: str
+    value: float
+    #: historical median, or None when history was insufficient
+    median: Optional[float]
+    #: historical points that fed the median
+    points: int
+    window: int
+    tolerance: float
+    ok: bool
+
+    @property
+    def threshold(self) -> Optional[float]:
+        if self.median is None:
+            return None
+        return self.median * (1.0 - self.tolerance)
+
+    def render(self) -> str:
+        if self.median is None:
+            return (f"trend --: {self.key} = {self.value:g} "
+                    f"({self.points} recorded run(s); needs "
+                    f">= {MIN_HISTORY} to gate)")
+        verdict = "trend ok" if self.ok else "trend FAIL"
+        return (f"{verdict}: {self.key} = {self.value:g} vs median "
+                f"{self.median:g} of last {self.points} run(s) "
+                f"(tolerance {self.tolerance:.0%}, threshold "
+                f"{self.threshold:g})")
+
+
+def trend_check(db: ResultsDB, label: str, record: Mapping,
+                keys: Sequence[str],
+                fingerprint: Optional[str] = None,
+                window: int = DEFAULT_WINDOW,
+                tolerance: float = DEFAULT_TOLERANCE,
+                kind: str = "bench") -> List[TrendCheck]:
+    """Gate ``record``'s ``keys`` against the recorded history of
+    ``label`` in ``db``.  One :class:`TrendCheck` per key, in the given
+    order; the current value resolves with the same dotted-key rules
+    the static floor gate uses."""
+    from repro.harness.bench_gate import lookup
+    checks = []
+    for key in keys:
+        value = lookup(record, key)
+        history = [point for _record, point in
+                   db.trend_values(label, key, kind=kind,
+                                   fingerprint=fingerprint, limit=window)]
+        if len(history) < MIN_HISTORY:
+            checks.append(TrendCheck(key=key, value=value, median=None,
+                                     points=len(history), window=window,
+                                     tolerance=tolerance, ok=True))
+            continue
+        median = statistics.median(history)
+        ok = value >= median * (1.0 - tolerance)
+        checks.append(TrendCheck(key=key, value=value, median=median,
+                                 points=len(history), window=window,
+                                 tolerance=tolerance, ok=ok))
+    return checks
+
+
+def render_trend_table(points: List[Tuple], key: str) -> str:
+    """The ``repro db trend`` trajectory: one aligned line per recorded
+    run (id, commit, timestamp, value, delta vs the running median of
+    everything before it) plus a crude bar so a regression is visible
+    at a glance."""
+    if not points:
+        return f"no recorded runs resolve key {key!r}"
+    values = [value for _record, value in points]
+    peak = max(abs(v) for v in values) or 1.0
+    lines = [f"{'run':>5}  {'commit':<12} {'recorded_at':<25} "
+             f"{key:>14}  {'vs median':>9}  trend"]
+    for i, (record, value) in enumerate(points):
+        prior = values[:i]
+        if len(prior) >= MIN_HISTORY:
+            median = statistics.median(prior)
+            delta = f"{(value / median - 1.0) * 100:+.1f}%" if median else "--"
+        else:
+            delta = "--"
+        bar = "#" * max(1, round(abs(value) / peak * 20))
+        commit = record.git_commit or "-"
+        lines.append(f"{record.run_id:>5}  {commit:<12} "
+                     f"{record.recorded_at:<25} {value:>14g}  "
+                     f"{delta:>9}  {bar}")
+    return "\n".join(lines)

@@ -14,7 +14,7 @@ on some programs.  The oracle records those divergences; here we pin
 the structural facts that must hold regardless.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import OfflineSVD
@@ -80,6 +80,10 @@ def test_offline_svd_verdict_is_deterministic(source, seed):
 
 @settings(**SETTINGS)
 @given(programs(), st.integers(0, 100))
+@example(
+    source='shared int g0 = 0;\nshared int g1 = 4;\nshared int g2 = 3;\nshared int g3 = 0;\nlock m;\nlocal int x;\nlocal int y;\nthread t0() { if (1) { int i0 = 0; while (i0 < 4) { if (1) { int i1 = 0; while (i1 < 2) { acquire(m); g3 = g3 + ((g3 % 6)); release(m); i1 = i1 + 1; } } if (g3) { output(((g3 % 4) + 3)); acquire(m); g3 = g3 + (g0); release(m); acquire(m); g3 = g3 + (6); release(m); } else { output(9); acquire(m); g3 = g3 + ((g3 % 3)); release(m); } if (1) { int i1 = 0; while (i1 < 4) { x = ((g3 + 5) * (g3 * g3)); output(g3); acquire(m); g3 = g3 + (((x - g3) * g2)); release(m); i1 = i1 + 1; } } i0 = i0 + 1; } } acquire(m); g3 = g3 + (((g0 - g3) % 2)); release(m); if (y) { output(((6 - 3) - (g2 + g3))); } g0 = ((2 % 4) % 7); }\nthread t1() { if (5) { y = 0; if (1) { int i1 = 0; while (i1 < 2) { output(g2); acquire(m); g3 = g3 + ((g1 * 6)); release(m); x = x; i1 = i1 + 1; } } output(((1 - g3) * (g3 - 2))); } g2 = 6; acquire(m); g3 = g3 + (g2); release(m); acquire(m); g3 = g3 + (1); release(m); if (x) { if (1) { int i1 = 0; while (i1 < 2) { output(y); output(((g3 * 2) + g3)); g2 = 9; i1 = i1 + 1; } } acquire(m); g3 = g3 + ((g3 * (g0 - x))); release(m); } else { y = 0; } }',
+    seed=87,
+).via('discovered failure')
 def test_oracle_classification_is_consistent(source, seed):
     """The FRD-vs-SVD classification partitions FRD's reports, and the
     recorded divergence categories match the verdicts they summarise."""

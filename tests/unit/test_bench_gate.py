@@ -132,3 +132,65 @@ class TestBenchCommand:
         # the headline claim of the batched pipeline stays pinned here
         assert FLOORS["BENCH_engine.json"]["speedup"] == 1.5
         assert bench_gate.FLOORS is FLOORS
+
+
+class TestLoadArtefactAndFloorsFor:
+    def test_load_artefact_round_trips(self, artefact):
+        record = bench_gate.load_artefact(artefact)
+        assert record["speedup"] == 1.61
+
+    def test_floors_for_overlays_extra_on_builtin(self):
+        floors = bench_gate.floors_for("BENCH_engine.json",
+                                       extra_floors={"speedup": 9.0,
+                                                     "extra.key": 1.0})
+        assert floors["speedup"] == 9.0  # extra wins
+        assert floors["campaign.events_per_sec"] == \
+            FLOORS["BENCH_engine.json"]["campaign.events_per_sec"]
+        assert floors["extra.key"] == 1.0
+
+    def test_floors_for_without_builtin(self):
+        floors = bench_gate.floors_for("BENCH_engine.json",
+                                       extra_floors={"speedup": 2.0},
+                                       use_builtin=False)
+        assert floors == {"speedup": 2.0}
+
+    def test_floors_for_empty_is_an_error(self):
+        with pytest.raises(FloorSpecError, match="no floors apply"):
+            bench_gate.floors_for("BENCH_unknown.json")
+        with pytest.raises(FloorSpecError):
+            bench_gate.floors_for("BENCH_engine.json", use_builtin=False)
+
+
+class TestBenchCommandEdgeCases:
+    @pytest.mark.parametrize("spec", ["bogus", "=1.5", "speedup=fast",
+                                      " =2"])
+    def test_malformed_floor_specs(self, artefact, spec, capsys):
+        assert main(["bench", "--check", artefact, "--floor", spec]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_dotted_key_missing_from_artefact(self, artefact, capsys):
+        assert main(["bench", "--check", artefact,
+                     "--floor", "campaign.missing.deeply=1"]) == 2
+        assert "no key" in capsys.readouterr().err
+
+    def test_non_numeric_gated_value(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "speedup": "fast",
+            "campaign": {"events_per_sec": 200_000}}))
+        assert main(["bench", "--check", str(path)]) == 2
+        assert "not a number" in capsys.readouterr().err
+
+    def test_no_builtin_gates_only_explicit_floors(self, tmp_path,
+                                                   capsys):
+        # an artefact that would fail the builtin table passes when
+        # only the explicit floor applies
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "speedup": 0.5,
+            "campaign": {"events_per_sec": 1}}))
+        assert main(["bench", "--check", str(path)]) == 1
+        assert main(["bench", "--check", str(path), "--no-builtin",
+                     "--floor", "speedup=0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.events_per_sec" not in out.splitlines()[-1]

@@ -1,0 +1,144 @@
+"""Campaign heartbeat telemetry: accumulation, rate limiting, the
+JSONL stream, rendering, and the pool's ``monitor`` status feed."""
+
+import io
+import json
+
+from repro.harness.heartbeat import CampaignHeartbeat
+from repro.harness.pool import PoolStatus, WorkerStatus, parallel_map
+
+
+class FakeMetrics:
+    def __init__(self, dynamic_total):
+        self.dynamic_total = dynamic_total
+
+
+class FakeResult:
+    """Just the fields ``task_done`` reads off a CampaignResult."""
+
+    def __init__(self, ok=True, instructions=1000, svd=2, frd=None,
+                 extra=()):
+        self.ok = ok
+        self.instructions = instructions
+        self.svd = FakeMetrics(svd)
+        self.frd = FakeMetrics(frd) if frd is not None else None
+        self.extra_metrics = {name: FakeMetrics(n) for name, n in extra}
+
+
+def doubler(payload):
+    return payload * 2
+
+
+class TestAccumulation:
+    def test_ok_result_counts_events_and_violations(self):
+        hb = CampaignHeartbeat(total=4, interval=0.0)
+        hb.task_done(FakeResult(instructions=500, svd=1, frd=2,
+                                extra=[("lockset", 3)]))
+        assert hb.completed == 1
+        assert hb.events == 500
+        assert hb.violations == 6  # svd 1 + frd 2 + lockset 3
+        assert hb.failures == 0
+
+    def test_failed_result_counts_failure_only(self):
+        hb = CampaignHeartbeat(total=4, interval=0.0)
+        hb.task_done(FakeResult(ok=False))
+        assert (hb.completed, hb.events, hb.failures) == (1, 0, 1)
+
+    def test_pool_update_reflected_in_record(self):
+        hb = CampaignHeartbeat(total=4, interval=0.0)
+        hb.pool_update(PoolStatus(
+            dispatched=2, completed=1, total=4, worker_crashes=1,
+            task_retries=2,
+            workers=(WorkerStatus(0, True, 3, 0.25),
+                     WorkerStatus(1, False))))
+        record = hb.records[-1]
+        assert record["worker_crashes"] == 1
+        assert record["task_retries"] == 2
+        assert record["workers"] == [
+            {"id": 0, "alive": True, "task": 3, "busy_s": 0.25},
+            {"id": 1, "alive": False, "task": None, "busy_s": 0.0}]
+
+
+class TestEmission:
+    def test_interval_rate_limits(self):
+        hb = CampaignHeartbeat(total=10, interval=3600.0)
+        first = hb.beat()
+        assert first is not None  # nothing emitted yet: always beats
+        for _ in range(5):
+            assert hb.beat() is None
+        assert hb.beat(force=True) is not None
+        assert len(hb.records) == 2
+
+    def test_jsonl_stream_and_final_record(self, tmp_path):
+        path = tmp_path / "heartbeat.jsonl"
+        hb = CampaignHeartbeat(total=2, path=str(path), interval=0.0)
+        hb.task_done(FakeResult())
+        hb.task_done(FakeResult())
+        final = hb.finish()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert [r["completed"] for r in lines] == [1, 2, 2]
+        assert lines[-1]["final"] is True
+        assert lines[-1] == final
+        assert "elapsed" in final
+        # the final record reports the cumulative rate
+        assert final["events_per_sec"] > 0
+
+    def test_summary_is_last_record(self):
+        hb = CampaignHeartbeat(total=1, interval=0.0)
+        assert hb.summary() is None
+        hb.task_done(FakeResult())
+        final = hb.finish()
+        assert hb.summary() == final
+
+    def test_stream_appends_across_instances(self, tmp_path):
+        path = tmp_path / "heartbeat.jsonl"
+        for _ in range(2):
+            hb = CampaignHeartbeat(total=1, path=str(path), interval=0.0)
+            hb.task_done(FakeResult())
+            hb.finish()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4  # two beats per campaign, appended
+
+
+class TestRendering:
+    def test_non_tty_renders_one_line_per_beat(self):
+        stream = io.StringIO()  # not a tty
+        hb = CampaignHeartbeat(total=2, interval=0.0, render=True,
+                               stream=stream)
+        hb.task_done(FakeResult(svd=4))
+        hb.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[heartbeat] 1/2 tasks")
+        assert "4 violations" in lines[0]
+        assert "1 worker(s) alive" not in lines[0]  # no pool feed yet
+
+
+class TestPoolMonitorFeed:
+    def test_serial_pool_reports_before_and_after_each_task(self):
+        seen = []
+        parallel_map(doubler, [1, 2], workers=1, monitor=seen.append)
+        assert all(isinstance(s, PoolStatus) for s in seen)
+        assert len(seen) == 4  # pre + post per task
+        assert seen[0].workers[0].task_index == 0
+        assert seen[1].workers[0].task_index is None
+        assert seen[-1].completed == 2
+
+    def test_parallel_pool_emits_final_counts(self):
+        seen = []
+        outcomes = parallel_map(doubler, [1, 2, 3], workers=2,
+                                monitor=seen.append)
+        assert [o for o in outcomes] == [("ok", 2), ("ok", 4), ("ok", 6)]
+        assert seen[-1].completed == 3
+        assert seen[-1].total == 3
+        assert seen[-1].worker_crashes == 0
+        assert all(len(s.workers) >= 1 for s in seen[1:])
+
+    def test_heartbeat_consumes_pool_feed_end_to_end(self):
+        hb = CampaignHeartbeat(total=3, interval=0.0)
+        parallel_map(doubler, [1, 2, 3], workers=2,
+                     monitor=hb.pool_update)
+        final = hb.finish()
+        assert final["workers"]  # liveness made it into the record

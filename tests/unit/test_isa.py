@@ -3,7 +3,8 @@
 import pytest
 
 from repro.isa.instructions import (
-    Alu, Branch, Halt, Imm, Jump, Load, Reg, Store, evaluate_alu,
+    INT_MAX, INT_MIN, Alu, Branch, Halt, Imm, Jump, Load, Reg, Store,
+    evaluate_alu,
 )
 from repro.isa.program import Program, SourceLoc, ThreadSpec
 
@@ -46,6 +47,41 @@ class TestEvaluateAlu:
                 q = evaluate_alu("/", a, b)
                 r = evaluate_alu("%", a, b)
                 assert q * b + r == a, (a, b)
+
+    def test_division_is_exact_beyond_float_precision(self):
+        # The mixed-sign path must not detour through float division,
+        # which silently rounds once operands outgrow 2**53.
+        exact = 2 ** 60 + 1
+        assert evaluate_alu("/", -(exact * 3), 3) == -exact
+        for a in (exact * 3 + 1, -(exact * 3 + 1), INT_MAX, INT_MIN + 1):
+            for b in (-7, 7):
+                q = evaluate_alu("/", a, b)
+                r = evaluate_alu("%", a, b)
+                assert q * b + r == a
+                assert abs(r) < abs(b)
+                assert r == 0 or (r < 0) == (a < 0)  # C-style sign
+
+    def test_int64_wraparound(self):
+        # Machine integers are 64-bit two's complement, like the C
+        # programs the paper targets: a self-multiplying loop saturates
+        # the register width instead of growing without bound.
+        assert evaluate_alu("+", INT_MAX, 1) == INT_MIN
+        assert evaluate_alu("-", INT_MIN, 1) == INT_MAX
+        assert evaluate_alu("*", 2 ** 62, 4) == 0
+        assert evaluate_alu("*", 2 ** 32 + 1, 2 ** 32) == 2 ** 32
+        assert evaluate_alu("/", INT_MIN, -1) == INT_MIN  # the one / wrap
+        value = 3
+        for _ in range(64):
+            value = evaluate_alu("*", value, value)
+            assert INT_MIN <= value <= INT_MAX
+
+    def test_in_range_results_never_wrap(self):
+        for a in (-2, 0, 3, INT_MAX // 8, INT_MIN // 8):
+            for b in (-3, 1, 5):
+                for op in ("+", "-", "*"):
+                    got = evaluate_alu(op, a, b)
+                    want = {"+": a + b, "-": a - b, "*": a * b}[op]
+                    assert got == want, (op, a, b)
 
     def test_unknown_op_rejected(self):
         with pytest.raises(ValueError):

@@ -10,7 +10,8 @@ from repro.engine import DetectorEngine
 from repro.harness.runner import run_workload
 from repro.machine.scheduler import RandomScheduler
 from repro.obs import (DEFAULT_BOUNDS, MetricsRegistry, NULL_REGISTRY,
-                       Tracer, merge_snapshots)
+                       Tracer, atomic_write_text, merge_snapshots,
+                       snapshot_percentile)
 from repro.workloads import stringbuffer
 
 
@@ -316,3 +317,144 @@ class TestRunnerIntegration:
 
     def test_default_bounds_are_sorted(self):
         assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
+
+
+class TestMergeEdgeCases:
+    def snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.add(name, value)
+        return registry.snapshot()
+
+    def test_empty_iterable_not_just_empty_list(self):
+        assert merge_snapshots(iter(())) == \
+            {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_single_snapshot_merges_to_itself(self):
+        registry = MetricsRegistry()
+        registry.add("a", 3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", bounds=(10, 100)).observe(5)
+        snapshot = registry.snapshot()
+        merged = merge_snapshots([snapshot])
+        assert merged == snapshot
+        # ... without aliasing the input's mutable histogram entry
+        merged["histograms"]["h"]["buckets"][0] = 99
+        assert snapshot["histograms"]["h"]["buckets"][0] == 1
+
+    def test_mismatched_bounds_error_names_the_histogram(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.histogram("lat", bounds=(1, 2)).observe(1)
+        second.histogram("lat", bounds=(1, 3)).observe(1)
+        with pytest.raises(ValueError, match="lat"):
+            merge_snapshots([first.snapshot(), second.snapshot()])
+
+    def test_same_name_across_metric_kinds_stays_separate(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.add("x", 5)
+        second.gauge("x").set(9)
+        second.histogram("x").observe(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["counters"]["x"] == 5
+        assert merged["gauges"]["x"] == 9
+        assert merged["histograms"]["x"]["count"] == 1
+
+    def test_missing_sections_tolerated(self):
+        # a snapshot from an older producer may omit whole sections
+        merged = merge_snapshots([{"counters": {"a": 1}}, self.snap(a=2)])
+        assert merged["counters"] == {"a": 3}
+
+
+class TestPercentiles:
+    def histogram(self, values, bounds=(10, 100, 1000)):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=bounds)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_is_zero(self):
+        assert self.histogram([]).percentile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = self.histogram([5])
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_estimates_stay_within_observed_range(self):
+        hist = self.histogram([5, 50, 500, 5000])
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert 5 <= hist.percentile(q) <= 5000
+
+    def test_p50_lands_in_the_median_bucket(self):
+        # 10 values in (10, 100], 2 above: p50 interpolates in bucket 1
+        hist = self.histogram([50] * 10 + [500] * 2)
+        p50 = hist.percentile(0.5)
+        assert 10 < p50 <= 100
+
+    def test_p95_prefers_the_tail_bucket(self):
+        hist = self.histogram([5] * 10 + [900] * 10)
+        assert hist.percentile(0.95) > 100
+
+    def test_single_bucket_degenerate_is_truthful(self):
+        # every observation is the same value: all percentiles equal it
+        hist = self.histogram([42] * 7)
+        for q in (0.1, 0.5, 0.99):
+            assert hist.percentile(q) == 42
+
+    def test_overflow_bucket_capped_at_observed_max(self):
+        hist = self.histogram([5000, 6000, 7000])  # all overflow
+        assert hist.percentile(0.99) <= 7000
+
+    def test_snapshot_percentile_matches_live(self):
+        hist = self.histogram([5, 50, 500])
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(10, 100, 1000))
+        data = {"bounds": list(hist.bounds),
+                "buckets": list(hist.buckets), "count": hist.count,
+                "sum": hist.sum, "min": hist.min, "max": hist.max}
+        assert snapshot_percentile(data, 0.5) == hist.percentile(0.5)
+
+    def test_summary_renders_percentile_columns(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for value in (5, 50, 500):
+            hist.observe(value)
+        text = obs.render_metrics_summary(registry.snapshot())
+        header = [line for line in text.splitlines()
+                  if "histogram" in line and "count" in line][0]
+        assert "p50" in header and "p95" in header
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "first\n")
+        atomic_write_text(str(path), "second\n")
+        assert path.read_text() == "second\n"
+        # no stray temp files left beside the destination
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_leaves_previous_content(self, tmp_path,
+                                             monkeypatch):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "good\n")
+        import repro.obs.io as io_mod
+        monkeypatch.setattr(io_mod.os, "replace",
+                            lambda *a: (_ for _ in ()).throw(
+                                OSError("disk full")))
+        with pytest.raises(OSError):
+            atomic_write_text(str(path), "bad\n")
+        assert path.read_text() == "good\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_metrics_out_uses_atomic_write(self, tmp_path):
+        from repro.cli import main
+        out = tmp_path / "metrics.json"
+        assert main(["run", "stringbuffer", "--max-steps", "20000",
+                     "--metrics-out", str(out)]) in (0, 1)
+        snapshot = json.loads(out.read_text())
+        assert "counters" in snapshot
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.json"]
