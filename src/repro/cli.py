@@ -283,6 +283,74 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(camp)
     _add_db_flag(camp)
 
+    serve = sub.add_parser(
+        "serve", help="long-lived supervised fleet of detector "
+        "executions (see docs/robustness.md)")
+    serve.add_argument("--workloads", default="all",
+                       help="comma-separated workload names, or 'all'")
+    serve.add_argument("--executions", type=int, default=100,
+                       help="total executions to run (default: 100)")
+    serve.add_argument("--concurrency", type=int, default=4,
+                       help="executions in flight at once (default: 4)")
+    serve.add_argument("--master-seed", type=int, default=0)
+    serve.add_argument("--switch-prob", type=float, default=0.3)
+    serve.add_argument("--max-steps", type=int, default=20_000,
+                       help="per-execution step cap (default: 20000)")
+    serve.add_argument("--detectors", default=None, metavar="NAMES",
+                       help="comma-separated registry detector names "
+                       "per execution (default: svd)")
+    serve.add_argument("--wall-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-execution wall-clock deadline enforced "
+                       "by the watchdog (default: 30)")
+    serve.add_argument("--stall-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="kill an execution making no progress for "
+                       "this long (default: 5)")
+    serve.add_argument("--max-restarts", type=int, default=2,
+                       help="crash-restart attempts per execution, with "
+                       "capped exponential backoff (default: 2)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="cross-execution failures before an analysis "
+                       "is quarantined fleet-wide (default: 3)")
+    serve.add_argument("--budget-events-per-sec", type=float,
+                       default=None, metavar="RATE",
+                       help="fleet event-rate budget driving the "
+                       "degradation ladder (full -> sampled -> paused); "
+                       "default: no budget, ladder pinned at full")
+    serve.add_argument("--ladder-dwell", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="minimum seconds between ladder transitions "
+                       "(default: 1.0)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="grace window for running executions on "
+                       "SIGTERM/SIGINT before kill flags (default: 5)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live JSON status on 127.0.0.1:PORT "
+                       "(0 = ephemeral; default: no endpoint)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound HTTP port to PATH "
+                       "(for scripts using --http-port 0)")
+    serve.add_argument("--inject", default=None, metavar="PLAN",
+                       help="fault-plan JSON file; exec.stall / "
+                       "exec.crash / serve.slow_consumer sites address "
+                       "executions by index (attempt 0 only, so "
+                       "restart recovers)")
+    serve.add_argument("--heartbeat-out", default=None, metavar="PATH",
+                       help="append the heartbeat telemetry stream as "
+                       "JSONL to PATH")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       metavar="SECONDS")
+    serve.add_argument("--progress", action="store_true",
+                       help="render a live heartbeat status line")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the final summary lines")
+    _add_consistency_flags(serve)
+    _add_obs_flags(serve)
+    _add_db_flag(serve)
+
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing of the SVD detector family")
     fuzz.add_argument("--budget", type=float, default=30.0,
@@ -891,6 +959,22 @@ def _cmd_campaign(args) -> int:
               f"seed#{result.seed_index} -> {note}", file=sys.stderr)
 
     from repro.harness.journal import JournalError
+    # graceful interruption: SIGTERM joins SIGINT in raising
+    # KeyboardInterrupt, which run_campaign absorbs into a partial
+    # report -- the journal keeps every finished task, the heartbeat
+    # gets its final (interrupted) record, and the exit code says
+    # degraded (3)
+    import signal as _signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt(_signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[signum] = _signal.signal(signum, _interrupt)
+        except (ValueError, OSError):
+            pass  # not the main thread; keep whatever is installed
     try:
         if spec.obs:
             with obs.session() as handle:
@@ -910,6 +994,9 @@ def _cmd_campaign(args) -> int:
     except JournalError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
+    finally:
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
     print(report.render_metrics())
     if args.table2:
         print()
@@ -938,6 +1025,12 @@ def _cmd_campaign(args) -> int:
     violations = any(r.ok and r.svd.dynamic_total > 0
                      for r in report.results)
     code = _exit_code(violations, bool(failed))
+    if report.interrupted:
+        code = EXIT_DEGRADED
+        print(f"campaign interrupted after {len(report.results)} of "
+              f"{total} runs; journal and heartbeat are flushed"
+              + (", resume with --resume" if journal_dir else ""),
+              file=sys.stderr)
     if args.db:
         from repro import resultsdb
         config = {
@@ -954,7 +1047,8 @@ def _cmd_campaign(args) -> int:
         summary = heartbeat.summary() if heartbeat is not None else None
         run_id = resultsdb.write_run(
             args.db, "campaign", "campaign", config,
-            status=_status_of(code),
+            status=("interrupted" if report.interrupted
+                    else _status_of(code)),
             violations=sum(r.svd.dynamic_total
                            for r in report.results if r.ok),
             events=sum(r.instructions for r in report.results if r.ok),
@@ -969,6 +1063,120 @@ def _cmd_campaign(args) -> int:
             obs=final_snapshot,
             heartbeat=summary)
         print(f"recorded campaign {run_id} in {args.db}", file=sys.stderr)
+    return code
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: the long-lived supervised detector fleet."""
+    import repro.faults.runtime as fault_runtime
+    from repro.harness.heartbeat import ServeHeartbeat
+    from repro.serve import ServeConfig, Supervisor
+
+    if args.workloads == "all":
+        names = sorted(WORKLOADS)
+    else:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+    detectors = ("svd",)
+    if args.detectors:
+        try:
+            detectors = tuple(parse_detector_list(args.detectors))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_USAGE
+    plan = None
+    if args.inject:
+        from repro.faults import FaultPlan
+        try:
+            plan = FaultPlan.load(args.inject)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(plan.describe(), file=sys.stderr)
+
+    heartbeat = None
+    if args.progress or args.heartbeat_out or args.db:
+        heartbeat = ServeHeartbeat(
+            args.executions, path=args.heartbeat_out,
+            interval=args.heartbeat_interval,
+            render=args.progress, stream=sys.stderr)
+    try:
+        config = ServeConfig(
+            workloads=names, executions=args.executions,
+            concurrency=args.concurrency, max_steps=args.max_steps,
+            detectors=detectors, switch_prob=args.switch_prob,
+            master_seed=args.master_seed, consistency=args.consistency,
+            wall_deadline=args.wall_deadline,
+            stall_timeout=args.stall_timeout,
+            max_restarts=args.max_restarts,
+            breaker_threshold=args.breaker_threshold,
+            budget_events_per_sec=args.budget_events_per_sec,
+            ladder_dwell=args.ladder_dwell,
+            drain_grace=args.drain_grace,
+            http_port=args.http_port, port_file=args.port_file,
+            heartbeat=heartbeat)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.port_file and args.http_port is None:
+        print("--port-file needs --http-port", file=sys.stderr)
+        return EXIT_USAGE
+    supervisor = Supervisor(config)
+
+    obs_on = _obs_active(args) or bool(args.db)
+    snapshot = None
+    with fault_runtime.install(plan):
+        if obs_on:
+            with obs.session() as handle:
+                outcome = supervisor.run()
+            snapshot = handle.registry.snapshot()
+            if _obs_active(args):
+                _obs_emit(args, snapshot, handle.tracer)
+        else:
+            outcome = supervisor.run()
+
+    totals = supervisor.totals
+    if not args.quiet:
+        print(f"serve: {outcome}: {totals.completed} completed, "
+              f"{totals.failed} failed of {totals.launched} launched "
+              f"({config.executions} planned), {totals.restarts} "
+              f"restart(s), {totals.watchdog_kills} watchdog kill(s), "
+              f"{totals.violations} violation report(s), "
+              f"ladder level {supervisor.ladder.level}",
+              file=sys.stderr)
+    code = {"ok": EXIT_OK, "violations": EXIT_VIOLATIONS,
+            "degraded": EXIT_DEGRADED,
+            "interrupted": EXIT_DEGRADED}[outcome]
+    if args.db:
+        from repro import resultsdb
+        config_doc = {
+            "command": "serve",
+            "workloads": sorted(names),
+            "executions": args.executions,
+            "concurrency": args.concurrency,
+            "max_steps": args.max_steps,
+            "detectors": list(detectors),
+            "consistency": args.consistency,
+            "budget_events_per_sec": args.budget_events_per_sec,
+            "inject": bool(args.inject),
+        }
+        run_id = resultsdb.write_run(
+            args.db, "serve", "serve", config_doc,
+            status=outcome,
+            violations=totals.violations,
+            events=totals.events,
+            elapsed=supervisor.elapsed,
+            master_seed=args.master_seed,
+            detectors=detectors,
+            consistency=args.consistency,
+            payload=supervisor.final_payload(),
+            obs=snapshot,
+            heartbeat=(heartbeat.summary() if heartbeat is not None
+                       else None))
+        print(f"recorded serve {run_id} in {args.db}", file=sys.stderr)
     return code
 
 
@@ -1249,6 +1457,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "overhead": _cmd_overhead,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
     "db": _cmd_db,

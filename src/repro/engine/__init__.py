@@ -13,7 +13,8 @@ dispatch.
 from repro.engine.analysis import (Analysis, ObserverAnalysis,
                                    TraceAnalysis)
 from repro.engine.engine import (DetectorEngine, EngineError,
-                                 EngineResult, EngineStats, PhaseStats)
+                                 EngineResult, EngineStats, MachineDrive,
+                                 PhaseStats)
 from repro.engine.index import SharedAddressIndex
 from repro.engine.registry import (available, canonical_name, create,
                                    describe, parse_detector_list,
@@ -25,6 +26,7 @@ __all__ = [
     "EngineError",
     "EngineResult",
     "EngineStats",
+    "MachineDrive",
     "ObserverAnalysis",
     "PhaseStats",
     "SharedAddressIndex",

@@ -492,6 +492,18 @@ class DetectorEngine:
                             n_threads)
         return self._result(stats, end_seq, trace, status)
 
+    def drive_machine(self, machine, max_steps: Optional[int] = None,
+                      keep_trace: bool = False) -> "MachineDrive":
+        """The incremental form of :meth:`run_machine`: attach phase 0
+        and return a :class:`MachineDrive` the caller steps in chunks.
+
+        Cooperative long-lived hosts (:mod:`repro.serve`) use this to
+        interleave many executions in one event loop and to kill a
+        stuck one between chunks; ``drive.finish()`` produces the same
+        :class:`EngineResult` ``run_machine`` would have."""
+        return MachineDrive(self, machine, max_steps=max_steps,
+                            keep_trace=keep_trace)
+
     def run_trace(self, trace: Trace) -> EngineResult:
         """Replay a recorded trace as the shared event stream."""
         phases = self._begin()
@@ -653,3 +665,104 @@ class DetectorEngine:
             trace=trace,
             status=status,
             failures=dict(self._failures))
+
+
+class MachineDrive:
+    """One engine execution advanced in caller-controlled chunks.
+
+    Built by :meth:`DetectorEngine.drive_machine`; the constructor does
+    everything ``run_machine`` does up to the run loop (phase-0 start,
+    recorder, dispatcher attach), :meth:`advance` retires up to
+    ``chunk`` machine steps, and :meth:`finish` finalizes phases and
+    produces the :class:`EngineResult`.  :meth:`abort` finalizes a
+    half-run execution truthfully (status ``"aborted:<reason>"``,
+    later phases skipped) -- what a watchdog kill reports instead of
+    pretending the run completed.
+
+    The equivalence contract: ``advance`` until it returns False, then
+    ``finish()``, is observationally identical to one
+    ``run_machine(machine, max_steps=...)`` call -- same reports, same
+    stats, same status (the unit suite asserts this differentially).
+    """
+
+    def __init__(self, engine: DetectorEngine, machine,
+                 max_steps: Optional[int] = None,
+                 keep_trace: bool = False) -> None:
+        self._engine = engine
+        self.machine = machine
+        self._max_steps = max_steps
+        self._phases = engine._begin()
+        self._stats = EngineStats()
+        self._n_threads = len(machine.threads)
+        needs_trace = (keep_trace or len(self._phases) > 1
+                       or any(a.wants_trace
+                              for a in engine._analyses.values()))
+        self._recorder = None
+        if needs_trace:
+            self._recorder = TraceRecorder(engine.program, self._n_threads)
+            machine.add_observer(self._recorder)
+        self._started = engine._start_phase(self._phases[0], 0,
+                                            self._n_threads)
+        self._dispatcher = _make_dispatcher(self._started, 0,
+                                            engine._batched, engine.program)
+        machine.add_observer(self._dispatcher)
+        self._done = False
+
+    @property
+    def steps(self) -> int:
+        return self.machine.steps
+
+    @property
+    def events(self) -> int:
+        return self.machine.seq
+
+    def advance(self, chunk: int = 1024) -> bool:
+        """Retire up to ``chunk`` steps; returns True while the machine
+        still has work (False once stopped or at the step limit)."""
+        machine = self.machine
+        step = machine.step
+        limit = self._max_steps
+        if limit is None:
+            for _ in range(chunk):
+                if not step():
+                    return False
+            return True
+        remaining = limit - machine.steps
+        if remaining <= 0:
+            return False
+        for _ in range(min(chunk, remaining)):
+            if not step():
+                return False
+        return machine.steps < limit
+
+    def _finalize(self, status: str, run_later_phases: bool) -> EngineResult:
+        if self._done:
+            raise EngineError("a MachineDrive finalizes once")
+        self._done = True
+        engine = self._engine
+        machine = self.machine
+        end_seq = machine.seq
+        trace = self._recorder.trace() if self._recorder is not None else None
+        engine._finish_phase(self._started, self._dispatcher, self._stats,
+                             0, end_seq, trace)
+        if run_later_phases:
+            for index, analyses in enumerate(self._phases[1:], start=1):
+                assert trace is not None
+                engine._run_phase(analyses, trace, self._stats, index,
+                                  end_seq, self._n_threads)
+        return engine._result(self._stats, end_seq, trace, status)
+
+    def finish(self) -> EngineResult:
+        """Finalize a run :meth:`advance` drove to completion.  A
+        machine still runnable here hit the step limit; ``machine.run``
+        stamps ``step_limit`` and fires the finish notifications, the
+        same finalization an uninterrupted ``run_machine`` performs."""
+        status = self.machine.run(max_steps=self._max_steps)
+        return self._finalize(status, run_later_phases=True)
+
+    def abort(self, reason: str = "killed") -> EngineResult:
+        """Finalize a half-run execution: flush staged events, finish
+        phase-0 analyses over what they actually saw, skip later
+        phases, and report status ``aborted:<reason>``."""
+        self.machine.flush_events()
+        return self._finalize(f"aborted:{reason}", run_later_phases=False)

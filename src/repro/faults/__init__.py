@@ -14,14 +14,15 @@ Usage::
         ...  # engines/pools/machines constructed here honour the plan
 """
 
-from repro.faults.plan import (ALL_SITES, Fault, FaultPlan, InjectedFault)
+from repro.faults.plan import (ALL_SITES, SERVE_SITES, Fault, FaultPlan,
+                               InjectedFault)
 from repro.faults.runtime import active, enabled, install
 from repro.faults.inject import (CRASH_EXIT_CODE, RaisingCallback,
                                  StreamInjector, apply_to_trace,
                                  apply_worker_fault, corrupt_trace_file)
 
 __all__ = [
-    "ALL_SITES", "Fault", "FaultPlan", "InjectedFault",
+    "ALL_SITES", "SERVE_SITES", "Fault", "FaultPlan", "InjectedFault",
     "active", "enabled", "install",
     "CRASH_EXIT_CODE", "RaisingCallback", "StreamInjector",
     "apply_to_trace", "apply_worker_fault", "corrupt_trace_file",

@@ -30,6 +30,13 @@ Sites (``Fault.site``):
     Force ``count`` rollbacks in a :class:`repro.ber.BerController`
     once execution reaches step ``at`` -- a rollback storm that burns
     through the per-region budget.
+``exec.stall`` / ``exec.crash`` / ``serve.slow_consumer``
+    Applied inside the :mod:`repro.serve` supervisor to execution index
+    ``at``, on its *first* attempt only (mirroring the worker sites, so
+    a restart demonstrably recovers): stall the execution until the
+    watchdog kills it, crash it before it steps, or slow its event
+    consumption (``count`` x 10ms per chunk) so the budget ladder
+    engages.
 
 The ``seed`` feeds the deterministic corruption generator only; plan
 positions are always explicit.
@@ -49,9 +56,10 @@ TRACE_SITES = ("trace.corrupt", "trace.truncate")
 ANALYSIS_SITES = ("analysis.raise",)
 WORKER_SITES = ("worker.crash", "worker.hang", "worker.slow")
 BER_SITES = ("ber.storm",)
+SERVE_SITES = ("exec.stall", "exec.crash", "serve.slow_consumer")
 
 ALL_SITES = frozenset(STREAM_SITES + TRACE_SITES + ANALYSIS_SITES
-                      + WORKER_SITES + BER_SITES)
+                      + WORKER_SITES + BER_SITES + SERVE_SITES)
 
 
 class InjectedFault(RuntimeError):
@@ -124,6 +132,15 @@ class FaultPlan:
     def worker_fault_map(self) -> Dict[int, Fault]:
         """Task index -> fault, the picklable form shipped to workers."""
         return {f.at: f for f in self.worker_faults()}
+
+    def serve_faults(self) -> List[Fault]:
+        return self._by_family(SERVE_SITES)
+
+    def serve_fault_map(self) -> Dict[int, Fault]:
+        """Execution index -> fault, the form the serve supervisor
+        consults before each execution's first attempt (the same shape
+        as :meth:`worker_fault_map`)."""
+        return {f.at: f for f in self.serve_faults()}
 
     def ber_storm_steps(self) -> List[int]:
         """One forced-rollback entry per storm repetition, sorted by the

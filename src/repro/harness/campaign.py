@@ -325,6 +325,9 @@ class CampaignReport:
     spec: CampaignSpec
     results: List[CampaignResult]
     elapsed: float = 0.0
+    #: the campaign was cut short by SIGINT/SIGTERM; ``results`` holds
+    #: whatever completed (and was journaled) before the interruption
+    interrupted: bool = False
 
     @property
     def errors(self) -> List[CampaignResult]:
@@ -464,14 +467,23 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
             on_result(result)
 
     monitor = heartbeat.pool_update if heartbeat is not None else None
+    interrupted = False
     try:
         parallel_map(execute_task, pending, workers=workers,
                      timeout=spec.task_timeout, budget=budget,
                      on_outcome=on_outcome, retries=spec.task_retries,
                      retry_backoff=spec.retry_backoff, monitor=monitor)
+    except KeyboardInterrupt:
+        # graceful interruption: every finished task was already
+        # journaled and fed to the heartbeat by on_outcome, so the
+        # partial report (flagged below) is the truthful state
+        interrupted = True
+        obs.add("campaign.interrupted")
     finally:
         if heartbeat is not None:
+            heartbeat.interrupted = interrupted
             heartbeat.finish()
     results.sort(key=lambda r: r.index)
     return CampaignReport(spec=spec, results=results,
-                          elapsed=time.perf_counter() - started)
+                          elapsed=time.perf_counter() - started,
+                          interrupted=interrupted)

@@ -29,7 +29,8 @@ import json
 import sys
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, TextIO, Tuple
+from typing import (Any, Deque, Dict, List, Optional, Sequence, TextIO,
+                    Tuple)
 
 from repro.harness.pool import PoolStatus
 
@@ -64,6 +65,9 @@ class CampaignHeartbeat:
         self.events = 0
         self.violations = 0
         self.failures = 0
+        #: set by the owner when the run was cut short by a signal; the
+        #: final record then says so instead of looking merely slow
+        self.interrupted = False
         self._pool: Optional[PoolStatus] = None
         self._started = time.perf_counter()
         self._last_emit: Optional[float] = None
@@ -135,6 +139,8 @@ class CampaignHeartbeat:
         if final:
             record["final"] = True
             record["elapsed"] = round(now - self._started, 3)
+            if self.interrupted:
+                record["interrupted"] = True
         return record
 
     def beat(self, force: bool = False) -> Optional[Dict[str, Any]]:
@@ -188,3 +194,54 @@ class CampaignHeartbeat:
     def summary(self) -> Optional[Dict[str, Any]]:
         """The last emitted record (the final one after :meth:`finish`)."""
         return self.records[-1] if self.records else None
+
+
+class ServeHeartbeat(CampaignHeartbeat):
+    """The serve supervisor's telemetry stream.
+
+    Same record shape, JSONL contract and rate limiting as the campaign
+    heartbeat (one consumer-side toolchain for both), plus the fleet
+    fields: active executions, degradation-ladder level, restarts,
+    watchdog kills, and open circuit breakers.  The supervisor refreshes
+    the fleet fields via :meth:`set_state` and reports each finished
+    execution via :meth:`exec_done`."""
+
+    def __init__(self, total: int, path: Optional[str] = None,
+                 interval: float = DEFAULT_INTERVAL,
+                 render: bool = False,
+                 stream: Optional[TextIO] = None) -> None:
+        super().__init__(total, path=path, interval=interval,
+                         render=render, stream=stream)
+        self.active = 0
+        self.level = "full"
+        self.restarts = 0
+        self.watchdog_kills = 0
+        self.breaker_open: List[str] = []
+
+    def set_state(self, *, active: int, level: str, restarts: int,
+                  watchdog_kills: int,
+                  breaker_open: Sequence[str]) -> None:
+        self.active = active
+        self.level = level
+        self.restarts = restarts
+        self.watchdog_kills = watchdog_kills
+        self.breaker_open = list(breaker_open)
+
+    def exec_done(self, ok: bool, events: int, violations: int) -> None:
+        """Fold one finished execution into the totals."""
+        self.completed += 1
+        if ok:
+            self.events += events
+            self.violations += violations
+        else:
+            self.failures += 1
+        self.beat()
+
+    def _record(self, now: float, final: bool) -> Dict[str, Any]:
+        record = super()._record(now, final)
+        record["active"] = self.active
+        record["level"] = self.level
+        record["restarts"] = self.restarts
+        record["watchdog_kills"] = self.watchdog_kills
+        record["breaker_open"] = list(self.breaker_open)
+        return record

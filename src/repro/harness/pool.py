@@ -202,6 +202,10 @@ def parallel_map(runner: Callable[[Any], Any], payloads: Sequence[Any],
                         time.sleep(retry_backoff * attempt)
                 try:
                     result = runner(payload)
+                except (KeyboardInterrupt, SystemExit):
+                    # interruption is the caller's to handle (graceful
+                    # drain), never a recordable task failure
+                    raise
                 except BaseException:
                     if attempt >= retries:
                         record(index, ("error", traceback.format_exc()))

@@ -45,7 +45,7 @@ SCHEMA_VERSION = 1
 
 #: run kinds accepted by :func:`write_run`; one vocabulary for every
 #: producer so queries never guess at spellings
-RUN_KINDS = ("run", "campaign", "fuzz", "bench")
+RUN_KINDS = ("run", "campaign", "fuzz", "bench", "serve")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (

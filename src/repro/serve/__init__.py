@@ -1,0 +1,37 @@
+"""Always-on serve mode: a supervised fleet of detector executions.
+
+* :mod:`repro.serve.supervisor` -- :class:`Supervisor` +
+  :class:`ServeConfig`, the asyncio main loop (concurrent chunked
+  executions, watchdog deadlines, crash-restart with backoff, drain
+  shutdown)
+* :mod:`repro.serve.ladder` -- the budget-driven
+  :class:`DegradationLadder` (full -> sampled -> paused) and the
+  fleet-wide :class:`AnalysisBreaker`
+* :mod:`repro.serve.state`  -- per-execution records and fleet totals
+* :mod:`repro.serve.httpd`  -- :class:`StatusServer`, the JSON/HTTP
+  live status endpoint
+
+The serve contract, in one line: the supervisor degrades, recovers and
+reports truthfully -- it does not die.  See ``docs/robustness.md``.
+"""
+
+from repro.serve.httpd import StatusServer
+from repro.serve.ladder import LEVELS, AnalysisBreaker, DegradationLadder
+from repro.serve.state import (EXEC_STATES, ExecInfo, ServeTotals,
+                               ViolationFeed, ViolationRecord)
+from repro.serve.supervisor import OUTCOMES, ServeConfig, Supervisor
+
+__all__ = [
+    "AnalysisBreaker",
+    "DegradationLadder",
+    "EXEC_STATES",
+    "ExecInfo",
+    "LEVELS",
+    "OUTCOMES",
+    "ServeConfig",
+    "ServeTotals",
+    "StatusServer",
+    "Supervisor",
+    "ViolationFeed",
+    "ViolationRecord",
+]

@@ -1,0 +1,91 @@
+"""The serve status endpoint: JSON over HTTP, stdlib only.
+
+A :class:`StatusServer` runs a ``ThreadingHTTPServer`` on a daemon
+thread next to the supervisor's event loop.  Handlers never touch
+supervisor internals directly: they call the snapshot functions the
+supervisor registered, which build plain dicts under the GIL -- the
+endpoint can therefore never block or corrupt the fleet, only observe
+it.
+
+Routes::
+
+    /healthz     -> {"ok": true}          liveness probe
+    /status      -> fleet snapshot        executions, ladder, breaker
+    /metrics     -> obs snapshot          the active metrics registry
+    /violations  -> rolling feed          newest-first detections
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+SnapshotFn = Callable[[], Dict[str, Any]]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "StatusServer"  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        routes = self.server.routes  # type: ignore[attr-defined]
+        fn = routes.get(path)
+        if fn is None:
+            self._reply(404, {"error": f"no route {path!r}",
+                              "routes": sorted(routes)})
+            return
+        try:
+            body = fn()
+        except Exception as exc:  # the endpoint must outlive bad snapshots
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._reply(200, body)
+
+    def _reply(self, code: int, body: Dict[str, Any]) -> None:
+        data = (json.dumps(body, sort_keys=True, indent=2) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # a slow/vanished consumer must not hurt the server
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the supervisor's own telemetry is the log
+
+
+class StatusServer(ThreadingHTTPServer):
+    """The live status endpoint; ``port=0`` binds an ephemeral port
+    (read it back from :attr:`port`)."""
+
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _Handler)
+        self.routes: Dict[str, SnapshotFn] = {
+            "/healthz": lambda: {"ok": True},
+        }
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def route(self, path: str, fn: SnapshotFn) -> None:
+        self.routes[path] = fn
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="serve-httpd", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()

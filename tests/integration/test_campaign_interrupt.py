@@ -1,0 +1,133 @@
+"""Graceful campaign interruption: SIGTERM (and SIGINT) mid-campaign
+must flush the journal, emit a final (interrupted) heartbeat record,
+write an ``interrupted`` results-DB row, and exit 3 -- then ``--resume``
+must complete the matrix as if nothing happened.
+
+Complements ``test_campaign_kill_resume.py``, which covers the brutal
+SIGKILL path (no chance to flush); this file covers the cooperative
+path the ``repro serve``/``repro campaign`` shutdown contract promises.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+ARGS = ["campaign", "--workloads", "apache,pgsql", "--seeds", "20",
+        "-j", "1", "--max-steps", "200000", "--quiet"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _wait_for_journal_records(path, minimum, proc, deadline=120):
+    """Block until the journal holds ``minimum`` records (header +
+    outcomes) or the process exits on its own."""
+    end = time.time() + deadline
+    while time.time() < end and proc.poll() is None:
+        try:
+            with open(path, "rb") as fh:
+                if len(fh.read().splitlines()) >= minimum + 1:
+                    return True
+        except OSError:
+            pass
+        time.sleep(0.02)
+    return False
+
+
+class TestCampaignSigterm:
+    def test_sigterm_flushes_everything_and_resume_completes(
+            self, tmp_path):
+        jdir = str(tmp_path / "journal")
+        db = str(tmp_path / "campaign.db")
+        hb_path = str(tmp_path / "hb.jsonl")
+        extra = ["--journal", jdir, "--db", db,
+                 "--heartbeat-out", hb_path]
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + ARGS + extra,
+            env=_env(), cwd=REPO, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        journal = os.path.join(jdir, "journal.jsonl")
+        got_some = _wait_for_journal_records(journal, 2, victim)
+        victim.send_signal(signal.SIGTERM)
+        stderr = victim.communicate(timeout=120)[1]
+        if victim.returncode == 1:
+            # the campaign finished before the signal landed (slow CI
+            # box won the race); the interruption path was not
+            # exercised, which the resume below still verifies
+            pass
+        else:
+            assert victim.returncode == 3, stderr
+            assert got_some
+            assert "campaign interrupted" in stderr
+
+            # journal: every completed task checkpointed, file intact
+            with open(journal) as fh:
+                lines = fh.read().splitlines()
+            assert len(lines) >= 3  # header + >= 2 results
+            for line in lines:
+                json.loads(line)  # no torn writes
+
+            # heartbeat: final record flagged interrupted
+            records = [json.loads(line)
+                       for line in open(hb_path).read().splitlines()]
+            final = records[-1]
+            assert final["final"] is True
+            assert final["interrupted"] is True
+            assert final["completed"] < final["total"] == 40
+
+            # results DB: a truthful partial row
+            sys.path.insert(0, str(REPO / "src"))
+            from repro import resultsdb
+            with resultsdb.open_db(db) as handle:
+                record = handle.latest()
+            assert record.kind == "campaign"
+            assert record.status == "interrupted"
+            assert record.payload["runs"] < 40
+
+        # resume completes the matrix (same spec => same fingerprint)
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro"] + ARGS
+            + ["--resume", jdir, "--db", db],
+            env=_env(), cwd=REPO, capture_output=True, text=True,
+            timeout=600)
+        assert resumed.returncode == 1, resumed.stderr  # buggy workloads
+        assert "40 runs (40 ok" in resumed.stderr
+
+
+class TestCampaignSigintSerial:
+    def test_sigint_in_serial_mode_interrupts_instead_of_recording_errors(
+            self, tmp_path):
+        """workers=1 runs tasks in-process; KeyboardInterrupt must
+        propagate out of the pool as an interruption, not be swallowed
+        into per-task error results."""
+        hb_path = str(tmp_path / "hb.jsonl")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + ARGS
+            + ["--heartbeat-out", hb_path],
+            env=_env(), cwd=REPO, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        # wait for the first heartbeat record, then interrupt
+        deadline = time.time() + 120
+        while time.time() < deadline and victim.poll() is None:
+            if os.path.exists(hb_path):
+                break
+            time.sleep(0.02)
+        victim.send_signal(signal.SIGINT)
+        stderr = victim.communicate(timeout=120)[1]
+        if victim.returncode == 1:
+            return  # finished before the signal; nothing to assert
+        assert victim.returncode == 3, stderr
+        records = [json.loads(line)
+                   for line in open(hb_path).read().splitlines()]
+        assert records[-1]["interrupted"] is True
+        # no task may be reported as failed by the interruption itself
+        assert records[-1]["failures"] == 0

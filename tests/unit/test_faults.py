@@ -269,6 +269,61 @@ class TestWorkerFaults:
             outcomes = parallel_map(fault_double, [1, 2], workers=1)
         assert [s for s, _ in outcomes] == ["ok", "ok"]
 
+    def test_hang_fault_without_retry_is_a_timeout_outcome(self):
+        # the hang fires on attempt 0 only; with no retries the task
+        # must surface as `timeout` (never `error`, never a stuck pool)
+        plan = FaultPlan([Fault("worker.hang", at=0)])
+        with faults.install(plan):
+            outcomes = parallel_map(fault_double, [5, 6], workers=2,
+                                    timeout=1.0)
+        assert outcomes[0][0] == "timeout"
+        assert "exceeded" in outcomes[0][1]
+        assert outcomes[1] == ("ok", 12)
+
+    def test_hang_fault_recovers_on_retry_within_deadline(self):
+        # attempt 0 hangs, the watchdog timeout reclaims the worker,
+        # and the retry (fault-free by the attempt-0 contract) finishes
+        # well inside one extra per-task deadline
+        import time as _time
+        plan = FaultPlan([Fault("worker.hang", at=0)])
+        started = _time.perf_counter()
+        with obs.session(tracing=False) as handle:
+            with faults.install(plan):
+                outcomes = parallel_map(fault_double, [5, 6], workers=2,
+                                        timeout=1.0, retries=1)
+        elapsed = _time.perf_counter() - started
+        assert outcomes == [("ok", 10), ("ok", 12)]
+        counters = handle.registry.snapshot()["counters"]
+        assert counters["pool.task_retried"] == 1
+        assert elapsed < 30.0  # one timeout + one clean attempt, slack
+
+
+class TestServeFaultSites:
+    """The serve-level fault family: execution-indexed, worker-shaped."""
+
+    def test_serve_sites_round_trip_and_map(self, tmp_path):
+        from repro.faults import SERVE_SITES
+        plan = FaultPlan([Fault("exec.stall", at=4),
+                          Fault("exec.crash", at=7),
+                          Fault("serve.slow_consumer", at=9, count=3),
+                          Fault("worker.crash", at=1)])
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert [f.site for f in loaded.serve_faults()] == [
+            "exec.stall", "exec.crash", "serve.slow_consumer"]
+        assert sorted(loaded.serve_fault_map()) == [4, 7, 9]
+        assert loaded.serve_fault_map()[9].count == 3
+        # families stay disjoint: serve sites never leak into the
+        # worker map and vice versa
+        assert sorted(loaded.worker_fault_map()) == [1]
+        assert set(SERVE_SITES) == {"exec.stall", "exec.crash",
+                                    "serve.slow_consumer"}
+
+    def test_unknown_serve_site_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("exec.explode", at=0)
+
 
 _FLAKY_STATE = {"failures_left": 0}
 
