@@ -170,10 +170,9 @@ def test_single_pass_beats_refeed(recorded, emit_result):
         "speedup": round(speedup, 3),
         "speedup_floor": SPEEDUP_FLOOR,
     }
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, "BENCH_engine.json"), "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    from repro.harness import bench_gate
+    record = bench_gate.write_artefact(
+        os.path.join(OUT_DIR, "BENCH_engine.json"), record)
 
     emit_result("engine_throughput", json.dumps(record, indent=2))
     # the pinned claim: batched single-pass dispatch beats per-event

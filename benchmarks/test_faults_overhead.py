@@ -146,10 +146,9 @@ def test_disabled_faults_are_free(recorded, emit_result):
             round(best["disabled"] / best["baseline"] - 1.0, 4),
     }
 
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, "BENCH_faults.json"), "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    from repro.harness import bench_gate
+    record = bench_gate.write_artefact(
+        os.path.join(OUT_DIR, "BENCH_faults.json"), record)
     emit_result("faults_overhead", json.dumps(record, indent=2))
 
     # the tight bound, at machine precision: no plan armed -> the exact

@@ -121,10 +121,9 @@ def test_interp_throughput(emit_result):
         ratio = best[f"legacy/{config}"] / best[f"predecoded/{config}"]
         record["speedup"][config] = round(ratio, 3)
 
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, "BENCH_interp.json"), "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    from repro.harness import bench_gate
+    record = bench_gate.write_artefact(
+        os.path.join(OUT_DIR, "BENCH_interp.json"), record)
     emit_result("interp_throughput", json.dumps(record, indent=2))
 
     assert record["speedup"]["0-observers"] >= MIN_SPEEDUP_BARE, record

@@ -110,10 +110,9 @@ def test_disabled_obs_is_free(recorded, emit_result):
         # second, so divide by its pass count to compare with `modes`
         record["engine_bench_single_pass"] = reference["single_pass"]
 
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, "BENCH_obs.json"), "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    from repro.harness import bench_gate
+    record = bench_gate.write_artefact(
+        os.path.join(OUT_DIR, "BENCH_obs.json"), record)
     emit_result("obs_overhead", json.dumps(record, indent=2))
 
     assert disabled_overhead < MAX_DISABLED_OVERHEAD, record

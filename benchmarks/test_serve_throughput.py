@@ -76,10 +76,9 @@ def test_serve_sustained_executions_per_sec(emit_result):
         "violations": totals.violations,
         "executions_per_sec_floor": FLOOR,
     }
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, "BENCH_serve.json"), "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    from repro.harness import bench_gate
+    record = bench_gate.write_artefact(
+        os.path.join(OUT_DIR, "BENCH_serve.json"), record)
 
     emit_result("serve_throughput", json.dumps(record, indent=2))
     # the pinned claim: supervision overhead stays cheap (also enforced

@@ -9,6 +9,8 @@ Commands:
 * ``table2``   -- regenerate the paper's Table 2
 * ``overhead`` -- measure the §7.3 detection overheads
 * ``campaign`` -- parallel (workload, seed, detector-config) sweep
+* ``shard``    -- plan/run/merge a campaign split across independent
+               shard processes (see ``docs/scaling.md``)
 * ``fuzz``     -- differential fuzzing of the SVD detector family
 * ``bench``    -- gate benchmark artefacts against pinned perf floors
                (and, with ``--gate``, against their recorded trend)
@@ -27,7 +29,7 @@ import argparse
 import json
 import sys
 import time as _time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.core import OnlineSVD
@@ -96,6 +98,38 @@ def _add_db_flag(parser: argparse.ArgumentParser) -> None:
                         help="append this run to the persistent results "
                         "database at PATH (SQLite; created if missing -- "
                         "see docs/observability.md)")
+
+
+def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
+    """The campaign matrix + execution-policy flags, shared by
+    ``repro campaign`` and ``repro shard plan`` so both expand the
+    exact same task matrix for the same flags."""
+    parser.add_argument("--workloads", default="all",
+                        help="comma-separated workload names, or 'all'")
+    parser.add_argument("--configs", default="default",
+                        help="comma-separated detector configs "
+                        "(default, block4, all-blocks, no-addr-deps, "
+                        "no-ctrl-deps, cut-at-wait)")
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="seeded segments per (workload, config) cell")
+    parser.add_argument("--master-seed", type=int, default=0)
+    parser.add_argument("--switch-prob", type=float, default=0.3)
+    parser.add_argument("--max-steps", type=int, default=400_000)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock limit in seconds "
+                        "(parallel mode); a hung run becomes one "
+                        "timeout result")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-dispatch a crashed/timed-out run up to N "
+                        "times before recording the failure")
+    parser.add_argument("--retry-backoff", type=float, default=0.0,
+                        help="seconds before retry k runs (scaled by k)")
+    parser.add_argument("--no-frd", action="store_true",
+                        help="skip the FRD comparison pass")
+    parser.add_argument("--detectors", default=None, metavar="NAMES",
+                        help="extra registry detector names attached to "
+                        "every run alongside SVD(+FRD)")
+    _add_consistency_flags(parser)
 
 
 #: default results-database path for ``repro db`` queries
@@ -224,23 +258,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     camp = sub.add_parser(
         "campaign", help="parallel (workload, seed, config) sweep")
-    camp.add_argument("--workloads", default="all",
-                      help="comma-separated workload names, or 'all'")
-    camp.add_argument("--configs", default="default",
-                      help="comma-separated detector configs "
-                      "(default, block4, all-blocks, no-addr-deps, "
-                      "no-ctrl-deps, cut-at-wait)")
-    camp.add_argument("--seeds", type=int, default=8,
-                      help="seeded segments per (workload, config) cell")
+    _add_matrix_flags(camp)
     camp.add_argument("-j", "--workers", type=int, default=1,
                       help="worker processes (1 = serial in-process)")
-    camp.add_argument("--master-seed", type=int, default=0)
-    camp.add_argument("--switch-prob", type=float, default=0.3)
-    camp.add_argument("--max-steps", type=int, default=400_000)
-    camp.add_argument("--timeout", type=float, default=None,
-                      help="per-run wall-clock limit in seconds "
-                      "(parallel mode); a hung run becomes one "
-                      "timeout result")
     camp.add_argument("--budget", type=float, default=None,
                       help="campaign wall-clock budget in seconds; "
                       "undispatched runs are marked skipped")
@@ -252,16 +272,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       "journal; already-journaled runs are skipped and "
                       "the merged output is identical to an "
                       "uninterrupted run")
-    camp.add_argument("--retries", type=int, default=0,
-                      help="re-dispatch a crashed/timed-out run up to N "
-                      "times before recording the failure")
-    camp.add_argument("--retry-backoff", type=float, default=0.0,
-                      help="seconds before retry k runs (scaled by k)")
-    camp.add_argument("--no-frd", action="store_true",
-                      help="skip the FRD comparison pass")
-    camp.add_argument("--detectors", default=None, metavar="NAMES",
-                      help="extra registry detector names attached to "
-                      "every run alongside SVD(+FRD)")
+    camp.add_argument("--shard", default=None, metavar="K/N",
+                      help="run only shard K of N (1-based): the tasks "
+                      "whose global matrix index i satisfies "
+                      "i %% N == K-1; seeds and results are identical "
+                      "to the same tasks of the unsharded campaign "
+                      "(see docs/scaling.md)")
     camp.add_argument("--table2", action="store_true",
                       help="also render with the paper's Table 2 "
                       "reference columns")
@@ -279,9 +295,62 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="seconds between heartbeat records "
                       "(default: 1.0)")
-    _add_consistency_flags(camp)
     _add_obs_flags(camp)
     _add_db_flag(camp)
+
+    shard = sub.add_parser(
+        "shard", help="split a campaign across independent shard "
+        "processes and merge their journals (see docs/scaling.md)")
+    shsub = shard.add_subparsers(dest="shard_command", required=True)
+
+    splan = shsub.add_parser(
+        "plan", help="write an N-shard plan for a campaign matrix")
+    splan.add_argument("--shards", type=int, required=True, metavar="N",
+                       help="number of shards to split the matrix into")
+    splan.add_argument("--out", required=True, metavar="DIR",
+                       help="plan directory (one subdirectory per shard)")
+    splan.add_argument("--no-obs", action="store_true",
+                       help="plan without per-task metrics collection "
+                       "(fastest; the merge then has no obs snapshot)")
+    _add_matrix_flags(splan)
+
+    srun = shsub.add_parser(
+        "run", help="run one shard directory (journaled; rerunning "
+        "resumes from the journal)")
+    srun.add_argument("shard_dir", help="a shard directory written by "
+                      "`repro shard plan`")
+    srun.add_argument("-j", "--workers", type=int, default=1,
+                      help="worker processes for this shard")
+    srun.add_argument("--budget", type=float, default=None,
+                      help="shard wall-clock budget in seconds")
+    srun.add_argument("--heartbeat-interval", type=float, default=1.0,
+                      metavar="SECONDS")
+    _add_db_flag(srun)
+
+    smerge = shsub.add_parser(
+        "merge", help="merge every shard's journal into the final "
+        "campaign report (commutative; byte-identical to the unsharded "
+        "campaign)")
+    smerge.add_argument("plan_dir", help="the plan directory")
+    smerge.add_argument("--table2", action="store_true",
+                        help="also render with the paper's Table 2 "
+                        "reference columns")
+    smerge.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the merged obs snapshot as "
+                        "canonical JSON")
+    _add_db_flag(smerge)
+
+    sdrive = shsub.add_parser(
+        "drive", help="run every shard as a local subprocess, then "
+        "merge (the single-host multi-process backend)")
+    sdrive.add_argument("plan_dir", help="the plan directory")
+    sdrive.add_argument("-j", "--workers", type=int, default=1,
+                        help="worker processes per shard subprocess")
+    sdrive.add_argument("--table2", action="store_true")
+    sdrive.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the merged obs snapshot as "
+                        "canonical JSON")
+    _add_db_flag(sdrive)
 
     serve = sub.add_parser(
         "serve", help="long-lived supervised fleet of detector "
@@ -478,6 +547,15 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("out", help="output path (one canonical JSON "
                      "record per line)")
     _db_path_flag(exp)
+
+    mrg = dbsub.add_parser(
+        "merge", help="merge result databases into one (commutative; "
+        "duplicate rows -- same kind, label, fingerprint, seeds, and "
+        "recording time -- are kept once)")
+    mrg.add_argument("sources", nargs="+",
+                     help="source database paths")
+    mrg.add_argument("--into", required=True, metavar="DST",
+                     help="destination database (created if missing)")
     return parser
 
 
@@ -888,25 +966,31 @@ def _cmd_replay(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    from repro.harness.campaign import (CampaignSpec, ConfigSpec,
-                                        NAMED_CONFIGS, WorkloadSpec,
-                                        run_campaign)
+class _MatrixError(Exception):
+    """Bad campaign matrix flags; the message is the usage error."""
+
+
+def _resolve_campaign_spec(args, obs_on: bool):
+    """Expand the shared matrix flags into ``(spec, names, configs)``.
+    One resolver for ``campaign`` and ``shard plan`` keeps the expanded
+    task matrix -- and therefore the journal fingerprint -- identical
+    for identical flags."""
+    from repro.harness.campaign import (CampaignSpec, NAMED_CONFIGS,
+                                        WorkloadSpec)
     if args.workloads == "all":
         names = sorted(WORKLOADS)
     else:
         names = [n.strip() for n in args.workloads.split(",") if n.strip()]
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
-        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
-        return EXIT_USAGE
+        raise _MatrixError(f"unknown workloads: {', '.join(unknown)}")
     configs = []
     for cname in args.configs.split(","):
         cname = cname.strip()
         if cname not in NAMED_CONFIGS:
-            print(f"unknown config {cname!r} (choose from "
-                  f"{', '.join(sorted(NAMED_CONFIGS))})", file=sys.stderr)
-            return EXIT_USAGE
+            raise _MatrixError(
+                f"unknown config {cname!r} (choose from "
+                f"{', '.join(sorted(NAMED_CONFIGS))})")
         config = NAMED_CONFIGS[cname]()
         config.switch_prob = args.switch_prob
         config.max_steps = args.max_steps
@@ -918,32 +1002,90 @@ def _cmd_campaign(args) -> int:
                 config.detectors = tuple(
                     parse_detector_list(args.detectors))
             except KeyError as exc:
-                print(exc.args[0], file=sys.stderr)
-                return EXIT_USAGE
+                raise _MatrixError(exc.args[0])
         configs.append(config)
-    if args.journal and args.resume:
-        print("--journal starts a fresh journal, --resume continues one; "
-              "give only the one you mean", file=sys.stderr)
-        return EXIT_USAGE
-    journal_dir = args.resume or args.journal
-    # --db wants the merged obs snapshot in the record, so recording a
-    # campaign implies collecting task metrics even without --obs
-    obs_on = _obs_active(args) or bool(args.db)
     spec = CampaignSpec(
         workloads=[WorkloadSpec(name=n) for n in names],
         configs=configs, seeds=args.seeds,
         master_seed=args.master_seed, task_timeout=args.timeout,
         task_retries=args.retries, retry_backoff=args.retry_backoff,
         obs=obs_on)
+    return spec, names, configs
+
+
+def _campaign_config_doc(args, names, configs) -> dict:
+    """The campaign config document the results DB fingerprints.
+    Shared by ``campaign --db`` and the shard plan manifest so a merged
+    shard campaign records a row byte-identical to an unsharded one."""
+    return {
+        "command": "campaign",
+        "workloads": sorted(names),
+        "configs": sorted(c.name for c in configs),
+        "seeds": args.seeds,
+        "switch_prob": args.switch_prob,
+        "max_steps": args.max_steps,
+        "frd": not args.no_frd,
+        "detectors": args.detectors,
+        "consistency": args.consistency,
+    }
+
+
+def _parse_shard_flag(value: str) -> Tuple[int, int]:
+    """``K/N`` (1-based K) -> 0-based ``(index, count)``."""
+    try:
+        k_text, n_text = value.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise _MatrixError(f"--shard wants K/N (e.g. 2/4), got {value!r}")
+    if n < 1 or not 1 <= k <= n:
+        raise _MatrixError(f"--shard {value}: K must be in 1..N")
+    return k - 1, n
+
+
+def _install_interrupt_handlers():
+    """Route SIGTERM/SIGINT into KeyboardInterrupt for graceful
+    campaign interruption; returns the handlers to restore."""
+    import signal as _signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt(_signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[signum] = _signal.signal(signum, _interrupt)
+        except (ValueError, OSError):
+            pass  # not the main thread; keep whatever is installed
+    return previous
+
+
+def _restore_interrupt_handlers(previous) -> None:
+    import signal as _signal
+    for signum, handler in previous.items():
+        _signal.signal(signum, handler)
+
+
+def _cmd_campaign(args) -> int:
+    from repro.harness.campaign import run_campaign
+    # --db wants the merged obs snapshot in the record, so recording a
+    # campaign implies collecting task metrics even without --obs
+    obs_on = _obs_active(args) or bool(args.db)
+    try:
+        spec, names, configs = _resolve_campaign_spec(args, obs_on)
+        shard = _parse_shard_flag(args.shard) if args.shard else None
+    except _MatrixError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    if args.journal and args.resume:
+        print("--journal starts a fresh journal, --resume continues one; "
+              "give only the one you mean", file=sys.stderr)
+        return EXIT_USAGE
+    journal_dir = args.resume or args.journal
     total = len(names) * len(configs) * args.seeds
+    if shard is not None:
+        index, count = shard
+        total = sum(1 for i in range(total) if i % count == index)
     done = [0]
-    heartbeat = None
-    if args.progress or args.heartbeat_out or args.db:
-        from repro.harness import CampaignHeartbeat
-        heartbeat = CampaignHeartbeat(
-            total, path=args.heartbeat_out,
-            interval=args.heartbeat_interval,
-            render=args.progress, stream=sys.stderr)
 
     def progress(result) -> None:
         done[0] += 1
@@ -964,18 +1106,22 @@ def _cmd_campaign(args) -> int:
     # report -- the journal keeps every finished task, the heartbeat
     # gets its final (interrupted) record, and the exit code says
     # degraded (3)
-    import signal as _signal
-
-    def _interrupt(signum, frame):
-        raise KeyboardInterrupt(_signal.Signals(signum).name)
-
-    previous = {}
-    for signum in (_signal.SIGTERM, _signal.SIGINT):
-        try:
-            previous[signum] = _signal.signal(signum, _interrupt)
-        except (ValueError, OSError):
-            pass  # not the main thread; keep whatever is installed
+    previous = _install_interrupt_handlers()
+    heartbeat = None
     try:
+        # the heartbeat (whose stream file is what interrupt tests and
+        # operators watch for) is created only after the handlers are
+        # installed, so a signal racing the startup can never land in
+        # an unprotected window once the stream exists
+        if args.progress or args.heartbeat_out or args.db:
+            from repro.harness import CampaignHeartbeat
+            heartbeat = CampaignHeartbeat(
+                total, path=args.heartbeat_out,
+                interval=args.heartbeat_interval,
+                render=args.progress, stream=sys.stderr)
+        # keep_results=False: every result folds into the streaming
+        # aggregate on arrival, so parent memory stays O(1) in
+        # completed tasks no matter how large the matrix is
         if spec.obs:
             with obs.session() as handle:
                 report = run_campaign(spec, workers=args.workers,
@@ -983,36 +1129,48 @@ def _cmd_campaign(args) -> int:
                                       on_result=progress,
                                       journal_dir=journal_dir,
                                       resume=bool(args.resume),
-                                      heartbeat=heartbeat)
+                                      heartbeat=heartbeat,
+                                      keep_results=False, shard=shard)
         else:
             handle = None
             report = run_campaign(spec, workers=args.workers,
                                   budget=args.budget, on_result=progress,
                                   journal_dir=journal_dir,
                                   resume=bool(args.resume),
-                                  heartbeat=heartbeat)
+                                  heartbeat=heartbeat,
+                                  keep_results=False, shard=shard)
     except JournalError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
+    except KeyboardInterrupt:
+        # the signal landed outside run_campaign's absorbing region
+        # (setup or teardown); still flush telemetry and exit degraded
+        # instead of dying with a traceback
+        if heartbeat is not None:
+            heartbeat.interrupted = True
+            heartbeat.finish()
+        print("campaign interrupted before any report was produced; "
+              "journal and heartbeat are flushed", file=sys.stderr)
+        return EXIT_DEGRADED
     finally:
-        for signum, handler in previous.items():
-            _signal.signal(signum, handler)
+        _restore_interrupt_handlers(previous)
     print(report.render_metrics())
     if args.table2:
         print()
         print(report.render_table2())
-    failed = report.errors
-    print(f"{len(report.results)} runs ({len(report.results) - len(failed)}"
-          f" ok, {len(failed)} failed/skipped) in {report.elapsed:.1f}s "
+    completed = report.completed
+    failed_count = report.failed_count
+    print(f"{completed} runs ({completed - failed_count}"
+          f" ok, {failed_count} failed/skipped) in {report.elapsed:.1f}s "
           f"with {args.workers} worker(s)", file=sys.stderr)
-    for result in failed[:5]:
+    for result in report.errors[:5]:
         first_line = result.error.strip().splitlines()[-1:] or ["?"]
         print(f"  {result.workload}/{result.config} seed#"
               f"{result.seed_index}: {result.status}: {first_line[0]}",
               file=sys.stderr)
     final_snapshot = None
     if handle is not None:
-        # task snapshots (from the result channel) + the parent's own
+        # task snapshots (folded as they arrived) + the parent's own
         # pool counters, merged into one campaign-wide view; computed
         # once so the --metrics-out file and the db record are
         # byte-identical
@@ -1022,48 +1180,278 @@ def _cmd_campaign(args) -> int:
         final_snapshot = obs.merge_snapshots(snapshots)
         if _obs_active(args):
             _obs_emit(args, final_snapshot, handle.tracer)
-    violations = any(r.ok and r.svd.dynamic_total > 0
-                     for r in report.results)
-    code = _exit_code(violations, bool(failed))
+    violations = report.aggregate.violations > 0
+    code = _exit_code(violations, failed_count > 0)
     if report.interrupted:
         code = EXIT_DEGRADED
-        print(f"campaign interrupted after {len(report.results)} of "
+        print(f"campaign interrupted after {completed} of "
               f"{total} runs; journal and heartbeat are flushed"
               + (", resume with --resume" if journal_dir else ""),
               file=sys.stderr)
     if args.db:
         from repro import resultsdb
-        config = {
-            "command": "campaign",
-            "workloads": sorted(names),
-            "configs": sorted(c.name for c in configs),
-            "seeds": args.seeds,
-            "switch_prob": args.switch_prob,
-            "max_steps": args.max_steps,
-            "frd": not args.no_frd,
-            "detectors": args.detectors,
-            "consistency": args.consistency,
-        }
+        config = _campaign_config_doc(args, names, configs)
+        label = ("campaign" if shard is None
+                 else f"campaign[shard {shard[0] + 1}/{shard[1]}]")
         summary = heartbeat.summary() if heartbeat is not None else None
         run_id = resultsdb.write_run(
-            args.db, "campaign", "campaign", config,
+            args.db, "campaign", label, config,
             status=("interrupted" if report.interrupted
                     else _status_of(code)),
-            violations=sum(r.svd.dynamic_total
-                           for r in report.results if r.ok),
-            events=sum(r.instructions for r in report.results if r.ok),
+            violations=report.aggregate.violations,
+            events=report.aggregate.events,
             elapsed=report.elapsed,
             master_seed=args.master_seed,
             detectors=(parse_detector_list(args.detectors)
                        if args.detectors else ()),
             consistency=args.consistency,
-            payload={"runs": len(report.results),
-                     "failed": len(failed),
-                     "workers": args.workers},
+            payload={"runs": completed, "failed": failed_count},
             obs=final_snapshot,
+            violation_fingerprints=sorted(
+                report.aggregate.violation_fingerprints),
             heartbeat=summary)
         print(f"recorded campaign {run_id} in {args.db}", file=sys.stderr)
     return code
+
+
+def _cmd_shard(args) -> int:
+    """``repro shard``: plan, run, merge, drive."""
+    cmd = args.shard_command
+    if cmd == "plan":
+        return _cmd_shard_plan(args)
+    if cmd == "run":
+        return _cmd_shard_run(args)
+    if cmd == "merge":
+        return _cmd_shard_merge(args)
+    if cmd == "drive":
+        return _cmd_shard_drive(args)
+    raise AssertionError(f"unhandled shard command {cmd!r}")
+
+
+def _cmd_shard_plan(args) -> int:
+    from repro.harness import shard as shardlib
+    # shards collect per-task metrics by default so the merged report
+    # carries the campaign-wide obs snapshot, exactly like
+    # `campaign --db`; --no-obs opts out for throughput runs
+    try:
+        spec, names, configs = _resolve_campaign_spec(
+            args, obs_on=not args.no_obs)
+    except _MatrixError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    config_doc = _campaign_config_doc(args, names, configs)
+    try:
+        plan = shardlib.plan_shards(spec, args.shards, args.out,
+                                    config_doc=config_doc)
+    except shardlib.ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    per_shard = [sum(1 for i in range(plan.total_tasks)
+                     if i % plan.count == k) for k in range(plan.count)]
+    print(f"planned {plan.total_tasks} tasks across {plan.count} "
+          f"shard(s) in {args.out} ({min(per_shard)}-{max(per_shard)} "
+          f"tasks/shard, fingerprint {plan.fingerprint[:16]})")
+    return EXIT_OK
+
+
+def _cmd_shard_run(args) -> int:
+    import os
+    from repro.harness import CampaignHeartbeat
+    from repro.harness import shard as shardlib
+    from repro.harness.campaign import run_campaign
+    from repro.harness.journal import JOURNAL_NAME, JournalError
+    try:
+        spec, (index, count) = shardlib.load_shard(args.shard_dir)
+    except shardlib.ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    total = sum(1 for t in spec.tasks() if t.index % count == index)
+    # rerunning a shard directory always resumes its journal: the
+    # normal recovery path after a crash or kill is simply to run the
+    # same command again
+    resume = os.path.exists(os.path.join(args.shard_dir, JOURNAL_NAME))
+    previous = _install_interrupt_handlers()
+    handle = None
+    heartbeat = None
+    try:
+        # created inside the guarded region (see _cmd_campaign): once
+        # the heartbeat stream exists, a signal cannot land outside it
+        heartbeat = CampaignHeartbeat(
+            total,
+            path=os.path.join(args.shard_dir, shardlib.HEARTBEAT_NAME),
+            interval=args.heartbeat_interval, render=False)
+        if spec.obs:
+            with obs.session() as handle:
+                report = run_campaign(
+                    spec, workers=args.workers, budget=args.budget,
+                    journal_dir=args.shard_dir, resume=resume,
+                    heartbeat=heartbeat, keep_results=False,
+                    shard=(index, count))
+        else:
+            report = run_campaign(
+                spec, workers=args.workers, budget=args.budget,
+                journal_dir=args.shard_dir, resume=resume,
+                heartbeat=heartbeat, keep_results=False,
+                shard=(index, count))
+    except JournalError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        # signal outside run_campaign's absorbing region: flush the
+        # shard telemetry and exit degraded; rerunning the shard
+        # directory resumes its journal
+        if heartbeat is not None:
+            heartbeat.interrupted = True
+            heartbeat.finish()
+        print(f"shard {index + 1}/{count} interrupted; rerun "
+              f"`repro shard run {args.shard_dir}` to resume",
+              file=sys.stderr)
+        return EXIT_DEGRADED
+    finally:
+        _restore_interrupt_handlers(previous)
+    final_snapshot = None
+    if handle is not None:
+        merged = report.merged_obs()
+        snapshots = ([merged] if merged is not None else [])
+        snapshots.append(handle.registry.snapshot())
+        final_snapshot = obs.merge_snapshots(snapshots)
+        # the shard's contribution to the merged campaign snapshot:
+        # its task obs plus its own pool counters.  merge_snapshots is
+        # associative and commutative, so folding these per-shard files
+        # reproduces the unsharded final snapshot byte-identically.
+        obs.atomic_write_text(
+            os.path.join(args.shard_dir, shardlib.METRICS_NAME),
+            json.dumps(final_snapshot, sort_keys=True, indent=2) + "\n")
+    completed = report.completed
+    failed_count = report.failed_count
+    print(f"shard {index + 1}/{count}: {completed}/{total} tasks "
+          f"({completed - failed_count} ok, {failed_count} "
+          f"failed/skipped) in {report.elapsed:.1f}s")
+    violations = report.aggregate.violations > 0
+    code = _exit_code(violations, failed_count > 0)
+    if report.interrupted:
+        code = EXIT_DEGRADED
+        print(f"shard interrupted; the journal is flushed, rerun "
+              f"`repro shard run {args.shard_dir}` to resume",
+              file=sys.stderr)
+    if args.db:
+        from repro import resultsdb
+        config_doc = None
+        try:
+            parent = shardlib.load_plan(
+                os.path.dirname(os.path.abspath(args.shard_dir)))
+            config_doc = parent.config
+        except shardlib.ShardError:
+            pass
+        if config_doc is None:
+            config_doc = {"command": "campaign",
+                          "workloads": sorted(w.name
+                                              for w in spec.workloads),
+                          "configs": sorted(c.name for c in spec.configs),
+                          "seeds": spec.seeds}
+        run_id = resultsdb.write_run(
+            args.db, "campaign",
+            f"campaign[shard {index + 1}/{count}]", config_doc,
+            status=("interrupted" if report.interrupted
+                    else _status_of(code)),
+            violations=report.aggregate.violations,
+            events=report.aggregate.events,
+            elapsed=report.elapsed,
+            master_seed=spec.master_seed,
+            consistency=(spec.configs[0].consistency
+                         if spec.configs else ""),
+            payload={"runs": completed, "failed": failed_count},
+            obs=final_snapshot,
+            violation_fingerprints=sorted(
+                report.aggregate.violation_fingerprints),
+            heartbeat=heartbeat.summary())
+        print(f"recorded shard {run_id} in {args.db}", file=sys.stderr)
+    return code
+
+
+def _cmd_shard_merge(args) -> int:
+    from repro.harness import shard as shardlib
+    from repro.harness.journal import JournalError
+    try:
+        merge = shardlib.merge_shards(args.plan_dir)
+    except (shardlib.ShardError, JournalError) as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    report = merge.report
+    print(report.render_metrics())
+    if args.table2:
+        print()
+        print(report.render_table2())
+    completed = report.completed
+    failed_count = report.failed_count
+    print(f"merged {len(merge.shards)}/{merge.plan.count} shard "
+          f"journal(s): {completed}/{merge.plan.total_tasks} runs "
+          f"({completed - failed_count} ok, {failed_count} "
+          f"failed/skipped)", file=sys.stderr)
+    if merge.missing:
+        sample = ", ".join(str(i) for i in merge.missing_sample)
+        print(f"{merge.missing} task(s) not covered by any shard "
+              f"journal (e.g. indices {sample}); the merged report is "
+              f"partial -- rerun the missing shards and merge again",
+              file=sys.stderr)
+    if args.metrics_out:
+        if merge.obs is None:
+            print("no shard metrics snapshots to merge (planned with "
+                  "--no-obs?)", file=sys.stderr)
+        else:
+            obs.atomic_write_text(
+                args.metrics_out,
+                json.dumps(merge.obs, sort_keys=True, indent=2) + "\n")
+            print(f"metrics written to {args.metrics_out}",
+                  file=sys.stderr)
+    violations = report.aggregate.violations > 0
+    code = _exit_code(violations, failed_count > 0)
+    if merge.missing:
+        code = EXIT_DEGRADED
+    if args.db:
+        from repro import resultsdb
+        config = merge.plan.config or {}
+        detectors = ()
+        if config.get("detectors"):
+            try:
+                detectors = tuple(parse_detector_list(config["detectors"]))
+            except KeyError:
+                detectors = ()
+        run_id = resultsdb.write_run(
+            args.db, "campaign", "campaign", config,
+            status=("interrupted" if merge.missing else _status_of(code)),
+            violations=report.aggregate.violations,
+            events=report.aggregate.events,
+            elapsed=report.elapsed,
+            master_seed=merge.plan.spec.master_seed,
+            detectors=detectors,
+            consistency=config.get("consistency", ""),
+            payload={"runs": completed, "failed": failed_count},
+            obs=merge.obs,
+            violation_fingerprints=sorted(
+                report.aggregate.violation_fingerprints),
+            heartbeat=merge.heartbeat)
+        print(f"recorded campaign {run_id} in {args.db}", file=sys.stderr)
+    return code
+
+
+def _cmd_shard_drive(args) -> int:
+    from repro.harness import shard as shardlib
+    try:
+        codes = shardlib.drive_shards(args.plan_dir, workers=args.workers)
+    except shardlib.ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    for index in sorted(codes):
+        print(f"shard {index + 1}/{len(codes)}: exit {codes[index]}",
+              file=sys.stderr)
+    bad = {i: c for i, c in codes.items()
+           if c not in (EXIT_OK, EXIT_VIOLATIONS)}
+    if bad:
+        print(f"{len(bad)} shard(s) did not complete cleanly (see "
+              f"shard.log in each shard directory); merging what "
+              f"finished", file=sys.stderr)
+    return _cmd_shard_merge(args)
 
 
 def _cmd_serve(args) -> int:
@@ -1388,6 +1776,14 @@ def _cmd_db(args) -> int:
             return EXIT_USAGE
         print(f"recorded {args.kind} {run_id} in {args.db}")
         return EXIT_OK
+    if cmd == "merge":
+        try:
+            added = resultsdb.merge_databases(args.sources, args.into)
+        except resultsdb.ResultsDBError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"merged {added} new row(s) into {args.into}")
+        return EXIT_OK
 
     if not os.path.exists(args.db):
         print(f"error: no results database at {args.db}", file=sys.stderr)
@@ -1457,6 +1853,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "overhead": _cmd_overhead,
     "campaign": _cmd_campaign,
+    "shard": _cmd_shard,
     "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,

@@ -7,14 +7,17 @@ process pool.
 from repro.harness.bench_gate import (FLOORS, FloorCheck, FloorSpecError,
                                       check_file, check_record,
                                       parse_floor)
-from repro.harness.campaign import (CampaignReport, CampaignResult,
-                                    CampaignSpec, ConfigSpec,
-                                    WorkloadSpec, derive_seed,
-                                    run_campaign)
+from repro.harness.campaign import (CampaignAggregate, CampaignReport,
+                                    CampaignResult, CampaignSpec,
+                                    CellStats, ConfigSpec, WorkloadSpec,
+                                    derive_seed, run_campaign)
 from repro.harness.heartbeat import CampaignHeartbeat
 from repro.harness.journal import (CampaignJournal, JournalError,
                                    spec_fingerprint)
 from repro.harness.pool import PoolStatus, WorkerStatus, parallel_map
+from repro.harness.shard import (ShardError, ShardMerge, ShardPlan,
+                                 drive_shards, load_plan, load_shard,
+                                 merge_shards, plan_shards)
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.table1 import characterize, table1_rows
 from repro.harness.table2 import Table2Row, table2_rows, render_table2
@@ -36,13 +39,23 @@ __all__ = [
     "PoolStatus",
     "WorkerStatus",
     "spec_fingerprint",
+    "CampaignAggregate",
     "CampaignReport",
     "CampaignResult",
     "CampaignSpec",
+    "CellStats",
     "ConfigSpec",
+    "ShardError",
+    "ShardMerge",
+    "ShardPlan",
     "WorkloadSpec",
     "derive_seed",
+    "drive_shards",
+    "load_plan",
+    "load_shard",
+    "merge_shards",
     "parallel_map",
+    "plan_shards",
     "run_campaign",
     "LengthPoint",
     "OverheadResult",

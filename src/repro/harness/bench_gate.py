@@ -37,6 +37,18 @@ from typing import Dict, List, Mapping, Tuple
 #: a supervised fleet of short executions must complete at least this
 #: many executions per second end to end (recorded ~240 exec/s on the
 #: reference box; the floor is a quarter of that).
+#:
+#: ``BENCH_campaign.json``: the sharded-campaign distribution layer.
+#: ``sharded.events_per_sec`` pins end-to-end throughput of the
+#: multi-shard driver (plan + N shard subprocesses + merge; recorded
+#: ~312k ev/s single-pool on the reference box, so 250k leaves
+#: headroom for the subprocess fan-out while still catching a real
+#: regression).  ``rss.flatness`` is the O(1)-aggregation memory gate:
+#: the coordinator's peak RSS on a small campaign divided by its peak
+#: RSS on a 10x-task campaign -- streaming aggregation keeps the ratio
+#: near 1.0, a result-retaining parent drags it well below the 0.90
+#: floor.  (Floors-only gating expresses the "RSS stays flat" ceiling
+#: as a ratio >= 0.90.)
 FLOORS: Dict[str, Dict[str, float]] = {
     "BENCH_engine.json": {
         "speedup": 1.5,
@@ -48,6 +60,10 @@ FLOORS: Dict[str, Dict[str, float]] = {
     },
     "BENCH_serve.json": {
         "executions_per_sec": 60,
+    },
+    "BENCH_campaign.json": {
+        "sharded.events_per_sec": 250_000,
+        "rss.flatness": 0.90,
     },
 }
 
@@ -140,6 +156,21 @@ def floors_for(basename: str,
         raise FloorSpecError(
             f"no floors apply to {basename!r}; pass --floor KEY=VALUE")
     return floors
+
+
+def write_artefact(path: str, record: Mapping) -> Dict:
+    """Write one ``BENCH_*.json`` artefact: canonical JSON, written
+    atomically, stamped with the writing process's ``peak_rss_bytes``
+    so every benchmark artefact carries a gateable memory reading
+    alongside its throughput numbers.  Returns the stamped record."""
+    from repro.obs.io import atomic_write_text
+    from repro.obs.rss import peak_rss_bytes
+    stamped = dict(record)
+    stamped.setdefault("peak_rss_bytes", peak_rss_bytes())
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    atomic_write_text(path, json.dumps(stamped, indent=2,
+                                       sort_keys=True) + "\n")
+    return stamped
 
 
 def check_file(path: str,

@@ -9,10 +9,19 @@ the paper's Table 2.
 
 Determinism contract: every task's schedule seed is *derived* (SHA-256)
 from the campaign master seed and the task's coordinates, never from
-worker identity or arrival order, and aggregation sorts results by task
-index.  A campaign therefore produces byte-identical aggregated metrics
-for any worker count, and serial (``workers=1``) is the reference the
-parallel path must reproduce.
+worker identity, shard assignment, or arrival order.  Aggregation is a
+*streaming fold* over commutative accumulators (integer sums, set
+unions, max gauges -- see :class:`CampaignAggregate`), so a campaign
+produces byte-identical aggregated metrics for any worker count, any
+shard count (``repro shard``, :mod:`repro.harness.shard`), and any
+completion order; serial unsharded (``workers=1``) is the reference
+every other execution shape must reproduce.
+
+Memory contract: with ``keep_results=False`` the parent retains O(1)
+state per completed task (a fixed set of accumulators plus a seen-index
+bitmap), which is what lets one coordinator aggregate million-execution
+campaigns.  The default ``keep_results=True`` additionally retains the
+full result list for the small-campaign paths that want it.
 """
 
 from __future__ import annotations
@@ -23,8 +32,8 @@ import json
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
+                    Optional, Sequence, Set, Tuple)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.heartbeat import CampaignHeartbeat
@@ -196,6 +205,10 @@ class CampaignResult:
     #: this task's :mod:`repro.obs` registry snapshot (plain JSON-safe
     #: dict, so it crosses the process boundary like everything else)
     obs: Optional[Dict[str, Any]] = None
+    #: sorted static-level violation fingerprints of this run (see
+    #: :func:`repro.resultsdb.violation_report_fingerprints`); the
+    #: campaign-wide union is a set, so it merges commutatively
+    violation_fingerprints: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -225,6 +238,7 @@ class CampaignResult:
             "extra_metrics": {name: m.to_json() for name, m
                               in sorted(self.extra_metrics.items())},
             "obs": self.obs,
+            "violation_fingerprints": list(self.violation_fingerprints),
         }
 
     @classmethod
@@ -249,6 +263,9 @@ class CampaignResult:
             extra_metrics={name: DetectorMetrics.from_json(m)
                            for name, m in data["extra_metrics"].items()},
             obs=data["obs"],
+            # absent in journals written before the field existed
+            violation_fingerprints=list(
+                data.get("violation_fingerprints", [])),
         )
 
 
@@ -270,6 +287,9 @@ def execute_task(task: CampaignTask) -> CampaignResult:
         extra = {name: metrics
                  for name, metrics in result.metrics.items()
                  if name not in ("svd", "frd")}
+        # local import: resultsdb pulls in trend/bench machinery that
+        # must not load whenever the harness package does
+        from repro.resultsdb.db import violation_report_fingerprints
         return CampaignResult(
             index=task.index,
             workload=task.workload.name,
@@ -287,6 +307,8 @@ def execute_task(task: CampaignTask) -> CampaignResult:
             apparent_false_negative=result.apparent_false_negative,
             extra_metrics=extra,
             obs=snapshot,
+            violation_fingerprints=violation_report_fingerprints(
+                result.reports),
         )
     except Exception:
         return failed_result(task, "error", traceback.format_exc())
@@ -318,20 +340,233 @@ def failed_result(task: CampaignTask, status: str,
         cus_created=0, apparent_false_negative=False, error=message)
 
 
+#: failures retained verbatim by the streaming aggregate (enough for
+#: the CLI's error tail without growing with the campaign)
+ERROR_SAMPLE_CAP = 8
+
+
+@dataclass
+class CellStats:
+    """Streaming Table-2 accumulator for one (workload, config) cell.
+
+    Folds one :class:`CampaignResult` at a time with exactly the
+    per-run arithmetic of :func:`repro.harness.table2.aggregate_row`:
+    integer sums and set unions only, so the fold is commutative and
+    associative -- any arrival order, worker count, or shard partition
+    renders the same row.
+    """
+
+    workload: str
+    config: str
+    ok_runs: int = 0
+    failed: int = 0
+    instructions: int = 0
+    svd_dynamic_fp: int = 0
+    frd_dynamic_fp: int = 0
+    svd_static_locs: Set[Any] = field(default_factory=set)
+    frd_static_locs: Set[Any] = field(default_factory=set)
+    bugs_found_svd: int = 0
+    bugs_found_frd: int = 0
+    apparent_fn: int = 0
+    posteriori_examinations: int = 0
+    cus_created: int = 0
+
+    def fold(self, result: CampaignResult) -> None:
+        if not result.ok:
+            self.failed += 1
+            return
+        self.ok_runs += 1
+        self.instructions += result.instructions
+        self.svd_dynamic_fp += result.svd.dynamic_fp
+        self.svd_static_locs |= result.svd.static_fp_locs
+        if result.frd is not None:
+            self.frd_dynamic_fp += result.frd.dynamic_fp
+            self.frd_static_locs |= result.frd.static_fp_locs
+            if result.frd.found_bug:
+                self.bugs_found_frd += 1
+        if result.svd.found_bug or result.posteriori_found_bug:
+            self.bugs_found_svd += 1
+        if result.apparent_false_negative:
+            self.apparent_fn += 1
+        self.posteriori_examinations += result.posteriori_static_entries
+        self.cus_created += result.cus_created
+
+    @property
+    def label(self) -> str:
+        return (self.workload if self.config == "default"
+                else f"{self.workload}[{self.config}]")
+
+    @property
+    def touched(self) -> bool:
+        return self.ok_runs + self.failed > 0
+
+    def to_row(self, buggy: bool) -> Table2Row:
+        return Table2Row(
+            program=self.label, segments=self.ok_runs, buggy=buggy,
+            instructions=self.instructions,
+            apparent_fn=self.apparent_fn,
+            svd_static_fp=len(self.svd_static_locs),
+            frd_static_fp=len(self.frd_static_locs),
+            svd_dynamic_fp=self.svd_dynamic_fp,
+            frd_dynamic_fp=self.frd_dynamic_fp,
+            posteriori_examinations=self.posteriori_examinations,
+            cus_created=self.cus_created,
+            bugs_found_svd=self.bugs_found_svd,
+            bugs_found_frd=self.bugs_found_frd)
+
+
+class CampaignAggregate:
+    """O(1)-per-task streaming aggregation of a campaign.
+
+    Everything a finished campaign reports -- Table-2 rows, counts,
+    the merged obs snapshot, the violation-fingerprint set -- is folded
+    in as each result arrives, instead of retained and re-derived from
+    a result list.  Parent memory is therefore a fixed set of
+    accumulators plus one bit per matrix task (the seen-index bitmap),
+    independent of how many results have completed.
+
+    Every accumulator is commutative (integer sums, set unions, the
+    obs merge's sum/max/bucket-add semantics over integer-valued
+    metrics), so folding the same result set in any order -- one pool,
+    many pools, shard journals replayed in any sequence -- produces
+    byte-identical aggregates.  :func:`fold` is also idempotent per
+    task index, which makes shard merges safe against replaying an
+    overlapping journal twice.
+    """
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+        self.total = len(spec.workloads) * len(spec.configs) * spec.seeds
+        self._seen = bytearray((self.total + 7) // 8)
+        self.completed = 0
+        self.ok_count = 0
+        self.failed_count = 0
+        #: instructions executed across ok runs
+        self.events = 0
+        #: SVD dynamic reports across ok runs
+        self.violations = 0
+        self.cells: Dict[Tuple[str, str], CellStats] = {}
+        for workload in spec.workloads:
+            for config in spec.configs:
+                self.cells[(workload.name, config.name)] = CellStats(
+                    workload=workload.name, config=config.name)
+        self.obs_snapshot: Optional[Dict[str, Any]] = None
+        self.violation_fingerprints: Set[str] = set()
+        self.error_samples: List[CampaignResult] = []
+
+    def seen(self, index: int) -> bool:
+        return bool(self._seen[index >> 3] & (1 << (index & 7)))
+
+    def fold(self, result: CampaignResult) -> bool:
+        """Fold one result in; ``False`` if its task index was already
+        folded (the duplicate is ignored)."""
+        index = result.index
+        if not 0 <= index < self.total:
+            raise ValueError(
+                f"result index {index} outside campaign matrix "
+                f"(0..{self.total - 1})")
+        if self.seen(index):
+            return False
+        self._seen[index >> 3] |= 1 << (index & 7)
+        cell = self.cells.get((result.workload, result.config))
+        if cell is None:
+            raise ValueError(
+                f"result for unknown cell ({result.workload!r}, "
+                f"{result.config!r})")
+        cell.fold(result)
+        self.completed += 1
+        if result.ok:
+            self.ok_count += 1
+            self.events += result.instructions
+            self.violations += result.svd.dynamic_total
+        else:
+            self.failed_count += 1
+            if len(self.error_samples) < ERROR_SAMPLE_CAP:
+                self.error_samples.append(result)
+        self.violation_fingerprints.update(result.violation_fingerprints)
+        if result.obs is not None:
+            if self.obs_snapshot is None:
+                self.obs_snapshot = obs.merge_snapshots([result.obs])
+            else:
+                self.obs_snapshot = obs.merge_snapshots(
+                    [self.obs_snapshot, result.obs])
+        return True
+
+    def missing_indices(self, cap: int = 10) -> Tuple[int, List[int]]:
+        """How many matrix tasks were never folded, plus the first
+        ``cap`` of them (for error messages)."""
+        count = 0
+        sample: List[int] = []
+        for index in range(self.total):
+            if not self.seen(index):
+                count += 1
+                if len(sample) < cap:
+                    sample.append(index)
+        return count, sample
+
+    def buggy_map(self) -> Dict[str, bool]:
+        buggy = {}
+        for workload in self.spec.workloads:
+            try:
+                buggy[workload.name] = workload.build().buggy
+            except Exception:
+                buggy[workload.name] = False
+        return buggy
+
+    def touched_cells(self) -> List[CellStats]:
+        """Cells with at least one folded result, in matrix order --
+        the row order batch aggregation produced when it grouped
+        index-sorted results."""
+        return [cell for cell in self.cells.values() if cell.touched]
+
+    def table2_rows(self) -> List[Table2Row]:
+        buggy = self.buggy_map()
+        return [cell.to_row(buggy[cell.workload])
+                for cell in self.touched_cells()]
+
+
 @dataclass
 class CampaignReport:
-    """All per-run results plus the Table 2 style aggregation."""
+    """The aggregated view of a finished campaign.
+
+    ``results`` is the full per-run list when the campaign ran with
+    ``keep_results=True`` (the default) and empty when it streamed;
+    everything aggregated -- rows, counts, merged obs, fingerprints --
+    reads from :attr:`aggregate` either way, so the two modes render
+    byte-identically.
+    """
 
     spec: CampaignSpec
-    results: List[CampaignResult]
+    results: List[CampaignResult] = field(default_factory=list)
     elapsed: float = 0.0
-    #: the campaign was cut short by SIGINT/SIGTERM; ``results`` holds
-    #: whatever completed (and was journaled) before the interruption
+    #: the campaign was cut short by SIGINT/SIGTERM; the aggregate (and
+    #: ``results``, when kept) holds whatever completed (and was
+    #: journaled) before the interruption
     interrupted: bool = False
+    aggregate: Optional[CampaignAggregate] = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate is None:
+            aggregate = CampaignAggregate(self.spec)
+            for result in sorted(self.results, key=lambda r: r.index):
+                aggregate.fold(result)
+            self.aggregate = aggregate
+
+    @property
+    def completed(self) -> int:
+        return self.aggregate.completed
 
     @property
     def errors(self) -> List[CampaignResult]:
-        return [r for r in self.results if not r.ok]
+        """Failed/skipped results: all of them when results were kept,
+        the first :data:`ERROR_SAMPLE_CAP` otherwise."""
+        if self.results:
+            return [r for r in self.results if not r.ok]
+        return list(self.aggregate.error_samples)
+
+    @property
+    def failed_count(self) -> int:
+        return self.aggregate.failed_count
 
     def group_results(self) -> "Dict[Tuple[str, str], List[CampaignResult]]":
         groups: Dict[Tuple[str, str], List[CampaignResult]] = {}
@@ -341,33 +576,22 @@ class CampaignReport:
         return groups
 
     def table2_rows(self) -> List[Table2Row]:
-        """Merge each (workload, config) cell's metrics exactly the way
-        Table 2 aggregates its seeded segments."""
-        buggy = {}
-        for workload in self.spec.workloads:
-            try:
-                buggy[workload.name] = workload.build().buggy
-            except Exception:
-                buggy[workload.name] = False
-        rows = []
-        for (wname, cname), results in self.group_results().items():
-            label = wname if cname == "default" else f"{wname}[{cname}]"
-            rows.append(aggregate_row(label, buggy[wname],
-                                      [r for r in results if r.ok]))
-        return rows
+        """Each (workload, config) cell's metrics, merged exactly the
+        way Table 2 aggregates its seeded segments."""
+        return self.aggregate.table2_rows()
 
     def render_metrics(self) -> str:
         """Deterministic aggregated-metrics table: identical input
-        matrix => byte-identical text, for any worker count."""
+        matrix => byte-identical text, for any worker count, shard
+        count, or completion order."""
+        buggy = self.aggregate.buggy_map()
         rows = []
-        for table_row in self.table2_rows():
-            failed = sum(1 for r in self.results
-                         if not r.ok
-                         and _row_label(r) == table_row.program)
+        for cell in self.aggregate.touched_cells():
+            table_row = cell.to_row(buggy[cell.workload])
             rows.append((
                 table_row.program,
                 table_row.segments,
-                failed,
+                cell.failed,
                 f"{table_row.instructions / 1e6:.3f}",
                 table_row.apparent_fn_text,
                 f"{table_row.bugs_found_svd}/{table_row.bugs_found_frd}",
@@ -381,23 +605,20 @@ class CampaignReport:
             ["Workload[config]", "Runs", "Fail", "M insts", "FN",
              "bugs s/f", "staticFP s/f", "dynFP/M s/f", "a-post", "CUs/M"],
             rows,
-            title=(f"Campaign: {len(self.results)} runs, "
+            title=(f"Campaign: {self.aggregate.completed} runs, "
                    f"master seed {self.spec.master_seed}"))
 
     def render_table2(self) -> str:
         return render_table2(self.table2_rows())
 
     def merged_obs(self) -> Optional[Dict[str, Any]]:
-        """Campaign-wide metrics: every per-task snapshot merged in task
-        index order.  Counters sum, gauges max, histograms add
-        bucket-wise -- all commutative -- so the result is identical for
-        any worker count.  ``None`` when the campaign ran without obs."""
-        snapshots = [r.obs for r in sorted(self.results,
-                                           key=lambda r: r.index)
-                     if r.obs is not None]
-        if not snapshots:
-            return None
-        return obs.merge_snapshots(snapshots)
+        """Campaign-wide metrics: every per-task snapshot merged.
+        Counters sum, gauges max, histograms add bucket-wise -- all
+        commutative over the integer values the tasks record -- so the
+        result is identical for any worker count, shard count, or
+        completion order.  ``None`` when the campaign ran without
+        obs."""
+        return self.aggregate.obs_snapshot
 
     def obs_json(self) -> Optional[str]:
         """The merged snapshot as canonical JSON (sorted keys) -- the
@@ -408,29 +629,39 @@ class CampaignReport:
         return json.dumps(merged, sort_keys=True, indent=2) + "\n"
 
 
-def _row_label(result: CampaignResult) -> str:
-    return (result.workload if result.config == "default"
-            else f"{result.workload}[{result.config}]")
-
-
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  budget: Optional[float] = None,
                  on_result: Optional[Callable[[CampaignResult], None]] = None,
                  journal_dir: Optional[str] = None,
                  resume: bool = False,
                  heartbeat: Optional["CampaignHeartbeat"] = None,
+                 keep_results: bool = True,
+                 shard: Optional[Tuple[int, int]] = None,
                  ) -> CampaignReport:
-    """Execute the campaign matrix and aggregate.
+    """Execute the campaign matrix (or one shard of it) and aggregate.
 
     ``workers=1`` runs serially in-process; ``workers>1`` fans out via
     the crash-isolating pool.  ``on_result`` streams results back in
     completion order while the campaign is still running.
 
-    With ``journal_dir``, every final task outcome is checkpointed to
-    an atomically-flushed journal there; ``resume=True`` reloads an
-    existing journal (fingerprint-checked against ``spec``) and runs
-    only the not-yet-journaled tasks.  Seeds are position-derived and
-    aggregation sorts by task index, so an interrupted+resumed campaign
+    ``keep_results=False`` drops each result after folding it into the
+    streaming aggregate, keeping parent memory O(1) in completed tasks;
+    the report then exposes only aggregated state (and a small error
+    sample).  The default retains the full result list.
+
+    ``shard=(index, count)`` runs only the tasks whose *global* matrix
+    index satisfies ``index % count == shard_index``.  Task identity,
+    seeds, and per-task results are exactly those of the unsharded
+    campaign -- sharding only partitions the dispatch -- so merging all
+    shards' journals (:mod:`repro.harness.shard`) reproduces the
+    unsharded report byte-identically.
+
+    With ``journal_dir``, every final task outcome is appended (fsynced
+    and commit-marked, see :mod:`repro.harness.journal`) to a journal
+    there; ``resume=True`` replays an existing journal (fingerprint-
+    and shard-checked against ``spec``) and runs only the
+    not-yet-journaled tasks.  Seeds are position-derived and the
+    aggregation is commutative, so an interrupted+resumed campaign
     aggregates byte-identically to an uninterrupted one.
 
     ``heartbeat`` (a :class:`repro.harness.heartbeat.CampaignHeartbeat`)
@@ -439,18 +670,18 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     before this function returns.
     """
     tasks = spec.tasks()
+    if shard is not None:
+        shard_index, shard_count = shard
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard index {shard_index} outside 0..{shard_count - 1}")
+        tasks = [t for t in tasks if t.index % shard_count == shard_index]
     started = time.perf_counter()
+    aggregate = CampaignAggregate(spec)
     results: List[CampaignResult] = []
 
     journal = None
     pending = tasks
-    if journal_dir is not None:
-        from repro.harness.journal import CampaignJournal
-        journal = CampaignJournal.open(journal_dir, spec, resume=resume)
-        done = journal.completed_indices()
-        if done:
-            results.extend(journal.results)
-            pending = [t for t in tasks if t.index not in done]
 
     def on_outcome(position: int, outcome: Outcome) -> None:
         status, value = outcome
@@ -460,7 +691,9 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
             result = failed_result(pending[position], status, str(value))
         if journal is not None:
             journal.record(result)
-        results.append(result)
+        aggregate.fold(result)
+        if keep_results:
+            results.append(result)
         if heartbeat is not None:
             heartbeat.task_done(result)
         if on_result is not None:
@@ -469,6 +702,21 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     monitor = heartbeat.pool_update if heartbeat is not None else None
     interrupted = False
     try:
+        # journal open/replay sits inside the absorbing region too: an
+        # interrupt during a long resume replay still yields a partial
+        # (truthful) report instead of escaping as an exception
+        if journal_dir is not None:
+            from repro.harness.journal import CampaignJournal
+            journal = CampaignJournal.open(journal_dir, spec,
+                                           resume=resume, shard=shard)
+            done: Set[int] = set()
+            for result in journal.replay():
+                done.add(result.index)
+                aggregate.fold(result)
+                if keep_results:
+                    results.append(result)
+            if done:
+                pending = [t for t in tasks if t.index not in done]
         parallel_map(execute_task, pending, workers=workers,
                      timeout=spec.task_timeout, budget=budget,
                      on_outcome=on_outcome, retries=spec.task_retries,
@@ -483,7 +731,10 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         if heartbeat is not None:
             heartbeat.interrupted = interrupted
             heartbeat.finish()
+        if journal is not None:
+            journal.close()
     results.sort(key=lambda r: r.index)
     return CampaignReport(spec=spec, results=results,
                           elapsed=time.perf_counter() - started,
-                          interrupted=interrupted)
+                          interrupted=interrupted,
+                          aggregate=aggregate)

@@ -10,8 +10,8 @@ and queryable forever after:
 * every ``interval`` seconds a **heartbeat record** is appended to the
   JSONL stream: tasks completed/total, cumulative events, a rolling
   events/sec over the last few seconds, violations so far, failed
-  tasks, worker crashes/retries, and per-worker liveness (alive, task
-  in flight, busy seconds);
+  tasks, the parent's peak RSS, worker crashes/retries, and per-worker
+  liveness (alive, task in flight, busy seconds);
 * ``repro campaign --progress`` renders the same records as a live
   status line on stderr;
 * at completion, :meth:`summary` returns the final record for
@@ -33,6 +33,7 @@ from typing import (Any, Deque, Dict, List, Optional, Sequence, TextIO,
                     Tuple)
 
 from repro.harness.pool import PoolStatus
+from repro.obs.rss import peak_rss_bytes
 
 #: seconds between emitted heartbeat records (and rendered updates)
 DEFAULT_INTERVAL = 1.0
@@ -126,6 +127,7 @@ class CampaignHeartbeat:
             "events_per_sec": round(rate, 1),
             "violations": self.violations,
             "failures": self.failures,
+            "rss_peak_bytes": peak_rss_bytes(),
             "worker_crashes": (self._pool.worker_crashes
                                if self._pool else 0),
             "task_retries": (self._pool.task_retries

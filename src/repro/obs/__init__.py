@@ -32,6 +32,7 @@ from repro.obs.metrics import (Counter, DEFAULT_BOUNDS, Gauge, Histogram,
                                MetricsRegistry, NULL_REGISTRY, NullRegistry,
                                estimate_percentile, merge_snapshots,
                                snapshot_percentile)
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.runtime import (SessionHandle, add, enabled, metrics,
                                metrics_enabled, metrics_scope, session,
                                span, tracer, tracing_enabled)
@@ -44,7 +45,8 @@ __all__ = [
     "NULL_REGISTRY", "NULL_TRACER", "NullRegistry", "NullTracer",
     "SessionHandle", "SpanRecord", "Tracer", "add", "atomic_write_text",
     "enabled", "estimate_percentile", "merge_snapshots", "metrics",
-    "metrics_enabled", "metrics_scope", "render_metrics_summary",
+    "metrics_enabled", "metrics_scope", "peak_rss_bytes",
+    "render_metrics_summary",
     "render_span_summary", "render_summary", "session",
     "snapshot_percentile", "span", "tracer", "tracing_enabled",
 ]

@@ -1,0 +1,56 @@
+"""Peak resident-set-size sampling.
+
+On Linux the primary source is ``VmHWM`` from ``/proc/self/status``:
+the memory-manager's RSS high-water mark, which is reset on ``execve``
+and therefore always describes *this* program's own footprint.  The
+fallback, ``resource.getrusage(RUSAGE_SELF).ru_maxrss``, is monotone
+and O(1) to read but on Linux survives ``exec`` -- a child forked from
+a large coordinator inherits the parent's high-water mark, which would
+make every subprocess campaign look as big as whatever launched it.
+Linux reports ``ru_maxrss`` in kilobytes, macOS in bytes;
+:func:`peak_rss_bytes` normalises to bytes and returns 0 on platforms
+where neither source exists, so callers can record it unconditionally.
+
+Peak RSS is telemetry, not a deterministic metric: it depends on the
+allocator, interpreter version, and what else the process did.  It is
+therefore surfaced in heartbeat records and ``BENCH_*.json`` artefacts
+(where regressions are gated as ratios with headroom) and deliberately
+kept *out* of the deterministic obs snapshots that must be
+byte-identical across worker and shard counts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None
+
+
+def _proc_vm_hwm_bytes() -> int:
+    """``VmHWM`` from ``/proc/self/status`` in bytes, or 0 when the
+    procfs source is unavailable (non-Linux, masked /proc)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if the
+    platform cannot report it)."""
+    hwm = _proc_vm_hwm_bytes()
+    if hwm > 0:
+        return hwm
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024

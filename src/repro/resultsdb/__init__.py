@@ -11,7 +11,8 @@ regression checks.  See ``docs/observability.md``.
 
 from repro.resultsdb.db import (ResultsDB, ResultsDBError, RunRecord,
                                 RUN_KINDS, config_fingerprint,
-                                detect_git_commit, iter_jsonl, open_db,
+                                detect_git_commit, iter_jsonl,
+                                merge_databases, merge_key, open_db,
                                 violation_report_fingerprints, write_run)
 from repro.resultsdb.trend import (DEFAULT_TOLERANCE, DEFAULT_WINDOW,
                                    MIN_HISTORY, TrendCheck,
@@ -20,7 +21,8 @@ from repro.resultsdb.trend import (DEFAULT_TOLERANCE, DEFAULT_WINDOW,
 __all__ = [
     "DEFAULT_TOLERANCE", "DEFAULT_WINDOW", "MIN_HISTORY", "RUN_KINDS",
     "ResultsDB", "ResultsDBError", "RunRecord", "TrendCheck",
-    "config_fingerprint", "detect_git_commit", "iter_jsonl", "open_db",
+    "config_fingerprint", "detect_git_commit", "iter_jsonl",
+    "merge_databases", "merge_key", "open_db",
     "render_trend_table", "trend_check", "violation_report_fingerprints",
     "write_run",
 ]

@@ -389,6 +389,63 @@ class ResultsDB:
         return len(lines)
 
 
+def merge_key(record: RunRecord) -> Tuple[Any, ...]:
+    """The identity a merge dedups on: what the run *was* (kind, label,
+    config fingerprint, every seed) plus when it was recorded.  Two
+    ingests of the same row collapse; two genuine runs of the same
+    configuration (different seeds or different times, e.g. a bench
+    trend history) both survive."""
+    return (record.kind, record.label, record.fingerprint,
+            record.master_seed, record.schedule_seed, record.model_seed,
+            record.recorded_at)
+
+
+def merge_databases(sources: Sequence[str], dest: str) -> int:
+    """Merge ``sources`` into the database at ``dest`` (created if
+    missing); returns the number of rows added.
+
+    The merge is commutative and idempotent: rows are deduplicated by
+    :func:`merge_key` (against both ``dest`` and each other) and
+    inserted in sorted identity order, so merging any permutation of
+    the same sources -- or merging the same source twice -- yields a
+    destination with identical content and insertion order.  Shard
+    campaigns rely on this to consolidate per-shard databases; CI uses
+    it to consolidate cached result stores.
+    """
+    for src in sources:
+        if not os.path.exists(src):
+            raise ResultsDBError(f"{src}: no such results database")
+    incoming: List[RunRecord] = []
+    for src in sources:
+        with ResultsDB(src) as db:
+            incoming.extend(db.list_runs())
+    incoming.sort(key=merge_key)
+    added = 0
+    with ResultsDB(dest) as out:
+        seen = {merge_key(record) for record in out.list_runs()}
+        for record in incoming:
+            key = merge_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.write_run(
+                record.kind, record.label, record.config,
+                status=record.status, violations=record.violations,
+                events=record.events, elapsed=record.elapsed,
+                schedule_seed=record.schedule_seed,
+                model_seed=record.model_seed,
+                master_seed=record.master_seed,
+                detectors=record.detectors,
+                consistency=record.consistency,
+                payload=record.payload, obs=record.obs,
+                violation_fingerprints=record.violation_fingerprints,
+                heartbeat=record.heartbeat,
+                git_commit=record.git_commit,
+                recorded_at=record.recorded_at)
+            added += 1
+    return added
+
+
 def open_db(path: str) -> ResultsDB:
     """Open (creating if missing) the results database at ``path``."""
     return ResultsDB(path)

@@ -7,6 +7,7 @@ after one task, after all tasks, or the campaign finishes before the
 kill, the resumed output never differs from the reference.
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -63,6 +64,24 @@ class TestKillResume:
             victim.wait()
 
         assert os.path.exists(journal), "campaign never created a journal"
+
+        # the fsync-then-commit protocol: whatever instant the SIGKILL
+        # landed, the commit marker exists and its committed prefix is
+        # whole newline-terminated JSON lines -- a torn final append
+        # can only ever lie *beyond* the marker
+        marker_path = os.path.join(jdir, "journal.commit")
+        assert os.path.exists(marker_path), "no commit marker"
+        with open(marker_path) as fh:
+            marker = json.load(fh)
+        assert marker["format"] == "repro-campaign-journal-commit"
+        with open(journal, "rb") as fh:
+            committed = fh.read(marker["length"])
+        assert committed.endswith(b"\n")
+        lines = committed.splitlines()
+        assert len(lines) == 1 + marker["records"]  # header + records
+        for line in lines:
+            json.loads(line)
+
         resumed = _run_cli(ARGS + ["--resume", jdir])
         assert resumed.returncode == 1, resumed.stderr
         assert resumed.stdout == reference.stdout
@@ -72,3 +91,9 @@ class TestKillResume:
         again = _run_cli(ARGS + ["--resume", jdir, "-j", "2"])
         assert again.returncode == 1
         assert again.stdout == reference.stdout
+
+        # after a complete run the marker covers the whole journal
+        with open(marker_path) as fh:
+            final_marker = json.load(fh)
+        assert final_marker["length"] == os.path.getsize(journal)
+        assert final_marker["records"] == 6

@@ -12,8 +12,8 @@ import repro.faults as faults
 from repro.faults import Fault, FaultPlan
 from repro.harness.campaign import (CampaignResult, CampaignSpec,
                                     ConfigSpec, WorkloadSpec, run_campaign)
-from repro.harness.journal import (CampaignJournal, JournalError,
-                                   spec_fingerprint)
+from repro.harness.journal import (COMMIT_NAME, CampaignJournal,
+                                   JournalError, spec_fingerprint)
 
 FAST = ConfigSpec(max_steps=30_000)
 
@@ -87,6 +87,86 @@ class TestJournalFile:
         with pytest.raises(JournalError, match="not a campaign journal"):
             run_campaign(small_spec(), workers=1, journal_dir=str(jdir),
                          resume=True)
+
+
+class TestCommitMarker:
+    """The v2 append-fsync-commit protocol: the marker is the durable
+    truth, anything beyond it is discardable in-flight state."""
+
+    def _marker(self, jdir):
+        with open(os.path.join(jdir, COMMIT_NAME)) as fh:
+            return json.loads(fh.read())
+
+    def test_marker_tracks_every_committed_record(self, tmp_path):
+        jdir = str(tmp_path / "j")
+        report = run_campaign(small_spec(), workers=1, journal_dir=jdir)
+        marker = self._marker(jdir)
+        assert marker["format"] == "repro-campaign-journal-commit"
+        assert marker["records"] == len(report.results) == 4
+        path = os.path.join(jdir, "journal.jsonl")
+        assert marker["length"] == os.path.getsize(path)
+        # the committed prefix is whole lines, every one of them JSON
+        with open(path, "rb") as fh:
+            blob = fh.read(marker["length"])
+        assert blob.endswith(b"\n")
+        for line in blob.splitlines():
+            json.loads(line)
+
+    def test_torn_tail_beyond_marker_is_dropped(self, tmp_path):
+        """A SIGKILL mid-append leaves a torn final line past the
+        marker; resume must ignore it entirely."""
+        reference = run_campaign(small_spec(), workers=1)
+        jdir = str(tmp_path / "j")
+        run_campaign(small_spec(), workers=1, journal_dir=jdir)
+        with open(os.path.join(jdir, "journal.jsonl"), "ab") as fh:
+            fh.write(b'{"index": 99, "status": "ok", "truncat')
+        ran = []
+        resumed = run_campaign(small_spec(), workers=1, journal_dir=jdir,
+                               resume=True,
+                               on_result=lambda r: ran.append(r.index))
+        assert ran == []
+        assert resumed.render_metrics() == reference.render_metrics()
+
+    def test_uncommitted_records_rerun_and_tail_truncated(self, tmp_path):
+        """Rolling the marker back makes the later records in-flight
+        state: resume re-runs those tasks, and the first new append
+        truncates the stale tail away before writing."""
+        reference = run_campaign(small_spec(), workers=1)
+        jdir = str(tmp_path / "j")
+        run_campaign(small_spec(), workers=1, journal_dir=jdir)
+        lines = journal_lines(jdir)
+        committed = sum(len(line) + 1 for line in lines[:3])  # header + 2
+        from repro.obs.io import atomic_write_text
+        atomic_write_text(
+            os.path.join(jdir, COMMIT_NAME),
+            json.dumps({"format": "repro-campaign-journal-commit",
+                        "length": committed, "records": 2}) + "\n")
+        ran = []
+        resumed = run_campaign(small_spec(), workers=1, journal_dir=jdir,
+                               resume=True,
+                               on_result=lambda r: ran.append(r.index))
+        assert sorted(ran) == [2, 3]
+        assert resumed.render_metrics() == reference.render_metrics()
+        # the journal is whole again and the marker covers all of it
+        assert len(journal_lines(jdir)) - 1 == 4
+        marker = self._marker(jdir)
+        assert marker["records"] == 4
+        assert marker["length"] == os.path.getsize(
+            os.path.join(jdir, "journal.jsonl"))
+
+    def test_v1_journal_without_marker_still_resumes(self, tmp_path):
+        """Pre-marker journals load whole-file (tolerating a torn final
+        line), so existing journals survive the protocol upgrade."""
+        reference = run_campaign(small_spec(), workers=1)
+        jdir = str(tmp_path / "j")
+        run_campaign(small_spec(), workers=1, journal_dir=jdir)
+        os.unlink(os.path.join(jdir, COMMIT_NAME))
+        ran = []
+        resumed = run_campaign(small_spec(), workers=1, journal_dir=jdir,
+                               resume=True,
+                               on_result=lambda r: ran.append(r.index))
+        assert ran == []
+        assert resumed.render_metrics() == reference.render_metrics()
 
 
 class TestResumeIdentity:

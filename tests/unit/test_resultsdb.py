@@ -255,3 +255,70 @@ class TestExport:
         # canonical JSON: re-exporting the same database is byte-stable
         db.export_jsonl(str(out))
         assert out.read_bytes() == first
+
+
+class TestMergeDatabases:
+    """``repro db merge``: commutative, idempotent consolidation of
+    per-shard (or per-host) result stores."""
+
+    def _shard_db(self, tmp_path, name, rows):
+        path = str(tmp_path / f"{name}.db")
+        with open_db(path) as db:
+            for seed, at in rows:
+                db.write_run(
+                    "run", "stringbuffer", {"workload": "stringbuffer"},
+                    schedule_seed=seed, violations=1, events=100,
+                    git_commit="abc",
+                    recorded_at=f"2026-08-08T00:0{at}:00+00:00")
+        return path
+
+    def _export(self, path, tmp_path, tag):
+        out = str(tmp_path / f"{tag}.jsonl")
+        with open_db(path) as db:
+            db.export_jsonl(out)
+        # run_id depends on insertion order alone; drop it so two
+        # merged stores compare on content
+        return [{k: v for k, v in record.items() if k != "run_id"}
+                for record in iter_jsonl(out)]
+
+    def test_merge_is_commutative_and_idempotent(self, tmp_path):
+        a = self._shard_db(tmp_path, "a", [(1, 1), (2, 2)])
+        b = self._shard_db(tmp_path, "b", [(3, 3)])
+        ab = str(tmp_path / "ab.db")
+        ba = str(tmp_path / "ba.db")
+        assert resultsdb.merge_databases([a, b], ab) == 3
+        assert resultsdb.merge_databases([b, a], ba) == 3
+        assert self._export(ab, tmp_path, "ab") == \
+            self._export(ba, tmp_path, "ba")
+        # merging again adds nothing and changes nothing
+        before = self._export(ab, tmp_path, "ab2")
+        assert resultsdb.merge_databases([a, b], ab) == 0
+        assert self._export(ab, tmp_path, "ab3") == before
+
+    def test_duplicate_rows_collapse_real_reruns_survive(self, tmp_path):
+        # a and b share one identical row (same seed, same timestamp);
+        # c re-ran the same seed at a different time -- a genuine rerun
+        a = self._shard_db(tmp_path, "a", [(1, 1)])
+        b = self._shard_db(tmp_path, "b", [(1, 1), (2, 2)])
+        c = self._shard_db(tmp_path, "c", [(1, 5)])
+        dest = str(tmp_path / "all.db")
+        assert resultsdb.merge_databases([a, b, c], dest) == 3
+        with open_db(dest) as db:
+            seeds = sorted((r.schedule_seed, r.recorded_at)
+                           for r in db.list_runs())
+        assert seeds == [(1, "2026-08-08T00:01:00+00:00"),
+                         (1, "2026-08-08T00:05:00+00:00"),
+                         (2, "2026-08-08T00:02:00+00:00")]
+
+    def test_merge_into_existing_destination_dedups(self, tmp_path):
+        a = self._shard_db(tmp_path, "a", [(1, 1), (2, 2)])
+        dest = self._shard_db(tmp_path, "dest", [(2, 2), (3, 3)])
+        assert resultsdb.merge_databases([a], dest) == 1
+        with open_db(dest) as db:
+            assert sorted(r.schedule_seed for r in db.list_runs()) == \
+                [1, 2, 3]
+
+    def test_missing_source_is_an_error(self, tmp_path):
+        with pytest.raises(ResultsDBError, match="no such results"):
+            resultsdb.merge_databases(
+                [str(tmp_path / "nope.db")], str(tmp_path / "out.db"))
